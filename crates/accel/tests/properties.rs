@@ -1,0 +1,144 @@
+//! Property tests for dataflow plans and the analytic simulator.
+
+use dnnlife_accel::{
+    simulate_analytic, simulate_exact, AcceleratorConfig, AnalyticPolicy, AnalyticSimConfig,
+    BlockSource, FifoSlotMemory, FlatWeightMemory,
+};
+use dnnlife_mitigation::{BarrelShifter, Passthrough, PeriodicInversion, WriteTransducer};
+use dnnlife_nn::NetworkSpec;
+use dnnlife_quant::NumberFormat;
+use proptest::prelude::*;
+
+fn small_config(kib: u64) -> AcceleratorConfig {
+    let mut cfg = AcceleratorConfig::baseline();
+    cfg.weight_memory_bytes = kib * 1024;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Block sources are pure functions of (block, word).
+    #[test]
+    fn flat_words_are_pure(seed in 0u64..1000, kib in 1u64..8, block_pick in 0u64..1000, word_pick in 0usize..100_000) {
+        let mem = FlatWeightMemory::new(
+            &small_config(kib),
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        let block = block_pick % mem.block_count();
+        let word = word_pick % mem.geometry().words;
+        prop_assert_eq!(mem.word(block, word), mem.word(block, word));
+        prop_assert!(mem.word(block, word) < 256);
+    }
+
+    /// Every weight of the network appears in the block stream exactly
+    /// once (conservation of the weight stream).
+    #[test]
+    fn flat_stream_conserves_weight_count(seed in 0u64..100, kib in 1u64..8) {
+        let spec = NetworkSpec::custom_mnist();
+        let mem = FlatWeightMemory::new(
+            &small_config(kib),
+            &spec,
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        // Padded stream length covers all weights plus ragged-lane zeros.
+        let padded: u64 = spec
+            .layers()
+            .iter()
+            .map(|l| l.filter_count().div_ceil(8) * 8 * l.weights_per_filter())
+            .sum();
+        prop_assert_eq!(mem.stream_len(), padded);
+        prop_assert_eq!(
+            mem.block_count(),
+            padded.div_ceil(mem.geometry().words as u64)
+        );
+    }
+
+    /// NPU slots partition the tile stream: every tile lands in exactly
+    /// one slot, and slot block counts differ by at most one.
+    #[test]
+    fn npu_slots_partition_tiles(seed in 0u64..100) {
+        let slots = FifoSlotMemory::all_slots(
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        let total: u64 = slots.iter().map(|s| s.block_count()).sum();
+        prop_assert_eq!(total, slots[0].total_tiles());
+        let max = slots.iter().map(|s| s.block_count()).max().unwrap();
+        let min = slots.iter().map(|s| s.block_count()).min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Analytic duties are always valid probabilities, under any policy.
+    #[test]
+    fn analytic_duties_in_unit_interval(
+        seed in 0u64..100,
+        policy_pick in 0usize..4,
+        inferences in 1u64..12,
+    ) {
+        let mem = FlatWeightMemory::new(
+            &small_config(1),
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        let policy = match policy_pick {
+            0 => AnalyticPolicy::Passthrough,
+            1 => AnalyticPolicy::PeriodicInversion,
+            2 => AnalyticPolicy::BarrelShifter,
+            _ => AnalyticPolicy::DnnLife { bias: 0.6, bias_balancing: Some(4), seed },
+        };
+        let cfg = AnalyticSimConfig { inferences, sample_stride: 37, threads: 1 };
+        let duties = simulate_analytic(&mem, &policy, &cfg);
+        prop_assert!(!duties.is_empty());
+        for d in duties {
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    /// Deterministic policies: analytic equals event-driven exactly, for
+    /// random seeds and inference counts (beyond the fixed cases in
+    /// validation.rs).
+    #[test]
+    fn analytic_matches_exact_random_configs(
+        seed in 0u64..50,
+        inferences in 1u64..6,
+        policy_pick in 0usize..3,
+    ) {
+        let mut cfg = AcceleratorConfig::baseline();
+        cfg.weight_memory_bytes = 512;
+        let mem = FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        let words = mem.geometry().words;
+        let (mut transducer, policy): (Box<dyn WriteTransducer>, AnalyticPolicy) =
+            match policy_pick {
+                0 => (Box::new(Passthrough::new(8)), AnalyticPolicy::Passthrough),
+                1 => (
+                    Box::new(PeriodicInversion::new(8, words)),
+                    AnalyticPolicy::PeriodicInversion,
+                ),
+                _ => (
+                    Box::new(BarrelShifter::new(8, words)),
+                    AnalyticPolicy::BarrelShifter,
+                ),
+            };
+        let exact = simulate_exact(&mem, transducer.as_mut(), inferences);
+        let analytic = simulate_analytic(
+            &mem,
+            &policy,
+            &AnalyticSimConfig { inferences, sample_stride: 1, threads: 1 },
+        );
+        prop_assert_eq!(exact.len(), analytic.len());
+        for (i, (e, a)) in exact.iter().zip(&analytic).enumerate() {
+            prop_assert!((e - a).abs() < 1e-12, "cell {}: {} vs {}", i, e, a);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Cost of the Eq. 1 / Eq. 2 probabilistic model (Fig. 7 math).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnnlife_core::DutyCycleModel;
+use dnnlife_numerics::binomial::population_tail_probability;
+use dnnlife_numerics::sample_binomial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_probmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probabilistic_model");
+
+    group.bench_function("eq1_series_k20", |b| {
+        let model = DutyCycleModel::new(20, 0.5);
+        b.iter(|| black_box(model.series()));
+    });
+    group.bench_function("eq1_series_k160", |b| {
+        let model = DutyCycleModel::new(160, 0.5);
+        b.iter(|| black_box(model.series()));
+    });
+    group.bench_function("eq2_population_8192_cells", |b| {
+        b.iter(|| black_box(population_tail_probability(8192, 800, black_box(0.11))));
+    });
+    group.bench_function("binomial_sampler_exact_branch", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sample_binomial(&mut rng, 100, 0.3)));
+    });
+    group.bench_function("binomial_sampler_normal_branch", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sample_binomial(&mut rng, 50_000, 0.5)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probmodel);
+criterion_main!(benches);

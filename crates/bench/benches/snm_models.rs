@@ -1,0 +1,36 @@
+//! SNM model evaluation cost: the calibrated closed form is evaluated
+//! per simulated cell (millions of times per Fig. 9 panel), while the
+//! butterfly solver is the per-design reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnnlife_sram::snm::{ButterflySnmModel, CalibratedSnmModel, SnmModel};
+use dnnlife_sram::NbtiModel;
+use std::hint::black_box;
+
+fn bench_snm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snm_models");
+
+    let calibrated = CalibratedSnmModel::paper();
+    group.bench_function("calibrated_eval", |b| {
+        let mut duty = 0.0f64;
+        b.iter(|| {
+            duty = (duty + 0.001) % 1.0;
+            black_box(calibrated.degradation_percent(black_box(duty), 7.0))
+        });
+    });
+
+    group.bench_function("nbti_delta_vth", |b| {
+        let model = NbtiModel::default_65nm();
+        b.iter(|| black_box(model.delta_vth_mv(black_box(0.7), black_box(7.0))));
+    });
+
+    let butterfly = ButterflySnmModel::default_65nm();
+    group.sample_size(10);
+    group.bench_function("butterfly_snm_extraction", |b| {
+        b.iter(|| black_box(butterfly.snm_volts(black_box(0.03), black_box(0.02))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snm);
+criterion_main!(benches);

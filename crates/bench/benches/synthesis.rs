@@ -1,0 +1,40 @@
+//! Table II pipeline cost: netlist generation, STA and power
+//! estimation for the three WDE designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnnlife_synth::library::TechLibrary;
+use dnnlife_synth::power::estimate_power;
+use dnnlife_synth::sta::critical_path;
+use dnnlife_synth::{characterize, modules};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let lib = TechLibrary::tsmc65_like();
+    let mut group = c.benchmark_group("table2_pipeline");
+
+    group.bench_function("generate_inversion_wde", |b| {
+        b.iter(|| black_box(modules::inversion_wde(64)));
+    });
+    group.bench_function("generate_dnnlife_wde", |b| {
+        b.iter(|| black_box(modules::dnnlife_wde(64, 4)));
+    });
+    group.bench_function("generate_barrel_full_mux", |b| {
+        b.iter(|| black_box(modules::barrel_wde_full_mux(64)));
+    });
+
+    let barrel = modules::barrel_wde_full_mux(64);
+    group.bench_function("sta_barrel_5k_cells", |b| {
+        b.iter(|| black_box(critical_path(&barrel, &lib).critical_path_ps));
+    });
+    group.bench_function("power_barrel_5k_cells", |b| {
+        b.iter(|| black_box(estimate_power(&barrel, &lib).total_nw()));
+    });
+    group.bench_function("characterize_dnnlife_wde", |b| {
+        let wde = modules::dnnlife_wde(64, 4);
+        b.iter(|| black_box(characterize(&wde, &lib)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Encoder throughput of the four write-transducer policies — the
+//! run-time cost the paper's Table II quantifies in hardware, measured
+//! here for the behavioural models.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dnnlife_mitigation::{
+    AgingController, BarrelShifter, DnnLife, Passthrough, PeriodicInversion, PseudoTrbg,
+    RingOscillatorTrbg, WriteTransducer,
+};
+use std::hint::black_box;
+
+const WORDS: u64 = 4096;
+
+fn drive(transducer: &mut dyn WriteTransducer, words: u64) -> u64 {
+    let mut acc = 0u64;
+    for addr in 0..words {
+        let (stored, _meta) = transducer.encode(addr % 256, addr.wrapping_mul(0x9E37) & 0xFF);
+        acc ^= stored;
+    }
+    transducer.new_block();
+    acc
+}
+
+fn bench_transducers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transducer_encode");
+    group.throughput(Throughput::Elements(WORDS));
+
+    group.bench_function("passthrough", |b| {
+        let mut t = Passthrough::new(8);
+        b.iter(|| black_box(drive(&mut t, WORDS)));
+    });
+    group.bench_function("inversion", |b| {
+        let mut t = PeriodicInversion::new(8, 256);
+        b.iter(|| black_box(drive(&mut t, WORDS)));
+    });
+    group.bench_function("barrel_shifter", |b| {
+        let mut t = BarrelShifter::new(8, 256);
+        b.iter(|| black_box(drive(&mut t, WORDS)));
+    });
+    group.bench_function("dnn_life_pseudo_trbg", |b| {
+        b.iter_batched_ref(
+            || DnnLife::new(8, AgingController::new(PseudoTrbg::new(1, 0.5), 4)),
+            |t| black_box(drive(t, WORDS)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("dnn_life_ring_oscillator", |b| {
+        b.iter_batched_ref(
+            || DnnLife::new(8, AgingController::new(RingOscillatorTrbg::symmetric(1), 4)),
+            |t| black_box(drive(t, WORDS)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transducers);
+criterion_main!(benches);

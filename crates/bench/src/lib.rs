@@ -1,0 +1,99 @@
+//! Reproduction harness library: shared helpers for the `repro` binary
+//! and the Criterion benches.
+
+use dnnlife_core::experiment::{
+    fig11_policies, fig9_policies, run_experiment, ExperimentSpec, NetworkKind,
+};
+use dnnlife_core::report::render_experiment;
+use dnnlife_quant::NumberFormat;
+
+/// Run-time options for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Master seed.
+    pub seed: u64,
+    /// Word sampling stride (1 = every cell; `--quick` raises it).
+    pub stride: usize,
+    /// Inferences for duty estimation (the paper uses 100).
+    pub inferences: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            stride: 1,
+            inferences: 100,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Reduced-cost settings for smoke runs and benches.
+    pub fn quick() -> Self {
+        Self {
+            seed: 42,
+            stride: 16,
+            inferences: 100,
+        }
+    }
+}
+
+/// Runs and renders the full Fig. 9 grid (3 formats × 6 policies) into
+/// a report string.
+pub fn fig9_report(opts: &HarnessOptions) -> String {
+    let mut out = String::new();
+    for format in NumberFormat::all() {
+        out.push_str(&format!("=== Baseline accelerator, AlexNet, {format} ===\n"));
+        for policy in fig9_policies() {
+            let mut spec = ExperimentSpec::fig9(format, policy, opts.seed);
+            spec.sample_stride = opts.stride;
+            spec.inferences = opts.inferences;
+            let result = run_experiment(&spec);
+            out.push_str(&render_experiment(&result));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Runs and renders the full Fig. 11 grid (3 networks × 4 policies).
+pub fn fig11_report(opts: &HarnessOptions) -> String {
+    let mut out = String::new();
+    for network in [
+        NetworkKind::Alexnet,
+        NetworkKind::Vgg16,
+        NetworkKind::CustomMnist,
+    ] {
+        out.push_str(&format!(
+            "=== TPU-like NPU, {}, 8-bit symmetric ===\n",
+            network.display_name()
+        ));
+        for policy in fig11_policies() {
+            let mut spec = ExperimentSpec::fig11(network, policy, opts.seed);
+            spec.sample_stride = opts.stride;
+            spec.inferences = opts.inferences;
+            let result = run_experiment(&spec);
+            out.push_str(&render_experiment(&result));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reports_render() {
+        let opts = HarnessOptions {
+            seed: 1,
+            stride: 512,
+            inferences: 20,
+        };
+        let f11 = fig11_report(&opts);
+        assert!(f11.contains("TPU-like NPU"));
+        assert!(f11.contains("DNN-Life with Bias Balancing"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Design-time aging analysis (§III-A, Fig. 6).
+
+use dnnlife_quant::{analyze_network, BitDistribution, NumberFormat};
+
+use crate::experiment::NetworkKind;
+
+/// The Fig. 6 analysis for one network: the probability of storing a
+/// `1` at every bit position, for each of the three number formats.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_core::analysis::bit_distribution_report;
+/// use dnnlife_core::NetworkKind;
+///
+/// let report = bit_distribution_report(NetworkKind::CustomMnist, 42, 100_000);
+/// assert_eq!(report.len(), 3);
+/// let (format, dist) = &report[0];
+/// assert_eq!(format.bits(), dist.bits());
+/// ```
+pub fn bit_distribution_report(
+    network: NetworkKind,
+    seed: u64,
+    cap_per_layer: u64,
+) -> Vec<(NumberFormat, BitDistribution)> {
+    let spec = network.spec();
+    NumberFormat::all()
+        .into_iter()
+        .map(|format| (format, analyze_network(&spec, format, seed, cap_per_layer)))
+        .collect()
+}
+
+/// The paper's three §III-A observations, computed from a report so the
+/// examples and tests can assert them mechanically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionInsights {
+    /// Largest deviation of any symmetric-int8 bit from 0.5.
+    pub symmetric_max_deviation: f64,
+    /// Largest deviation of any asymmetric-int8 bit from 0.5.
+    pub asymmetric_max_deviation: f64,
+    /// Deviation of the fp32 exponent MSB (bit 30) from 0.5.
+    pub fp32_exponent_msb_deviation: f64,
+    /// Deviation of the cross-bit mean from 0.5 for asymmetric int8 —
+    /// what defeats barrel-shifter balancing (observation 3).
+    pub asymmetric_mean_deviation: f64,
+}
+
+/// Summarises a [`bit_distribution_report`].
+///
+/// # Panics
+///
+/// Panics if the report does not contain all three formats.
+pub fn insights(report: &[(NumberFormat, BitDistribution)]) -> DistributionInsights {
+    let get = |format: NumberFormat| -> &BitDistribution {
+        &report
+            .iter()
+            .find(|(f, _)| *f == format)
+            .unwrap_or_else(|| panic!("report missing {format}"))
+            .1
+    };
+    let max_dev = |d: &BitDistribution| {
+        d.probabilities()
+            .iter()
+            .map(|p| (p - 0.5).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let sym = get(NumberFormat::Int8Symmetric);
+    let asym = get(NumberFormat::Int8Asymmetric);
+    let fp = get(NumberFormat::Fp32);
+    DistributionInsights {
+        symmetric_max_deviation: max_dev(sym),
+        asymmetric_max_deviation: max_dev(asym),
+        fp32_exponent_msb_deviation: (fp.probability(30) - 0.5).abs(),
+        asymmetric_mean_deviation: (asym.mean_probability() - 0.5).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_formats() {
+        let report = bit_distribution_report(NetworkKind::CustomMnist, 42, 50_000);
+        let formats: Vec<NumberFormat> = report.iter().map(|(f, _)| *f).collect();
+        assert_eq!(formats, NumberFormat::all());
+    }
+
+    #[test]
+    fn insights_reproduce_section3_observations() {
+        let report = bit_distribution_report(NetworkKind::CustomMnist, 42, u64::MAX);
+        let ins = insights(&report);
+        // Observation: symmetric stays near 0.5, asymmetric does not.
+        assert!(ins.symmetric_max_deviation < 0.05);
+        assert!(ins.asymmetric_max_deviation > 0.1);
+        // fp32 exponent MSB is strongly biased for sub-unit weights.
+        assert!(ins.fp32_exponent_msb_deviation > 0.4);
+    }
+}

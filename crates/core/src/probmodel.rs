@@ -1,0 +1,121 @@
+//! The probabilistic duty-cycle model of §III-B (Eq. 1, Eq. 2, Fig. 7).
+
+use dnnlife_numerics::binomial::{duty_cycle_tail_probability, population_tail_probability};
+use serde::{Deserialize, Serialize};
+
+/// Eq. 1 parameterisation: a cell receives `K` independent
+/// Bernoulli(`rho`) bits over its lifetime.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_core::DutyCycleModel;
+///
+/// // Fig. 7a case study: K = 20, ρ = 0.5.
+/// let model = DutyCycleModel::new(20, 0.5);
+/// assert!(model.tail_probability(6) > 0.1);
+/// // Increasing K to 160 (the idealised 8-position shifter) collapses
+/// // the tails — Fig. 7b.
+/// let shifted = DutyCycleModel::new(160, 0.5);
+/// assert!(shifted.tail_probability(48) < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycleModel {
+    /// Number of independent bits written over the lifetime.
+    pub k: u64,
+    /// Probability of each bit being 1.
+    pub rho: f64,
+}
+
+impl DutyCycleModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rho` is outside `[0, 1]`.
+    pub fn new(k: u64, rho: f64) -> Self {
+        assert!(k > 0, "DutyCycleModel: K must be > 0");
+        assert!(
+            rho.is_finite() && (0.0..=1.0).contains(&rho),
+            "DutyCycleModel: rho must be in [0,1]"
+        );
+        Self { k, rho }
+    }
+
+    /// Eq. 1: probability that the duty cycle is `<= b/K` or `>= 1−b/K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b > K/2`.
+    pub fn tail_probability(&self, b: u64) -> f64 {
+        duty_cycle_tail_probability(self.k, b, self.rho)
+    }
+
+    /// The full Fig. 7 series: `(b/K, P_{b/K})` for `b = 0 ..= K/2`.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        (0..=self.k / 2)
+            .map(|b| (b as f64 / self.k as f64, self.tail_probability(b)))
+            .collect()
+    }
+
+    /// Eq. 2: probability that at least `n` of `cells` cells experience
+    /// the duty-cycle deviation of [`Self::tail_probability`]`(b)`.
+    pub fn population_tail(&self, cells: u64, n: u64, b: u64) -> f64 {
+        population_tail_probability(cells, n, self.tail_probability(b))
+    }
+
+    /// Expected number of deviating cells out of `cells` (the paper's
+    /// "more than 10% of the cells" style statements).
+    pub fn expected_deviating_cells(&self, cells: u64, b: u64) -> f64 {
+        cells as f64 * self.tail_probability(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_more_than_ten_percent_at_03() {
+        // "even for b/K = 0.3, the probability is over 0.1, i.e., more
+        // than 10% of the cells are expected to experience a duty-cycle
+        // of less than 0.3, or greater than 0.7."
+        let model = DutyCycleModel::new(20, 0.5);
+        let p = model.tail_probability(6);
+        assert!(p > 0.1 && p < 0.2, "P = {p}");
+        let expected = model.expected_deviating_cells(8192, 6);
+        assert!(expected > 819.0, "expected {expected} cells");
+    }
+
+    #[test]
+    fn fig7b_probabilities_drop_significantly() {
+        let base = DutyCycleModel::new(20, 0.5);
+        let shifted = DutyCycleModel::new(160, 0.5);
+        for b_frac in [0.2, 0.3, 0.4] {
+            let b20 = (b_frac * 20.0) as u64;
+            let b160 = (b_frac * 160.0) as u64;
+            assert!(
+                shifted.tail_probability(b160) < base.tail_probability(b20) / 10.0,
+                "b/K = {b_frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_covers_half_range_and_ends_at_one() {
+        let model = DutyCycleModel::new(20, 0.5);
+        let series = model.series();
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].0, 0.0);
+        assert_eq!(series[10], (0.5, 1.0));
+    }
+
+    #[test]
+    fn population_tail_is_probability() {
+        let model = DutyCycleModel::new(20, 0.5);
+        let p = model.population_tail(8192, 800, 6);
+        assert!((0.0..=1.0).contains(&p));
+        // With expectation ≈ 1080 cells, observing ≥ 800 is very likely.
+        assert!(p > 0.99);
+    }
+}

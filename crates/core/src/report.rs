@@ -1,0 +1,181 @@
+//! Text rendering of analysis and experiment results, plus the static
+//! literature data behind the paper's motivational Fig. 1.
+
+use crate::experiment::ExperimentResult;
+use dnnlife_numerics::Histogram;
+use dnnlife_quant::BitDistribution;
+
+/// One row of Fig. 1a: model size vs ImageNet accuracy (data the paper
+/// takes from Sze et al., "Efficient Processing of Deep Neural
+/// Networks", Proc. IEEE 2017).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DnnSizeRow {
+    /// Network name.
+    pub name: &'static str,
+    /// Model size in MB (32-bit weights).
+    pub size_mb: f64,
+    /// ImageNet top-1 accuracy, percent.
+    pub top1_pct: f64,
+    /// ImageNet top-5 accuracy, percent.
+    pub top5_pct: f64,
+}
+
+/// Fig. 1a data.
+pub fn fig1a_dnn_sizes() -> Vec<DnnSizeRow> {
+    vec![
+        DnnSizeRow {
+            name: "AlexNet",
+            size_mb: 233.0,
+            top1_pct: 57.2,
+            top5_pct: 80.2,
+        },
+        DnnSizeRow {
+            name: "GoogleNet",
+            size_mb: 27.0,
+            top1_pct: 68.9,
+            top5_pct: 89.0,
+        },
+        DnnSizeRow {
+            name: "VGG-16",
+            size_mb: 528.0,
+            top1_pct: 71.5,
+            top5_pct: 90.4,
+        },
+        DnnSizeRow {
+            name: "ResNet-152",
+            size_mb: 230.0,
+            top1_pct: 77.0,
+            top5_pct: 93.3,
+        },
+    ]
+}
+
+/// Fig. 1b data: access energy per 32-bit word (picojoules), from the
+/// same survey.
+pub fn fig1b_access_energy() -> Vec<(&'static str, f64)> {
+    vec![("32-bit 32KB SRAM", 5.0), ("32-bit DRAM", 640.0)]
+}
+
+/// Renders a bit distribution as a fixed-width table (MSB first, like
+/// the Fig. 6 panels).
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_core::report::render_bit_distribution;
+/// use dnnlife_quant::BitDistribution;
+///
+/// let mut d = BitDistribution::new(8);
+/// d.record(0xF0);
+/// let table = render_bit_distribution(&d);
+/// assert!(table.contains("P(1)=1.000"));
+/// ```
+pub fn render_bit_distribution(dist: &BitDistribution) -> String {
+    let mut out = String::new();
+    for pos in (0..dist.bits()).rev() {
+        let p = dist.probability(pos);
+        let bar_len = (p * 40.0).round() as usize;
+        out.push_str(&format!(
+            "bit {pos:>2}  P(1)={p:.3}  {}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders an SNM-degradation histogram as the bar chart of one Fig. 9
+/// panel (percent of cells per degradation bin).
+pub fn render_histogram(hist: &Histogram) -> String {
+    let mut out = String::new();
+    let pct = hist.percentages();
+    for (i, p) in pct.iter().enumerate() {
+        let (lo, hi) = hist.bin_edges(i);
+        if *p < 0.005 {
+            continue;
+        }
+        let bar_len = (p * 0.6).round() as usize;
+        out.push_str(&format!(
+            "{lo:>5.1}-{hi:<5.1}% {p:>6.2}% {}\n",
+            "#".repeat(bar_len.min(70))
+        ));
+    }
+    if out.is_empty() {
+        out.push_str("(no cells recorded)\n");
+    }
+    out
+}
+
+/// Renders one experiment result block.
+pub fn render_experiment(result: &ExperimentResult) -> String {
+    format!(
+        "{}\n  cells={} K={} duty: mean={:.4} min={:.4} max={:.4}\n  SNM degradation: mean={:.2}% worst={:.2}%\n{}",
+        result.label,
+        result.cells,
+        result.blocks_per_inference,
+        result.duty.mean(),
+        result.duty.min(),
+        result.duty.max(),
+        result.snm.mean(),
+        result.snm.max(),
+        render_histogram(&result.histogram)
+    )
+}
+
+/// Writes `(x, series...)` rows as CSV (used by the repro harness so
+/// results can be re-plotted).
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn to_csv(headers: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "to_csv: ragged row");
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_data_shapes() {
+        let sizes = fig1a_dnn_sizes();
+        assert_eq!(sizes.len(), 4);
+        // VGG-16 is the largest; DRAM is two orders above SRAM.
+        let vgg = sizes.iter().find(|r| r.name == "VGG-16").unwrap();
+        assert!(sizes.iter().all(|r| r.size_mb <= vgg.size_mb));
+        let energy = fig1b_access_energy();
+        assert!(energy[1].1 / energy[0].1 > 100.0);
+    }
+
+    #[test]
+    fn histogram_rendering_skips_empty_bins() {
+        let mut h = Histogram::new(10.0, 27.0, 17);
+        h.record_n(10.82, 1000);
+        let text = render_histogram(&h);
+        assert!(text.contains("100.00%"));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = to_csv(&["x", "y"], &[vec![0.0, 1.0], vec![0.5, 0.25]]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,y"));
+        assert_eq!(lines.next(), Some("0,1"));
+        assert_eq!(lines.next(), Some("0.5,0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn csv_rejects_ragged_rows() {
+        let _ = to_csv(&["x", "y"], &[vec![1.0]]);
+    }
+}

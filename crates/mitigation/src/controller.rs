@@ -1,0 +1,176 @@
+//! The aging-mitigation controller (Fig. 8 of the paper).
+//!
+//! The controller produces the enable signal `E` that drives the XOR
+//! arrays of the WDE and RDD. `E` is the TRBG output XORed with the MSB
+//! of an M-bit register incremented by the *new data block* signal:
+//! over any window of `2^M` blocks the MSB is high for exactly half the
+//! blocks, so even a biased TRBG (probability `p ≠ 0.5` of emitting 1)
+//! yields a long-run enable probability of exactly
+//! `p · ½ + (1 − p) · ½ = ½`.
+
+use crate::trbg::Trbg;
+
+/// Aging-mitigation controller: TRBG + M-bit bias-balancing register.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_mitigation::{AgingController, PseudoTrbg};
+///
+/// // A heavily biased TRBG...
+/// let mut c = AgingController::new(PseudoTrbg::new(1, 0.9), 4);
+/// let mut ones = 0u32;
+/// for block in 0..512 {
+///     for _ in 0..4 {
+///         ones += u32::from(c.next_enable());
+///     }
+///     c.new_block();
+/// }
+/// // ...still produces a balanced enable stream.
+/// let ratio = f64::from(ones) / 2048.0;
+/// assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+/// ```
+#[derive(Debug)]
+pub struct AgingController<T> {
+    trbg: T,
+    m_bits: u32,
+    block_counter: u64,
+    balancing: bool,
+}
+
+impl<T: Trbg> AgingController<T> {
+    /// Creates a controller with bias balancing enabled, using an
+    /// `m_bits`-wide block counter (the paper evaluates `M = 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_bits` is 0 or greater than 63.
+    pub fn new(trbg: T, m_bits: u32) -> Self {
+        assert!(
+            (1..=63).contains(&m_bits),
+            "AgingController: m_bits must be in 1..=63, got {m_bits}"
+        );
+        Self {
+            trbg,
+            m_bits,
+            block_counter: 0,
+            balancing: true,
+        }
+    }
+
+    /// Creates a controller with the bias-balancing register *disabled*
+    /// (the paper's "without bias balancing" ablation): `E` is the raw
+    /// TRBG output.
+    pub fn without_balancing(trbg: T) -> Self {
+        Self {
+            trbg,
+            m_bits: 1,
+            block_counter: 0,
+            balancing: false,
+        }
+    }
+
+    /// Whether bias balancing is active.
+    pub fn balancing(&self) -> bool {
+        self.balancing
+    }
+
+    /// Width of the bias-balancing register.
+    pub fn m_bits(&self) -> u32 {
+        self.m_bits
+    }
+
+    /// The enable signal for the next word write.
+    pub fn next_enable(&mut self) -> bool {
+        let raw = self.trbg.next_bit();
+        if self.balancing {
+            raw ^ self.msb()
+        } else {
+            raw
+        }
+    }
+
+    /// Signals that a new data block is being written (increments the
+    /// M-bit register; it wraps naturally at `2^M`).
+    pub fn new_block(&mut self) {
+        self.block_counter = (self.block_counter + 1) & ((1 << self.m_bits) - 1);
+    }
+
+    /// Current MSB of the M-bit register.
+    fn msb(&self) -> bool {
+        self.block_counter >> (self.m_bits - 1) & 1 == 1
+    }
+
+    /// Access to the underlying TRBG (for bias reporting).
+    pub fn trbg(&self) -> &T {
+        &self.trbg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trbg::PseudoTrbg;
+
+    fn enable_ratio(mut c: AgingController<PseudoTrbg>, blocks: u64, writes_per_block: u64) -> f64 {
+        let mut ones = 0u64;
+        for _ in 0..blocks {
+            for _ in 0..writes_per_block {
+                ones += u64::from(c.next_enable());
+            }
+            c.new_block();
+        }
+        ones as f64 / (blocks * writes_per_block) as f64
+    }
+
+    #[test]
+    fn balancing_cancels_bias() {
+        let c = AgingController::new(PseudoTrbg::new(11, 0.7), 4);
+        let ratio = enable_ratio(c, 1600, 8);
+        assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn without_balancing_preserves_bias() {
+        let c = AgingController::without_balancing(PseudoTrbg::new(11, 0.7));
+        let ratio = enable_ratio(c, 1600, 8);
+        assert!((ratio - 0.7).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fair_trbg_is_unaffected_by_balancing() {
+        let balanced = enable_ratio(AgingController::new(PseudoTrbg::new(5, 0.5), 4), 800, 8);
+        assert!((balanced - 0.5).abs() < 0.03, "ratio {balanced}");
+    }
+
+    #[test]
+    fn counter_wraps_at_2_to_m() {
+        let mut c = AgingController::new(PseudoTrbg::new(0, 0.5), 2);
+        // Period 4: MSB pattern over blocks 0..8 is 0,0,1,1,0,0,1,1.
+        let mut msbs = Vec::new();
+        for _ in 0..8 {
+            msbs.push(c.block_counter >> 1 & 1);
+            c.new_block();
+        }
+        assert_eq!(msbs, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn extreme_bias_fully_balanced_over_period() {
+        // A TRBG stuck at 1: with balancing the enable stream is exactly
+        // the MSB complement — deterministic 50% over each 2^M window.
+        let mut c = AgingController::new(PseudoTrbg::new(3, 1.0), 3);
+        let mut ones = 0;
+        for _ in 0..8 {
+            ones += u32::from(c.next_enable());
+            c.new_block();
+        }
+        assert_eq!(ones, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "m_bits must be in 1..=63")]
+    fn rejects_zero_width_register() {
+        let _ = AgingController::new(PseudoTrbg::new(0, 0.5), 0);
+    }
+}

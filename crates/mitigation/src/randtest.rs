@@ -1,0 +1,120 @@
+//! Lightweight randomness tests (NIST SP 800-22 style) used to validate
+//! the TRBG models.
+
+/// Monobit (frequency) test z-score: the standardised deviation of the
+/// ones-count from `n/2`. For a fair source, `|z|` exceeds 4 with
+/// probability ≈ 6e-5.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_mitigation::randtest::monobit_z_score;
+///
+/// let balanced: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+/// assert!(monobit_z_score(&balanced).abs() < 0.1);
+/// ```
+pub fn monobit_z_score(bits: &[bool]) -> f64 {
+    assert!(!bits.is_empty(), "monobit_z_score: empty sequence");
+    let n = bits.len() as f64;
+    let ones = bits.iter().filter(|&&b| b).count() as f64;
+    (2.0 * ones - n) / n.sqrt()
+}
+
+/// Wald–Wolfowitz runs-test z-score: standardised deviation of the
+/// number of runs from its expectation given the observed ones-count.
+/// Detects both excessive alternation (negative serial correlation) and
+/// clustering (positive correlation, e.g. an undersampled oscillator).
+///
+/// Returns 0 for degenerate all-equal sequences.
+///
+/// # Panics
+///
+/// Panics if `bits.len() < 2`.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_mitigation::randtest::runs_z_score;
+///
+/// // Perfect alternation has far too many runs.
+/// let alternating: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+/// assert!(runs_z_score(&alternating) > 10.0);
+/// ```
+pub fn runs_z_score(bits: &[bool]) -> f64 {
+    assert!(bits.len() >= 2, "runs_z_score: need at least 2 bits");
+    let n = bits.len() as f64;
+    let n1 = bits.iter().filter(|&&b| b).count() as f64;
+    let n0 = n - n1;
+    if n1 == 0.0 || n0 == 0.0 {
+        return 0.0;
+    }
+    let runs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let expected = 2.0 * n0 * n1 / n + 1.0;
+    let variance = (expected - 1.0) * (expected - 2.0) / (n - 1.0);
+    if variance <= 0.0 {
+        return 0.0;
+    }
+    (runs as f64 - expected) / variance.sqrt()
+}
+
+/// Serial correlation at lag 1 in `[-1, 1]` (0 for independent bits).
+///
+/// # Panics
+///
+/// Panics if `bits.len() < 2`.
+pub fn lag1_correlation(bits: &[bool]) -> f64 {
+    assert!(bits.len() >= 2, "lag1_correlation: need at least 2 bits");
+    let xs: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov = xs
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1) as f64;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monobit_detects_bias() {
+        let biased: Vec<bool> = (0..1000).map(|i| i % 4 != 0).collect(); // 75% ones
+        assert!(monobit_z_score(&biased) > 10.0);
+        let balanced: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        assert!(monobit_z_score(&balanced).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runs_detects_clustering() {
+        // Blocks of 50 identical bits: far too few runs.
+        let clustered: Vec<bool> = (0..1000).map(|i| (i / 50) % 2 == 0).collect();
+        assert!(runs_z_score(&clustered) < -10.0);
+    }
+
+    #[test]
+    fn runs_degenerate_sequences() {
+        let all_ones = vec![true; 100];
+        assert_eq!(runs_z_score(&all_ones), 0.0);
+    }
+
+    #[test]
+    fn lag1_signs() {
+        let alternating: Vec<bool> = (0..500).map(|i| i % 2 == 0).collect();
+        assert!(lag1_correlation(&alternating) < -0.9);
+        let clustered: Vec<bool> = (0..500).map(|i| (i / 25) % 2 == 0).collect();
+        assert!(lag1_correlation(&clustered) > 0.9);
+        let constant = vec![true; 100];
+        assert_eq!(lag1_correlation(&constant), 0.0);
+    }
+}

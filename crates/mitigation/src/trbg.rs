@@ -1,0 +1,266 @@
+//! True Random Bit Generator models.
+//!
+//! The paper realises its TRBG as a 5-stage ring oscillator sampled by
+//! the (much slower) system clock; accumulated period jitter makes the
+//! sampled level unpredictable. Two models are provided:
+//!
+//! * [`PseudoTrbg`] — an ideal Bernoulli source with an exactly
+//!   configurable bias. The paper's experiments are parameterised by
+//!   bias (0.5 and 0.7), which maps directly onto this model.
+//! * [`RingOscillatorTrbg`] — a behavioural model of the hardware:
+//!   jittered stage delays, asymmetric rise/fall (the physical origin of
+//!   bias), and clock-rate sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A source of (possibly biased) random bits — the enable-signal
+/// generator of the aging controller.
+pub trait Trbg {
+    /// Draws the next bit.
+    fn next_bit(&mut self) -> bool;
+
+    /// The long-run probability of emitting `true`, if known a priori
+    /// (used for reporting; `None` for physical models whose bias is
+    /// emergent).
+    fn nominal_bias(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Ideal Bernoulli TRBG with exact bias.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_mitigation::{PseudoTrbg, Trbg};
+///
+/// let mut t = PseudoTrbg::new(7, 0.7);
+/// let ones = (0..10_000).filter(|_| t.next_bit()).count();
+/// assert!((ones as f64 / 10_000.0 - 0.7).abs() < 0.03);
+/// ```
+#[derive(Debug)]
+pub struct PseudoTrbg {
+    rng: StdRng,
+    bias: f64,
+}
+
+impl PseudoTrbg {
+    /// Creates a TRBG emitting `true` with probability `bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is outside `[0, 1]`.
+    pub fn new(seed: u64, bias: f64) -> Self {
+        assert!(
+            bias.is_finite() && (0.0..=1.0).contains(&bias),
+            "PseudoTrbg: bias must be in [0,1], got {bias}"
+        );
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            bias,
+        }
+    }
+}
+
+impl Trbg for PseudoTrbg {
+    fn next_bit(&mut self) -> bool {
+        self.rng.random::<f64>() < self.bias
+    }
+
+    fn nominal_bias(&self) -> Option<f64> {
+        Some(self.bias)
+    }
+}
+
+/// Behavioural model of the paper's hardware TRBG: a 5-stage ring
+/// oscillator sampled by the system clock.
+///
+/// The oscillator toggles with half-periods of `stages × delay` plus
+/// accumulated Gaussian jitter; because the sampling period is orders of
+/// magnitude longer than the oscillation period and jitter accumulates
+/// over many cycles, the sampled level decorrelates between samples.
+/// Unequal rise/fall delays skew the fraction of time spent high — the
+/// physical origin of TRBG bias that the paper's bias-balancing register
+/// corrects.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_mitigation::{RingOscillatorTrbg, Trbg};
+///
+/// let mut ro = RingOscillatorTrbg::symmetric(42);
+/// let ones = (0..2000).filter(|_| ro.next_bit()).count();
+/// // Symmetric oscillator: close to balanced.
+/// assert!((ones as f64 / 2000.0 - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug)]
+pub struct RingOscillatorTrbg {
+    rng: StdRng,
+    /// Duration of the next high phase, ps (5 stages × rise-ish delay).
+    high_half_ps: f64,
+    /// Duration of the next low phase, ps.
+    low_half_ps: f64,
+    /// RMS jitter per half-period, ps.
+    jitter_ps: f64,
+    /// Sampling clock period, ps.
+    sample_period_ps: f64,
+    /// Current oscillator level.
+    level: bool,
+    /// Simulation time remaining until the next toggle, ps.
+    until_toggle_ps: f64,
+}
+
+impl RingOscillatorTrbg {
+    /// Creates a ring-oscillator TRBG.
+    ///
+    /// `high_half_ps`/`low_half_ps` are the nominal durations of the
+    /// high and low oscillator phases (5 × stage delay for a 5-stage
+    /// ring); `jitter_ps` is the RMS jitter added to each half-period;
+    /// `sample_period_ps` is the system clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is non-positive, or jitter is negative.
+    pub fn new(
+        seed: u64,
+        high_half_ps: f64,
+        low_half_ps: f64,
+        jitter_ps: f64,
+        sample_period_ps: f64,
+    ) -> Self {
+        assert!(
+            high_half_ps > 0.0 && low_half_ps > 0.0 && sample_period_ps > 0.0,
+            "RingOscillatorTrbg: durations must be > 0"
+        );
+        assert!(jitter_ps >= 0.0, "RingOscillatorTrbg: jitter must be >= 0");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            high_half_ps,
+            low_half_ps,
+            jitter_ps,
+            sample_period_ps,
+            level: false,
+            until_toggle_ps: low_half_ps,
+        }
+    }
+
+    /// A symmetric 5-stage oscillator: 20 ps stage delay (100 ps half-
+    /// period), 10 ps RMS jitter, sampled at 10 MHz (100 ns). Roughly a
+    /// thousand oscillation half-periods elapse between samples, so the
+    /// accumulated jitter (~10·√1000 ≈ 316 ps) exceeds the full period
+    /// and the sampled phase is thoroughly decorrelated.
+    pub fn symmetric(seed: u64) -> Self {
+        Self::new(seed, 100.0, 100.0, 10.0, 100_000.0)
+    }
+
+    /// An asymmetric oscillator whose output is high for roughly
+    /// `duty` of the time — a *biased* TRBG (the paper's bias-0.7 case
+    /// corresponds to `duty = 0.7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is not strictly between 0 and 1.
+    pub fn biased(seed: u64, duty: f64) -> Self {
+        assert!(
+            duty > 0.0 && duty < 1.0,
+            "RingOscillatorTrbg: duty must be in (0,1), got {duty}"
+        );
+        let period = 200.0;
+        Self::new(seed, period * duty, period * (1.0 - duty), 10.0, 100_000.0)
+    }
+
+    fn jittered(&mut self, nominal: f64) -> f64 {
+        // Box–Muller pair; one sample is enough here.
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (nominal + self.jitter_ps * z).max(nominal * 0.05)
+    }
+}
+
+impl Trbg for RingOscillatorTrbg {
+    fn next_bit(&mut self) -> bool {
+        // Advance the oscillator by one sampling period.
+        let mut remaining = self.sample_period_ps;
+        while remaining >= self.until_toggle_ps {
+            remaining -= self.until_toggle_ps;
+            self.level = !self.level;
+            let nominal = if self.level {
+                self.high_half_ps
+            } else {
+                self.low_half_ps
+            };
+            self.until_toggle_ps = self.jittered(nominal);
+        }
+        self.until_toggle_ps -= remaining;
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randtest::{monobit_z_score, runs_z_score};
+
+    #[test]
+    fn pseudo_trbg_is_deterministic() {
+        let mut a = PseudoTrbg::new(1, 0.5);
+        let mut b = PseudoTrbg::new(1, 0.5);
+        let bits_a: Vec<bool> = (0..100).map(|_| a.next_bit()).collect();
+        let bits_b: Vec<bool> = (0..100).map(|_| b.next_bit()).collect();
+        assert_eq!(bits_a, bits_b);
+    }
+
+    #[test]
+    fn pseudo_trbg_extreme_biases() {
+        let mut zero = PseudoTrbg::new(2, 0.0);
+        let mut one = PseudoTrbg::new(2, 1.0);
+        assert!((0..100).all(|_| !zero.next_bit()));
+        assert!((0..100).all(|_| one.next_bit()));
+    }
+
+    #[test]
+    fn pseudo_trbg_passes_randomness_tests_when_fair() {
+        let mut t = PseudoTrbg::new(3, 0.5);
+        let bits: Vec<bool> = (0..20_000).map(|_| t.next_bit()).collect();
+        assert!(monobit_z_score(&bits).abs() < 4.0);
+        assert!(runs_z_score(&bits).abs() < 4.0);
+    }
+
+    #[test]
+    fn ring_oscillator_symmetric_is_roughly_fair() {
+        let mut ro = RingOscillatorTrbg::symmetric(4);
+        let bits: Vec<bool> = (0..8_000).map(|_| ro.next_bit()).collect();
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((ones - 0.5).abs() < 0.03, "bias {ones}");
+        // Jitter-decorrelated sampling should not produce long runs.
+        assert!(runs_z_score(&bits).abs() < 6.0);
+    }
+
+    #[test]
+    fn ring_oscillator_asymmetry_biases_output() {
+        let mut ro = RingOscillatorTrbg::biased(5, 0.7);
+        let bits: Vec<bool> = (0..8_000).map(|_| ro.next_bit()).collect();
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!(
+            (ones - 0.7).abs() < 0.05,
+            "expected ~0.7 bias, measured {ones}"
+        );
+    }
+
+    #[test]
+    fn ring_oscillator_deterministic_per_seed() {
+        let mut a = RingOscillatorTrbg::symmetric(9);
+        let mut b = RingOscillatorTrbg::symmetric(9);
+        for _ in 0..50 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn nominal_bias_reporting() {
+        assert_eq!(PseudoTrbg::new(0, 0.7).nominal_bias(), Some(0.7));
+        assert_eq!(RingOscillatorTrbg::symmetric(0).nominal_bias(), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: every transducer's encode/decode must be the
+//! identity, for any word, any address pattern, any policy state.
+
+use dnnlife_mitigation::transducer::{
+    BarrelShifter, DnnLife, Passthrough, PeriodicInversion, WriteTransducer,
+};
+use dnnlife_mitigation::{AgingController, PseudoTrbg, RingOscillatorTrbg};
+use proptest::prelude::*;
+
+fn mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn passthrough_roundtrip(width in 1u32..=64, word: u64) {
+        let mut t = Passthrough::new(width);
+        let word = word & mask(width);
+        let (stored, meta) = t.encode(0, word);
+        prop_assert_eq!(t.decode(stored, meta), word);
+    }
+
+    #[test]
+    fn inversion_roundtrip_under_write_sequences(
+        width in 1u32..=64,
+        writes in prop::collection::vec((0u64..16, any::<u64>()), 1..60)
+    ) {
+        let mut t = PeriodicInversion::new(width, 16);
+        for (addr, word) in writes {
+            let word = word & mask(width);
+            let (stored, meta) = t.encode(addr, word);
+            prop_assert_eq!(t.decode(stored, meta), word);
+        }
+    }
+
+    #[test]
+    fn barrel_roundtrip_under_write_sequences(
+        width in 1u32..=64,
+        writes in prop::collection::vec((0u64..16, any::<u64>()), 1..60)
+    ) {
+        let mut t = BarrelShifter::new(width, 16);
+        for (addr, word) in writes {
+            let word = word & mask(width);
+            let (stored, meta) = t.encode(addr, word);
+            prop_assert_eq!(t.decode(stored, meta), word);
+        }
+    }
+
+    #[test]
+    fn dnn_life_roundtrip_any_bias(
+        width in 1u32..=64,
+        bias in 0.0f64..=1.0,
+        seed: u64,
+        words in prop::collection::vec(any::<u64>(), 1..60)
+    ) {
+        let controller = AgingController::new(PseudoTrbg::new(seed, bias), 4);
+        let mut t = DnnLife::new(width, controller);
+        for (i, word) in words.into_iter().enumerate() {
+            if i % 5 == 0 {
+                t.new_block();
+            }
+            let word = word & mask(width);
+            let (stored, meta) = t.encode(0, word);
+            prop_assert_eq!(t.decode(stored, meta), word);
+        }
+    }
+
+    #[test]
+    fn dnn_life_roundtrip_with_ring_oscillator(
+        seed: u64,
+        words in prop::collection::vec(any::<u64>(), 1..40)
+    ) {
+        let controller = AgingController::new(RingOscillatorTrbg::biased(seed, 0.7), 4);
+        let mut t = DnnLife::new(32, controller);
+        for word in words {
+            let word = word & mask(32);
+            let (stored, meta) = t.encode(0, word);
+            prop_assert_eq!(t.decode(stored, meta), word);
+        }
+    }
+
+    #[test]
+    fn stored_words_respect_width(width in 1u32..=63, word: u64, seed: u64) {
+        let word = word & mask(width);
+        let controller = AgingController::new(PseudoTrbg::new(seed, 0.5), 4);
+        let mut policies: Vec<Box<dyn WriteTransducer>> = vec![
+            Box::new(Passthrough::new(width)),
+            Box::new(PeriodicInversion::new(width, 4)),
+            Box::new(BarrelShifter::new(width, 4)),
+            Box::new(DnnLife::new(width, controller)),
+        ];
+        for p in &mut policies {
+            let (stored, _) = p.encode(0, word);
+            prop_assert_eq!(stored & !mask(width), 0, "policy {} leaked bits", p.name());
+        }
+    }
+}

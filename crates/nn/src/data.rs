@@ -1,0 +1,293 @@
+//! Procedural MNIST-like dataset.
+//!
+//! The offline build environment has no real MNIST, so this module
+//! renders digit glyphs procedurally: each digit class is a set of
+//! stroke polylines in the unit square, rasterised to 28×28 with a
+//! per-sample random affine jitter (rotation, scale, translation) and
+//! additive pixel noise. The generator is counter-based: sample `i` is a
+//! pure function of `(dataset_seed, i)`, so train/test splits are
+//! reproducible and no data is stored.
+//!
+//! This substitutes for MNIST in the paper's custom-network experiments
+//! (DESIGN.md substitution #2): the weight-memory aging results depend
+//! only on the trained weight values and inference count, not on the
+//! specific imagery.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Image side length (matches MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Pixels per image.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// Deterministic procedural MNIST-like digit dataset.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_nn::data::SyntheticMnist;
+///
+/// let data = SyntheticMnist::new(1);
+/// let (images, labels) = data.batch(0, 8);
+/// assert_eq!(images.shape(), &[8, 1, 28, 28]);
+/// assert_eq!(labels.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticMnist {
+    seed: u64,
+}
+
+impl SyntheticMnist {
+    /// Creates a dataset with the given seed. Distinct seeds give
+    /// statistically independent datasets.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Generates sample `index`, returning the flat image and its label.
+    pub fn sample(&self, index: u64) -> ([f32; IMAGE_PIXELS], usize) {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, index));
+        let label = (index % NUM_CLASSES as u64) as usize;
+        let image = render_digit(label, &mut rng);
+        (image, label)
+    }
+
+    /// Generates `n` consecutive samples starting at `start` as an
+    /// `[n, 1, 28, 28]` tensor plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn batch(&self, start: u64, n: usize) -> (Tensor, Vec<usize>) {
+        assert!(n > 0, "SyntheticMnist::batch: n must be > 0");
+        let mut data = Vec::with_capacity(n * IMAGE_PIXELS);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let (img, label) = self.sample(start + i as u64);
+            data.extend_from_slice(&img);
+            labels.push(label);
+        }
+        (
+            Tensor::from_vec(&[n, 1, IMAGE_SIDE, IMAGE_SIDE], data),
+            labels,
+        )
+    }
+}
+
+/// SplitMix64-style mixing of `(seed, index)` into an RNG seed.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stroke skeleton for each digit: polylines in the unit square
+/// (x right, y down).
+fn digit_strokes(digit: usize) -> Vec<Vec<(f32, f32)>> {
+    fn ellipse(cx: f32, cy: f32, rx: f32, ry: f32) -> Vec<(f32, f32)> {
+        (0..=16)
+            .map(|i| {
+                let t = i as f32 / 16.0 * std::f32::consts::TAU;
+                (cx + rx * t.cos(), cy + ry * t.sin())
+            })
+            .collect()
+    }
+    match digit {
+        0 => vec![ellipse(0.5, 0.5, 0.20, 0.30)],
+        1 => vec![vec![(0.38, 0.28), (0.54, 0.16), (0.54, 0.84)]],
+        2 => vec![vec![
+            (0.32, 0.30),
+            (0.42, 0.17),
+            (0.62, 0.17),
+            (0.68, 0.33),
+            (0.55, 0.50),
+            (0.32, 0.82),
+            (0.70, 0.82),
+        ]],
+        3 => vec![vec![
+            (0.32, 0.22),
+            (0.55, 0.15),
+            (0.68, 0.28),
+            (0.50, 0.46),
+            (0.68, 0.62),
+            (0.56, 0.82),
+            (0.32, 0.78),
+        ]],
+        4 => vec![
+            vec![(0.60, 0.15), (0.30, 0.58), (0.74, 0.58)],
+            vec![(0.62, 0.38), (0.62, 0.85)],
+        ],
+        5 => vec![vec![
+            (0.68, 0.16),
+            (0.36, 0.16),
+            (0.34, 0.45),
+            (0.58, 0.44),
+            (0.70, 0.60),
+            (0.58, 0.80),
+            (0.32, 0.80),
+        ]],
+        6 => vec![vec![
+            (0.64, 0.15),
+            (0.44, 0.35),
+            (0.34, 0.60),
+            (0.40, 0.80),
+            (0.60, 0.82),
+            (0.66, 0.64),
+            (0.52, 0.54),
+            (0.36, 0.62),
+        ]],
+        7 => vec![vec![(0.30, 0.17), (0.70, 0.17), (0.46, 0.84)]],
+        8 => vec![
+            ellipse(0.50, 0.32, 0.15, 0.16),
+            ellipse(0.50, 0.66, 0.18, 0.19),
+        ],
+        9 => vec![
+            ellipse(0.52, 0.35, 0.16, 0.17),
+            vec![(0.68, 0.40), (0.58, 0.84)],
+        ],
+        _ => panic!("digit_strokes: digit {digit} out of range"),
+    }
+}
+
+/// Rasterises a digit with random affine jitter and noise.
+fn render_digit(digit: usize, rng: &mut StdRng) -> [f32; IMAGE_PIXELS] {
+    let mut image = [0.0f32; IMAGE_PIXELS];
+
+    // Per-sample affine jitter.
+    let angle: f32 = (rng.random::<f32>() - 0.5) * 0.5; // ±0.25 rad
+    let scale: f32 = 0.85 + rng.random::<f32>() * 0.25;
+    let dx: f32 = (rng.random::<f32>() - 0.5) * 0.14;
+    let dy: f32 = (rng.random::<f32>() - 0.5) * 0.14;
+    let (sin, cos) = angle.sin_cos();
+
+    let transform = |(x, y): (f32, f32)| -> (f32, f32) {
+        let (cx, cy) = (x - 0.5, y - 0.5);
+        let (rx, ry) = (cx * cos - cy * sin, cx * sin + cy * cos);
+        (0.5 + scale * rx + dx, 0.5 + scale * ry + dy)
+    };
+
+    let side = IMAGE_SIDE as f32;
+    let sigma = 0.65f32; // stroke half-width in pixels
+    for stroke in digit_strokes(digit) {
+        for pair in stroke.windows(2) {
+            let (x0, y0) = transform(pair[0]);
+            let (x1, y1) = transform(pair[1]);
+            let (px0, py0) = (x0 * side, y0 * side);
+            let (px1, py1) = (x1 * side, y1 * side);
+            let seg_len = ((px1 - px0).powi(2) + (py1 - py0).powi(2)).sqrt();
+            let steps = (seg_len / 0.4).ceil().max(1.0) as usize;
+            for s in 0..=steps {
+                let t = s as f32 / steps as f32;
+                let (px, py) = (px0 + t * (px1 - px0), py0 + t * (py1 - py0));
+                stamp(&mut image, px, py, sigma);
+            }
+        }
+    }
+
+    // Additive noise and clamping.
+    for v in &mut image {
+        let noise: f32 = (rng.random::<f32>() - 0.5) * 0.08;
+        *v = (*v + noise).clamp(0.0, 1.0);
+    }
+    image
+}
+
+/// Adds a Gaussian intensity blob centred at `(px, py)`.
+fn stamp(image: &mut [f32; IMAGE_PIXELS], px: f32, py: f32, sigma: f32) {
+    let radius = 2i32;
+    let cx = px.round() as i32;
+    let cy = py.round() as i32;
+    for y in (cy - radius).max(0)..=(cy + radius).min(IMAGE_SIDE as i32 - 1) {
+        for x in (cx - radius).max(0)..=(cx + radius).min(IMAGE_SIDE as i32 - 1) {
+            let d2 = (x as f32 - px).powi(2) + (y as f32 - py).powi(2);
+            let intensity = (-d2 / (2.0 * sigma * sigma)).exp();
+            let idx = y as usize * IMAGE_SIDE + x as usize;
+            image[idx] = image[idx].max(intensity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_index() {
+        let d = SyntheticMnist::new(5);
+        let (a, la) = d.sample(17);
+        let (b, lb) = d.sample(17);
+        assert_eq!(la, lb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let d = SyntheticMnist::new(5);
+        let (a, _) = d.sample(0);
+        let (b, _) = d.sample(10); // same label (0), different jitter
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pixel_range_and_energy() {
+        let d = SyntheticMnist::new(1);
+        for i in 0..NUM_CLASSES as u64 {
+            let (img, _) = d.sample(i);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let energy: f32 = img.iter().sum();
+            // A rendered digit has clearly more ink than noise alone.
+            assert!(energy > 10.0, "digit {i} energy {energy}");
+        }
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let d = SyntheticMnist::new(1);
+        let (_, labels) = d.batch(0, 20);
+        assert_eq!(&labels[..10], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(&labels[10..], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean inter-class L2 distance must exceed mean intra-class
+        // distance — a weak but meaningful separability check.
+        let d = SyntheticMnist::new(2);
+        let samples: Vec<([f32; IMAGE_PIXELS], usize)> =
+            (0..60).map(|i| d.sample(i)).collect();
+        let dist = |a: &[f32; IMAGE_PIXELS], b: &[f32; IMAGE_PIXELS]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let mut intra = (0.0f32, 0u32);
+        let mut inter = (0.0f32, 0u32);
+        for i in 0..samples.len() {
+            for j in (i + 1)..samples.len() {
+                let dv = dist(&samples[i].0, &samples[j].0);
+                if samples[i].1 == samples[j].1 {
+                    intra = (intra.0 + dv, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dv, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f32;
+        let inter_mean = inter.0 / inter.1 as f32;
+        assert!(
+            inter_mean > intra_mean * 1.1,
+            "inter {inter_mean} vs intra {intra_mean}"
+        );
+    }
+
+    #[test]
+    fn batch_shape() {
+        let d = SyntheticMnist::new(9);
+        let (images, labels) = d.batch(100, 32);
+        assert_eq!(images.shape(), &[32, 1, 28, 28]);
+        assert_eq!(labels.len(), 32);
+    }
+}

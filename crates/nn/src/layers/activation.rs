@@ -1,0 +1,95 @@
+//! Elementwise activation layers.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, `y = max(0, x)`, applied elementwise to any
+/// tensor shape.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_nn::layers::{Layer, ReLU};
+/// use dnnlife_nn::Tensor;
+///
+/// let mut relu = ReLU::new();
+/// let out = relu.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
+/// assert_eq!(out.data(), &[0.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+        for (v, &keep) in out.data_mut().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("ReLU::backward called before forward");
+        assert_eq!(
+            mask.len(),
+            grad_out.len(),
+            "ReLU::backward: gradient length mismatch"
+        );
+        let mut grad_in = grad_out.clone();
+        for (g, &keep) in grad_in.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *g = 0.0;
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = ReLU::new();
+        let out = relu.forward(&Tensor::from_vec(&[4], vec![-2.0, -0.0, 0.5, 3.0]));
+        assert_eq!(out.data(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = ReLU::new();
+        let _ = relu.forward(&Tensor::from_vec(&[4], vec![-1.0, 1.0, -3.0, 2.0]));
+        let grad = relu.backward(&Tensor::from_vec(&[4], vec![10.0, 10.0, 10.0, 10.0]));
+        assert_eq!(grad.data(), &[0.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        // x = 0 is in the non-passing region (subgradient choice 0).
+        let mut relu = ReLU::new();
+        let _ = relu.forward(&Tensor::from_vec(&[1], vec![0.0]));
+        let grad = relu.backward(&Tensor::from_vec(&[1], vec![5.0]));
+        assert_eq!(grad.data(), &[0.0]);
+    }
+}

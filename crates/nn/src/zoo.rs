@@ -1,0 +1,411 @@
+//! Architecture descriptors for the paper's three workloads.
+//!
+//! The memory-aging experiments never need to *execute* AlexNet or
+//! VGG-16 — they need the exact weight tensor shapes (for block
+//! partitioning) and the weight values (provided synthetically by
+//! [`crate::weights`]). This module captures the architectures as
+//! [`NetworkSpec`] values with exact parameter counts:
+//!
+//! * AlexNet — 60,954,656 weights + 10,568 biases = 60,965,224 params,
+//! * VGG-16 — 138,344,128 weights + 13,416 biases = 138,357,544 params,
+//! * the paper's custom MNIST network — CONV(16,1,5,5), CONV(50,16,5,5),
+//!   FC(256,800), FC(10,256) = 227,760 weights + 332 biases.
+//!
+//! The custom network is also buildable as an executable
+//! [`crate::Sequential`] via [`build_custom_mnist`].
+
+use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU};
+use crate::network::Sequential;
+use crate::tensor::Tensor;
+use crate::weights::LayerWeightGen;
+
+/// Shape description of one weight-bearing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerSpec {
+    /// A 2-D convolution layer.
+    Conv {
+        /// Layer name, e.g. `"conv1"`.
+        name: String,
+        /// Number of output channels (filters).
+        out_channels: usize,
+        /// Number of input channels (before grouping).
+        in_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Channel groups (AlexNet's dual-GPU splits use 2).
+        groups: usize,
+        /// Spatial output positions (`out_h × out_w`) — determines how
+        /// often each weight is used per inference.
+        output_positions: usize,
+    },
+    /// A fully-connected layer.
+    Fc {
+        /// Layer name, e.g. `"fc6"`.
+        name: String,
+        /// Number of output features (neurons).
+        out_features: usize,
+        /// Number of input features.
+        in_features: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Convenience constructor for conv layers; `out_hw` is the spatial
+    /// output size (height = width for the networks modelled here).
+    pub fn conv(
+        name: &str,
+        out: usize,
+        inp: usize,
+        kernel: usize,
+        groups: usize,
+        out_hw: usize,
+    ) -> Self {
+        LayerSpec::Conv {
+            name: name.to_string(),
+            out_channels: out,
+            in_channels: inp,
+            kernel,
+            groups,
+            output_positions: out_hw * out_hw,
+        }
+    }
+
+    /// Convenience constructor for FC layers.
+    pub fn fc(name: &str, out: usize, inp: usize) -> Self {
+        LayerSpec::Fc {
+            name: name.to_string(),
+            out_features: out,
+            in_features: inp,
+        }
+    }
+
+    /// How many output positions reuse each weight per inference (1 for
+    /// FC layers).
+    pub fn output_positions(&self) -> u64 {
+        match *self {
+            LayerSpec::Conv {
+                output_positions, ..
+            } => output_positions as u64,
+            LayerSpec::Fc { .. } => 1,
+        }
+    }
+
+    /// Multiply-accumulate operations per inference:
+    /// `weights × output positions`.
+    pub fn macs(&self) -> u64 {
+        self.weight_count() * self.output_positions()
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. } | LayerSpec::Fc { name, .. } => name,
+        }
+    }
+
+    /// Number of weights (biases excluded — the paper's weight memory
+    /// stores filter/neuron weights).
+    pub fn weight_count(&self) -> u64 {
+        match *self {
+            LayerSpec::Conv {
+                out_channels,
+                in_channels,
+                kernel,
+                groups,
+                ..
+            } => (out_channels * (in_channels / groups) * kernel * kernel) as u64,
+            LayerSpec::Fc {
+                out_features,
+                in_features,
+                ..
+            } => (out_features * in_features) as u64,
+        }
+    }
+
+    /// Number of bias parameters.
+    pub fn bias_count(&self) -> u64 {
+        match *self {
+            LayerSpec::Conv { out_channels, .. } => out_channels as u64,
+            LayerSpec::Fc { out_features, .. } => out_features as u64,
+        }
+    }
+
+    /// Number of "filters" in the dataflow sense of Fig. 5 — conv filters
+    /// or FC neurons. The accelerator groups these into sets of `f`.
+    pub fn filter_count(&self) -> u64 {
+        match *self {
+            LayerSpec::Conv { out_channels, .. } => out_channels as u64,
+            LayerSpec::Fc { out_features, .. } => out_features as u64,
+        }
+    }
+
+    /// Number of weights in one filter/neuron.
+    pub fn weights_per_filter(&self) -> u64 {
+        self.weight_count() / self.filter_count()
+    }
+
+    /// Fan-in used for He-style weight scaling.
+    pub fn fan_in(&self) -> u64 {
+        match *self {
+            LayerSpec::Conv {
+                in_channels,
+                kernel,
+                groups,
+                ..
+            } => ((in_channels / groups) * kernel * kernel) as u64,
+            LayerSpec::Fc { in_features, .. } => in_features as u64,
+        }
+    }
+}
+
+/// A named stack of weight-bearing layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    name: String,
+    layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Creates a spec from a layer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: &str, layers: Vec<LayerSpec>) -> Self {
+        assert!(!layers.is_empty(), "NetworkSpec: needs at least one layer");
+        Self {
+            name: name.to_string(),
+            layers,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The weight-bearing layers in execution order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Total weight count across layers (excluding biases).
+    pub fn weight_count(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::weight_count).sum()
+    }
+
+    /// Total bias count across layers.
+    pub fn bias_count(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::bias_count).sum()
+    }
+
+    /// Total parameter count (weights + biases).
+    pub fn param_count(&self) -> u64 {
+        self.weight_count() + self.bias_count()
+    }
+
+    /// Total multiply-accumulate operations per inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::macs).sum()
+    }
+
+    /// AlexNet (Krizhevsky et al., 2012) with its two-group conv2/4/5
+    /// (227×227 inputs: conv outputs 55, 27, 13, 13, 13).
+    pub fn alexnet() -> Self {
+        Self::new(
+            "alexnet",
+            vec![
+                LayerSpec::conv("conv1", 96, 3, 11, 1, 55),
+                LayerSpec::conv("conv2", 256, 96, 5, 2, 27),
+                LayerSpec::conv("conv3", 384, 256, 3, 1, 13),
+                LayerSpec::conv("conv4", 384, 384, 3, 2, 13),
+                LayerSpec::conv("conv5", 256, 384, 3, 2, 13),
+                LayerSpec::fc("fc6", 4096, 9216),
+                LayerSpec::fc("fc7", 4096, 4096),
+                LayerSpec::fc("fc8", 1000, 4096),
+            ],
+        )
+    }
+
+    /// VGG-16 (Simonyan & Zisserman, 2014), configuration D
+    /// (224×224 inputs: block outputs 224, 112, 56, 28, 14).
+    pub fn vgg16() -> Self {
+        Self::new(
+            "vgg16",
+            vec![
+                LayerSpec::conv("conv1_1", 64, 3, 3, 1, 224),
+                LayerSpec::conv("conv1_2", 64, 64, 3, 1, 224),
+                LayerSpec::conv("conv2_1", 128, 64, 3, 1, 112),
+                LayerSpec::conv("conv2_2", 128, 128, 3, 1, 112),
+                LayerSpec::conv("conv3_1", 256, 128, 3, 1, 56),
+                LayerSpec::conv("conv3_2", 256, 256, 3, 1, 56),
+                LayerSpec::conv("conv3_3", 256, 256, 3, 1, 56),
+                LayerSpec::conv("conv4_1", 512, 256, 3, 1, 28),
+                LayerSpec::conv("conv4_2", 512, 512, 3, 1, 28),
+                LayerSpec::conv("conv4_3", 512, 512, 3, 1, 28),
+                LayerSpec::conv("conv5_1", 512, 512, 3, 1, 14),
+                LayerSpec::conv("conv5_2", 512, 512, 3, 1, 14),
+                LayerSpec::conv("conv5_3", 512, 512, 3, 1, 14),
+                LayerSpec::fc("fc6", 4096, 25088),
+                LayerSpec::fc("fc7", 4096, 4096),
+                LayerSpec::fc("fc8", 1000, 4096),
+            ],
+        )
+    }
+
+    /// The paper's custom MNIST network: CONV(16,1,5,5), CONV(50,16,5,5),
+    /// FC(256,800), FC(10,256).
+    pub fn custom_mnist() -> Self {
+        Self::new(
+            "custom-mnist",
+            vec![
+                LayerSpec::conv("conv1", 16, 1, 5, 1, 24),
+                LayerSpec::conv("conv2", 50, 16, 5, 1, 8),
+                LayerSpec::fc("fc1", 256, 800),
+                LayerSpec::fc("fc2", 10, 256),
+            ],
+        )
+    }
+}
+
+/// Builds the paper's custom MNIST network as an executable
+/// [`Sequential`], with weights drawn from the same synthetic
+/// trained-like model ([`LayerWeightGen`]) used by the memory
+/// experiments, so an executed network and a simulated weight memory see
+/// identical values.
+///
+/// Geometry: 28×28 → conv5 → 24×24×16 → pool2 → 12×12×16 → conv5 →
+/// 8×8×50 → pool2 → 4×4×50 = 800 → fc 256 → fc 10.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_nn::zoo::build_custom_mnist;
+/// use dnnlife_nn::Tensor;
+///
+/// let mut net = build_custom_mnist(42);
+/// let out = net.forward(&Tensor::zeros(&[1, 1, 28, 28]));
+/// assert_eq!(out.shape(), &[1, 10]);
+/// ```
+pub fn build_custom_mnist(seed: u64) -> Sequential {
+    let spec = NetworkSpec::custom_mnist();
+    let mut net = Sequential::new(spec.name());
+
+    let mut conv1 = Conv2d::new("conv1", 1, 16, 5, 1, 0, 1);
+    fill_from_gen(conv1.weights_mut(), &spec, 0, seed);
+    net.push(conv1);
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(2));
+
+    let mut conv2 = Conv2d::new("conv2", 16, 50, 5, 1, 0, 1);
+    fill_from_gen(conv2.weights_mut(), &spec, 1, seed);
+    net.push(conv2);
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(2));
+
+    net.push(Flatten::new());
+
+    let mut fc1 = Dense::new("fc1", 800, 256);
+    fill_from_gen(fc1.weights_mut(), &spec, 2, seed);
+    net.push(fc1);
+    net.push(ReLU::new());
+
+    let mut fc2 = Dense::new("fc2", 256, 10);
+    fill_from_gen(fc2.weights_mut(), &spec, 3, seed);
+    net.push(fc2);
+
+    net
+}
+
+fn fill_from_gen(tensor: &mut Tensor, spec: &NetworkSpec, layer: usize, seed: u64) {
+    let gen = LayerWeightGen::new(spec, layer, seed);
+    assert_eq!(tensor.len() as u64, gen.len(), "weight count mismatch");
+    for (i, v) in tensor.data_mut().iter_mut().enumerate() {
+        *v = gen.weight(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_param_counts_match_literature() {
+        let net = NetworkSpec::alexnet();
+        assert_eq!(net.weight_count(), 60_954_656);
+        assert_eq!(net.bias_count(), 10_568);
+        assert_eq!(net.param_count(), 60_965_224);
+    }
+
+    #[test]
+    fn vgg16_param_counts_match_literature() {
+        let net = NetworkSpec::vgg16();
+        assert_eq!(net.weight_count(), 138_344_128);
+        assert_eq!(net.bias_count(), 13_416);
+        assert_eq!(net.param_count(), 138_357_544);
+    }
+
+    #[test]
+    fn custom_mnist_matches_paper_shapes() {
+        let net = NetworkSpec::custom_mnist();
+        let counts: Vec<u64> = net.layers().iter().map(|l| l.weight_count()).collect();
+        assert_eq!(counts, vec![400, 20_000, 204_800, 2_560]);
+        assert_eq!(net.weight_count(), 227_760);
+        assert_eq!(net.bias_count(), 332);
+    }
+
+    #[test]
+    fn alexnet_layer_details() {
+        let net = NetworkSpec::alexnet();
+        // conv2 is grouped: 256 × (96/2) × 5 × 5.
+        assert_eq!(net.layers()[1].weight_count(), 307_200);
+        assert_eq!(net.layers()[1].fan_in(), 48 * 25);
+        // fc6 dominates: 4096 × 9216.
+        assert_eq!(net.layers()[5].weight_count(), 37_748_736);
+        assert_eq!(net.layers()[5].weights_per_filter(), 9216);
+    }
+
+    #[test]
+    fn mac_counts_match_literature() {
+        // AlexNet ≈ 0.72 GMACs, VGG-16 ≈ 15.5 GMACs (Sze et al. 2017).
+        let alex = NetworkSpec::alexnet().macs();
+        assert!(
+            (660_000_000..760_000_000).contains(&alex),
+            "AlexNet MACs {alex}"
+        );
+        let vgg = NetworkSpec::vgg16().macs();
+        assert!(
+            (15_000_000_000..15_900_000_000).contains(&vgg),
+            "VGG-16 MACs {vgg}"
+        );
+        // FC layers use each weight once.
+        let spec = NetworkSpec::alexnet();
+        assert_eq!(spec.layers()[5].macs(), spec.layers()[5].weight_count());
+    }
+
+    #[test]
+    fn filters_per_layer() {
+        let net = NetworkSpec::custom_mnist();
+        let filters: Vec<u64> = net.layers().iter().map(|l| l.filter_count()).collect();
+        assert_eq!(filters, vec![16, 50, 256, 10]);
+        let per: Vec<u64> = net.layers().iter().map(|l| l.weights_per_filter()).collect();
+        assert_eq!(per, vec![25, 400, 800, 256]);
+    }
+
+    #[test]
+    fn runnable_custom_mnist_shapes() {
+        let mut net = build_custom_mnist(7);
+        let out = net.forward(&Tensor::zeros(&[2, 1, 28, 28]));
+        assert_eq!(out.shape(), &[2, 10]);
+        // Weight-bearing parameter count: weights + biases.
+        assert_eq!(net.param_count(), 227_760 + 332);
+    }
+
+    #[test]
+    fn runnable_weights_are_deterministic() {
+        let mut a = build_custom_mnist(7);
+        let mut b = build_custom_mnist(7);
+        let input = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 17) as f32 * 0.05);
+        assert_eq!(a.forward(&input).data(), b.forward(&input).data());
+    }
+}

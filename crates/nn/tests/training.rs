@@ -1,0 +1,58 @@
+//! End-to-end training checks on the procedural MNIST dataset.
+
+use dnnlife_nn::data::SyntheticMnist;
+use dnnlife_nn::layers::{Dense, Flatten, ReLU};
+use dnnlife_nn::train::{accuracy, Sgd};
+use dnnlife_nn::zoo::build_custom_mnist;
+use dnnlife_nn::{Sequential, Tensor};
+
+/// A small MLP learns the synthetic digits well above chance. (The full
+/// CNN is exercised in the `train_mnist` example under `--release`; in
+/// debug-mode tests an MLP keeps the runtime reasonable.)
+#[test]
+fn mlp_learns_synthetic_digits() {
+    let data = SyntheticMnist::new(1234);
+    let mut net = Sequential::new("mlp");
+    net.push(Flatten::new());
+    let mut fc1 = Dense::new("fc1", 784, 32);
+    // Deterministic small init.
+    let init = Tensor::from_fn(&[32, 784], |i| (((i * 2_654_435_761) % 1000) as f32 / 1000.0 - 0.5) * 0.05);
+    fc1.set_weights(init);
+    net.push(fc1);
+    net.push(ReLU::new());
+    let mut fc2 = Dense::new("fc2", 32, 10);
+    let init = Tensor::from_fn(&[10, 32], |i| (((i * 40_503) % 1000) as f32 / 1000.0 - 0.5) * 0.1);
+    fc2.set_weights(init);
+    net.push(fc2);
+
+    let mut sgd = Sgd::new(0.05, 0.9, 1e-4);
+    let batch = 16usize;
+    for step in 0..220u64 {
+        let (images, labels) = data.batch(step * batch as u64, batch);
+        let images = images.reshape(&[batch, 1, 28, 28]);
+        let _ = sgd.step(&mut net, &images, &labels);
+    }
+    // Held-out range of indices.
+    let (test_images, test_labels) = data.batch(1_000_000, 200);
+    let acc = accuracy(&mut net, &test_images, &test_labels);
+    assert!(acc > 0.75, "held-out accuracy too low: {acc}");
+}
+
+/// A few CNN steps reduce the training loss (full convergence is covered
+/// by the release-mode example).
+#[test]
+fn custom_cnn_loss_decreases() {
+    let data = SyntheticMnist::new(77);
+    let mut net = build_custom_mnist(42);
+    let mut sgd = Sgd::new(0.02, 0.9, 0.0);
+    let (images, labels) = data.batch(0, 8);
+    let first = sgd.step(&mut net, &images, &labels);
+    let mut last = first;
+    for _ in 0..8 {
+        last = sgd.step(&mut net, &images, &labels);
+    }
+    assert!(
+        last < first,
+        "CNN loss did not decrease: first {first}, last {last}"
+    );
+}

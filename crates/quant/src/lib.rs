@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Number formats, post-training quantization and weight-bit statistics.
+//!
+//! Section III-A of the paper analyses how the choice of data
+//! representation shapes the probability of storing a `1` at each bit
+//! position of the weight memory — the quantity that ultimately drives
+//! NBTI duty-cycle imbalance. This crate implements the three formats
+//! the paper studies:
+//!
+//! * IEEE-754 32-bit floating point (raw bit view),
+//! * 8-bit integers via **symmetric** range-linear quantization,
+//! * 8-bit integers via **asymmetric** range-linear quantization,
+//!
+//! following the range-linear scheme of Lin et al. (ICML 2016) that the
+//! paper cites as reference 24, plus the bit-distribution analysis
+//! that regenerates Fig. 6.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnlife_quant::{NumberFormat, Quantizer};
+//! use dnnlife_nn::weights::WeightRange;
+//!
+//! let range = WeightRange { min: -0.4, max: 0.2, sampled: 1000 };
+//! let q = Quantizer::calibrate(NumberFormat::Int8Symmetric, &range);
+//! let bits = q.encode(0.1);
+//! let back = q.decode(bits);
+//! assert!((back - 0.1).abs() < 0.005);
+//! ```
+
+pub mod distribution;
+pub mod quantizer;
+
+pub use distribution::{analyze_layer, analyze_network, BitDistribution};
+pub use quantizer::{NumberFormat, Quantizer};

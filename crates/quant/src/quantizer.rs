@@ -1,0 +1,297 @@
+//! Range-linear quantizers for the paper's three weight formats.
+
+use dnnlife_nn::weights::WeightRange;
+use serde::{Deserialize, Serialize};
+
+/// The data representation formats studied in Fig. 6 / Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumberFormat {
+    /// IEEE-754 single precision (stored as its raw 32-bit pattern).
+    Fp32,
+    /// 8-bit signed integer, symmetric range-linear quantization:
+    /// `q = round(w / s)` with `s = max|w| / 127`.
+    Int8Symmetric,
+    /// 8-bit unsigned integer, asymmetric range-linear quantization:
+    /// `q = round(w / s) + z` with `s = (max - min) / 255`.
+    Int8Asymmetric,
+}
+
+impl NumberFormat {
+    /// Stored word width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            NumberFormat::Fp32 => 32,
+            NumberFormat::Int8Symmetric | NumberFormat::Int8Asymmetric => 8,
+        }
+    }
+
+    /// All formats, in the order the paper's figures present them.
+    pub fn all() -> [NumberFormat; 3] {
+        [
+            NumberFormat::Fp32,
+            NumberFormat::Int8Symmetric,
+            NumberFormat::Int8Asymmetric,
+        ]
+    }
+}
+
+impl std::fmt::Display for NumberFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumberFormat::Fp32 => write!(f, "32-bit floating point"),
+            NumberFormat::Int8Symmetric => write!(f, "8-bit integer (symmetric)"),
+            NumberFormat::Int8Asymmetric => write!(f, "8-bit integer (asymmetric)"),
+        }
+    }
+}
+
+/// A calibrated weight encoder/decoder for one layer.
+///
+/// `encode` produces the *stored bit pattern* (the low
+/// [`NumberFormat::bits`] bits of the returned `u32`) — exactly what the
+/// weight memory cells hold and what the aging analysis consumes.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_quant::{NumberFormat, Quantizer};
+/// use dnnlife_nn::weights::WeightRange;
+///
+/// let range = WeightRange { min: -1.0, max: 1.0, sampled: 100 };
+/// let q = Quantizer::calibrate(NumberFormat::Int8Asymmetric, &range);
+/// // Asymmetric zero-point of a symmetric range sits at mid-scale.
+/// let zero_code = q.encode(0.0);
+/// assert!(zero_code == 127 || zero_code == 128);
+/// // Zero decodes back to (near) zero.
+/// assert!(q.decode(zero_code).abs() <= q.max_roundtrip_error());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Quantizer {
+    /// Pass-through to the IEEE-754 bit pattern.
+    Fp32,
+    /// Symmetric: `q = clamp(round(w / scale), -127, 127)` stored as two's
+    /// complement `i8`.
+    Int8Symmetric {
+        /// Quantization step.
+        scale: f32,
+    },
+    /// Asymmetric: `q = clamp(round(w / scale) + zero_point, 0, 255)`.
+    Int8Asymmetric {
+        /// Quantization step.
+        scale: f32,
+        /// The stored code representing the real value 0.
+        zero_point: u8,
+    },
+}
+
+impl Quantizer {
+    /// Calibrates a quantizer of the given format from an observed weight
+    /// range (range-linear post-training quantization, the paper's ref. 24).
+    ///
+    /// Degenerate ranges (all-zero layers) fall back to a unit scale so
+    /// `encode` stays total.
+    pub fn calibrate(format: NumberFormat, range: &WeightRange) -> Self {
+        match format {
+            NumberFormat::Fp32 => Quantizer::Fp32,
+            NumberFormat::Int8Symmetric => {
+                let abs_max = range.abs_max();
+                let scale = if abs_max > 0.0 { abs_max / 127.0 } else { 1.0 };
+                Quantizer::Int8Symmetric { scale }
+            }
+            NumberFormat::Int8Asymmetric => {
+                // The representable range must include 0 so that zero
+                // weights are exact (standard asymmetric convention).
+                let lo = range.min.min(0.0);
+                let hi = range.max.max(0.0);
+                let span = hi - lo;
+                let scale = if span > 0.0 { span / 255.0 } else { 1.0 };
+                let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+                Quantizer::Int8Asymmetric { scale, zero_point }
+            }
+        }
+    }
+
+    /// The format this quantizer produces.
+    pub fn format(&self) -> NumberFormat {
+        match self {
+            Quantizer::Fp32 => NumberFormat::Fp32,
+            Quantizer::Int8Symmetric { .. } => NumberFormat::Int8Symmetric,
+            Quantizer::Int8Asymmetric { .. } => NumberFormat::Int8Asymmetric,
+        }
+    }
+
+    /// Stored word width in bits.
+    pub fn bits(&self) -> usize {
+        self.format().bits()
+    }
+
+    /// Encodes a weight into its stored bit pattern (low `bits()` bits).
+    pub fn encode(&self, w: f32) -> u32 {
+        match *self {
+            Quantizer::Fp32 => w.to_bits(),
+            Quantizer::Int8Symmetric { scale } => {
+                let q = (w / scale).round().clamp(-127.0, 127.0) as i8;
+                u32::from(q as u8)
+            }
+            Quantizer::Int8Asymmetric { scale, zero_point } => {
+                let q = (w / scale).round() + f32::from(zero_point);
+                q.clamp(0.0, 255.0) as u32
+            }
+        }
+    }
+
+    /// Decodes a stored bit pattern back to a real value.
+    ///
+    /// For the integer formats this is the usual dequantization
+    /// `(q - z) * scale`; for fp32 it reinterprets the bits.
+    pub fn decode(&self, bits: u32) -> f32 {
+        match *self {
+            Quantizer::Fp32 => f32::from_bits(bits),
+            Quantizer::Int8Symmetric { scale } => {
+                let q = (bits & 0xFF) as u8 as i8;
+                f32::from(q) * scale
+            }
+            Quantizer::Int8Asymmetric { scale, zero_point } => {
+                let q = (bits & 0xFF) as u8;
+                (f32::from(q) - f32::from(zero_point)) * scale
+            }
+        }
+    }
+
+    /// Worst-case absolute round-trip error for in-range inputs
+    /// (half a quantization step; 0 for fp32).
+    pub fn max_roundtrip_error(&self) -> f32 {
+        match *self {
+            Quantizer::Fp32 => 0.0,
+            Quantizer::Int8Symmetric { scale } | Quantizer::Int8Asymmetric { scale, .. } => {
+                scale / 2.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(min: f32, max: f32) -> WeightRange {
+        WeightRange {
+            min,
+            max,
+            sampled: 1,
+        }
+    }
+
+    #[test]
+    fn fp32_roundtrip_is_exact() {
+        let q = Quantizer::calibrate(NumberFormat::Fp32, &range(-1.0, 1.0));
+        for w in [-0.123f32, 0.0, 1e-20, 3.5e7, -0.0] {
+            assert_eq!(q.decode(q.encode(w)).to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn symmetric_scale_from_abs_max() {
+        let q = Quantizer::calibrate(NumberFormat::Int8Symmetric, &range(-0.5, 0.25));
+        match q {
+            Quantizer::Int8Symmetric { scale } => {
+                assert!((scale - 0.5 / 127.0).abs() < 1e-9);
+            }
+            _ => panic!("wrong variant"),
+        }
+        // Extremes map to ±127 (so the code is symmetric).
+        assert_eq!(q.encode(-0.5) as u8 as i8, -127);
+        assert_eq!(q.encode(0.5) as u8 as i8, 127);
+        assert_eq!(q.encode(0.0), 0);
+    }
+
+    #[test]
+    fn symmetric_roundtrip_error_bounded() {
+        let q = Quantizer::calibrate(NumberFormat::Int8Symmetric, &range(-0.3, 0.3));
+        let bound = q.max_roundtrip_error();
+        let mut w = -0.3f32;
+        while w <= 0.3 {
+            let err = (q.decode(q.encode(w)) - w).abs();
+            assert!(err <= bound + 1e-7, "w={w} err={err}");
+            w += 0.001;
+        }
+    }
+
+    #[test]
+    fn asymmetric_zero_point_and_range() {
+        let q = Quantizer::calibrate(NumberFormat::Int8Asymmetric, &range(-0.4, 1.2));
+        match q {
+            Quantizer::Int8Asymmetric { scale, zero_point } => {
+                assert!((scale - 1.6 / 255.0).abs() < 1e-8);
+                assert_eq!(zero_point, 64); // -(-0.4)/scale = 63.75 → 64
+            }
+            _ => panic!("wrong variant"),
+        }
+        // Zero encodes near the zero point and decodes back to ~0.
+        let z = q.encode(0.0);
+        assert!((q.decode(z)).abs() <= q.max_roundtrip_error());
+        // Range extremes stay in [0, 255].
+        assert_eq!(q.encode(-0.4), 0);
+        assert_eq!(q.encode(1.2), 255);
+    }
+
+    #[test]
+    fn asymmetric_positive_only_range_includes_zero() {
+        // All-positive weights: the code range must still represent 0.
+        let q = Quantizer::calibrate(NumberFormat::Int8Asymmetric, &range(0.1, 0.9));
+        match q {
+            Quantizer::Int8Asymmetric { zero_point, .. } => assert_eq!(zero_point, 0),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_roundtrip_error_bounded() {
+        let q = Quantizer::calibrate(NumberFormat::Int8Asymmetric, &range(-0.2, 0.7));
+        let bound = q.max_roundtrip_error();
+        let mut w = -0.2f32;
+        while w <= 0.7 {
+            let err = (q.decode(q.encode(w)) - w).abs();
+            assert!(err <= bound + 1e-6, "w={w} err={err}");
+            w += 0.001;
+        }
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        let q = Quantizer::calibrate(NumberFormat::Int8Symmetric, &range(-0.1, 0.1));
+        assert_eq!(q.encode(5.0) as u8 as i8, 127);
+        assert_eq!(q.encode(-5.0) as u8 as i8, -127);
+    }
+
+    #[test]
+    fn degenerate_range_fallback() {
+        let q = Quantizer::calibrate(NumberFormat::Int8Symmetric, &range(0.0, 0.0));
+        assert_eq!(q.encode(0.0), 0);
+        let q = Quantizer::calibrate(NumberFormat::Int8Asymmetric, &range(0.0, 0.0));
+        let bits = q.encode(0.0);
+        assert!((q.decode(bits)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encoded_words_fit_width() {
+        for fmt in [NumberFormat::Int8Symmetric, NumberFormat::Int8Asymmetric] {
+            let q = Quantizer::calibrate(fmt, &range(-1.0, 0.5));
+            for i in -100..=100 {
+                let bits = q.encode(i as f32 * 0.01);
+                assert!(bits < 256, "format {fmt:?} produced wide word {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn format_metadata() {
+        assert_eq!(NumberFormat::Fp32.bits(), 32);
+        assert_eq!(NumberFormat::Int8Symmetric.bits(), 8);
+        assert_eq!(NumberFormat::all().len(), 3);
+        assert_eq!(
+            NumberFormat::Int8Asymmetric.to_string(),
+            "8-bit integer (asymmetric)"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! 6T-SRAM cell stress semantics.
+//!
+//! A 6T cell stores a bit in two cross-coupled inverters; the two PMOS
+//! pull-ups (`P1`, `P2` in the paper's Fig. 2a) hold complementary
+//! values. Whichever PMOS is ON (gate low) experiences negative bias —
+//! NBTI stress. Storing `1` stresses one device, storing `0` the other,
+//! so the *duty cycle* of the cell fully determines the long-term stress
+//! split between the pair.
+
+/// Splits a cell duty cycle (fraction of lifetime storing `1`) into the
+/// stress duties of the two PMOS transistors: `(stress_p1, stress_p2) =
+/// (duty, 1 − duty)`.
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_sram::stress_split;
+///
+/// let (p1, p2) = stress_split(0.3);
+/// assert!((p1 - 0.3).abs() < 1e-12 && (p2 - 0.7).abs() < 1e-12);
+/// ```
+pub fn stress_split(duty: f64) -> (f64, f64) {
+    assert!(
+        duty.is_finite() && (0.0..=1.0).contains(&duty),
+        "stress_split: duty must be in [0,1], got {duty}"
+    );
+    (duty, 1.0 - duty)
+}
+
+/// Stress duty of the most-stressed PMOS — the device that defines cell
+/// aging (`max(duty, 1 − duty)`).
+///
+/// # Panics
+///
+/// Panics if `duty` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_sram::cell::worst_stress;
+///
+/// assert_eq!(worst_stress(0.5), 0.5); // balanced: minimal worst-case
+/// assert_eq!(worst_stress(0.0), 1.0); // constant 0: one device always on
+/// ```
+pub fn worst_stress(duty: f64) -> f64 {
+    let (p1, p2) = stress_split(duty);
+    p1.max(p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sums_to_one() {
+        for d in [0.0, 0.1, 0.5, 0.77, 1.0] {
+            let (a, b) = stress_split(d);
+            assert!((a + b - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_stress_symmetric_and_minimal_at_half() {
+        assert_eq!(worst_stress(0.2), worst_stress(0.8));
+        for d in [0.0, 0.15, 0.35, 0.49] {
+            assert!(worst_stress(d) > worst_stress(0.5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in [0,1]")]
+    fn rejects_out_of_range() {
+        stress_split(1.5);
+    }
+}

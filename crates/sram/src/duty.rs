@@ -1,0 +1,189 @@
+//! Per-cell duty-cycle accumulation.
+//!
+//! The memory simulator in `dnnlife-accel` writes a sequence of bit
+//! states into every cell, each resident for some dwell time. This
+//! tracker accumulates, per cell, the fraction of total time spent
+//! storing `1` — the duty cycle that the SNM models consume.
+//!
+//! States are supplied bit-packed (64 cells per `u64` word) because the
+//! paper-scale memories hold millions of cells.
+
+/// Accumulates time-weighted duty cycles for a fixed-size population of
+/// cells.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_sram::DutyCycleTracker;
+///
+/// let mut t = DutyCycleTracker::new(128);
+/// // All 128 cells store `1` for 3 time units...
+/// t.record_packed(&[u64::MAX, u64::MAX], 3.0);
+/// // ...then `0` for 1 time unit.
+/// t.record_packed(&[0, 0], 1.0);
+/// assert!((t.duty(5) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DutyCycleTracker {
+    ones_time: Vec<f64>,
+    total_time: f64,
+    cells: usize,
+}
+
+impl DutyCycleTracker {
+    /// Creates a tracker for `cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn new(cells: usize) -> Self {
+        assert!(cells > 0, "DutyCycleTracker: cells must be > 0");
+        Self {
+            ones_time: vec![0.0; cells],
+            total_time: 0.0,
+            cells,
+        }
+    }
+
+    /// Number of tracked cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Total accumulated time.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Records a memory state held for `dwell` time units. `state` is
+    /// bit-packed LSB-first: cell `i` is bit `i % 64` of word `i / 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is shorter than `ceil(cells / 64)` words or if
+    /// `dwell` is not positive and finite.
+    pub fn record_packed(&mut self, state: &[u64], dwell: f64) {
+        assert!(
+            dwell.is_finite() && dwell > 0.0,
+            "DutyCycleTracker: dwell must be positive, got {dwell}"
+        );
+        let needed = self.cells.div_ceil(64);
+        assert!(
+            state.len() >= needed,
+            "DutyCycleTracker: state has {} words, need {needed}",
+            state.len()
+        );
+        for (i, t) in self.ones_time.iter_mut().enumerate() {
+            if state[i / 64] >> (i % 64) & 1 == 1 {
+                *t += dwell;
+            }
+        }
+        self.total_time += dwell;
+    }
+
+    /// Records an unpacked boolean state held for `dwell` time units
+    /// (convenience for tests and small memories).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.cells()`.
+    pub fn record_bits(&mut self, state: &[bool], dwell: f64) {
+        assert_eq!(
+            state.len(),
+            self.cells,
+            "DutyCycleTracker: state length mismatch"
+        );
+        assert!(
+            dwell.is_finite() && dwell > 0.0,
+            "DutyCycleTracker: dwell must be positive, got {dwell}"
+        );
+        for (t, &bit) in self.ones_time.iter_mut().zip(state) {
+            if bit {
+                *t += dwell;
+            }
+        }
+        self.total_time += dwell;
+    }
+
+    /// Duty cycle of cell `idx` (0.0 if no time has been recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn duty(&self, idx: usize) -> f64 {
+        assert!(idx < self.cells, "DutyCycleTracker: cell {idx} out of range");
+        if self.total_time == 0.0 {
+            0.0
+        } else {
+            self.ones_time[idx] / self.total_time
+        }
+    }
+
+    /// Iterates over all per-cell duty cycles.
+    pub fn duties(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.cells).map(move |i| self.duty(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighting() {
+        let mut t = DutyCycleTracker::new(2);
+        t.record_bits(&[true, false], 1.0);
+        t.record_bits(&[true, true], 3.0);
+        assert!((t.duty(0) - 1.0).abs() < 1e-12);
+        assert!((t.duty(1) - 0.75).abs() < 1e-12);
+        assert_eq!(t.total_time(), 4.0);
+    }
+
+    #[test]
+    fn packed_matches_bits() {
+        let mut packed = DutyCycleTracker::new(70);
+        let mut plain = DutyCycleTracker::new(70);
+        // Alternating pattern across the word boundary.
+        let bits: Vec<bool> = (0..70).map(|i| i % 3 == 0).collect();
+        let mut words = [0u64; 2];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        packed.record_packed(&words, 2.0);
+        plain.record_bits(&bits, 2.0);
+        for i in 0..70 {
+            assert_eq!(packed.duty(i), plain.duty(i), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t = DutyCycleTracker::new(4);
+        assert_eq!(t.duty(3), 0.0);
+        assert_eq!(t.total_time(), 0.0);
+    }
+
+    #[test]
+    fn duties_iterator_covers_all_cells() {
+        let mut t = DutyCycleTracker::new(3);
+        t.record_bits(&[true, false, true], 1.0);
+        let d: Vec<f64> = t.duties().collect();
+        assert_eq!(d, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell must be positive")]
+    fn rejects_zero_dwell() {
+        let mut t = DutyCycleTracker::new(1);
+        t.record_bits(&[true], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state has 1 words, need 2")]
+    fn rejects_short_state() {
+        let mut t = DutyCycleTracker::new(100);
+        t.record_packed(&[0], 1.0);
+    }
+}

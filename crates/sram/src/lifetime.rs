@@ -1,0 +1,207 @@
+//! Lifetime and read-failure consequences of SNM degradation.
+//!
+//! The paper's goal is "improving the *lifetime* of on-chip weight
+//! memories": duty-cycle balancing slows SNM loss, which postpones the
+//! point where cells become unreliable. This module provides the two
+//! figures of merit that quantify that claim:
+//!
+//! * [`lifetime_to_threshold`] — the years until a cell at a given duty
+//!   cycle reaches an SNM-degradation budget (design margin), and the
+//!   resulting [`lifetime_improvement`] ratio between mitigated and
+//!   unmitigated duty cycles;
+//! * [`ReadFailureModel`] — the probability that thermal/supply noise
+//!   exceeds the remaining noise margin on a read, treating noise as
+//!   Gaussian (the standard cell-stability failure model; Agarwal &
+//!   Nassif, DAC 2006 — the paper's ref. 26).
+
+use crate::snm::SnmModel;
+use dnnlife_numerics::special::normal_sf;
+
+/// Years until `model.degradation_percent(duty, t)` first reaches
+/// `threshold_pct`, found by bisection on `[0, max_years]`. Returns
+/// `max_years` if the budget is never exhausted within the horizon.
+///
+/// # Panics
+///
+/// Panics if `threshold_pct` is not positive or `max_years` is not
+/// positive/finite.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_sram::lifetime::lifetime_to_threshold;
+/// use dnnlife_sram::snm::CalibratedSnmModel;
+///
+/// let model = CalibratedSnmModel::paper();
+/// // A fully unbalanced cell burns a 20% SNM budget years before a
+/// // balanced one.
+/// let worst = lifetime_to_threshold(&model, 1.0, 20.0, 100.0);
+/// let best = lifetime_to_threshold(&model, 0.5, 20.0, 100.0);
+/// assert!(worst < best);
+/// ```
+pub fn lifetime_to_threshold(
+    model: &dyn SnmModel,
+    duty: f64,
+    threshold_pct: f64,
+    max_years: f64,
+) -> f64 {
+    assert!(
+        threshold_pct > 0.0,
+        "lifetime_to_threshold: threshold must be > 0"
+    );
+    assert!(
+        max_years.is_finite() && max_years > 0.0,
+        "lifetime_to_threshold: max_years must be > 0"
+    );
+    if model.degradation_percent(duty, max_years) < threshold_pct {
+        return max_years;
+    }
+    let mut lo = 0.0f64;
+    let mut hi = max_years;
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if model.degradation_percent(duty, mid) < threshold_pct {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Lifetime ratio achieved by moving a cell from `duty_unmitigated` to
+/// `duty_mitigated` under a fixed SNM budget.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_sram::lifetime::lifetime_improvement;
+/// use dnnlife_sram::snm::CalibratedSnmModel;
+///
+/// let model = CalibratedSnmModel::paper();
+/// let gain = lifetime_improvement(&model, 0.9, 0.5, 15.0);
+/// assert!(gain > 2.0, "balancing should buy >2x lifetime, got {gain}");
+/// ```
+pub fn lifetime_improvement(
+    model: &dyn SnmModel,
+    duty_unmitigated: f64,
+    duty_mitigated: f64,
+    threshold_pct: f64,
+) -> f64 {
+    const HORIZON: f64 = 1000.0;
+    let before = lifetime_to_threshold(model, duty_unmitigated, threshold_pct, HORIZON);
+    let after = lifetime_to_threshold(model, duty_mitigated, threshold_pct, HORIZON);
+    after / before
+}
+
+/// Gaussian read-noise failure model: a read fails when instantaneous
+/// noise exceeds the remaining static noise margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadFailureModel {
+    /// Fresh (unaged) SNM in millivolts.
+    pub fresh_snm_mv: f64,
+    /// RMS read noise in millivolts.
+    pub noise_sigma_mv: f64,
+}
+
+impl ReadFailureModel {
+    /// A 65 nm-class operating point: 260 mV fresh read SNM (matching
+    /// the butterfly model), 25 mV RMS noise.
+    pub fn default_65nm() -> Self {
+        Self {
+            fresh_snm_mv: 260.0,
+            noise_sigma_mv: 25.0,
+        }
+    }
+
+    /// Probability that one read of a cell with the given SNM
+    /// degradation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degradation_pct` is outside `[0, 100]`.
+    pub fn failure_probability(&self, degradation_pct: f64) -> f64 {
+        assert!(
+            (0.0..=100.0).contains(&degradation_pct),
+            "failure_probability: degradation must be in [0,100]"
+        );
+        let remaining = self.fresh_snm_mv * (1.0 - degradation_pct / 100.0);
+        normal_sf(remaining / self.noise_sigma_mv)
+    }
+
+    /// Ratio of failure probabilities between two degradation levels —
+    /// how much *more* likely a read failure becomes (e.g. worst-case vs
+    /// balanced duty after 7 years).
+    pub fn failure_ratio(&self, degradation_a_pct: f64, degradation_b_pct: f64) -> f64 {
+        self.failure_probability(degradation_a_pct) / self.failure_probability(degradation_b_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snm::CalibratedSnmModel;
+
+    #[test]
+    fn lifetime_bisection_is_consistent() {
+        let model = CalibratedSnmModel::paper();
+        // At 7 years a fully stressed cell shows exactly 26.12%; the
+        // bisection must find ~7 years for that threshold.
+        let years = lifetime_to_threshold(&model, 1.0, 26.12, 50.0);
+        assert!((years - 7.0).abs() < 0.01, "years = {years}");
+        // And ~7 years for a balanced cell at its 10.82% level.
+        let years = lifetime_to_threshold(&model, 0.5, 10.82, 50.0);
+        assert!((years - 7.0).abs() < 0.01, "years = {years}");
+    }
+
+    #[test]
+    fn lifetime_monotone_in_duty_deviation() {
+        let model = CalibratedSnmModel::paper();
+        let mut prev = f64::INFINITY;
+        for duty in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+            let years = lifetime_to_threshold(&model, duty, 15.0, 1000.0);
+            assert!(years <= prev, "duty {duty}: {years} > {prev}");
+            prev = years;
+        }
+    }
+
+    #[test]
+    fn improvement_ratio_for_paper_numbers() {
+        // Balanced vs fully-stressed: the NBTI t^(1/6) law means a 2x
+        // ΔVth reduction buys 2^6 = 64x lifetime at a fixed Vth budget;
+        // through the affine SNM calibration the gain at a 15% budget is
+        // still an order of magnitude.
+        let model = CalibratedSnmModel::paper();
+        let gain = lifetime_improvement(&model, 1.0, 0.5, 15.0);
+        assert!(gain > 10.0, "gain = {gain}");
+    }
+
+    #[test]
+    fn horizon_caps_the_search() {
+        let model = CalibratedSnmModel::paper();
+        // A 99% budget is never reached: return the horizon.
+        let years = lifetime_to_threshold(&model, 1.0, 99.0, 42.0);
+        assert_eq!(years, 42.0);
+    }
+
+    #[test]
+    fn failure_probability_increases_with_degradation() {
+        let m = ReadFailureModel::default_65nm();
+        let fresh = m.failure_probability(0.0);
+        let balanced = m.failure_probability(10.82);
+        let worst = m.failure_probability(26.12);
+        assert!(fresh < balanced && balanced < worst);
+        // All are small but the worst case is markedly more likely.
+        assert!(m.failure_ratio(26.12, 10.82) > 3.0);
+    }
+
+    #[test]
+    fn failure_probability_bounds() {
+        let m = ReadFailureModel::default_65nm();
+        for deg in [0.0, 25.0, 50.0, 100.0] {
+            let p = m.failure_probability(deg);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(m.failure_probability(100.0) >= 0.5 - 1e-6);
+    }
+}

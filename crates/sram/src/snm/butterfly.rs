@@ -1,0 +1,494 @@
+//! Device-level SNM extraction from inverter transfer curves.
+//!
+//! The paper uses SNM as the read-stability metric ("if the SNM of a
+//! cell is low, the cell is highly susceptible to read failures", §V-A),
+//! so this module extracts the **read SNM**: the butterfly is formed by
+//! the VTCs of the two cell inverters *loaded by their access
+//! transistors* with both bitlines precharged high and the wordline
+//! asserted — the classical worst-case read condition (Seevinck et al.,
+//! JSSC 1987). Read SNM is the 6T metric that NBTI visibly degrades even
+//! under balanced stress, which is why the paper's device model shows a
+//! non-zero 10.82 % floor at 50 % duty cycle.
+//!
+//! Rather than hunting for the largest nested square geometrically, the
+//! equivalent *circuit* definition is used because it is numerically
+//! robust for asymmetrically aged cells: equal-magnitude DC noise
+//! sources are inserted in series with the inverter inputs with opposite
+//! polarities (`+Vn` toward one gate, `−Vn` toward the other — the
+//! arrangement that closes one butterfly lobe); the SNM is the largest
+//! `Vn` for which the loop `x → f_A(x + Vn) → f_B(· − Vn)` is still
+//! bistable. The two signs of `Vn` attack the two lobes; the smaller
+//! critical noise defines the SNM.
+//!
+//! The VTCs come from square-law MOSFET I-V equations with channel-
+//! length modulation (which keeps the current balance strictly monotone
+//! and the solve well-posed). NBTI aging enters as an increase of the
+//! stressed PMOS threshold magnitude.
+//!
+//! This model is the physical reference for
+//! [`CalibratedSnmModel`](super::CalibratedSnmModel): both must agree on
+//! symmetry and monotonicity (tested in `snm::tests`), while absolute
+//! percentages are calibration-dependent.
+
+use super::SnmModel;
+use crate::cell::stress_split;
+use crate::nbti::NbtiModel;
+
+/// Electrical parameters of the cross-coupled inverters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverterParams {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// NMOS threshold voltage in volts.
+    pub vtn: f64,
+    /// Fresh PMOS threshold magnitude in volts.
+    pub vtp: f64,
+    /// NMOS transconductance factor (A/V², arbitrary consistent units).
+    pub kn: f64,
+    /// PMOS transconductance factor.
+    pub kp: f64,
+    /// Access (pass-gate) NMOS transconductance factor.
+    pub kpg: f64,
+    /// Channel-length modulation coefficient (1/V).
+    pub lambda: f64,
+}
+
+impl InverterParams {
+    /// A 65 nm-class operating point: 1.2 V supply, 0.4 V thresholds,
+    /// and the classical 6T sizing discipline PD : PG : PU = 2 : 1.2 : 1
+    /// (strong pull-downs for read stability, weak pull-ups).
+    pub fn default_65nm() -> Self {
+        Self {
+            vdd: 1.2,
+            vtn: 0.4,
+            vtp: 0.4,
+            kn: 2.0,
+            kp: 1.0,
+            kpg: 1.2,
+            lambda: 0.05,
+        }
+    }
+}
+
+/// Square-law drain current of the NMOS pull-down, with `delta_vtn`
+/// volts of PBTI-induced threshold increase.
+fn nmos_current(p: &InverterParams, vgs: f64, vds: f64, delta_vtn: f64) -> f64 {
+    let vov = vgs - (p.vtn + delta_vtn);
+    if vov <= 0.0 || vds <= 0.0 {
+        return 0.0;
+    }
+    let clm = 1.0 + p.lambda * vds;
+    if vds < vov {
+        p.kn * (vov * vds - 0.5 * vds * vds) * clm
+    } else {
+        0.5 * p.kn * vov * vov * clm
+    }
+}
+
+/// Square-law drain current of the PMOS pull-up, with `delta_vtp` volts
+/// of NBTI-induced threshold increase.
+fn pmos_current(p: &InverterParams, vin: f64, vout: f64, delta_vtp: f64) -> f64 {
+    let vsg = p.vdd - vin;
+    let vt = p.vtp + delta_vtp;
+    let vov = vsg - vt;
+    let vsd = p.vdd - vout;
+    if vov <= 0.0 || vsd <= 0.0 {
+        return 0.0;
+    }
+    let clm = 1.0 + p.lambda * vsd;
+    if vsd < vov {
+        p.kp * (vov * vsd - 0.5 * vsd * vsd) * clm
+    } else {
+        0.5 * p.kp * vov * vov * clm
+    }
+}
+
+/// Access-transistor current pulling the storage node toward the
+/// precharged bitline (drain and gate both at `vdd` during read).
+fn access_current(p: &InverterParams, vnode: f64) -> f64 {
+    // Vgs = Vds = vdd - vnode: the device operates on the saturation
+    // boundary whenever it conducts.
+    let vov = p.vdd - vnode - p.vtn;
+    if vov <= 0.0 {
+        return 0.0;
+    }
+    0.5 * p.kpg * vov * vov * (1.0 + p.lambda * (p.vdd - vnode))
+}
+
+/// Storage-node voltage of one access-loaded cell inverter during read,
+/// for gate input `vin`, solved by bisection on the current balance
+/// (pull-up + access in, pull-down out; strictly decreasing in the node
+/// voltage thanks to channel-length modulation).
+fn solve_vtc(p: &InverterParams, vin: f64, delta_vtp: f64, delta_vtn: f64) -> f64 {
+    let balance = |vout: f64| {
+        pmos_current(p, vin, vout, delta_vtp) + access_current(p, vout)
+            - nmos_current(p, vin, vout, delta_vtn)
+    };
+    let mut lo = 0.0f64;
+    let mut hi = p.vdd;
+    for _ in 0..52 {
+        let mid = 0.5 * (lo + hi);
+        if balance(mid) >= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A tabulated VTC with linear interpolation and rail clamping for
+/// out-of-range inputs (gate overdrive beyond the rails saturates the
+/// output at its rail value).
+#[derive(Debug, Clone)]
+struct VtcTable {
+    lut: Vec<f64>,
+    vdd: f64,
+}
+
+const VTC_POINTS: usize = 1201;
+
+impl VtcTable {
+    fn build(p: &InverterParams, delta_vtp: f64, delta_vtn: f64) -> Self {
+        let lut = (0..VTC_POINTS)
+            .map(|i| {
+                let vin = i as f64 / (VTC_POINTS - 1) as f64 * p.vdd;
+                solve_vtc(p, vin, delta_vtp, delta_vtn)
+            })
+            .collect();
+        Self { lut, vdd: p.vdd }
+    }
+
+    fn eval(&self, vin: f64) -> f64 {
+        let x = (vin / self.vdd).clamp(0.0, 1.0) * (VTC_POINTS - 1) as f64;
+        let i = (x as usize).min(VTC_POINTS - 2);
+        let frac = x - i as f64;
+        self.lut[i] * (1.0 - frac) + self.lut[i + 1] * frac
+    }
+}
+
+/// Whether the noisy cross-coupled loop still has two stable states.
+///
+/// `vn` is the signed series noise: `+vn` is added to inverter A's input
+/// and `−vn` to inverter B's input. In the butterfly plot this shifts
+/// one VTC toward the other, closing one lobe; the two signs of `vn`
+/// attack the two lobes. The return map `M(x) = f_B(f_A(x + vn) − vn)`
+/// is monotonically increasing; bistability means `M(x) − x` has three
+/// zero crossings (stable / unstable / stable).
+fn bistable(a: &VtcTable, b: &VtcTable, vn: f64) -> bool {
+    const GRID: usize = 1600;
+    let vdd = a.vdd;
+    let mut changes = 0;
+    let mut prev_sign = 0i8;
+    for i in 0..=GRID {
+        let x = i as f64 / GRID as f64 * vdd;
+        let m = b.eval(a.eval(x + vn) - vn);
+        let h = m - x;
+        let sign = if h > 0.0 {
+            1
+        } else if h < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if sign != 0 {
+            if prev_sign != 0 && sign != prev_sign {
+                changes += 1;
+            }
+            prev_sign = sign;
+        }
+    }
+    changes >= 3
+}
+
+/// Largest noise magnitude (volts) keeping the loop bistable for the
+/// given polarity (`sign = ±1`), found by bisection.
+fn critical_noise(a: &VtcTable, b: &VtcTable, sign: f64) -> f64 {
+    let vdd = a.vdd;
+    if !bistable(a, b, 0.0) {
+        return 0.0;
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 0.75 * vdd;
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if bistable(a, b, sign * mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Butterfly/critical-noise SNM model for a 6T cell aged by NBTI.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_sram::snm::{ButterflySnmModel, InverterParams};
+///
+/// let model = ButterflySnmModel::default_65nm();
+/// let snm = model.snm_volts(0.0, 0.0);
+/// // A healthy 1.2 V cell has a few hundred mV of noise margin.
+/// assert!(snm > 0.15 && snm < 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ButterflySnmModel {
+    params: InverterParams,
+    nbti: NbtiModel,
+    fresh_snm: f64,
+}
+
+impl ButterflySnmModel {
+    /// Builds the model from inverter parameters and an NBTI model,
+    /// pre-computing the fresh SNM.
+    pub fn new(params: InverterParams, nbti: NbtiModel) -> Self {
+        let mut model = Self {
+            params,
+            nbti,
+            fresh_snm: 0.0,
+        };
+        model.fresh_snm = model.snm_volts(0.0, 0.0);
+        model
+    }
+
+    /// 65 nm-class defaults for both the electrical and aging parameters.
+    pub fn default_65nm() -> Self {
+        Self::new(InverterParams::default_65nm(), NbtiModel::default_65nm())
+    }
+
+    /// Electrical parameters in use.
+    pub fn params(&self) -> &InverterParams {
+        &self.params
+    }
+
+    /// Fresh (unaged) SNM in volts.
+    pub fn fresh_snm_volts(&self) -> f64 {
+        self.fresh_snm
+    }
+
+    /// SNM in volts with explicit PMOS threshold shifts (volts) on the
+    /// two inverters.
+    ///
+    /// Both noise polarities are exercised — they attack the two stored
+    /// states (butterfly lobes) — and the smaller critical noise is the
+    /// SNM.
+    pub fn snm_volts(&self, dvtp_a: f64, dvtp_b: f64) -> f64 {
+        self.snm_volts_bti(dvtp_a, dvtp_b, 0.0, 0.0)
+    }
+
+    /// SNM in volts under combined BTI: NBTI shifts on the two PMOS
+    /// pull-ups *and* PBTI shifts on the two NMOS pull-downs (the
+    /// paper's footnote 1 notes PBTI as the NMOS analogue; it is milder
+    /// but not zero in high-k stacks).
+    pub fn snm_volts_bti(&self, dvtp_a: f64, dvtp_b: f64, dvtn_a: f64, dvtn_b: f64) -> f64 {
+        let a = VtcTable::build(&self.params, dvtp_a, dvtn_a);
+        let b = VtcTable::build(&self.params, dvtp_b, dvtn_b);
+        let lobe1 = critical_noise(&a, &b, 1.0);
+        let lobe2 = critical_noise(&a, &b, -1.0);
+        lobe1.min(lobe2)
+    }
+
+    /// Degradation including PBTI on the pull-downs.
+    ///
+    /// When the cell stores `1` (node Q high), the *other* inverter's
+    /// NMOS is ON: NMOS stress pairs opposite to PMOS stress, so the
+    /// NMOS of inverter A is stressed with duty `1 − d` and B's with
+    /// `d`. `pbti` supplies the NMOS shift (typically a fraction of the
+    /// NBTI magnitude).
+    pub fn degradation_percent_with_pbti(&self, duty: f64, years: f64, pbti: &NbtiModel) -> f64 {
+        let (stress_a, stress_b) = stress_split(duty);
+        let dvtp_a = self.nbti.delta_vth_mv(stress_a, years) / 1000.0;
+        let dvtp_b = self.nbti.delta_vth_mv(stress_b, years) / 1000.0;
+        let dvtn_a = pbti.delta_vth_mv(stress_b, years) / 1000.0;
+        let dvtn_b = pbti.delta_vth_mv(stress_a, years) / 1000.0;
+        let aged = self.snm_volts_bti(dvtp_a, dvtp_b, dvtn_a, dvtn_b);
+        ((self.fresh_snm - aged) / self.fresh_snm * 100.0).clamp(0.0, 100.0)
+    }
+}
+
+impl SnmModel for ButterflySnmModel {
+    fn degradation_percent(&self, duty: f64, years: f64) -> f64 {
+        let (stress_a, stress_b) = stress_split(duty);
+        // NbtiModel yields mV; the electrical solver works in volts.
+        let dvtp_a = self.nbti.delta_vth_mv(stress_a, years) / 1000.0;
+        let dvtp_b = self.nbti.delta_vth_mv(stress_b, years) / 1000.0;
+        let aged = self.snm_volts(dvtp_a, dvtp_b);
+        ((self.fresh_snm - aged) / self.fresh_snm * 100.0).clamp(0.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtc_is_a_decreasing_read_curve() {
+        let p = InverterParams::default_65nm();
+        let mut prev = f64::INFINITY;
+        let mut vin = 0.0;
+        while vin <= p.vdd {
+            let vout = solve_vtc(&p, vin, 0.0, 0.0);
+            assert!(vout <= prev + 1e-9, "VTC not monotone at vin={vin}");
+            assert!((0.0..=p.vdd).contains(&vout));
+            prev = vout;
+            vin += 0.05;
+        }
+        // High rail: pull-up + access both drive the node to vdd.
+        assert!(solve_vtc(&p, 0.0, 0.0, 0.0) > 0.99 * p.vdd);
+        // Low end: the node cannot reach 0 during read — it sits at the
+        // read-disturb voltage set by the pass-gate/pull-down divider.
+        let v_read = solve_vtc(&p, p.vdd, 0.0, 0.0);
+        assert!(
+            v_read > 0.05 * p.vdd && v_read < 0.4 * p.vdd,
+            "read-disturb voltage {v_read} implausible"
+        );
+    }
+
+    #[test]
+    fn read_disturb_voltage_scales_with_cell_ratio() {
+        // A stronger pull-down (higher cell ratio kn/kpg) lowers the
+        // read-disturb voltage — the classic read-stability design knob.
+        let weak = InverterParams { kn: 1.2, ..InverterParams::default_65nm() };
+        let strong = InverterParams { kn: 3.0, ..InverterParams::default_65nm() };
+        let v_weak = solve_vtc(&weak, weak.vdd, 0.0, 0.0);
+        let v_strong = solve_vtc(&strong, strong.vdd, 0.0, 0.0);
+        assert!(v_strong < v_weak, "{v_strong} vs {v_weak}");
+    }
+
+    #[test]
+    fn aged_pmos_weakens_pull_up() {
+        let p = InverterParams::default_65nm();
+        // At mid-input, a higher |Vtp| lowers the output voltage.
+        let fresh = solve_vtc(&p, 0.55, 0.0, 0.0);
+        let aged = solve_vtc(&p, 0.55, 0.1, 0.0);
+        assert!(aged < fresh, "aged {aged} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn fresh_cell_is_bistable_and_loses_state_under_large_noise() {
+        let p = InverterParams::default_65nm();
+        let a = VtcTable::build(&p, 0.0, 0.0);
+        let b = VtcTable::build(&p, 0.0, 0.0);
+        assert!(bistable(&a, &b, 0.0));
+        assert!(!bistable(&a, &b, 0.7 * p.vdd));
+    }
+
+    #[test]
+    fn fresh_snm_in_plausible_range() {
+        let m = ButterflySnmModel::default_65nm();
+        let snm = m.fresh_snm_volts();
+        assert!(
+            snm > 0.15 && snm < 0.6,
+            "fresh SNM {snm} V out of the plausible 65 nm range"
+        );
+    }
+
+    #[test]
+    fn snm_decreases_with_aging() {
+        let m = ButterflySnmModel::default_65nm();
+        let s0 = m.snm_volts(0.0, 0.0);
+        let s1 = m.snm_volts(0.05, 0.0);
+        let s2 = m.snm_volts(0.10, 0.0);
+        assert!(s1 < s0 && s2 < s1, "{s0} {s1} {s2}");
+    }
+
+    #[test]
+    fn snm_symmetric_under_device_swap() {
+        let m = ButterflySnmModel::default_65nm();
+        let a = m.snm_volts(0.08, 0.02);
+        let b = m.snm_volts(0.02, 0.08);
+        assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn balanced_duty_minimises_degradation() {
+        let m = ButterflySnmModel::default_65nm();
+        let best = m.degradation_percent(0.5, 7.0);
+        for d in [0.0, 0.2, 0.35, 0.65, 0.9, 1.0] {
+            assert!(
+                m.degradation_percent(d, 7.0) >= best - 0.2,
+                "duty {d} beat the balanced case"
+            );
+        }
+    }
+
+    #[test]
+    fn pbti_is_second_order_for_read_snm() {
+        // PBTI at a quarter of the NBTI magnitude (typical high-k
+        // ratio). At balanced duty the symmetric pull-down weakening is
+        // nearly neutral for the read margin; at unbalanced duty the
+        // asymmetric NMOS stress *adds* to the NBTI penalty. Dual BTI
+        // therefore widens the gap between balanced and unbalanced cells
+        // — it strengthens, not weakens, the case for duty balancing.
+        let m = ButterflySnmModel::default_65nm();
+        let pbti = NbtiModel::new(12.5, 1.0, 1.0 / 6.0, 7.0);
+        // Balanced point barely moves.
+        let best_nbti = m.degradation_percent(0.5, 7.0);
+        let best_dual = m.degradation_percent_with_pbti(0.5, 7.0, &pbti);
+        assert!(
+            (best_dual - best_nbti).abs() < 0.6,
+            "balanced point moved: {best_dual} vs {best_nbti}"
+        );
+        // Extremes get worse.
+        let worst_nbti = m.degradation_percent(1.0, 7.0);
+        let worst_dual = m.degradation_percent_with_pbti(1.0, 7.0, &pbti);
+        assert!(
+            worst_dual > worst_nbti,
+            "PBTI should amplify the unbalanced penalty: {worst_dual} vs {worst_nbti}"
+        );
+        // Ordering: balanced duty still beats the extremes under dual BTI,
+        // by a wider margin than under NBTI alone.
+        assert!(best_dual < worst_dual);
+        assert!(worst_dual - best_dual > worst_nbti - best_nbti - 0.1);
+    }
+
+    #[test]
+    fn pbti_preserves_duty_symmetry() {
+        let m = ButterflySnmModel::default_65nm();
+        let pbti = NbtiModel::new(12.5, 1.0, 1.0 / 6.0, 7.0);
+        let lo = m.degradation_percent_with_pbti(0.2, 7.0, &pbti);
+        let hi = m.degradation_percent_with_pbti(0.8, 7.0, &pbti);
+        assert!((lo - hi).abs() < 0.1, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn degradation_scale_is_physically_sensible() {
+        // With ~50 mV of 7-year DC shift, degradation lands in the single
+        // to low-double-digit percent range — the same order as the
+        // paper's device model.
+        let m = ButterflySnmModel::default_65nm();
+        let worst = m.degradation_percent(1.0, 7.0);
+        assert!(worst > 2.0 && worst < 40.0, "worst-case {worst}%");
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn dump_lobes() {
+        let m = ButterflySnmModel::default_65nm();
+        println!("fresh = {:.6}", m.fresh_snm_volts());
+        for (da, db) in [
+            (0.0, 0.0),
+            (0.025, 0.025),
+            (0.010, 0.040),
+            (0.040, 0.010),
+            (0.0, 0.050),
+            (0.050, 0.0),
+        ] {
+            let a = VtcTable::build(&m.params, da, 0.0);
+            let b = VtcTable::build(&m.params, db, 0.0);
+            let plus = critical_noise(&a, &b, 1.0);
+            let minus = critical_noise(&a, &b, -1.0);
+            println!(
+                "dA={da:.3} dB={db:.3}  crit+={plus:.6} crit-={minus:.6} snm={:.6}",
+                plus.min(minus)
+            );
+        }
+    }
+}

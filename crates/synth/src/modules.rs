@@ -1,0 +1,385 @@
+//! Structural generators for the Table II designs.
+//!
+//! Three 64-bit Write Data Encoders are characterised in the paper:
+//!
+//! * the **inversion-based WDE** — an XOR array driven by a write-parity
+//!   flop,
+//! * the **barrel-shifter WDE** — per-bit full multiplexer trees plus a
+//!   shift-schedule counter (the flat architecture whose cell count
+//!   matches the paper's ~9000 cell-area figure),
+//! * the **proposed WDE + aging-mitigation controller** — the XOR array
+//!   driven by a ring-oscillator TRBG, an M-bit bias-balancing counter
+//!   and the enable register of Fig. 8.
+//!
+//! A log-stage barrel shifter is also provided as an ablation
+//! (`log₂(w)` stages of `w` MUX2s — far smaller, still ≫ XOR array).
+//!
+//! High-fanout nets are buffered with max-fanout-8 buffer trees, as a
+//! synthesis tool would do; delays and power therefore include the
+//! realistic distribution cost of the enable/select signals.
+
+use crate::library::CellKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Maximum fanout before a buffer tree is inserted.
+const MAX_FANOUT: usize = 8;
+
+/// Inserts a single buffer stage on `src` (used to isolate a net with
+/// local loads from a large downstream buffer tree).
+fn buffer(n: &mut Netlist, src: NetId, prefix: &str) -> NetId {
+    let out = n.add_net(&format!("{prefix}_root"));
+    n.add_cell(CellKind::Buf, &[src], out);
+    out
+}
+
+/// Returns `count` nets carrying `src`, buffered so no net drives more
+/// than [`MAX_FANOUT`] sinks.
+fn fan_out(n: &mut Netlist, src: NetId, count: usize, prefix: &str) -> Vec<NetId> {
+    if count <= MAX_FANOUT {
+        return vec![src; count];
+    }
+    let groups = count.div_ceil(MAX_FANOUT);
+    let parents = fan_out(n, src, groups, &format!("{prefix}_p"));
+    let mut leaves = Vec::with_capacity(count);
+    for (g, parent) in parents.iter().enumerate() {
+        let buf_out = n.add_net(&format!("{prefix}_buf{g}"));
+        n.add_cell(CellKind::Buf, &[*parent], buf_out);
+        let remaining = count - g * MAX_FANOUT;
+        for _ in 0..remaining.min(MAX_FANOUT) {
+            leaves.push(buf_out);
+        }
+    }
+    leaves
+}
+
+/// Builds a `bits`-wide binary counter that increments when `tick` is
+/// high; returns the Q outputs, LSB first.
+fn build_counter(n: &mut Netlist, bits: usize, tick: NetId, prefix: &str) -> Vec<NetId> {
+    let mut qs = Vec::with_capacity(bits);
+    let mut carry = tick;
+    for b in 0..bits {
+        let q = n.add_net(&format!("{prefix}_q{b}"));
+        let d = n.add_net(&format!("{prefix}_d{b}"));
+        // T-flop: D = Q xor carry.
+        n.add_cell(CellKind::Xor2, &[q, carry], d);
+        n.add_cell(CellKind::Dff, &[d], q);
+        qs.push(q);
+        if b + 1 < bits {
+            let next_carry = n.add_net(&format!("{prefix}_c{}", b + 1));
+            n.add_cell(CellKind::And2, &[carry, q], next_carry);
+            carry = next_carry;
+        }
+    }
+    qs
+}
+
+/// Builds the 5-stage ring-oscillator TRBG with its sampling flop;
+/// returns the sampled random bit.
+fn build_trbg(n: &mut Netlist, prefix: &str) -> NetId {
+    let fb = n.add_net(&format!("{prefix}_fb"));
+    n.mark_feedback(fb);
+    let mut prev = fb;
+    let mut last = fb;
+    for s in 0..5 {
+        let out = if s == 4 {
+            fb
+        } else {
+            n.add_net(&format!("{prefix}_s{s}"))
+        };
+        n.add_cell(CellKind::Inv, &[prev], out);
+        last = prev;
+        prev = out;
+    }
+    let _ = last;
+    let q = n.add_net(&format!("{prefix}_sample"));
+    n.add_cell(CellKind::Dff, &[fb], q);
+    q
+}
+
+/// Builds `width` XOR gates applying `enable` to `data`, marking the
+/// results as outputs. The shared datapath of all inversion-style WDEs.
+fn build_xor_array(n: &mut Netlist, data: &[NetId], enable: NetId) {
+    let enables = fan_out(n, enable, data.len(), "en");
+    for (i, (&d, &e)) in data.iter().zip(&enables).enumerate() {
+        let y = n.add_net(&format!("out{i}"));
+        n.add_cell(CellKind::Xor2, &[d, e], y);
+        n.mark_output(y);
+    }
+}
+
+/// The bare XOR datapath with an external enable input — the WDE/RDD
+/// array itself, whose cost scales exactly linearly in width (the
+/// scalability claim of §IV).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn xor_invert_wde(width: usize) -> Netlist {
+    assert!(width > 0, "xor_invert_wde: width must be > 0");
+    let mut n = Netlist::new(&format!("xor-wde-{width}"));
+    let data: Vec<NetId> = (0..width).map(|i| n.add_input(&format!("d{i}"))).collect();
+    let enable = n.add_input("enable");
+    build_xor_array(&mut n, &data, enable);
+    n
+}
+
+/// Inversion-based WDE (Jin et al. style): XOR array driven by a parity
+/// flop that toggles on every write.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn inversion_wde(width: usize) -> Netlist {
+    assert!(width > 0, "inversion_wde: width must be > 0");
+    let mut n = Netlist::new(&format!("inversion-wde-{width}"));
+    let data: Vec<NetId> = (0..width).map(|i| n.add_input(&format!("d{i}"))).collect();
+    // Parity flop: q toggles each write.
+    let q = n.add_net("parity_q");
+    let d = n.add_net("parity_d");
+    n.add_cell(CellKind::Inv, &[q], d);
+    n.add_cell(CellKind::Dff, &[d], q);
+    build_xor_array(&mut n, &data, q);
+    n
+}
+
+/// Recursive MUX2 tree selecting among `leaves` with the LSB-first
+/// select bits provided by `sel_for(level, pair)`
+/// (`leaves.len()` must be a power of two).
+fn build_mux_tree(
+    n: &mut Netlist,
+    leaves: &[NetId],
+    sel_for: &impl Fn(usize, usize) -> NetId,
+    level: usize,
+    prefix: &str,
+) -> NetId {
+    if leaves.len() == 1 {
+        return leaves[0];
+    }
+    let mut next = Vec::with_capacity(leaves.len() / 2);
+    for pair in 0..leaves.len() / 2 {
+        let sel = sel_for(level, pair);
+        let y = n.add_net(&format!("{prefix}_l{level}_m{pair}"));
+        n.add_cell(CellKind::Mux2, &[sel, leaves[2 * pair], leaves[2 * pair + 1]], y);
+        next.push(y);
+    }
+    build_mux_tree(n, &next, sel_for, level + 1, prefix)
+}
+
+/// Barrel-shifter WDE in the flat per-bit-mux-tree architecture: each
+/// output bit selects among all `width` rotations through a
+/// `width : 1` multiplexer tree (`width − 1` MUX2s per bit), driven by a
+/// `log₂(width)`-bit shift-schedule counter.
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two greater than 1.
+pub fn barrel_wde_full_mux(width: usize) -> Netlist {
+    assert!(
+        width.is_power_of_two() && width > 1,
+        "barrel_wde_full_mux: width must be a power of two > 1"
+    );
+    let stages = width.trailing_zeros() as usize;
+    let mut n = Netlist::new(&format!("barrel-wde-full-{width}"));
+    let data: Vec<NetId> = (0..width).map(|i| n.add_input(&format!("d{i}"))).collect();
+    let tick = n.add_input("wr_en");
+    let count_q = build_counter(&mut n, stages, tick, "shift");
+    // Buffer each select bit for its (large) mux load: level `lvl` has
+    // `width >> (lvl+1)` muxes in each of the `width` per-bit trees.
+    let selects: Vec<Vec<NetId>> = count_q
+        .iter()
+        .enumerate()
+        .map(|(lvl, &q)| {
+            let loads = (width >> (lvl + 1)).max(1) * width;
+            let root = buffer(&mut n, q, &format!("sel{lvl}"));
+            fan_out(&mut n, root, loads, &format!("sel{lvl}"))
+        })
+        .collect();
+    // Each data input feeds one leaf of each per-bit tree: buffer it
+    // into `width` leaf copies.
+    let data_leaves: Vec<Vec<NetId>> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| fan_out(&mut n, d, width, &format!("dbuf{i}")))
+        .collect();
+    for bit in 0..width {
+        let leaves: Vec<NetId> = (0..width)
+            .map(|k| data_leaves[(bit + k) % width][bit])
+            .collect();
+        let muxes_per_level =
+            |lvl: usize| -> usize { (width >> (lvl + 1)).max(1) };
+        let sel_for = |level: usize, pair: usize| -> NetId {
+            selects[level][bit * muxes_per_level(level) + pair]
+        };
+        let y = build_mux_tree(&mut n, &leaves, &sel_for, 0, &format!("b{bit}"));
+        let out = n.add_net(&format!("out{bit}"));
+        n.add_cell(CellKind::Buf, &[y], out);
+        n.mark_output(out);
+    }
+    n
+}
+
+/// Barrel-shifter WDE in the log-stage architecture: `log₂(width)`
+/// stages of `width` MUX2s, stage `i` rotating by `2^i`. Provided as an
+/// ablation of the architecture choice (≈ `w·log w` vs `w²` muxes).
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two greater than 1.
+pub fn barrel_wde_log_stage(width: usize) -> Netlist {
+    assert!(
+        width.is_power_of_two() && width > 1,
+        "barrel_wde_log_stage: width must be a power of two > 1"
+    );
+    let stages = width.trailing_zeros() as usize;
+    let mut n = Netlist::new(&format!("barrel-wde-log-{width}"));
+    let mut current: Vec<NetId> = (0..width).map(|i| n.add_input(&format!("d{i}"))).collect();
+    let tick = n.add_input("wr_en");
+    let count_q = build_counter(&mut n, stages, tick, "shift");
+    for (stage, &q) in count_q.iter().enumerate() {
+        let root = buffer(&mut n, q, &format!("sel{stage}"));
+        let sel = fan_out(&mut n, root, width, &format!("sel{stage}"));
+        let rotate = 1usize << stage;
+        let mut next = Vec::with_capacity(width);
+        for j in 0..width {
+            let y = n.add_net(&format!("st{stage}_b{j}"));
+            n.add_cell(
+                CellKind::Mux2,
+                &[sel[j], current[j], current[(j + rotate) % width]],
+                y,
+            );
+            next.push(y);
+        }
+        current = next;
+    }
+    for (j, &net) in current.iter().enumerate() {
+        let out = n.add_net(&format!("out{j}"));
+        n.add_cell(CellKind::Buf, &[net], out);
+        n.mark_output(out);
+    }
+    n
+}
+
+/// The proposed DNN-Life WDE with its aging-mitigation controller
+/// (Fig. 8): ring-oscillator TRBG, M-bit bias-balancing counter clocked
+/// by the new-data-block signal, enable register, and the XOR datapath.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `m_bits == 0`.
+pub fn dnnlife_wde(width: usize, m_bits: usize) -> Netlist {
+    assert!(width > 0, "dnnlife_wde: width must be > 0");
+    assert!(m_bits > 0, "dnnlife_wde: m_bits must be > 0");
+    let mut n = Netlist::new(&format!("dnnlife-wde-{width}x{m_bits}"));
+    let data: Vec<NetId> = (0..width).map(|i| n.add_input(&format!("d{i}"))).collect();
+    let new_block = n.add_input("new_block");
+
+    let trbg_q = build_trbg(&mut n, "trbg");
+    let counter_q = build_counter(&mut n, m_bits, new_block, "bias");
+    let msb = counter_q[m_bits - 1];
+
+    // E = TRBG xor MSB, registered (the 1-bit register of Fig. 8).
+    let e_comb = n.add_net("e_comb");
+    n.add_cell(CellKind::Xor2, &[trbg_q, msb], e_comb);
+    let e_reg = n.add_net("e_reg");
+    n.add_cell(CellKind::Dff, &[e_comb], e_reg);
+    n.mark_output(e_reg); // metadata for the RDD
+
+    build_xor_array(&mut n, &data, e_reg);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::TechLibrary;
+
+    #[test]
+    fn all_generators_produce_valid_netlists() {
+        for n in [
+            xor_invert_wde(64),
+            inversion_wde(64),
+            barrel_wde_full_mux(64),
+            barrel_wde_log_stage(64),
+            dnnlife_wde(64, 4),
+        ] {
+            n.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", n.name()));
+        }
+    }
+
+    #[test]
+    fn xor_array_scales_linearly() {
+        let lib = TechLibrary::tsmc65_like();
+        let a8 = xor_invert_wde(8).area(&lib);
+        let a64 = xor_invert_wde(64).area(&lib);
+        // Linear in width up to buffer-tree rounding.
+        let ratio = a64 / a8;
+        assert!((7.0..9.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn full_mux_barrel_has_quadratic_mux_count() {
+        let n = barrel_wde_full_mux(64);
+        let muxes = n
+            .kind_histogram()
+            .into_iter()
+            .find(|(k, _)| *k == CellKind::Mux2)
+            .map(|(_, c)| c)
+            .unwrap_or(0);
+        // 64 bits × 63 MUX2 each.
+        assert_eq!(muxes, 64 * 63);
+    }
+
+    #[test]
+    fn log_stage_barrel_has_linearithmic_mux_count() {
+        let n = barrel_wde_log_stage(64);
+        let muxes = n
+            .kind_histogram()
+            .into_iter()
+            .find(|(k, _)| *k == CellKind::Mux2)
+            .map(|(_, c)| c)
+            .unwrap_or(0);
+        assert_eq!(muxes, 64 * 6);
+    }
+
+    #[test]
+    fn dnnlife_wde_component_counts() {
+        let n = dnnlife_wde(64, 4);
+        let hist: std::collections::HashMap<_, _> = n.kind_histogram().into_iter().collect();
+        // 64 datapath XORs + 4 counter XORs + 1 enable XOR.
+        assert_eq!(hist[&CellKind::Xor2], 69);
+        // 5 ring-oscillator inverters.
+        assert_eq!(hist[&CellKind::Inv], 5);
+        // 1 TRBG sampler + 4 counter bits + 1 enable register.
+        assert_eq!(hist[&CellKind::Dff], 6);
+    }
+
+    #[test]
+    fn fanout_capped_by_buffer_trees() {
+        for n in [
+            inversion_wde(64),
+            dnnlife_wde(64, 4),
+            barrel_wde_full_mux(64),
+        ] {
+            let fanout = n.fanout_map();
+            let max = fanout.iter().max().copied().unwrap_or(0);
+            assert!(
+                max <= MAX_FANOUT + 1,
+                "{}: max fanout {max} exceeds cap",
+                n.name()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_width_matches() {
+        let n = barrel_wde_full_mux(8);
+        let dffs = n
+            .kind_histogram()
+            .into_iter()
+            .find(|(k, _)| *k == CellKind::Dff)
+            .map(|(_, c)| c)
+            .unwrap_or(0);
+        assert_eq!(dffs, 3); // log2(8) counter bits
+    }
+}

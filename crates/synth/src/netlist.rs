@@ -1,0 +1,408 @@
+//! Structural gate netlists.
+
+use crate::library::{CellKind, TechLibrary};
+use std::collections::HashSet;
+
+/// Identifier of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+/// One cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Cell type.
+    pub kind: CellKind,
+    /// Input nets, in pin order ([`CellKind`] documents the order).
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A structural netlist: nets, cells, primary ports, and timing-loop
+/// cut points.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_synth::{CellKind, Netlist};
+///
+/// let mut n = Netlist::new("toy");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let y = n.add_net("y");
+/// n.add_cell(CellKind::Xor2, &[a, b], y);
+/// n.mark_output(y);
+/// n.validate().unwrap();
+/// assert_eq!(n.cell_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    /// Nets whose driver→sink timing arcs are cut (ring-oscillator
+    /// feedback); they act as both timing endpoints and startpoints.
+    feedback: HashSet<NetId>,
+}
+
+/// Error raised by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net has no driver and is not a primary input.
+    Undriven(String),
+    /// A net has more than one driver.
+    MultiplyDriven(String),
+    /// A cell was created with the wrong number of input pins.
+    BadPinCount {
+        /// Index of the offending cell.
+        cell: usize,
+    },
+    /// A combinational cycle exists that is not cut by a DFF or a
+    /// feedback marker.
+    CombinationalLoop,
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::Undriven(n) => write!(f, "net {n} has no driver"),
+            NetlistError::MultiplyDriven(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::BadPinCount { cell } => write!(f, "cell {cell} has wrong pin count"),
+            NetlistError::CombinationalLoop => write!(f, "uncut combinational loop"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            net_names: Vec::new(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            feedback: HashSet::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an internal net.
+    pub fn add_net(&mut self, name: &str) -> NetId {
+        self.net_names.push(name.to_string());
+        NetId(self.net_names.len() - 1)
+    }
+
+    /// Adds a primary input net.
+    pub fn add_input(&mut self, name: &str) -> NetId {
+        let id = self.add_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Marks a net as a timing-loop cut point (e.g. ring-oscillator
+    /// feedback). STA treats it as an endpoint for its driver and a
+    /// startpoint for its sinks; power assigns it default activity.
+    pub fn mark_feedback(&mut self, net: NetId) {
+        self.feedback.insert(net);
+    }
+
+    /// Instantiates a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin count does not match the cell kind.
+    pub fn add_cell(&mut self, kind: CellKind, inputs: &[NetId], output: NetId) -> usize {
+        assert_eq!(
+            inputs.len(),
+            kind.input_count(),
+            "Netlist::add_cell: {kind:?} takes {} inputs, got {}",
+            kind.input_count(),
+            inputs.len()
+        );
+        self.cells.push(Cell {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        self.cells.len() - 1
+    }
+
+    /// Number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Primary inputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Whether `net` is a feedback cut point.
+    pub fn is_feedback(&self, net: NetId) -> bool {
+        self.feedback.contains(&net)
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+
+    /// The driving cell of each net (`None` for primary inputs).
+    pub fn driver_map(&self) -> Vec<Option<usize>> {
+        let mut drivers = vec![None; self.net_names.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            drivers[cell.output.0] = Some(ci);
+        }
+        drivers
+    }
+
+    /// Fanout count per net.
+    pub fn fanout_map(&self) -> Vec<usize> {
+        let mut fanout = vec![0usize; self.net_names.len()];
+        for cell in &self.cells {
+            for input in &cell.inputs {
+                fanout[input.0] += 1;
+            }
+        }
+        for out in &self.outputs {
+            fanout[out.0] += 1;
+        }
+        fanout
+    }
+
+    /// Total area in NAND2-equivalent units.
+    pub fn area(&self, lib: &TechLibrary) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| lib.params(c.kind).area)
+            .sum()
+    }
+
+    /// Cell-count histogram by kind.
+    pub fn kind_histogram(&self) -> Vec<(CellKind, usize)> {
+        CellKind::all()
+            .into_iter()
+            .map(|k| (k, self.cells.iter().filter(|c| c.kind == k).count()))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Structural validation: single drivers, pin counts, and absence of
+    /// uncut combinational loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Pin counts.
+        for (ci, cell) in self.cells.iter().enumerate() {
+            if cell.inputs.len() != cell.kind.input_count() {
+                return Err(NetlistError::BadPinCount { cell: ci });
+            }
+        }
+        // Driver uniqueness.
+        let mut drive_count = vec![0usize; self.net_names.len()];
+        for cell in &self.cells {
+            drive_count[cell.output.0] += 1;
+        }
+        for input in &self.inputs {
+            drive_count[input.0] += 1;
+        }
+        for (ni, &count) in drive_count.iter().enumerate() {
+            let name = &self.net_names[ni];
+            if count == 0 {
+                return Err(NetlistError::Undriven(name.clone()));
+            }
+            if count > 1 {
+                return Err(NetlistError::MultiplyDriven(name.clone()));
+            }
+        }
+        // Combinational loop check = Kahn's algorithm over the timing
+        // graph (sequential cells and feedback nets cut arcs).
+        if self.topological_cells().is_none() {
+            return Err(NetlistError::CombinationalLoop);
+        }
+        Ok(())
+    }
+
+    /// Topological order of *combinational* cells over the timing graph
+    /// (DFF outputs, primary inputs and feedback nets are sources).
+    /// Returns `None` if an uncut combinational cycle exists.
+    pub(crate) fn topological_cells(&self) -> Option<Vec<usize>> {
+        // in-degree per combinational cell = number of its input nets
+        // driven by other combinational cells (through non-cut nets).
+        let drivers = self.driver_map();
+        let mut indegree = vec![0usize; self.cells.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.cells.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            if cell.kind.is_sequential() {
+                continue;
+            }
+            for input in &cell.inputs {
+                if self.feedback.contains(input) {
+                    continue;
+                }
+                if let Some(driver) = drivers[input.0] {
+                    if !self.cells[driver].kind.is_sequential() {
+                        indegree[ci] += 1;
+                        dependents[driver].push(ci);
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..self.cells.len())
+            .filter(|&ci| !self.cells[ci].kind.is_sequential() && indegree[ci] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(ci) = queue.pop() {
+            order.push(ci);
+            for &dep in &dependents[ci] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    queue.push(dep);
+                }
+            }
+        }
+        let comb_total = self
+            .cells
+            .iter()
+            .filter(|c| !c.kind.is_sequential())
+            .count();
+        (order.len() == comb_total).then_some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_pair() -> (Netlist, NetId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Xor2, &[a, b], y);
+        n.mark_output(y);
+        (n, y)
+    }
+
+    #[test]
+    fn valid_small_design() {
+        let (n, _) = xor_pair();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.cell_count(), 1);
+        assert_eq!(n.net_count(), 3);
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let ghost = n.add_net("ghost");
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Xor2, &[a, ghost], y);
+        assert_eq!(
+            n.validate(),
+            Err(NetlistError::Undriven("ghost".to_string()))
+        );
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Inv, &[a], y);
+        n.add_cell(CellKind::Buf, &[a], y);
+        assert_eq!(
+            n.validate(),
+            Err(NetlistError::MultiplyDriven("y".to_string()))
+        );
+    }
+
+    #[test]
+    fn uncut_loop_detected() {
+        let mut n = Netlist::new("ro");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        n.add_cell(CellKind::Inv, &[a], b);
+        n.add_cell(CellKind::Inv, &[b], a);
+        assert_eq!(n.validate(), Err(NetlistError::CombinationalLoop));
+    }
+
+    #[test]
+    fn feedback_marker_cuts_loop() {
+        let mut n = Netlist::new("ro");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        n.add_cell(CellKind::Inv, &[a], b);
+        n.add_cell(CellKind::Inv, &[b], a);
+        n.mark_feedback(a);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn dff_cuts_loop() {
+        let mut n = Netlist::new("counter-bit");
+        let q = n.add_net("q");
+        let d = n.add_net("d");
+        n.add_cell(CellKind::Inv, &[q], d);
+        n.add_cell(CellKind::Dff, &[d], q);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn fanout_and_drivers() {
+        let (n, y) = xor_pair();
+        let fanout = n.fanout_map();
+        assert_eq!(fanout[y.0], 1); // primary output counts as load
+        let drivers = n.driver_map();
+        assert_eq!(drivers[y.0], Some(0));
+        assert_eq!(drivers[n.inputs()[0].0], None);
+    }
+
+    #[test]
+    fn area_uses_library() {
+        let (n, _) = xor_pair();
+        let lib = TechLibrary::tsmc65_like();
+        assert_eq!(n.area(&lib), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn pin_count_enforced_at_construction() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Xor2, &[a], y);
+    }
+}

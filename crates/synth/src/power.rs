@@ -1,0 +1,274 @@
+//! Switching-activity propagation and power estimation.
+//!
+//! Signal probabilities and transition densities are propagated through
+//! the combinational network in topological order (Najm-style density
+//! propagation via Boolean differences, assuming input independence).
+//! Dynamic power is the per-gate toggle energy times the output
+//! transition density at the library clock; leakage is summed per cell;
+//! sequential cells additionally pay a clock-pin toggle every cycle.
+
+use crate::library::{CellKind, TechLibrary};
+use crate::netlist::Netlist;
+
+/// Per-net activity: signal probability and transition density
+/// (toggles per clock cycle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Activity {
+    /// Probability the net is logic 1.
+    pub probability: f64,
+    /// Expected toggles per clock cycle.
+    pub density: f64,
+}
+
+/// Result of a power run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Dynamic switching power, nW.
+    pub dynamic_nw: f64,
+    /// Leakage power, nW.
+    pub leakage_nw: f64,
+    /// Per-net activities.
+    pub activity: Vec<Activity>,
+}
+
+impl PowerReport {
+    /// Total power, nW.
+    pub fn total_nw(&self) -> f64 {
+        self.dynamic_nw + self.leakage_nw
+    }
+}
+
+/// Estimates power for `netlist` under `lib` operating conditions.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_synth::library::TechLibrary;
+/// use dnnlife_synth::modules;
+/// use dnnlife_synth::power::estimate_power;
+///
+/// let lib = TechLibrary::tsmc65_like();
+/// let report = estimate_power(&modules::xor_invert_wde(8), &lib);
+/// assert!(report.total_nw() > 0.0);
+/// ```
+pub fn estimate_power(netlist: &Netlist, lib: &TechLibrary) -> PowerReport {
+    netlist
+        .validate()
+        .unwrap_or_else(|e| panic!("estimate_power: invalid netlist: {e}"));
+    let order = netlist
+        .topological_cells()
+        .expect("validated netlist has a topological order");
+
+    let default = Activity {
+        probability: lib.input_probability,
+        density: lib.input_density,
+    };
+    let mut activity = vec![default; netlist.net_count()];
+
+    // Sequential outputs: the flop resamples its input each cycle; at
+    // steady state P(Q) = P(D) and the density is the resampling rate
+    // 2·P(1-P) (independent samples). This is an upper-bound style
+    // approximation appropriate for free-running counters and TRBGs.
+    for cell in netlist.cells() {
+        if cell.kind.is_sequential() {
+            let p = lib.input_probability;
+            activity[cell.output.0] = Activity {
+                probability: p,
+                density: 2.0 * p * (1.0 - p),
+            };
+        }
+    }
+
+    // First pass: propagate probabilities so sequential cells see a
+    // better steady-state estimate, then refine flop outputs once.
+    for refinement in 0..2 {
+        for &ci in &order {
+            let cell = &netlist.cells()[ci];
+            let get = |n: crate::netlist::NetId| -> Activity {
+                if netlist.is_feedback(n) {
+                    default
+                } else {
+                    activity[n.0]
+                }
+            };
+            activity[cell.output.0] = propagate(cell.kind, &cell.inputs, get);
+        }
+        if refinement == 0 {
+            for cell in netlist.cells() {
+                if cell.kind.is_sequential() {
+                    let d = activity[cell.inputs[0].0];
+                    activity[cell.output.0] = Activity {
+                        probability: d.probability,
+                        density: 2.0 * d.probability * (1.0 - d.probability),
+                    };
+                }
+            }
+        }
+    }
+
+    let mut dynamic = 0.0f64;
+    let mut leakage = 0.0f64;
+    for cell in netlist.cells() {
+        let p = lib.params(cell.kind);
+        leakage += p.leakage_nw;
+        let density = if cell.kind.is_sequential() {
+            // Q toggles plus an implicit clock-pin toggle per cycle.
+            activity[cell.output.0].density + 1.0
+        } else {
+            activity[cell.output.0].density
+        };
+        // fJ × toggles/cycle × GHz = µW; ×1000 → nW.
+        dynamic += p.switch_energy_fj * density * lib.clock_ghz * 1000.0;
+    }
+
+    PowerReport {
+        dynamic_nw: dynamic,
+        leakage_nw: leakage,
+        activity,
+    }
+}
+
+/// Propagates activity through one gate (independence assumption).
+fn propagate(
+    kind: CellKind,
+    inputs: &[crate::netlist::NetId],
+    get: impl Fn(crate::netlist::NetId) -> Activity,
+) -> Activity {
+    match kind {
+        CellKind::Inv => {
+            let a = get(inputs[0]);
+            Activity {
+                probability: 1.0 - a.probability,
+                density: a.density,
+            }
+        }
+        CellKind::Buf => get(inputs[0]),
+        CellKind::Dff => get(inputs[0]), // refined separately
+        CellKind::And2 | CellKind::Nand2 => {
+            let (a, b) = (get(inputs[0]), get(inputs[1]));
+            let p_and = a.probability * b.probability;
+            // ∂F/∂a = b, ∂F/∂b = a.
+            let density = a.density * b.probability + b.density * a.probability;
+            Activity {
+                probability: if kind == CellKind::And2 {
+                    p_and
+                } else {
+                    1.0 - p_and
+                },
+                density,
+            }
+        }
+        CellKind::Or2 | CellKind::Nor2 => {
+            let (a, b) = (get(inputs[0]), get(inputs[1]));
+            let p_or = a.probability + b.probability - a.probability * b.probability;
+            // ∂F/∂a = ¬b, ∂F/∂b = ¬a.
+            let density = a.density * (1.0 - b.probability) + b.density * (1.0 - a.probability);
+            Activity {
+                probability: if kind == CellKind::Or2 {
+                    p_or
+                } else {
+                    1.0 - p_or
+                },
+                density,
+            }
+        }
+        CellKind::Xor2 => {
+            let (a, b) = (get(inputs[0]), get(inputs[1]));
+            let p = a.probability * (1.0 - b.probability) + b.probability * (1.0 - a.probability);
+            // ∂F/∂a = ∂F/∂b = 1.
+            Activity {
+                probability: p,
+                density: a.density + b.density,
+            }
+        }
+        CellKind::Mux2 => {
+            let (s, a, b) = (get(inputs[0]), get(inputs[1]), get(inputs[2]));
+            let p = (1.0 - s.probability) * a.probability + s.probability * b.probability;
+            // ∂F/∂s = a⊕b, ∂F/∂a = ¬s, ∂F/∂b = s.
+            let p_diff =
+                a.probability * (1.0 - b.probability) + b.probability * (1.0 - a.probability);
+            let density = s.density * p_diff
+                + a.density * (1.0 - s.probability)
+                + b.density * s.probability;
+            Activity {
+                probability: p,
+                density,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn two_input(kind: CellKind) -> (Netlist, crate::netlist::NetId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_net("y");
+        n.add_cell(kind, &[a, b], y);
+        n.mark_output(y);
+        (n, y)
+    }
+
+    #[test]
+    fn xor_probability_of_independent_halves() {
+        let lib = TechLibrary::tsmc65_like();
+        let (n, y) = two_input(CellKind::Xor2);
+        let report = estimate_power(&n, &lib);
+        assert!((report.activity[y.0].probability - 0.5).abs() < 1e-12);
+        // Density adds: 0.25 + 0.25.
+        assert!((report.activity[y.0].density - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_attenuates_activity() {
+        let lib = TechLibrary::tsmc65_like();
+        let (n, y) = two_input(CellKind::And2);
+        let report = estimate_power(&n, &lib);
+        assert!((report.activity[y.0].probability - 0.25).abs() < 1e-12);
+        // D = 0.25·0.5 + 0.25·0.5 = 0.25 < XOR's 0.5.
+        assert!((report.activity[y.0].density - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_preserves_density() {
+        let lib = TechLibrary::tsmc65_like();
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Inv, &[a], y);
+        n.mark_output(y);
+        let report = estimate_power(&n, &lib);
+        assert_eq!(report.activity[y.0].density, lib.input_density);
+        assert!((report.activity[y.0].probability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_with_width() {
+        let lib = TechLibrary::tsmc65_like();
+        let narrow = estimate_power(&crate::modules::xor_invert_wde(8), &lib);
+        let wide = estimate_power(&crate::modules::xor_invert_wde(64), &lib);
+        let ratio = wide.total_nw() / narrow.total_nw();
+        assert!(
+            (ratio - 8.0).abs() < 1.0,
+            "expected ~8x power for 8x width, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn leakage_counted_even_for_idle_gates() {
+        let mut lib = TechLibrary::tsmc65_like();
+        lib.input_density = 0.0;
+        let (n, _) = two_input(CellKind::Nand2);
+        let report = estimate_power(&n, &lib);
+        assert_eq!(report.dynamic_nw, 0.0);
+        assert!(report.leakage_nw > 0.0);
+    }
+}

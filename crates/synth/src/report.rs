@@ -1,0 +1,145 @@
+//! Characterisation entry point producing Table II rows.
+
+use crate::library::TechLibrary;
+use crate::netlist::Netlist;
+use crate::power::estimate_power;
+use crate::sta::critical_path;
+
+/// Delay / power / area characterisation of one design — one row of the
+/// paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// Design name.
+    pub name: String,
+    /// Critical path delay, ps.
+    pub delay_ps: f64,
+    /// Total power (dynamic + leakage), nW.
+    pub power_nw: f64,
+    /// Dynamic power, nW.
+    pub dynamic_nw: f64,
+    /// Leakage power, nW.
+    pub leakage_nw: f64,
+    /// Area in NAND2-equivalent cell units.
+    pub area_cells: f64,
+    /// Number of cell instances.
+    pub cell_count: usize,
+}
+
+impl std::fmt::Display for Characterization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>10.1} {:>12.0} {:>12.0}",
+            self.name, self.delay_ps, self.power_nw, self.area_cells
+        )
+    }
+}
+
+/// Runs STA and power estimation on a validated netlist.
+///
+/// # Panics
+///
+/// Panics if the netlist is invalid.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_synth::library::TechLibrary;
+/// use dnnlife_synth::{characterize, modules};
+///
+/// let lib = TechLibrary::tsmc65_like();
+/// let row = characterize(&modules::dnnlife_wde(64, 4), &lib);
+/// assert!(row.area_cells > 190.0); // at least the 64-XOR datapath
+/// ```
+pub fn characterize(netlist: &Netlist, lib: &TechLibrary) -> Characterization {
+    let timing = critical_path(netlist, lib);
+    let power = estimate_power(netlist, lib);
+    Characterization {
+        name: netlist.name().to_string(),
+        delay_ps: timing.critical_path_ps,
+        power_nw: power.total_nw(),
+        dynamic_nw: power.dynamic_nw,
+        leakage_nw: power.leakage_nw,
+        area_cells: netlist.area(lib),
+        cell_count: netlist.cell_count(),
+    }
+}
+
+/// Characterises the three 64-bit WDEs of the paper's Table II (barrel
+/// shifter, inversion, proposed) in that order.
+pub fn table2(lib: &TechLibrary) -> Vec<Characterization> {
+    vec![
+        characterize(&crate::modules::barrel_wde_full_mux(64), lib),
+        characterize(&crate::modules::inversion_wde(64), lib),
+        characterize(&crate::modules::dnnlife_wde(64, 4), lib),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules;
+
+    #[test]
+    fn table2_preserves_paper_ordering() {
+        let lib = TechLibrary::tsmc65_like();
+        let rows = table2(&lib);
+        let (barrel, inversion, proposed) = (&rows[0], &rows[1], &rows[2]);
+
+        // Area: barrel is an order of magnitude above both; proposed is
+        // slightly above inversion (the controller).
+        assert!(barrel.area_cells > 10.0 * proposed.area_cells);
+        assert!(proposed.area_cells > inversion.area_cells);
+        assert!(proposed.area_cells < 2.5 * inversion.area_cells);
+
+        // Power: same ordering.
+        assert!(barrel.power_nw > 5.0 * proposed.power_nw);
+        assert!(proposed.power_nw > inversion.power_nw);
+
+        // Delay: the mux-tree barrel shifter is the slowest datapath.
+        assert!(barrel.delay_ps > inversion.delay_ps);
+        assert!(barrel.delay_ps > 300.0);
+    }
+
+    #[test]
+    fn table2_absolute_scales_match_paper_order_of_magnitude() {
+        // The paper reports 9035 / 195 / 295 cell-area units. Our library
+        // normalises the same way (NAND2 = 1), so the counts should land
+        // within a factor ~2 of those values.
+        let lib = TechLibrary::tsmc65_like();
+        let rows = table2(&lib);
+        assert!(
+            (4500.0..18000.0).contains(&rows[0].area_cells),
+            "barrel {}",
+            rows[0].area_cells
+        );
+        assert!(
+            (100.0..400.0).contains(&rows[1].area_cells),
+            "inversion {}",
+            rows[1].area_cells
+        );
+        assert!(
+            (150.0..600.0).contains(&rows[2].area_cells),
+            "proposed {}",
+            rows[2].area_cells
+        );
+    }
+
+    #[test]
+    fn log_stage_ablation_sits_between() {
+        let lib = TechLibrary::tsmc65_like();
+        let log_stage = characterize(&modules::barrel_wde_log_stage(64), &lib);
+        let full = characterize(&modules::barrel_wde_full_mux(64), &lib);
+        let inversion = characterize(&modules::inversion_wde(64), &lib);
+        assert!(log_stage.area_cells < full.area_cells);
+        assert!(log_stage.area_cells > inversion.area_cells);
+    }
+
+    #[test]
+    fn characterization_display_is_tabular() {
+        let lib = TechLibrary::tsmc65_like();
+        let row = characterize(&modules::inversion_wde(8), &lib);
+        let line = row.to_string();
+        assert!(line.contains("inversion-wde-8"));
+    }
+}

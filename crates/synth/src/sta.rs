@@ -1,0 +1,179 @@
+//! Static timing analysis: longest combinational path.
+
+use crate::library::TechLibrary;
+use crate::netlist::Netlist;
+
+/// Result of a timing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Critical (longest) combinational path delay, ps.
+    pub critical_path_ps: f64,
+    /// Per-net arrival times, ps (0 for pure startpoints).
+    pub arrival_ps: Vec<f64>,
+}
+
+/// Computes the critical path of `netlist` under `lib`.
+///
+/// Startpoints are primary inputs, DFF outputs (at their clk-to-Q
+/// delay) and feedback cut nets; endpoints are DFF inputs and primary
+/// outputs. Gate delay is `intrinsic + load_delay × fanout`.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation (callers should `validate()`
+/// first for a recoverable error).
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_synth::library::TechLibrary;
+/// use dnnlife_synth::modules;
+/// use dnnlife_synth::sta::critical_path;
+///
+/// let lib = TechLibrary::tsmc65_like();
+/// let report = critical_path(&modules::xor_invert_wde(64), &lib);
+/// // One XOR level: tens of picoseconds, far below a barrel shifter.
+/// assert!(report.critical_path_ps > 10.0 && report.critical_path_ps < 200.0);
+/// ```
+pub fn critical_path(netlist: &Netlist, lib: &TechLibrary) -> TimingReport {
+    netlist
+        .validate()
+        .unwrap_or_else(|e| panic!("critical_path: invalid netlist: {e}"));
+    let order = netlist
+        .topological_cells()
+        .expect("validated netlist has a topological order");
+    let fanout = netlist.fanout_map();
+
+    let mut arrival = vec![0.0f64; netlist.net_count()];
+    // DFF outputs launch at clk-to-Q.
+    for cell in netlist.cells() {
+        if cell.kind.is_sequential() {
+            let p = lib.params(cell.kind);
+            arrival[cell.output.0] =
+                p.intrinsic_delay_ps + p.load_delay_ps * fanout[cell.output.0] as f64;
+        }
+    }
+    for &ci in &order {
+        let cell = &netlist.cells()[ci];
+        let p = lib.params(cell.kind);
+        let input_arrival = cell
+            .inputs
+            .iter()
+            .map(|n| {
+                if netlist.is_feedback(*n) {
+                    0.0
+                } else {
+                    arrival[n.0]
+                }
+            })
+            .fold(0.0f64, f64::max);
+        let delay = p.intrinsic_delay_ps + p.load_delay_ps * fanout[cell.output.0] as f64;
+        arrival[cell.output.0] = arrival[cell.output.0].max(input_arrival + delay);
+    }
+
+    // Endpoints: DFF D-pins, primary outputs, and feedback-net drivers.
+    let mut critical = 0.0f64;
+    for cell in netlist.cells() {
+        if cell.kind.is_sequential() {
+            for input in &cell.inputs {
+                critical = critical.max(arrival[input.0]);
+            }
+        }
+        if netlist.is_feedback(cell.output) {
+            critical = critical.max(arrival[cell.output.0]);
+        }
+    }
+    for out in netlist.outputs() {
+        critical = critical.max(arrival[out.0]);
+    }
+
+    TimingReport {
+        critical_path_ps: critical,
+        arrival_ps: arrival,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellKind;
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let lib = TechLibrary::tsmc65_like();
+        let mut n = Netlist::new("chain");
+        let mut prev = n.add_input("in");
+        for i in 0..4 {
+            let next = n.add_net(&format!("n{i}"));
+            n.add_cell(CellKind::Inv, &[prev], next);
+            prev = next;
+        }
+        n.mark_output(prev);
+        let report = critical_path(&n, &lib);
+        // 4 inverters, each with fanout 1: 4 × (14 + 4) = 72 ps.
+        assert!((report.critical_path_ps - 72.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_take_max() {
+        let lib = TechLibrary::tsmc65_like();
+        let mut n = Netlist::new("par");
+        let a = n.add_input("a");
+        // Fast path: one inverter. Slow path: three inverters.
+        let f1 = n.add_net("f1");
+        n.add_cell(CellKind::Inv, &[a], f1);
+        let s1 = n.add_net("s1");
+        let s2 = n.add_net("s2");
+        let s3 = n.add_net("s3");
+        n.add_cell(CellKind::Inv, &[a], s1);
+        n.add_cell(CellKind::Inv, &[s1], s2);
+        n.add_cell(CellKind::Inv, &[s2], s3);
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Xor2, &[f1, s3], y);
+        n.mark_output(y);
+        let report = critical_path(&n, &lib);
+        // Slow arm: 3 × (14+4) = 54, plus XOR 48 + 8 = 56 → 110.
+        assert!((report.critical_path_ps - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dff_breaks_paths_and_launches() {
+        let lib = TechLibrary::tsmc65_like();
+        let mut n = Netlist::new("pipe");
+        let a = n.add_input("a");
+        let d = n.add_net("d");
+        n.add_cell(CellKind::Inv, &[a], d);
+        let q = n.add_net("q");
+        n.add_cell(CellKind::Dff, &[d], q);
+        let y = n.add_net("y");
+        n.add_cell(CellKind::Inv, &[q], y);
+        n.mark_output(y);
+        let report = critical_path(&n, &lib);
+        // Launch path: DFF clk-q (90 + 5·1) + INV (14+4) = 113 — longer
+        // than the capture path into the DFF (18).
+        assert!((report.critical_path_ps - 113.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let lib = TechLibrary::tsmc65_like();
+        let mut light = Netlist::new("light");
+        let a = light.add_input("a");
+        let y = light.add_net("y");
+        light.add_cell(CellKind::Inv, &[a], y);
+        light.mark_output(y);
+
+        let mut heavy = Netlist::new("heavy");
+        let a = heavy.add_input("a");
+        let y = heavy.add_net("y");
+        heavy.add_cell(CellKind::Inv, &[a], y);
+        for i in 0..7 {
+            let s = heavy.add_net(&format!("s{i}"));
+            heavy.add_cell(CellKind::Buf, &[y], s);
+            heavy.mark_output(s);
+        }
+        let l = critical_path(&light, &lib).critical_path_ps;
+        let h = critical_path(&heavy, &lib).critical_path_ps;
+        assert!(h > l, "fanout-loaded path {h} should exceed {l}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests on netlist generators, STA and power estimation.
+
+use dnnlife_synth::library::{CellKind, TechLibrary};
+use dnnlife_synth::power::estimate_power;
+use dnnlife_synth::sta::critical_path;
+use dnnlife_synth::{modules, Netlist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated design validates, regardless of width.
+    #[test]
+    fn generators_validate(width_log2 in 1u32..8, m_bits in 1usize..8) {
+        let width = 1usize << width_log2;
+        modules::xor_invert_wde(width).validate().unwrap();
+        modules::inversion_wde(width).validate().unwrap();
+        modules::dnnlife_wde(width, m_bits).validate().unwrap();
+        modules::barrel_wde_log_stage(width).validate().unwrap();
+        if width <= 64 {
+            modules::barrel_wde_full_mux(width).validate().unwrap();
+        }
+    }
+
+    /// The proposed WDE's area is affine in width: doubling the width
+    /// roughly doubles the XOR-array area while the controller stays
+    /// constant (the §IV scalability claim).
+    #[test]
+    fn dnnlife_area_is_affine_in_width(width_log2 in 3u32..8) {
+        let lib = TechLibrary::tsmc65_like();
+        let w = 1usize << width_log2;
+        let a1 = modules::dnnlife_wde(w, 4).area(&lib);
+        let a2 = modules::dnnlife_wde(2 * w, 4).area(&lib);
+        let a4 = modules::dnnlife_wde(4 * w, 4).area(&lib);
+        // Second differences of an affine function vanish; allow slack
+        // for buffer-tree rounding.
+        let d1 = a2 - a1;
+        let d2 = a4 - a2;
+        prop_assert!((d2 / d1 - 2.0).abs() < 0.35, "d1={} d2={}", d1, d2);
+    }
+
+    /// STA arrival times are monotone: adding a buffer to a primary
+    /// output never shortens the critical path.
+    #[test]
+    fn sta_monotone_under_added_load(extra in 1usize..6) {
+        let lib = TechLibrary::tsmc65_like();
+        let base = modules::inversion_wde(16);
+        let base_delay = critical_path(&base, &lib).critical_path_ps;
+
+        let mut loaded = modules::inversion_wde(16);
+        // Chain extra buffers off output 0's net.
+        let out = loaded.outputs()[0];
+        let mut prev = out;
+        for i in 0..extra {
+            let n = loaded.add_net(&format!("extra{i}"));
+            loaded.add_cell(CellKind::Buf, &[prev], n);
+            loaded.mark_output(n);
+            prev = n;
+        }
+        let loaded_delay = critical_path(&loaded, &lib).critical_path_ps;
+        prop_assert!(loaded_delay >= base_delay);
+    }
+
+    /// Power is positive and dynamic power scales with input activity.
+    #[test]
+    fn power_scales_with_activity(density_milli in 10u32..500) {
+        let mut lib = TechLibrary::tsmc65_like();
+        lib.input_density = f64::from(density_milli) / 1000.0;
+        let design = modules::xor_invert_wde(32);
+        let report = estimate_power(&design, &lib);
+        prop_assert!(report.dynamic_nw > 0.0);
+        prop_assert!(report.leakage_nw > 0.0);
+
+        let mut lib2 = lib.clone();
+        lib2.input_density *= 2.0;
+        let report2 = estimate_power(&design, &lib2);
+        // XOR trees propagate densities additively: doubling input
+        // density doubles dynamic power (leakage unchanged).
+        prop_assert!((report2.dynamic_nw / report.dynamic_nw - 2.0).abs() < 0.05);
+        prop_assert!((report2.leakage_nw - report.leakage_nw).abs() < 1e-9);
+    }
+
+    /// Signal probabilities stay in [0, 1] through arbitrary gate chains.
+    #[test]
+    fn probabilities_stay_valid(kinds in prop::collection::vec(0usize..7, 1..20)) {
+        let lib = TechLibrary::tsmc65_like();
+        let mut n = Netlist::new("chain");
+        let mut a = n.add_input("a");
+        let b = n.add_input("b");
+        for (i, k) in kinds.iter().enumerate() {
+            let kind = [
+                CellKind::Inv,
+                CellKind::Buf,
+                CellKind::Nand2,
+                CellKind::Nor2,
+                CellKind::And2,
+                CellKind::Or2,
+                CellKind::Xor2,
+            ][*k];
+            let y = n.add_net(&format!("n{i}"));
+            if kind.input_count() == 1 {
+                n.add_cell(kind, &[a], y);
+            } else {
+                n.add_cell(kind, &[a, b], y);
+            }
+            a = y;
+        }
+        n.mark_output(a);
+        let report = estimate_power(&n, &lib);
+        for act in &report.activity {
+            prop_assert!((0.0..=1.0).contains(&act.probability));
+            prop_assert!(act.density >= 0.0);
+        }
+    }
+}

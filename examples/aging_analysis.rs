@@ -1,0 +1,71 @@
+//! Aging analysis walk-through (paper §III): bit distributions, the
+//! probabilistic duty-cycle model, and what they imply for mitigation
+//! design.
+//!
+//! ```text
+//! cargo run --release --example aging_analysis
+//! ```
+
+use dnn_life::accel::{AcceleratorConfig, BlockSource, FlatWeightMemory};
+use dnn_life::core::analysis::{bit_distribution_report, insights};
+use dnn_life::core::experiment::NetworkKind;
+use dnn_life::core::DutyCycleModel;
+use dnn_life::quant::NumberFormat;
+
+fn main() {
+    // --- Observation 1/2/3 of §III-A, computed for both ImageNet nets.
+    for network in [NetworkKind::Alexnet, NetworkKind::Vgg16] {
+        let report = bit_distribution_report(network, 42, 500_000);
+        let ins = insights(&report);
+        println!("{}:", network.display_name());
+        println!(
+            "  int8-symmetric  max |P(1)-0.5| = {:.3}  (≈0: balanced at every bit)",
+            ins.symmetric_max_deviation
+        );
+        println!(
+            "  int8-asymmetric max |P(1)-0.5| = {:.3}  (biased bits)",
+            ins.asymmetric_max_deviation
+        );
+        println!(
+            "  int8-asymmetric mean deviation = {:.3}  (defeats barrel shifters)",
+            ins.asymmetric_mean_deviation
+        );
+        println!(
+            "  fp32 exponent MSB deviation    = {:.3}  (strongly biased)\n",
+            ins.fp32_exponent_msb_deviation
+        );
+    }
+
+    // --- §III-B: the actual K values of the evaluated platforms, and
+    //     what Eq. 1 predicts for them.
+    println!("Eq. 1 tail probabilities at the platforms' real K values:");
+    for format in [NumberFormat::Int8Symmetric, NumberFormat::Fp32] {
+        let mem = FlatWeightMemory::new(
+            &AcceleratorConfig::baseline(),
+            &NetworkKind::Alexnet.spec(),
+            format,
+            42,
+        );
+        let k = mem.block_count();
+        let model = DutyCycleModel::new(k, 0.5);
+        let b03 = (0.3 * k as f64) as u64;
+        println!(
+            "  {format}: K = {k}; P(duty ≤ 0.3 or ≥ 0.7) = {:.3e}; \
+             expected deviating cells of 4Mi = {:.1}",
+            model.tail_probability(b03),
+            model.expected_deviating_cells(4 * 1024 * 1024, b03),
+        );
+    }
+
+    // --- The paper's Fig. 7 case study.
+    println!("\nFig. 7 case study (K = 20 vs K = 160, ρ = 0.5):");
+    for k in [20u64, 160] {
+        let model = DutyCycleModel::new(k, 0.5);
+        let b = (0.3 * k as f64) as u64;
+        println!(
+            "  K = {k:>3}: P(duty ≤ 0.3 or ≥ 0.7) = {:.4}   (≥ n=819 of 8192 cells: {:.4})",
+            model.tail_probability(b),
+            model.population_tail(8192, 819, b)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: analyse a network's weight-bit distribution, then compare
+//! aging with and without DNN-Life on the TPU-like NPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dnn_life::core::analysis::bit_distribution_report;
+use dnn_life::core::experiment::{
+    run_experiment, ExperimentSpec, NetworkKind, PolicySpec,
+};
+use dnn_life::core::report::{render_bit_distribution, render_experiment};
+
+fn main() {
+    // 1. Design-time analysis (paper §III): how are the stored bits of
+    //    the custom MNIST network distributed per number format?
+    println!("== Step 1: weight-bit distributions (custom MNIST network) ==\n");
+    for (format, dist) in bit_distribution_report(NetworkKind::CustomMnist, 42, 200_000) {
+        println!(
+            "-- {format}: mean P(1) = {:.3} --",
+            dist.mean_probability()
+        );
+        print!("{}", render_bit_distribution(&dist));
+        println!();
+    }
+
+    // 2. Run-time mitigation (paper §IV/§V): lifetime SNM degradation of
+    //    the NPU weight FIFO without mitigation vs with DNN-Life.
+    println!("== Step 2: 7-year SNM degradation on the TPU-like NPU ==\n");
+    for policy in [
+        PolicySpec::None,
+        PolicySpec::DnnLife {
+            bias: 0.7,
+            bias_balancing: true,
+            m_bits: 4,
+        },
+    ] {
+        let spec = ExperimentSpec::fig11(NetworkKind::CustomMnist, policy, 42);
+        let result = run_experiment(&spec);
+        println!("{}", render_experiment(&result));
+    }
+
+    println!(
+        "DNN-Life balances every cell's duty cycle at ~50%, pinning SNM\n\
+         degradation at the 10.8% floor regardless of the network's bit\n\
+         statistics — at the cost of one XOR per data bit (see `repro table2`)."
+    );
+}
