@@ -91,6 +91,19 @@ impl Default for AnalyticSimConfig {
     }
 }
 
+// The campaign executor calls `simulate_analytic` from scenario worker
+// threads while the simulator itself shards cells across inner threads,
+// so its inputs must stay `Send + Sync` (`BlockSource` already has the
+// `Sync` supertrait). Enforced at compile time so a stray `Rc`/`RefCell`
+// in a future policy variant fails here, not in a consumer crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalyticPolicy>();
+    assert_send_sync::<AnalyticSimConfig>();
+    assert_send_sync::<crate::plan::FlatWeightMemory>();
+    assert_send_sync::<crate::plan::FifoSlotMemory>();
+};
+
 /// Runs the analytic simulation, returning per-cell duty cycles for the
 /// sampled words (cell order: sampled-word-major, bit 0 first).
 ///
@@ -122,8 +135,14 @@ pub fn simulate_analytic(
     policy: &AnalyticPolicy,
     cfg: &AnalyticSimConfig,
 ) -> Vec<f64> {
-    assert!(cfg.sample_stride > 0, "simulate_analytic: stride must be > 0");
-    assert!(cfg.inferences > 0, "simulate_analytic: inferences must be > 0");
+    assert!(
+        cfg.sample_stride > 0,
+        "simulate_analytic: stride must be > 0"
+    );
+    assert!(
+        cfg.inferences > 0,
+        "simulate_analytic: inferences must be > 0"
+    );
     let geo = source.geometry();
     let width = geo.word_bits as usize;
     let k_blocks = source.block_count();

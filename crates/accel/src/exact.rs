@@ -102,7 +102,12 @@ mod tests {
         // Shrink the baseline config so the exact simulator is fast.
         let mut cfg = AcceleratorConfig::baseline();
         cfg.weight_memory_bytes = 2048;
-        FlatWeightMemory::new(&cfg, &NetworkSpec::custom_mnist(), NumberFormat::Int8Symmetric, 3)
+        FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            3,
+        )
     }
 
     #[test]

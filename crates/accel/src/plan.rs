@@ -352,7 +352,10 @@ impl FifoSlotMemory {
     /// Panics if `slot >= 4` or `format` is not 8-bit (the NPU datapath
     /// is 8-bit per Table I).
     pub fn new(slot: u64, spec: &NetworkSpec, format: NumberFormat, seed: u64) -> Self {
-        assert!(slot < Self::DEPTH, "FifoSlotMemory: slot {slot} out of range");
+        assert!(
+            slot < Self::DEPTH,
+            "FifoSlotMemory: slot {slot} out of range"
+        );
         assert_eq!(
             format.bits(),
             8,
@@ -608,11 +611,8 @@ mod tests {
 
     #[test]
     fn npu_tile_counts() {
-        let slots = FifoSlotMemory::all_slots(
-            &NetworkSpec::custom_mnist(),
-            NumberFormat::Int8Symmetric,
-            1,
-        );
+        let slots =
+            FifoSlotMemory::all_slots(&NetworkSpec::custom_mnist(), NumberFormat::Int8Symmetric, 1);
         // conv1: 16 filters × 25 wpf → 1×1 = 1 tile; conv2: 50×400 → 1×2 = 2;
         // fc1: 256×800 → 1×4 = 4; fc2: 10×256 → 1×1 = 1. Total 8 tiles.
         assert_eq!(slots[0].total_tiles(), 8);

@@ -74,7 +74,8 @@ fn barrel_matches_exactly_fp32() {
 
 #[test]
 fn npu_slots_match_exactly_for_inversion() {
-    for slot in FifoSlotMemory::all_slots(&NetworkSpec::custom_mnist(), NumberFormat::Int8Symmetric, 3)
+    for slot in
+        FifoSlotMemory::all_slots(&NetworkSpec::custom_mnist(), NumberFormat::Int8Symmetric, 3)
     {
         if slot.block_count() == 0 {
             continue;
@@ -258,7 +259,10 @@ fn compute_weighted_residency_ablation() {
     let mut wde = DnnLife::new(8, controller);
     let mitigated = simulate_exact(&weighted, &mut wde, 30);
     let m = mean(&mitigated);
-    assert!((m - 0.5).abs() < 0.01, "DNN-Life mean duty {m} under weighted residency");
+    assert!(
+        (m - 0.5).abs() < 0.01,
+        "DNN-Life mean duty {m} under weighted residency"
+    );
 }
 
 /// The analytic simulator refuses non-uniform dwell instead of silently

@@ -1,0 +1,92 @@
+//! Campaign-engine throughput: scenarios/second through the parallel
+//! executor at 1 worker vs all cores, pinning the parallel speedup the
+//! sweep engine exists to provide.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnnlife_campaign::grid::{CampaignGrid, SweepOptions};
+use dnnlife_campaign::{run_campaign, CampaignOptions};
+
+/// A reduced-cost Fig. 11 grid: 12 scenarios, heavily strided so the
+/// bench measures engine + scheduling overheads at realistic scenario
+/// counts rather than raw simulation time.
+fn quick_grid() -> CampaignGrid {
+    CampaignGrid::fig11(SweepOptions {
+        base_seed: 42,
+        sample_stride: 512,
+        inferences: 20,
+    })
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let scratch = std::env::temp_dir().join(format!("dnnlife-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create bench scratch dir");
+    let grid = quick_grid();
+
+    let mut group = c.benchmark_group("campaign_sweep_fig11_quick");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(grid.len() as u64));
+
+    let store_1 = scratch.join("threads1.jsonl");
+    group.bench_function("threads_1", |b| {
+        b.iter(|| {
+            run_campaign(
+                &grid,
+                &store_1,
+                &CampaignOptions {
+                    threads: 1,
+                    resume: false,
+                    verbose: false,
+                },
+            )
+            .expect("campaign run")
+        });
+    });
+
+    let store_n = scratch.join("threadsN.jsonl");
+    group.bench_function("threads_all", |b| {
+        b.iter(|| {
+            run_campaign(
+                &grid,
+                &store_n,
+                &CampaignOptions {
+                    threads: 0,
+                    resume: false,
+                    verbose: false,
+                },
+            )
+            .expect("campaign run")
+        });
+    });
+
+    let store_resume = scratch.join("resume.jsonl");
+    run_campaign(
+        &grid,
+        &store_resume,
+        &CampaignOptions {
+            threads: 0,
+            resume: false,
+            verbose: false,
+        },
+    )
+    .expect("seed the resume store");
+    group.bench_function("resume_noop", |b| {
+        b.iter(|| {
+            run_campaign(
+                &grid,
+                &store_resume,
+                &CampaignOptions {
+                    threads: 0,
+                    resume: true,
+                    verbose: false,
+                },
+            )
+            .expect("campaign resume")
+        });
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

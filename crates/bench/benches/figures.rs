@@ -26,7 +26,13 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     group.bench_function("fig6_custom_mnist_all_formats", |b| {
-        b.iter(|| black_box(bit_distribution_report(NetworkKind::CustomMnist, 42, 20_000)));
+        b.iter(|| {
+            black_box(bit_distribution_report(
+                NetworkKind::CustomMnist,
+                42,
+                20_000,
+            ))
+        });
     });
 
     group.bench_function("fig7_both_series", |b| {

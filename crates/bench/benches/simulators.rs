@@ -14,7 +14,12 @@ use std::hint::black_box;
 fn tiny_memory() -> FlatWeightMemory {
     let mut cfg = AcceleratorConfig::baseline();
     cfg.weight_memory_bytes = 2048;
-    FlatWeightMemory::new(&cfg, &NetworkSpec::custom_mnist(), NumberFormat::Int8Symmetric, 3)
+    FlatWeightMemory::new(
+        &cfg,
+        &NetworkSpec::custom_mnist(),
+        NumberFormat::Int8Symmetric,
+        3,
+    )
 }
 
 fn bench_simulators(c: &mut Criterion) {
@@ -45,7 +50,13 @@ fn bench_simulators(c: &mut Criterion) {
         b.iter(|| black_box(simulate_analytic(&mem, &AnalyticPolicy::Passthrough, &cfg)));
     });
     group.bench_function("analytic_barrel", |b| {
-        b.iter(|| black_box(simulate_analytic(&mem, &AnalyticPolicy::BarrelShifter, &cfg)));
+        b.iter(|| {
+            black_box(simulate_analytic(
+                &mem,
+                &AnalyticPolicy::BarrelShifter,
+                &cfg,
+            ))
+        });
     });
     group.bench_function("analytic_dnnlife", |b| {
         let policy = AnalyticPolicy::DnnLife {
@@ -73,7 +84,13 @@ fn bench_simulators(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory_simulation_alexnet_512KB");
     group.sample_size(10);
     group.bench_function("analytic_none_stride512", |b| {
-        b.iter(|| black_box(simulate_analytic(&full, &AnalyticPolicy::Passthrough, &strided)));
+        b.iter(|| {
+            black_box(simulate_analytic(
+                &full,
+                &AnalyticPolicy::Passthrough,
+                &strided,
+            ))
+        });
     });
     group.bench_function("analytic_dnnlife_stride512", |b| {
         let policy = AnalyticPolicy::DnnLife {

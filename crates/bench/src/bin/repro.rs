@@ -11,13 +11,16 @@
 //!
 //! `--quick` samples every 16th memory word (unbiased histogram
 //! subsample) for fast smoke runs; the default simulates every cell.
+//!
+//! The Fig. 9 / Fig. 11 grids run through the `dnnlife-campaign`
+//! parallel executor; for resumable sweeps, stored results and the
+//! sensitivity grids, use the `dnnlife` CLI
+//! (`cargo run --release -p dnnlife-campaign --bin dnnlife -- --help`).
 
 use dnnlife_bench::{fig11_report, fig9_report, HarnessOptions};
 use dnnlife_core::analysis::bit_distribution_report;
 use dnnlife_core::experiment::NetworkKind;
-use dnnlife_core::report::{
-    fig1a_dnn_sizes, fig1b_access_energy, render_bit_distribution,
-};
+use dnnlife_core::report::{fig1a_dnn_sizes, fig1b_access_energy, render_bit_distribution};
 use dnnlife_core::DutyCycleModel;
 use dnnlife_sram::snm::{ButterflySnmModel, CalibratedSnmModel, SnmModel};
 use dnnlife_synth::library::TechLibrary;
@@ -84,7 +87,10 @@ fn main() {
 /// Fig. 1: motivational DNN sizes and access energies.
 fn fig1() {
     println!("=== Fig. 1a: DNN size vs ImageNet accuracy (data: Sze et al. 2017) ===");
-    println!("{:<12} {:>9} {:>8} {:>8}", "network", "size[MB]", "top-1%", "top-5%");
+    println!(
+        "{:<12} {:>9} {:>8} {:>8}",
+        "network", "size[MB]", "top-1%", "top-5%"
+    );
     for row in fig1a_dnn_sizes() {
         println!(
             "{:<12} {:>9.0} {:>8.1} {:>8.1}",
@@ -123,9 +129,15 @@ fn fig2b() {
 /// Fig. 6: weight-bit distributions per format and network.
 fn fig6(opts: &HarnessOptions) {
     for network in [NetworkKind::Alexnet, NetworkKind::Vgg16] {
-        println!("=== Fig. 6: bit distributions, {} ===", network.display_name());
+        println!(
+            "=== Fig. 6: bit distributions, {} ===",
+            network.display_name()
+        );
         for (format, dist) in bit_distribution_report(network, opts.seed, 1_000_000) {
-            println!("-- {format} (mean P(1) = {:.3}) --", dist.mean_probability());
+            println!(
+                "-- {format} (mean P(1) = {:.3}) --",
+                dist.mean_probability()
+            );
             print!("{}", render_bit_distribution(&dist));
         }
         println!();
@@ -149,10 +161,7 @@ fn fig7() {
 /// Table I: hardware configurations.
 fn table1() {
     println!("=== Table I: hardware configurations ===");
-    println!(
-        "{:<26} {:>16} {:>16}",
-        "", "Baseline", "TPU-like NPU"
-    );
+    println!("{:<26} {:>16} {:>16}", "", "Baseline", "TPU-like NPU");
     let base = dnnlife_accel::AcceleratorConfig::baseline();
     let npu = dnnlife_accel::AcceleratorConfig::tpu_like();
     println!(
@@ -170,7 +179,10 @@ fn table1() {
     println!(
         "{:<26} {:>16} {:>16}",
         "PE array",
-        format!("{} PEs x {} mult", base.parallel_filters, base.multipliers_per_pe),
+        format!(
+            "{} PEs x {} mult",
+            base.parallel_filters, base.multipliers_per_pe
+        ),
         format!("{}x{} PEs", npu.parallel_filters, npu.parallel_filters)
     );
     println!(

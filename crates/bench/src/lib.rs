@@ -1,9 +1,13 @@
 //! Reproduction harness library: shared helpers for the `repro` binary
 //! and the Criterion benches.
+//!
+//! Since the campaign subsystem landed, the Fig. 9 / Fig. 11 grids run
+//! through `dnnlife_campaign`'s parallel executor instead of a serial
+//! loop — same scenarios, same rendering, all cores.
 
-use dnnlife_core::experiment::{
-    fig11_policies, fig9_policies, run_experiment, ExperimentSpec, NetworkKind,
-};
+use dnnlife_campaign::grid::CampaignGrid;
+use dnnlife_campaign::run_scenarios;
+use dnnlife_core::experiment::{fig11_policies, fig9_policies, ExperimentSpec, NetworkKind};
 use dnnlife_core::report::render_experiment;
 use dnnlife_quant::NumberFormat;
 
@@ -37,27 +41,42 @@ impl HarnessOptions {
             inferences: 100,
         }
     }
+
+    fn apply(self, mut spec: ExperimentSpec) -> ExperimentSpec {
+        spec.sample_stride = self.stride;
+        spec.inferences = self.inferences;
+        spec
+    }
 }
 
 /// Runs and renders the full Fig. 9 grid (3 formats × 6 policies) into
-/// a report string.
+/// a report string, sweeping the scenarios in parallel through the
+/// campaign executor. Every panel uses `opts.seed` directly (paper
+/// semantics), unlike `CampaignGrid::fig9` which derives per-scenario
+/// seeds for store stability.
 pub fn fig9_report(opts: &HarnessOptions) -> String {
     let mut out = String::new();
     for format in NumberFormat::all() {
-        out.push_str(&format!("=== Baseline accelerator, AlexNet, {format} ===\n"));
-        for policy in fig9_policies() {
-            let mut spec = ExperimentSpec::fig9(format, policy, opts.seed);
-            spec.sample_stride = opts.stride;
-            spec.inferences = opts.inferences;
-            let result = run_experiment(&spec);
-            out.push_str(&render_experiment(&result));
+        out.push_str(&format!(
+            "=== Baseline accelerator, AlexNet, {format} ===\n"
+        ));
+        let grid = CampaignGrid {
+            name: format!("fig9-report-{format:?}"),
+            scenarios: fig9_policies()
+                .into_iter()
+                .map(|policy| opts.apply(ExperimentSpec::fig9(format, policy, opts.seed)))
+                .collect(),
+        };
+        for record in run_scenarios(&grid, 0) {
+            out.push_str(&render_experiment(&record.result));
             out.push('\n');
         }
     }
     out
 }
 
-/// Runs and renders the full Fig. 11 grid (3 networks × 4 policies).
+/// Runs and renders the full Fig. 11 grid (3 networks × 4 policies),
+/// swept in parallel through the campaign executor.
 pub fn fig11_report(opts: &HarnessOptions) -> String {
     let mut out = String::new();
     for network in [
@@ -69,12 +88,15 @@ pub fn fig11_report(opts: &HarnessOptions) -> String {
             "=== TPU-like NPU, {}, 8-bit symmetric ===\n",
             network.display_name()
         ));
-        for policy in fig11_policies() {
-            let mut spec = ExperimentSpec::fig11(network, policy, opts.seed);
-            spec.sample_stride = opts.stride;
-            spec.inferences = opts.inferences;
-            let result = run_experiment(&spec);
-            out.push_str(&render_experiment(&result));
+        let grid = CampaignGrid {
+            name: format!("fig11-report-{network:?}"),
+            scenarios: fig11_policies()
+                .into_iter()
+                .map(|policy| opts.apply(ExperimentSpec::fig11(network, policy, opts.seed)))
+                .collect(),
+        };
+        for record in run_scenarios(&grid, 0) {
+            out.push_str(&render_experiment(&record.result));
             out.push('\n');
         }
     }
@@ -95,5 +117,34 @@ mod tests {
         let f11 = fig11_report(&opts);
         assert!(f11.contains("TPU-like NPU"));
         assert!(f11.contains("DNN-Life with Bias Balancing"));
+    }
+
+    #[test]
+    fn parallel_report_matches_serial_execution() {
+        // The campaign executor must not change report content: compare
+        // against a direct serial run of the same specs.
+        let opts = HarnessOptions {
+            seed: 7,
+            stride: 1024,
+            inferences: 10,
+        };
+        let parallel = fig11_report(&opts);
+        let mut serial = String::new();
+        for network in [
+            NetworkKind::Alexnet,
+            NetworkKind::Vgg16,
+            NetworkKind::CustomMnist,
+        ] {
+            serial.push_str(&format!(
+                "=== TPU-like NPU, {}, 8-bit symmetric ===\n",
+                network.display_name()
+            ));
+            for policy in fig11_policies() {
+                let spec = opts.apply(ExperimentSpec::fig11(network, policy, opts.seed));
+                serial.push_str(&render_experiment(&dnnlife_core::run_experiment(&spec)));
+                serial.push('\n');
+            }
+        }
+        assert_eq!(parallel, serial);
     }
 }

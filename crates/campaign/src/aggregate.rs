@@ -1,0 +1,322 @@
+//! Aggregation: folds per-scenario records into paper-figure tables.
+//!
+//! Consumes a [`ResultStore`] and renders the Fig. 9 / Fig. 11 summary
+//! grids, the beyond-paper bias- and counter-width-sensitivity tables
+//! (as text and as `core::report::to_csv` CSV), per-scenario detail via
+//! [`dnnlife_core::report::render_experiment`], and store-vs-store
+//! comparisons.
+
+use dnnlife_core::experiment::{fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec};
+use dnnlife_core::report::{render_experiment, to_csv};
+use dnnlife_quant::NumberFormat;
+
+use crate::store::{ResultStore, ScenarioRecord};
+
+/// Tolerance (percentage points of SNM degradation) for the
+/// "near-optimal cells" column, matching §V-B's "all cells at 10.8 %".
+pub const NEAR_OPTIMAL_TOL: f64 = 0.5;
+
+fn policy_rank(policies: &[PolicySpec], policy: &PolicySpec) -> usize {
+    policies
+        .iter()
+        .position(|p| p == policy)
+        .unwrap_or(policies.len())
+}
+
+/// Policy label plus a lifetime qualifier when the scenario deviates
+/// from the paper's 7-year horizon (full-grid stores mix lifetimes).
+fn policy_label(record: &ScenarioRecord) -> String {
+    let mut label = record.spec.policy.display_name();
+    if record.spec.years != 7.0 {
+        label.push_str(&format!(" @ {} years", record.spec.years));
+    }
+    label
+}
+
+fn row(label: &str, record: &ScenarioRecord) -> String {
+    format!(
+        "  {label:<44} mean={:>6.2}%  worst={:>6.2}%  near-opt={:>6.2}%  cells={}\n",
+        record.result.snm.mean(),
+        record.result.snm.max(),
+        record.result.percent_near_optimal(NEAR_OPTIMAL_TOL),
+        record.result.cells,
+    )
+}
+
+/// Renders the Fig. 9 summary grid (baseline accelerator, AlexNet:
+/// format × policy) from stored records. Empty when the store holds no
+/// matching scenarios, so `report --table all` doesn't print a header
+/// implying the figure was computed and came out blank.
+pub fn fig9_table(store: &ResultStore) -> String {
+    let mut out = String::new();
+    let policies = fig9_policies();
+    for format in NumberFormat::all() {
+        let mut records: Vec<&ScenarioRecord> = store
+            .records()
+            .filter(|r| {
+                r.spec.platform == Platform::Baseline
+                    && r.spec.network == NetworkKind::Alexnet
+                    && r.spec.format == format
+            })
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        records.sort_by(|a, b| {
+            policy_rank(&policies, &a.spec.policy)
+                .cmp(&policy_rank(&policies, &b.spec.policy))
+                .then(a.spec.years.total_cmp(&b.spec.years))
+        });
+        if out.is_empty() {
+            out.push_str("=== Fig. 9: baseline accelerator, AlexNet, 7 years ===\n");
+        }
+        out.push_str(&format!("-- {format} --\n"));
+        for record in records {
+            out.push_str(&row(&policy_label(record), record));
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 11 summary grid (TPU-like NPU: network × policy)
+/// from stored records. Empty when nothing matches (see
+/// [`fig9_table`]).
+pub fn fig11_table(store: &ResultStore) -> String {
+    let mut out = String::new();
+    let policies = fig11_policies();
+    // The figure is defined on 8-bit *symmetric* weights; asymmetric
+    // NPU records from a full-grid store would render as duplicate
+    // identically-labeled rows, so they are excluded (use `detail` or
+    // `compare` to inspect them).
+    let in_figure = |r: &&ScenarioRecord| {
+        r.spec.platform == Platform::TpuLike && r.spec.format == NumberFormat::Int8Symmetric
+    };
+    let mut networks: Vec<_> = store
+        .records()
+        .filter(in_figure)
+        .map(|r| r.spec.network)
+        .collect();
+    networks.sort_by_key(|n| n.display_name().to_string());
+    networks.dedup();
+    for network in networks {
+        let mut records: Vec<&ScenarioRecord> = store
+            .records()
+            .filter(|r| in_figure(r) && r.spec.network == network)
+            .collect();
+        records.sort_by(|a, b| {
+            policy_rank(&policies, &a.spec.policy)
+                .cmp(&policy_rank(&policies, &b.spec.policy))
+                .then(a.spec.years.total_cmp(&b.spec.years))
+        });
+        if records.is_empty() {
+            continue;
+        }
+        if out.is_empty() {
+            out.push_str("=== Fig. 11: TPU-like NPU, 8-bit symmetric, 7 years ===\n");
+        }
+        out.push_str(&format!("-- {} --\n", network.display_name()));
+        for record in records {
+            out.push_str(&row(&policy_label(record), record));
+        }
+    }
+    out
+}
+
+/// Scenario context beyond the swept policy axis. Sensitivity tables
+/// qualify their row labels with this when a store mixes contexts
+/// (e.g. `report --table all` over a fig9 store, where the same
+/// DnnLife policy ran on three number formats), so rows that differ
+/// by platform/network/format/lifetime are never rendered identical.
+fn context_label(record: &ScenarioRecord) -> String {
+    format!(
+        "{:?}/{}/{}/{}y",
+        record.spec.platform,
+        record.spec.network.display_name(),
+        record.spec.format,
+        record.spec.years
+    )
+}
+
+fn contexts_are_mixed(records: &[&ScenarioRecord]) -> bool {
+    let mut contexts = records.iter().map(|r| context_label(r));
+    match contexts.next() {
+        Some(first) => contexts.any(|c| c != first),
+        None => false,
+    }
+}
+
+/// Bias-sensitivity table (beyond the paper): mean and worst SNM
+/// degradation vs TRBG bias, with and without bias balancing. Returns
+/// `(text table, CSV)`.
+pub fn bias_sensitivity(store: &ResultStore) -> (String, String) {
+    let mut points: Vec<(f64, bool, u32, &ScenarioRecord)> = store
+        .records()
+        .filter_map(|r| match r.spec.policy {
+            PolicySpec::DnnLife {
+                bias,
+                bias_balancing,
+                m_bits,
+            } => Some((bias, bias_balancing, m_bits, r)),
+            _ => None,
+        })
+        .collect();
+    if points.is_empty() {
+        return (String::new(), String::new());
+    }
+    points.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            .then_with(|| context_label(a.3).cmp(&context_label(b.3)))
+    });
+    let mixed = contexts_are_mixed(&points.iter().map(|(_, _, _, r)| *r).collect::<Vec<_>>());
+    // The non-swept policy parameter: qualify rows with it when the
+    // store varies it (e.g. `--table bias` over an mbits-sweep store),
+    // so rows never render identical with different numbers.
+    let m_mixed = points.iter().any(|(_, _, m, _)| *m != points[0].2);
+
+    let mut out = String::from("=== Bias sensitivity: SNM degradation vs TRBG bias ===\n");
+    let mut rows = Vec::new();
+    for (bias, balancing, m_bits, record) in &points {
+        let mut label = format!(
+            "bias={bias:.2} {}",
+            if *balancing {
+                "with balancing"
+            } else {
+                "without balancing"
+            }
+        );
+        if m_mixed {
+            label.push_str(&format!(", M={m_bits}"));
+        }
+        if mixed {
+            label.push_str(&format!(" [{}]", context_label(record)));
+        }
+        out.push_str(&row(&label, record));
+        rows.push(vec![
+            *bias,
+            f64::from(u8::from(*balancing)),
+            f64::from(*m_bits),
+            record.result.snm.mean(),
+            record.result.snm.max(),
+            record.result.percent_near_optimal(NEAR_OPTIMAL_TOL),
+        ]);
+    }
+    let csv = to_csv(
+        &[
+            "bias",
+            "bias_balancing",
+            "m_bits",
+            "mean_snm_pct",
+            "worst_snm_pct",
+            "near_optimal_pct",
+        ],
+        &rows,
+    );
+    (out, csv)
+}
+
+/// Counter-width sensitivity table (beyond the paper): SNM degradation
+/// vs the M-bit bias-balancing register width. Returns `(text, CSV)`.
+pub fn mbits_sensitivity(store: &ResultStore) -> (String, String) {
+    let mut points: Vec<(u32, f64, &ScenarioRecord)> = store
+        .records()
+        .filter_map(|r| match r.spec.policy {
+            PolicySpec::DnnLife {
+                m_bits,
+                bias,
+                bias_balancing: true,
+            } => Some((m_bits, bias, r)),
+            _ => None,
+        })
+        .collect();
+    if points.is_empty() {
+        return (String::new(), String::new());
+    }
+    points.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.total_cmp(&b.1))
+            .then_with(|| context_label(a.2).cmp(&context_label(b.2)))
+    });
+    let mixed = contexts_are_mixed(&points.iter().map(|(_, _, r)| *r).collect::<Vec<_>>());
+    // Non-swept policy parameter (see bias_sensitivity).
+    let bias_mixed = points.iter().any(|(_, b, _)| *b != points[0].1);
+
+    let mut out =
+        String::from("=== Counter-width sensitivity: SNM degradation vs M-bit register ===\n");
+    let mut rows = Vec::new();
+    for (m_bits, bias, record) in &points {
+        let mut label = format!("M = {m_bits} bits");
+        if bias_mixed {
+            label.push_str(&format!(", bias={bias:.2}"));
+        }
+        if mixed {
+            label.push_str(&format!(" [{}]", context_label(record)));
+        }
+        out.push_str(&row(&label, record));
+        rows.push(vec![
+            f64::from(*m_bits),
+            *bias,
+            record.result.snm.mean(),
+            record.result.snm.max(),
+            record.result.percent_near_optimal(NEAR_OPTIMAL_TOL),
+        ]);
+    }
+    let csv = to_csv(
+        &[
+            "m_bits",
+            "bias",
+            "mean_snm_pct",
+            "worst_snm_pct",
+            "near_optimal_pct",
+        ],
+        &rows,
+    );
+    (out, csv)
+}
+
+/// Full per-scenario detail: every stored record rendered with the
+/// core report (label, duty/SNM summaries, degradation histogram).
+pub fn detail(store: &ResultStore) -> String {
+    let mut out = String::new();
+    for record in store.records() {
+        out.push_str(&render_experiment(&record.result));
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares two stores scenario-by-scenario, matched on the seed-
+/// independent coordinate key (so sweeps differing only in `--seed`
+/// line up): reports the mean-SNM delta for shared scenarios and
+/// counts the scenarios unique to either side.
+pub fn compare_stores(a: &ResultStore, b: &ResultStore) -> String {
+    let by_coords: std::collections::BTreeMap<String, &ScenarioRecord> =
+        b.records().map(|r| (r.spec.coordinate_key(), r)).collect();
+    let mut out = String::from("=== Store comparison (B − A, mean SNM degradation) ===\n");
+    let mut shared = std::collections::BTreeSet::new();
+    let mut only_a = 0usize;
+    for record in a.records() {
+        match by_coords.get(&record.spec.coordinate_key()) {
+            Some(other) => {
+                shared.insert(record.spec.coordinate_key());
+                let delta = other.result.snm.mean() - record.result.snm.mean();
+                out.push_str(&format!(
+                    "  {:<60} {:>+8.3} pp\n",
+                    record.result.label, delta
+                ));
+            }
+            None => only_a += 1,
+        }
+    }
+    let only_b = b
+        .records()
+        .filter(|r| !shared.contains(&r.spec.coordinate_key()))
+        .count();
+    out.push_str(&format!(
+        "  shared={} only-in-A={only_a} only-in-B={only_b}\n",
+        shared.len()
+    ));
+    out
+}

@@ -1,0 +1,206 @@
+//! `dnnlife` — campaign CLI: sweep scenario grids in parallel, report
+//! aggregated tables, compare result stores.
+//!
+//! ```text
+//! dnnlife sweep --grid <fig9|fig11|bias|mbits|full> [--threads N]
+//!               [--out FILE] [--resume] [--seed N] [--stride N]
+//!               [--inferences N] [--verbose]
+//! dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
+//! dnnlife compare --store-a FILE --store-b FILE
+//! ```
+//!
+//! `sweep` is resumable: results are journaled per scenario, so a
+//! killed sweep re-run with `--resume` executes only the missing
+//! scenarios — and the finalized store is byte-identical to a clean
+//! single-threaded run regardless of `--threads`.
+
+use std::process::ExitCode;
+
+use dnnlife_campaign::aggregate;
+use dnnlife_campaign::grid::SweepOptions;
+use dnnlife_campaign::{run_campaign, CampaignGrid, CampaignOptions, ResultStore};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let outcome = match command.as_str() {
+        "sweep" => sweep(rest),
+        "report" => report(rest),
+        "compare" => compare(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dnnlife: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  dnnlife sweep --grid <fig9|fig11|bias|mbits|full> [--threads N] [--out FILE]
+                [--resume] [--seed N] [--stride N] [--inferences N] [--verbose]
+  dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
+  dnnlife compare --store-a FILE --store-b FILE";
+
+/// Minimal `--flag [value]` argument cursor.
+struct Args<'a> {
+    argv: &'a [String],
+    index: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Self { argv, index: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let arg = self.argv.get(self.index)?;
+        self.index += 1;
+        Some(arg.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        let value = self
+            .argv
+            .get(self.index)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        self.index += 1;
+        Ok(value.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        self.value(flag)?
+            .parse()
+            .map_err(|_| format!("{flag}: invalid value"))
+    }
+}
+
+fn sweep(argv: &[String]) -> Result<(), String> {
+    let mut grid_name: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut options = CampaignOptions::default();
+    let mut sweep_options = SweepOptions::default();
+
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--grid" => grid_name = Some(args.value("--grid")?.to_string()),
+            "--out" => out = Some(args.value("--out")?.to_string()),
+            "--threads" => options.threads = args.parsed("--threads")?,
+            "--resume" => options.resume = true,
+            "--verbose" => options.verbose = true,
+            "--seed" => sweep_options.base_seed = args.parsed("--seed")?,
+            "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
+            "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
+            other => return Err(format!("sweep: unexpected argument `{other}`")),
+        }
+    }
+    let grid_name = grid_name.ok_or("sweep: --grid is required")?;
+    if sweep_options.sample_stride == 0 {
+        return Err("sweep: --stride must be >= 1".to_string());
+    }
+    if sweep_options.inferences == 0 {
+        return Err("sweep: --inferences must be >= 1".to_string());
+    }
+    let grid = CampaignGrid::named(&grid_name, sweep_options)
+        .ok_or_else(|| format!("sweep: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)"))?;
+    let store_path = out.unwrap_or_else(|| format!("campaign-results/{grid_name}.jsonl"));
+
+    let started = std::time::Instant::now();
+    let outcome = run_campaign(&grid, &store_path, &options).map_err(|e| e.to_string())?;
+    println!(
+        "campaign `{grid_name}`: {} executed, {} skipped, {} thread(s), {:.1}s -> {store_path}",
+        outcome.executed,
+        outcome.skipped,
+        outcome.threads,
+        started.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn report(argv: &[String]) -> Result<(), String> {
+    let mut store_path: Option<String> = None;
+    let mut table = "all".to_string();
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--store" => store_path = Some(args.value("--store")?.to_string()),
+            "--table" => table = args.value("--table")?.to_string(),
+            other => return Err(format!("report: unexpected argument `{other}`")),
+        }
+    }
+    let store_path = store_path.ok_or("report: --store is required")?;
+    let store = ResultStore::open(&store_path).map_err(|e| e.to_string())?;
+    if store.is_empty() {
+        return Err(format!("report: `{store_path}` holds no scenarios"));
+    }
+
+    // Tables render empty when the store has no matching scenarios;
+    // for an explicitly requested table, say so instead of printing
+    // nothing.
+    let require = |text: String| -> Result<String, String> {
+        if text.is_empty() {
+            Err(format!(
+                "report: `{store_path}` holds no scenarios matching table `{table}`"
+            ))
+        } else {
+            Ok(text)
+        }
+    };
+    match table.as_str() {
+        "fig9" => print!("{}", require(aggregate::fig9_table(&store))?),
+        "fig11" => print!("{}", require(aggregate::fig11_table(&store))?),
+        "bias" => {
+            let (text, csv) = aggregate::bias_sensitivity(&store);
+            print!("{}\n{csv}", require(text)?);
+        }
+        "mbits" => {
+            let (text, csv) = aggregate::mbits_sensitivity(&store);
+            print!("{}\n{csv}", require(text)?);
+        }
+        "detail" => print!("{}", aggregate::detail(&store)),
+        "all" => {
+            print!("{}", aggregate::fig9_table(&store));
+            print!("{}", aggregate::fig11_table(&store));
+            let (bias, _) = aggregate::bias_sensitivity(&store);
+            print!("{bias}");
+            let (mbits, _) = aggregate::mbits_sensitivity(&store);
+            print!("{mbits}");
+        }
+        other => {
+            return Err(format!(
+                "report: unknown table `{other}` (fig9|fig11|bias|mbits|detail|all)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn compare(argv: &[String]) -> Result<(), String> {
+    let mut store_a: Option<String> = None;
+    let mut store_b: Option<String> = None;
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--store-a" => store_a = Some(args.value("--store-a")?.to_string()),
+            "--store-b" => store_b = Some(args.value("--store-b")?.to_string()),
+            other => return Err(format!("compare: unexpected argument `{other}`")),
+        }
+    }
+    let store_a = store_a.ok_or("compare: --store-a is required")?;
+    let store_b = store_b.ok_or("compare: --store-b is required")?;
+    let a = ResultStore::open(&store_a).map_err(|e| e.to_string())?;
+    let b = ResultStore::open(&store_b).map_err(|e| e.to_string())?;
+    print!("{}", aggregate::compare_stores(&a, &b));
+    Ok(())
+}

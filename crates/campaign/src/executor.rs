@@ -1,0 +1,208 @@
+//! Parallel campaign executor.
+//!
+//! Scenarios are sharded across a std-only worker pool: workers pull
+//! the next pending scenario index from a shared atomic counter (work
+//! stealing without queues — scenario runtimes vary by orders of
+//! magnitude between networks, so static partitioning would idle
+//! cores), run it with the simulator pinned to one thread, and send
+//! the record back over a channel. The main thread journals each
+//! completion to the [`ResultStore`] immediately, then finalizes the
+//! store in canonical grid order.
+//!
+//! Determinism: each scenario's result depends only on its spec (per-
+//! cell counter-seeded RNG streams), and the finalize pass orders the
+//! file by the grid, so the finished store is **byte-identical for any
+//! worker count** and for interrupted-then-resumed runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use dnnlife_core::experiment::run_experiment_threaded;
+
+use crate::grid::CampaignGrid;
+use crate::store::{ResultStore, ScenarioRecord, StoreLock};
+
+/// Executor knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Skip scenarios already present in the store. When false, an
+    /// existing store file is discarded and every scenario re-runs.
+    pub resume: bool,
+    /// Print per-scenario progress lines to stderr.
+    pub verbose: bool,
+}
+
+/// What a campaign run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Scenarios executed by this invocation.
+    pub executed: usize,
+    /// Scenarios skipped because the store already held them.
+    pub skipped: usize,
+    /// Worker threads used (1 when nothing was pending).
+    pub threads: usize,
+}
+
+/// Runs every scenario of `grid`, journaling into (and finalizing) the
+/// store at `store_path`.
+///
+/// # Errors
+///
+/// Propagates store I/O errors. A panic in a worker (a scenario
+/// panicking mid-simulation) propagates after in-flight completions
+/// have been journaled.
+pub fn run_campaign(
+    grid: &CampaignGrid,
+    store_path: impl Into<std::path::PathBuf>,
+    options: &CampaignOptions,
+) -> std::io::Result<CampaignOutcome> {
+    let store_path = store_path.into();
+    // Held for the whole campaign: a second sweep journaling into the
+    // same file would interleave writes and corrupt it mid-line.
+    let _lock = StoreLock::acquire(&store_path)?;
+    if !options.resume && store_path.exists() {
+        std::fs::remove_file(&store_path)?;
+    }
+    let mut store = ResultStore::open(&store_path)?;
+
+    let keys = grid.keys();
+    let stale = store.stale_keys(&keys);
+    if !stale.is_empty() {
+        eprintln!(
+            "campaign `{}`: dropping {} stale record(s) from {} — they were produced \
+             by a sweep with different parameters (seed/stride/inferences/grid)",
+            grid.name,
+            stale.len(),
+            store.path().display()
+        );
+    }
+    let pending: Vec<usize> = (0..grid.scenarios.len())
+        .filter(|&i| !store.contains(&keys[i]))
+        .collect();
+    let skipped = grid.scenarios.len() - pending.len();
+
+    let threads = effective_threads(options.threads, pending.len());
+    if options.verbose {
+        eprintln!(
+            "campaign `{}`: {} scenarios ({} pending, {} already stored), {} worker(s)",
+            grid.name,
+            grid.scenarios.len(),
+            pending.len(),
+            skipped,
+            threads
+        );
+    }
+
+    if !pending.is_empty() {
+        let specs: Vec<&dnnlife_core::ExperimentSpec> =
+            pending.iter().map(|&i| &grid.scenarios[i]).collect();
+        let mut done = 0usize;
+        let mut journal_error = None;
+        execute_pool(&specs, threads, |_, record| {
+            let label = record.result.label.clone();
+            if let Err(e) = store.append(record) {
+                journal_error = Some(e);
+                return false;
+            }
+            done += 1;
+            if options.verbose {
+                eprintln!("  [{done}/{}] {label}", specs.len());
+            }
+            true
+        });
+        if let Some(e) = journal_error {
+            return Err(e);
+        }
+    }
+
+    store.finalize(&keys)?;
+    Ok(CampaignOutcome {
+        executed: pending.len(),
+        skipped,
+        threads,
+    })
+}
+
+/// Runs every scenario of `grid` on `threads` workers (0 = all cores)
+/// without touching disk, returning records in grid order. This is the
+/// path report harnesses use when they only need the in-memory fold.
+pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord> {
+    let specs: Vec<&dnnlife_core::ExperimentSpec> = grid.scenarios.iter().collect();
+    let mut slots: Vec<Option<ScenarioRecord>> = vec![None; specs.len()];
+    execute_pool(
+        &specs,
+        effective_threads(threads, specs.len()),
+        |index, record| {
+            slots[index] = Some(record);
+            true
+        },
+    );
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("execute_pool completes every scenario"))
+        .collect()
+}
+
+/// Shared worker pool: workers pull scenario indices from an atomic
+/// counter, run them with the simulator pinned to one thread, and the
+/// calling thread observes each `(index, record)` completion in
+/// completion order. `on_complete` returning `false` aborts remaining
+/// work (in-flight scenarios still finish).
+fn execute_pool<F>(specs: &[&dnnlife_core::ExperimentSpec], threads: usize, mut on_complete: F)
+where
+    F: FnMut(usize, ScenarioRecord) -> bool,
+{
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, ScenarioRecord)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(slot) else {
+                    break;
+                };
+                let result = run_experiment_threaded(spec, 1);
+                if tx
+                    .send((slot, ScenarioRecord::new((*spec).clone(), result)))
+                    .is_err()
+                {
+                    break; // receiver gone: abort requested
+                }
+            });
+        }
+        drop(tx);
+        for (index, record) in rx {
+            if !on_complete(index, record) {
+                break; // dropping rx stops the workers
+            }
+        }
+    });
+}
+
+fn effective_threads(requested: usize, pending: usize) -> usize {
+    let available = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    available.min(pending).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_clamps_to_pending_work() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(4, 0), 1);
+        assert!(effective_threads(0, usize::MAX) >= 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Grid builder: enumerates experiment scenarios from axis lists.
+//!
+//! A [`GridAxes`] names the values to sweep on every axis of the
+//! paper's evaluation space — platform, network, number format,
+//! mitigation policy, lifetime — plus shared run parameters. Building
+//! it produces a [`CampaignGrid`]: a deduplicated, validity-filtered
+//! scenario list in a canonical order, with a deterministic per-
+//! scenario seed derived from `(base_seed, scenario coordinates)` so a
+//! scenario keeps its seed (and therefore its result bits) no matter
+//! which grid it appears in or where.
+
+use dnnlife_core::experiment::{fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec};
+use dnnlife_core::ExperimentSpec;
+use dnnlife_quant::NumberFormat;
+
+/// Shared run parameters for every scenario of a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Campaign master seed; per-scenario seeds are derived from it.
+    pub base_seed: u64,
+    /// Simulate every n-th memory word (1 = paper-exact).
+    pub sample_stride: usize,
+    /// Inferences used to estimate duty cycles (the paper uses 100).
+    pub inferences: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            base_seed: 42,
+            sample_stride: 64,
+            inferences: 100,
+        }
+    }
+}
+
+/// Axis lists spanning a scenario space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridAxes {
+    /// Hardware platforms.
+    pub platforms: Vec<Platform>,
+    /// Weight-providing networks.
+    pub networks: Vec<NetworkKind>,
+    /// Weight storage formats.
+    pub formats: Vec<NumberFormat>,
+    /// Mitigation policies (including DnnLife bias / counter-width
+    /// sweep points).
+    pub policies: Vec<PolicySpec>,
+    /// Device lifetimes in years.
+    pub lifetimes_years: Vec<f64>,
+    /// Shared run parameters.
+    pub options: SweepOptions,
+}
+
+impl GridAxes {
+    /// Enumerates the cross product in canonical order (platform →
+    /// network → format → policy → lifetime), dropping invalid
+    /// combinations (fp32 on the 8-bit NPU) and duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.sample_stride == 0` or
+    /// `options.inferences == 0` — catching the invariant here, at
+    /// grid construction, instead of as an assert deep inside a
+    /// simulator worker thread after the store file was already
+    /// created.
+    pub fn build(&self, name: impl Into<String>) -> CampaignGrid {
+        assert!(
+            self.options.sample_stride > 0,
+            "GridAxes::build: sample_stride must be >= 1"
+        );
+        assert!(
+            self.options.inferences > 0,
+            "GridAxes::build: inferences must be >= 1"
+        );
+        let mut scenarios = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for &platform in &self.platforms {
+            for &network in &self.networks {
+                for &format in &self.formats {
+                    for &policy in &self.policies {
+                        for &years in &self.lifetimes_years {
+                            let mut spec = ExperimentSpec {
+                                platform,
+                                network,
+                                format,
+                                policy,
+                                inferences: self.options.inferences,
+                                years,
+                                seed: 0,
+                                sample_stride: self.options.sample_stride,
+                            };
+                            if !spec.is_valid() {
+                                continue;
+                            }
+                            spec.seed = scenario_seed(self.options.base_seed, &spec);
+                            if seen.insert(spec.content_key()) {
+                                scenarios.push(spec);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CampaignGrid {
+            name: name.into(),
+            scenarios,
+        }
+    }
+}
+
+/// Derives a scenario's seed from the campaign seed and the scenario's
+/// coordinates (its seed-independent coordinate hash), finished with a
+/// SplitMix64 mix so nearby hashes decorrelate.
+fn scenario_seed(base_seed: u64, spec: &ExperimentSpec) -> u64 {
+    let mut z = base_seed ^ spec.coordinate_hash();
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A built scenario set: what the executor runs and the store keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignGrid {
+    /// Campaign name (used for default store file names and reports).
+    pub name: String,
+    /// Scenarios in canonical order, deduplicated, all valid.
+    pub scenarios: Vec<ExperimentSpec>,
+}
+
+impl CampaignGrid {
+    /// Store keys in scenario order.
+    pub fn keys(&self) -> Vec<String> {
+        self.scenarios.iter().map(|s| s.content_key()).collect()
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The Fig. 9 grid: baseline accelerator, AlexNet, all three
+    /// formats, the paper's six policies, 7-year lifetime.
+    pub fn fig9(options: SweepOptions) -> Self {
+        GridAxes {
+            platforms: vec![Platform::Baseline],
+            networks: vec![NetworkKind::Alexnet],
+            formats: NumberFormat::all().to_vec(),
+            policies: fig9_policies(),
+            lifetimes_years: vec![7.0],
+            options,
+        }
+        .build("fig9")
+    }
+
+    /// The Fig. 11 grid: TPU-like NPU, all three networks, 8-bit
+    /// symmetric weights, the paper's four policies, 7-year lifetime.
+    pub fn fig11(options: SweepOptions) -> Self {
+        GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![
+                NetworkKind::Alexnet,
+                NetworkKind::Vgg16,
+                NetworkKind::CustomMnist,
+            ],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies: fig11_policies(),
+            lifetimes_years: vec![7.0],
+            options,
+        }
+        .build("fig11")
+    }
+
+    /// TRBG bias-sensitivity sweep (beyond the paper): DNN-Life with
+    /// bias 0.50..0.90 in 0.05 steps, with and without bias balancing,
+    /// on the NPU running the custom network.
+    pub fn bias_sweep(options: SweepOptions) -> Self {
+        let mut policies = Vec::new();
+        for step in 0..=8 {
+            let bias = 0.5 + 0.05 * f64::from(step);
+            for bias_balancing in [false, true] {
+                policies.push(PolicySpec::DnnLife {
+                    bias,
+                    bias_balancing,
+                    m_bits: 4,
+                });
+            }
+        }
+        GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies,
+            lifetimes_years: vec![7.0],
+            options,
+        }
+        .build("bias")
+    }
+
+    /// Counter-width sensitivity sweep (beyond the paper): the M-bit
+    /// bias-balancing register from 1 to 8 bits at the paper's 0.7
+    /// bias, on the NPU running the custom network.
+    pub fn mbits_sweep(options: SweepOptions) -> Self {
+        let policies = (1..=8)
+            .map(|m_bits| PolicySpec::DnnLife {
+                bias: 0.7,
+                bias_balancing: true,
+                m_bits,
+            })
+            .collect();
+        GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies,
+            lifetimes_years: vec![7.0],
+            options,
+        }
+        .build("mbits")
+    }
+
+    /// The full design space: both platforms, all networks and formats,
+    /// the six Fig. 9 policies, three lifetimes. Invalid combinations
+    /// (fp32 on the NPU) are filtered by the builder.
+    pub fn full(options: SweepOptions) -> Self {
+        GridAxes {
+            platforms: vec![Platform::Baseline, Platform::TpuLike],
+            networks: vec![
+                NetworkKind::Alexnet,
+                NetworkKind::Vgg16,
+                NetworkKind::CustomMnist,
+            ],
+            formats: NumberFormat::all().to_vec(),
+            policies: fig9_policies(),
+            lifetimes_years: vec![2.0, 7.0, 10.0],
+            options,
+        }
+        .build("full")
+    }
+
+    /// Builds a named grid: `fig9`, `fig11`, `bias`, `mbits` or `full`.
+    pub fn named(name: &str, options: SweepOptions) -> Option<Self> {
+        match name {
+            "fig9" => Some(Self::fig9(options)),
+            "fig11" => Some(Self::fig11(options)),
+            "bias" => Some(Self::bias_sweep(options)),
+            "mbits" => Some(Self::mbits_sweep(options)),
+            "full" => Some(Self::full(options)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_grid_shape() {
+        let grid = CampaignGrid::fig9(SweepOptions::default());
+        // 3 formats × 6 policies, all valid on the baseline platform.
+        assert_eq!(grid.len(), 18);
+    }
+
+    #[test]
+    fn fig11_grid_shape() {
+        let grid = CampaignGrid::fig11(SweepOptions::default());
+        assert_eq!(grid.len(), 12);
+    }
+
+    #[test]
+    fn full_grid_filters_fp32_on_npu() {
+        let grid = CampaignGrid::full(SweepOptions::default());
+        // Baseline: 3 networks × 3 formats × 6 policies × 3 lifetimes;
+        // NPU: 3 networks × 2 formats × 6 policies × 3 lifetimes.
+        assert_eq!(grid.len(), 162 + 108);
+        assert!(grid
+            .scenarios
+            .iter()
+            .all(dnnlife_core::ExperimentSpec::is_valid));
+    }
+
+    #[test]
+    fn duplicate_axis_values_dedup() {
+        let axes = GridAxes {
+            platforms: vec![Platform::Baseline, Platform::Baseline],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric, NumberFormat::Int8Symmetric],
+            policies: vec![PolicySpec::None],
+            lifetimes_years: vec![7.0],
+            options: SweepOptions::default(),
+        };
+        assert_eq!(axes.build("dup").len(), 1);
+    }
+
+    #[test]
+    fn scenario_seeds_are_stable_across_grids() {
+        let fig11 = CampaignGrid::fig11(SweepOptions::default());
+        let full = CampaignGrid::full(SweepOptions::default());
+        // Scenarios shared between grids (matched on seed-independent
+        // coordinates) get the same derived seed, so their results are
+        // interchangeable. Every fig11 scenario appears in the full
+        // grid (its policies are a subset of fig9's and 7.0 is among
+        // the full grid's lifetimes), so this must match 12 times.
+        let mut matched = 0;
+        for spec in &fig11.scenarios {
+            if let Some(other) = full
+                .scenarios
+                .iter()
+                .find(|s| s.coordinate_key() == spec.coordinate_key())
+            {
+                assert_eq!(spec.seed, other.seed, "seed differs for {:?}", spec);
+                assert_eq!(spec, other);
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, fig11.len());
+    }
+
+    #[test]
+    fn base_seed_changes_every_scenario_seed() {
+        let a = CampaignGrid::fig11(SweepOptions::default());
+        let b = CampaignGrid::fig11(SweepOptions {
+            base_seed: 43,
+            ..SweepOptions::default()
+        });
+        for (x, y) in a.scenarios.iter().zip(&b.scenarios) {
+            assert_ne!(x.seed, y.seed);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Resumable on-disk result store.
+//!
+//! One campaign = one JSONL file: each line is a [`ScenarioRecord`]
+//! keyed by the spec's content hash. The store is written twice over a
+//! campaign's life:
+//!
+//! 1. **Journal phase** — the executor appends each record as it
+//!    completes (and flushes), so an interrupted sweep loses at most
+//!    the in-flight scenarios. A torn final line from a crash is
+//!    detected on open and truncated away before the next append.
+//! 2. **Finalize phase** — once every scenario is done the file is
+//!    rewritten atomically (temp file + rename) in canonical grid
+//!    order. Scenario results are themselves deterministic, so the
+//!    finalized store is byte-identical no matter how many worker
+//!    threads ran or how work interleaved — and identical between a
+//!    clean run and an interrupted-then-resumed one.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dnnlife_core::{ExperimentResult, ExperimentSpec};
+use serde::{Deserialize, Serialize};
+
+/// One completed scenario: the spec, its store key, and the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRecord {
+    /// [`ExperimentSpec::content_key`] of `spec` (stored redundantly so
+    /// tools can filter lines without re-hashing).
+    pub key: String,
+    /// The scenario that ran.
+    pub spec: ExperimentSpec,
+    /// What it produced.
+    pub result: ExperimentResult,
+}
+
+impl ScenarioRecord {
+    /// Builds a record, deriving the key from the spec.
+    pub fn new(spec: ExperimentSpec, result: ExperimentResult) -> Self {
+        Self {
+            key: spec.content_key(),
+            spec,
+            result,
+        }
+    }
+}
+
+/// A JSONL scenario store bound to one file path.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    records: BTreeMap<String, ScenarioRecord>,
+    /// Byte length of the valid prefix of the file on open (a torn
+    /// final line is cut off before the first append).
+    valid_len: u64,
+    writer: Option<BufWriter<File>>,
+}
+
+impl ResultStore {
+    /// Opens (or creates the notion of) a store at `path`, loading any
+    /// records already on disk. A torn final line — the signature of a
+    /// killed journal append — is ignored and later truncated; corrupt
+    /// content anywhere else is an error.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let mut records = BTreeMap::new();
+        let mut valid_len = 0u64;
+        if path.exists() {
+            let mut text = String::new();
+            File::open(&path)?.read_to_string(&mut text)?;
+            let mut offset = 0usize;
+            for (i, line) in text.split_inclusive('\n').enumerate() {
+                let trimmed = line.trim_end_matches('\n');
+                match serde_json::from_str::<ScenarioRecord>(trimmed) {
+                    Ok(record) if line.ends_with('\n') => {
+                        // The key is stored redundantly; verify it so a
+                        // record whose spec was edited (or written by a
+                        // binary with a different hash scheme) can't
+                        // silently satisfy a pending scenario.
+                        if record.key != record.spec.content_key() {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!(
+                                    "{}: record on line {} has key {} but its spec hashes to {}",
+                                    path.display(),
+                                    i + 1,
+                                    record.key,
+                                    record.spec.content_key()
+                                ),
+                            ));
+                        }
+                        offset += line.len();
+                        records.insert(record.key.clone(), record);
+                    }
+                    Ok(_) | Err(_) if offset + line.len() == text.len() => {
+                        // Unterminated or unparsable final line: torn
+                        // journal append. Drop it.
+                        break;
+                    }
+                    Ok(_) => unreachable!("split_inclusive: only the last line lacks \\n"),
+                    Err(e) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("{}: corrupt record on line {}: {e}", path.display(), i + 1),
+                        ));
+                    }
+                }
+            }
+            valid_len = offset as u64;
+        }
+        Ok(Self {
+            path,
+            records,
+            valid_len,
+            writer: None,
+        })
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of stored scenarios.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether a scenario is already stored.
+    pub fn contains(&self, key: &str) -> bool {
+        self.records.contains_key(key)
+    }
+
+    /// Looks up a scenario by key.
+    pub fn get(&self, key: &str) -> Option<&ScenarioRecord> {
+        self.records.get(key)
+    }
+
+    /// All records, in key order.
+    pub fn records(&self) -> impl Iterator<Item = &ScenarioRecord> {
+        self.records.values()
+    }
+
+    /// Appends one record to the journal and flushes it to disk.
+    pub fn append(&mut self, record: ScenarioRecord) -> std::io::Result<()> {
+        if self.writer.is_none() {
+            if let Some(parent) = self.path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            // Not `truncate(true)`: existing journaled records must
+            // survive. `set_len` below cuts only a torn final line.
+            let file = OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .open(&self.path)?;
+            file.set_len(self.valid_len)?;
+            let mut writer = BufWriter::new(file);
+            writer.seek(SeekFrom::End(0))?;
+            self.writer = Some(writer);
+        }
+        let writer = self.writer.as_mut().expect("writer just initialised");
+        let line = serde_json::to_string(&record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        self.valid_len += line.len() as u64 + 1;
+        self.records.insert(record.key.clone(), record);
+        Ok(())
+    }
+
+    /// Keys held by the store that are not in `keys` — records left
+    /// over from a sweep with different parameters (seed, stride,
+    /// grid). The executor reports these before [`ResultStore::finalize`]
+    /// drops them.
+    pub fn stale_keys(&self, keys: &[String]) -> Vec<String> {
+        let keep: std::collections::BTreeSet<&String> = keys.iter().collect();
+        self.records
+            .keys()
+            .filter(|k| !keep.contains(k))
+            .cloned()
+            .collect()
+    }
+
+    /// Atomically rewrites the file with exactly the stored records
+    /// named by `order`, in that order; everything else (stale records
+    /// from a sweep with different parameters) is dropped from both
+    /// the file and memory. This is what makes a finished store a pure
+    /// function of the grid — byte-identical across thread counts,
+    /// interruptions and parameter changes.
+    pub fn finalize(&mut self, order: &[String]) -> std::io::Result<()> {
+        self.writer = None;
+        let tmp_path = self.path.with_extension("jsonl.tmp");
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        {
+            let mut writer = BufWriter::new(File::create(&tmp_path)?);
+            let mut written = std::collections::BTreeSet::new();
+            for key in order {
+                if let Some(record) = self.records.get(key) {
+                    if written.insert(key.clone()) {
+                        write_line(&mut writer, record)?;
+                    }
+                }
+            }
+            writer.flush()?;
+            self.records.retain(|key, _| written.contains(key));
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.valid_len = std::fs::metadata(&self.path)?.len();
+        Ok(())
+    }
+}
+
+/// Advisory inter-process lock guarding a store file's write phase.
+///
+/// Two sweeps journaling into the same path would interleave positioned
+/// writes and corrupt the file mid-line — an unrecoverable state (only
+/// torn *tails* are recoverable). The lock is an OS advisory lock
+/// (`File::try_lock`) on a `<store>.lock` sibling file, so the kernel
+/// releases it the instant the holder exits — a sweep killed with
+/// SIGKILL leaves no stale lock and the documented kill-then-`--resume`
+/// flow needs no manual cleanup, and there is no check-then-remove
+/// window for two processes to race through. The holder's PID is
+/// written into the file purely for the contention error message; the
+/// (unlocked) file itself is deliberately left on disk on drop, since
+/// unlinking it would detach the inode future contenders lock against.
+#[derive(Debug)]
+pub struct StoreLock {
+    /// Held open for the lock's lifetime; the OS lock dies with it.
+    _file: File,
+}
+
+impl StoreLock {
+    /// Acquires the lock for `store_path`, erroring if another live
+    /// process holds it.
+    pub fn acquire(store_path: &Path) -> std::io::Result<Self> {
+        let path = PathBuf::from(format!("{}.lock", store_path.display()));
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {
+                file.set_len(0)?;
+                let _ = write!(file, "{}", std::process::id());
+                let _ = file.flush();
+                Ok(Self { _file: file })
+            }
+            Err(std::fs::TryLockError::WouldBlock) => {
+                let mut holder = String::new();
+                let _ = file.read_to_string(&mut holder);
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    format!(
+                        "store {} is locked by a running sweep (pid {}); wait for it to finish",
+                        store_path.display(),
+                        holder.trim()
+                    ),
+                ))
+            }
+            Err(std::fs::TryLockError::Error(e)) => Err(e),
+        }
+    }
+}
+
+fn write_line(writer: &mut BufWriter<File>, record: &ScenarioRecord) -> std::io::Result<()> {
+    let line = serde_json::to_string(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
+}

@@ -1,0 +1,106 @@
+//! Campaign determinism property: the finalized result store is
+//! byte-identical regardless of worker thread count.
+
+use std::path::PathBuf;
+
+use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
+use dnnlife_campaign::{run_campaign, run_scenarios, CampaignOptions};
+use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
+use dnnlife_quant::NumberFormat;
+
+mod util;
+
+/// A grid cheap enough for debug-mode CI: the custom network on the
+/// NPU, four policies × two lifetimes, heavily strided.
+fn test_grid() -> CampaignGrid {
+    GridAxes {
+        platforms: vec![Platform::TpuLike],
+        networks: vec![NetworkKind::CustomMnist],
+        formats: vec![NumberFormat::Int8Symmetric],
+        policies: vec![
+            PolicySpec::None,
+            PolicySpec::BarrelShifter,
+            PolicySpec::DnnLife {
+                bias: 0.7,
+                bias_balancing: true,
+                m_bits: 4,
+            },
+            PolicySpec::DnnLife {
+                bias: 0.5,
+                bias_balancing: false,
+                m_bits: 2,
+            },
+        ],
+        lifetimes_years: vec![2.0, 7.0],
+        options: SweepOptions {
+            base_seed: 42,
+            sample_stride: 256,
+            inferences: 20,
+        },
+    }
+    .build("determinism-test")
+}
+
+fn sweep_bytes(dir: &std::path::Path, threads: usize) -> Vec<u8> {
+    let path: PathBuf = dir.join(format!("threads{threads}.jsonl"));
+    let outcome = run_campaign(
+        &test_grid(),
+        &path,
+        &CampaignOptions {
+            threads,
+            resume: false,
+            verbose: false,
+        },
+    )
+    .expect("campaign run");
+    assert_eq!(outcome.executed, test_grid().len());
+    assert_eq!(outcome.skipped, 0);
+    std::fs::read(&path).expect("read store")
+}
+
+#[test]
+fn store_bytes_identical_across_1_2_8_threads() {
+    let dir = util::scratch_dir("determinism");
+    let bytes_1 = sweep_bytes(&dir, 1);
+    let bytes_2 = sweep_bytes(&dir, 2);
+    let bytes_8 = sweep_bytes(&dir, 8);
+    assert!(!bytes_1.is_empty());
+    assert_eq!(bytes_1, bytes_2, "1-thread vs 2-thread stores differ");
+    assert_eq!(bytes_1, bytes_8, "1-thread vs 8-thread stores differ");
+}
+
+#[test]
+fn in_memory_records_match_store_order_and_content() {
+    let dir = util::scratch_dir("determinism-mem");
+    let grid = test_grid();
+    let path = dir.join("store.jsonl");
+    run_campaign(&grid, &path, &CampaignOptions::default()).expect("campaign run");
+
+    let store = dnnlife_campaign::ResultStore::open(&path).expect("reopen store");
+    let in_memory = run_scenarios(&grid, 3);
+    assert_eq!(in_memory.len(), store.len());
+    for (spec, record) in grid.scenarios.iter().zip(&in_memory) {
+        let stored = store.get(&spec.content_key()).expect("scenario stored");
+        assert_eq!(stored, record);
+    }
+}
+
+#[test]
+fn rerun_over_existing_store_skips_everything() {
+    let dir = util::scratch_dir("determinism-skip");
+    let grid = test_grid();
+    let path = dir.join("store.jsonl");
+    run_campaign(&grid, &path, &CampaignOptions::default()).expect("first run");
+    let second = run_campaign(
+        &grid,
+        &path,
+        &CampaignOptions {
+            threads: 0,
+            resume: true,
+            verbose: false,
+        },
+    )
+    .expect("second run");
+    assert_eq!(second.executed, 0, "resume re-executed stored scenarios");
+    assert_eq!(second.skipped, grid.len());
+}

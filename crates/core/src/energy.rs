@@ -88,7 +88,11 @@ pub fn energy_overhead(
 /// let nj = inference_energy_nj(&wde, lib.clock_ghz, 7_619_332);
 /// assert!(nj < 1000.0, "mitigation costs under a microjoule: {nj} nJ");
 /// ```
-pub fn inference_energy_nj(wde: &Characterization, clock_ghz: f64, words_per_inference: u64) -> f64 {
+pub fn inference_energy_nj(
+    wde: &Characterization,
+    clock_ghz: f64,
+    words_per_inference: u64,
+) -> f64 {
     let per_word_fj = wde.power_nw / clock_ghz * 1e-3;
     // Encode + decode: the RDD is the same XOR array (no controller);
     // costing it as a full WDE is conservative.

@@ -174,10 +174,62 @@ impl ExperimentSpec {
             sample_stride: 1,
         }
     }
+
+    /// Whether [`run_experiment`] can simulate this spec: the TPU-like
+    /// NPU's weight FIFO stores 8-bit words only (Table I), so fp32 on
+    /// that platform is rejected rather than panicking mid-simulation.
+    pub fn is_valid(&self) -> bool {
+        match self.platform {
+            Platform::Baseline => true,
+            Platform::TpuLike => self.format.bits() == 8,
+        }
+    }
+
+    /// A stable 64-bit content hash (FNV-1a over the canonical JSON
+    /// serialization). Two specs hash equal iff every field — including
+    /// the seed — matches; the campaign result store keys scenarios by
+    /// this value so completed work is recognised across processes.
+    pub fn content_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("ExperimentSpec serializes infallibly");
+        fnv1a_64(json.as_bytes())
+    }
+
+    /// [`ExperimentSpec::content_hash`] rendered as a fixed-width hex
+    /// key for the result store.
+    pub fn content_key(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// [`ExperimentSpec::content_hash`] with the seed zeroed: identifies
+    /// the scenario's *coordinates* (platform, network, format, policy,
+    /// run parameters) independent of its random seed. Campaign grids
+    /// derive per-scenario seeds from this, and store comparisons match
+    /// scenarios on it so sweeps with different master seeds line up.
+    pub fn coordinate_hash(&self) -> u64 {
+        let mut coords = self.clone();
+        coords.seed = 0;
+        coords.content_hash()
+    }
+
+    /// [`ExperimentSpec::coordinate_hash`] as a fixed-width hex key.
+    pub fn coordinate_key(&self) -> String {
+        format!("{:016x}", self.coordinate_hash())
+    }
+}
+
+/// FNV-1a over a byte string: stable across platforms and releases,
+/// which is what store keys need (`DefaultHasher` guarantees neither).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// Result of one experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Human-readable experiment label.
     pub label: String,
@@ -212,16 +264,28 @@ impl ExperimentResult {
 
 /// Runs one experiment with the paper-calibrated SNM model.
 ///
+/// Pure: the result is a deterministic function of the spec alone
+/// (the DNN-Life TRBG draws are counter-seeded from `spec.seed`), and
+/// bit-identical regardless of simulator thread count.
+///
 /// # Panics
 ///
-/// Panics on inconsistent specs (e.g. fp32 weights on the 8-bit NPU).
+/// Panics on inconsistent specs (e.g. fp32 weights on the 8-bit NPU —
+/// see [`ExperimentSpec::is_valid`]).
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    run_experiment_threaded(spec, 0)
+}
+
+/// [`run_experiment`] with an explicit simulator thread count
+/// (0 = all cores). The campaign executor pins this to 1 so scenario-
+/// level parallelism isn't multiplied by cell-level parallelism.
+pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> ExperimentResult {
     let network = spec.network.spec();
     let snm_model = CalibratedSnmModel::paper();
     let sim_cfg = AnalyticSimConfig {
         inferences: spec.inferences,
         sample_stride: spec.sample_stride,
-        threads: 0,
+        threads,
     };
     let policy = spec.policy.analytic(spec.seed ^ 0x5EED_0FD0_0D42);
 
@@ -392,6 +456,57 @@ mod tests {
     fn policy_lists_match_paper() {
         assert_eq!(fig9_policies().len(), 6);
         assert_eq!(fig11_policies().len(), 4);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ExperimentSpec::fig9(
+            NumberFormat::Fp32,
+            PolicySpec::DnnLife {
+                bias: 0.7,
+                bias_balancing: true,
+                m_bits: 4,
+            },
+            0xDEAD_BEEF_CAFE_F00D,
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.content_key(), spec.content_key());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_every_field() {
+        let base = ExperimentSpec::fig11(NetworkKind::CustomMnist, PolicySpec::None, 1);
+        let mut other = base.clone();
+        other.seed = 2;
+        assert_ne!(base.content_hash(), other.content_hash());
+        let mut other = base.clone();
+        other.years = 8.0;
+        assert_ne!(base.content_hash(), other.content_hash());
+        let mut other = base.clone();
+        other.policy = PolicySpec::Inversion;
+        assert_ne!(base.content_hash(), other.content_hash());
+        assert_eq!(base.content_hash(), base.clone().content_hash());
+        assert_eq!(base.content_key().len(), 16);
+    }
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let result = quick(PolicySpec::BarrelShifter);
+        let json = serde_json::to_string(&result).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn npu_validity_rejects_fp32() {
+        let mut spec = ExperimentSpec::fig11(NetworkKind::CustomMnist, PolicySpec::None, 1);
+        assert!(spec.is_valid());
+        spec.format = NumberFormat::Fp32;
+        assert!(!spec.is_valid());
+        spec.platform = Platform::Baseline;
+        assert!(spec.is_valid());
     }
 
     #[test]

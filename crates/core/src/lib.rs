@@ -45,5 +45,8 @@ pub mod experiment;
 pub mod probmodel;
 pub mod report;
 
-pub use experiment::{run_experiment, ExperimentResult, ExperimentSpec, NetworkKind, Platform, PolicySpec};
+pub use experiment::{
+    run_experiment, run_experiment_threaded, ExperimentResult, ExperimentSpec, NetworkKind,
+    Platform, PolicySpec,
+};
 pub use probmodel::DutyCycleModel;

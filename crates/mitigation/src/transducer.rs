@@ -175,7 +175,11 @@ impl WriteTransducer for PeriodicInversion {
         let slot = &mut self.parity[usize::try_from(addr).expect("address fits usize")];
         let invert = *slot;
         *slot = !*slot;
-        let stored = if invert { word ^ mask(self.width) } else { word };
+        let stored = if invert {
+            word ^ mask(self.width)
+        } else {
+            word
+        };
         (stored, Metadata::Inverted(invert))
     }
 
@@ -256,7 +260,10 @@ impl WriteTransducer for BarrelShifter {
         let slot = &mut self.counters[usize::try_from(addr).expect("address fits usize")];
         let shift = u32::from(*slot) % self.width;
         *slot = ((u32::from(*slot) + 1) % self.width) as u8;
-        (self.rotate_left(word, shift), Metadata::Rotated(shift as u8))
+        (
+            self.rotate_left(word, shift),
+            Metadata::Rotated(shift as u8),
+        )
     }
 
     fn decode(&self, stored: u64, meta: Metadata) -> u64 {
@@ -346,7 +353,9 @@ mod tests {
                 *count += (stored >> pos & 1) as u32;
             }
         }
-        ones.iter().map(|&c| f64::from(c) / f64::from(writes)).collect()
+        ones.iter()
+            .map(|&c| f64::from(c) / f64::from(writes))
+            .collect()
     }
 
     #[test]

@@ -258,8 +258,7 @@ mod tests {
         // Mean inter-class L2 distance must exceed mean intra-class
         // distance — a weak but meaningful separability check.
         let d = SyntheticMnist::new(2);
-        let samples: Vec<([f32; IMAGE_PIXELS], usize)> =
-            (0..60).map(|i| d.sample(i)).collect();
+        let samples: Vec<([f32; IMAGE_PIXELS], usize)> = (0..60).map(|i| d.sample(i)).collect();
         let dist = |a: &[f32; IMAGE_PIXELS], b: &[f32; IMAGE_PIXELS]| -> f32 {
             a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
         };

@@ -57,7 +57,10 @@ impl Conv2d {
         padding: usize,
         groups: usize,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "Conv2d: kernel and stride must be > 0");
+        assert!(
+            kernel > 0 && stride > 0,
+            "Conv2d: kernel and stride must be > 0"
+        );
         assert!(groups > 0, "Conv2d: groups must be > 0");
         assert!(
             in_channels.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
@@ -128,7 +131,11 @@ impl Layer for Conv2d {
             input.shape()[2],
             input.shape()[3],
         );
-        assert_eq!(c, self.in_channels, "Conv2d {}: channel mismatch", self.name);
+        assert_eq!(
+            c, self.in_channels,
+            "Conv2d {}: channel mismatch",
+            self.name
+        );
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
 
@@ -156,9 +163,8 @@ impl Layer for Conv2d {
                                     if ix < 0 || ix >= w as isize {
                                         continue;
                                     }
-                                    let wv = self.weight.data()[self
-                                        .weight
-                                        .idx4(oc, ic_local, ky, kx)];
+                                    let wv =
+                                        self.weight.data()[self.weight.idx4(oc, ic_local, ky, kx)];
                                     let iv =
                                         input.data()[input.idx4(img, ic, iy as usize, ix as usize)];
                                     acc += wv * iv;
@@ -203,7 +209,8 @@ impl Layer for Conv2d {
                 let g = oc / cout_g;
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let go = grad_out.data()[((img * self.out_channels + oc) * oh + oy) * ow + ox];
+                        let go =
+                            grad_out.data()[((img * self.out_channels + oc) * oh + oy) * ow + ox];
                         if go == 0.0 {
                             continue;
                         }
@@ -222,10 +229,8 @@ impl Layer for Conv2d {
                                     }
                                     let w_idx = self.weight.idx4(oc, ic_local, ky, kx);
                                     let i_idx = input.idx4(img, ic, iy as usize, ix as usize);
-                                    self.grad_weight.data_mut()[w_idx] +=
-                                        go * input.data()[i_idx];
-                                    grad_in.data_mut()[i_idx] +=
-                                        go * self.weight.data()[w_idx];
+                                    self.grad_weight.data_mut()[w_idx] += go * input.data()[i_idx];
+                                    grad_in.data_mut()[i_idx] += go * self.weight.data()[w_idx];
                                 }
                             }
                         }

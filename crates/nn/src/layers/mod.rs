@@ -72,7 +72,9 @@ pub(crate) mod gradcheck {
     pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
         let out = layer.forward(input);
         // Probe vector fixed by a cheap deterministic pattern.
-        let probe: Vec<f32> = (0..out.len()).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
+        let probe: Vec<f32> = (0..out.len())
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.25)
+            .collect();
         let grad_out = Tensor::from_vec(out.shape(), probe.clone());
         let analytic = layer.backward(&grad_out);
 
@@ -108,7 +110,9 @@ pub(crate) mod gradcheck {
     /// Verifies parameter gradients the same way.
     pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
         let out = layer.forward(input);
-        let probe: Vec<f32> = (0..out.len()).map(|i| ((i % 5) as f32 - 2.0) * 0.5).collect();
+        let probe: Vec<f32> = (0..out.len())
+            .map(|i| ((i % 5) as f32 - 2.0) * 0.5)
+            .collect();
         let grad_out = Tensor::from_vec(out.shape(), probe.clone());
         // Reset gradients, then accumulate once.
         layer.visit_params(&mut |p| p.grad.fill(0.0));

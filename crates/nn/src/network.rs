@@ -115,7 +115,11 @@ impl Sequential {
     /// Class predictions (argmax over the final logits) for a batch.
     pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
         let logits = self.forward(input);
-        assert_eq!(logits.shape().len(), 2, "predict: output must be [n, classes]");
+        assert_eq!(
+            logits.shape().len(),
+            2,
+            "predict: output must be [n, classes]"
+        );
         let (n, classes) = (logits.shape()[0], logits.shape()[1]);
         (0..n)
             .map(|img| {
@@ -143,7 +147,10 @@ mod tests {
             vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
         ));
         let mut fc2 = Dense::new("fc2", 3, 2);
-        fc2.set_weights(Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]));
+        fc2.set_weights(Tensor::from_vec(
+            &[2, 3],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+        ));
         net.push(fc1);
         net.push(ReLU::new());
         net.push(fc2);
@@ -172,10 +179,7 @@ mod tests {
         let mut net = two_layer();
         let mut names = Vec::new();
         net.visit_params(&mut |p| names.push(p.name.to_string()));
-        assert_eq!(
-            names,
-            ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
-        );
+        assert_eq!(names, ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
         assert_eq!(net.param_count(), 6 + 3 + 6 + 2);
     }
 

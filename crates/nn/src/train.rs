@@ -121,11 +121,7 @@ pub fn accuracy(net: &mut Sequential, images: &Tensor, labels: &[usize]) -> f64 
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
     correct as f64 / labels.len() as f64
 }
 

@@ -65,9 +65,8 @@ impl LayerWeightGen {
             spec.name()
         );
         let ls = &spec.layers()[layer];
-        let layer_seed = splitmix(
-            splitmix(network_seed ^ 0xD1B5_4A32_D192_ED03).wrapping_add(layer as u64),
-        );
+        let layer_seed =
+            splitmix(splitmix(network_seed ^ 0xD1B5_4A32_D192_ED03).wrapping_add(layer as u64));
         let base_scale = (1.0 / ls.fan_in() as f64).sqrt();
         // Location skew: up to ±5% of the base scale — keeps the sign
         // distribution near balanced while avoiding perfect symmetry.
@@ -310,8 +309,8 @@ mod tests {
         let gen = LayerWeightGen::new(&spec, 1, 7);
         let range = gen.range(u64::MAX);
         assert_eq!(range.sampled, 20_000);
-        let bound = (TAIL_CLAMP as f32) * gen.scale_pos().max(gen.scale_neg())
-            + gen.location().abs();
+        let bound =
+            (TAIL_CLAMP as f32) * gen.scale_pos().max(gen.scale_neg()) + gen.location().abs();
         assert!(range.abs_max() <= bound);
         assert!(range.min < 0.0 && range.max > 0.0);
     }

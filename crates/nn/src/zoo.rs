@@ -388,7 +388,11 @@ mod tests {
         let net = NetworkSpec::custom_mnist();
         let filters: Vec<u64> = net.layers().iter().map(|l| l.filter_count()).collect();
         assert_eq!(filters, vec![16, 50, 256, 10]);
-        let per: Vec<u64> = net.layers().iter().map(|l| l.weights_per_filter()).collect();
+        let per: Vec<u64> = net
+            .layers()
+            .iter()
+            .map(|l| l.weights_per_filter())
+            .collect();
         assert_eq!(per, vec![25, 400, 800, 256]);
     }
 

@@ -16,12 +16,16 @@ fn mlp_learns_synthetic_digits() {
     net.push(Flatten::new());
     let mut fc1 = Dense::new("fc1", 784, 32);
     // Deterministic small init.
-    let init = Tensor::from_fn(&[32, 784], |i| (((i * 2_654_435_761) % 1000) as f32 / 1000.0 - 0.5) * 0.05);
+    let init = Tensor::from_fn(&[32, 784], |i| {
+        (((i * 2_654_435_761) % 1000) as f32 / 1000.0 - 0.5) * 0.05
+    });
     fc1.set_weights(init);
     net.push(fc1);
     net.push(ReLU::new());
     let mut fc2 = Dense::new("fc2", 32, 10);
-    let init = Tensor::from_fn(&[10, 32], |i| (((i * 40_503) % 1000) as f32 / 1000.0 - 0.5) * 0.1);
+    let init = Tensor::from_fn(&[10, 32], |i| {
+        (((i * 40_503) % 1000) as f32 / 1000.0 - 0.5) * 0.1
+    });
     fc2.set_weights(init);
     net.push(fc2);
 

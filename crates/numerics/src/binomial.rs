@@ -73,9 +73,7 @@ impl Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (-self.p).ln_1p()
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (-self.p).ln_1p()
     }
 
     /// Probability mass function `P(X = k)`.

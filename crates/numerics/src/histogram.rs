@@ -6,6 +6,8 @@
 //! accumulate into; it supports merging partial histograms produced by
 //! parallel simulation shards.
 
+use serde::{Deserialize, Serialize};
+
 /// A histogram over `[lo, hi)` with uniformly spaced bins plus explicit
 /// underflow/overflow counters.
 ///
@@ -20,7 +22,7 @@
 /// assert_eq!(h.total(), 2);
 /// assert!((h.percentages().iter().sum::<f64>() - 100.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

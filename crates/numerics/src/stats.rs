@@ -1,5 +1,7 @@
 //! Summary statistics used across the experiment reports.
 
+use serde::{Deserialize, Serialize};
+
 /// Streaming summary (count / mean / variance / min / max) using
 /// Welford's online algorithm, so multi-gigabit duty-cycle streams can be
 /// summarised without buffering.
@@ -17,7 +19,7 @@
 /// assert!((s.mean() - 2.5).abs() < 1e-12);
 /// assert!((s.variance() - 1.6666666).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Summary {
     count: u64,
     mean: f64,

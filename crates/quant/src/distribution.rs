@@ -36,7 +36,10 @@ impl BitDistribution {
     ///
     /// Panics if `bits == 0` or `bits > 32`.
     pub fn new(bits: usize) -> Self {
-        assert!(bits > 0 && bits <= 32, "BitDistribution: bits must be 1..=32");
+        assert!(
+            bits > 0 && bits <= 32,
+            "BitDistribution: bits must be 1..=32"
+        );
         Self {
             ones: vec![0.0; bits],
             total: 0.0,
@@ -70,7 +73,10 @@ impl BitDistribution {
     /// Panics if `pos >= self.bits()`. Returns 0.5 (the uninformative
     /// prior) when no words have been recorded.
     pub fn probability(&self, pos: usize) -> f64 {
-        assert!(pos < self.ones.len(), "BitDistribution: bit {pos} out of range");
+        assert!(
+            pos < self.ones.len(),
+            "BitDistribution: bit {pos} out of range"
+        );
         if self.total == 0.0 {
             0.5
         } else {

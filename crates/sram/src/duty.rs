@@ -111,7 +111,10 @@ impl DutyCycleTracker {
     ///
     /// Panics if `idx` is out of range.
     pub fn duty(&self, idx: usize) -> f64 {
-        assert!(idx < self.cells, "DutyCycleTracker: cell {idx} out of range");
+        assert!(
+            idx < self.cells,
+            "DutyCycleTracker: cell {idx} out of range"
+        );
         if self.total_time == 0.0 {
             0.0
         } else {

@@ -350,8 +350,14 @@ mod tests {
     fn read_disturb_voltage_scales_with_cell_ratio() {
         // A stronger pull-down (higher cell ratio kn/kpg) lowers the
         // read-disturb voltage — the classic read-stability design knob.
-        let weak = InverterParams { kn: 1.2, ..InverterParams::default_65nm() };
-        let strong = InverterParams { kn: 3.0, ..InverterParams::default_65nm() };
+        let weak = InverterParams {
+            kn: 1.2,
+            ..InverterParams::default_65nm()
+        };
+        let strong = InverterParams {
+            kn: 3.0,
+            ..InverterParams::default_65nm()
+        };
         let v_weak = solve_vtc(&weak, weak.vdd, 0.0, 0.0);
         let v_strong = solve_vtc(&strong, strong.vdd, 0.0, 0.0);
         assert!(v_strong < v_weak, "{v_strong} vs {v_weak}");

@@ -59,10 +59,7 @@ mod tests {
             for step in 1..=10 {
                 let d = 0.5 + step as f64 * 0.05;
                 let v = model.degradation_percent(d, 7.0);
-                assert!(
-                    v >= prev - 1e-9,
-                    "not monotone at d={d}: {v} after {prev}"
-                );
+                assert!(v >= prev - 1e-9, "not monotone at d={d}: {v} after {prev}");
                 prev = v;
             }
         }

@@ -52,5 +52,5 @@ pub mod sta;
 pub mod verilog;
 
 pub use library::{CellKind, TechLibrary};
-pub use netlist::{Netlist, NetId};
+pub use netlist::{NetId, Netlist};
 pub use report::{characterize, Characterization};

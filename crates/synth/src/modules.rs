@@ -159,7 +159,11 @@ fn build_mux_tree(
     for pair in 0..leaves.len() / 2 {
         let sel = sel_for(level, pair);
         let y = n.add_net(&format!("{prefix}_l{level}_m{pair}"));
-        n.add_cell(CellKind::Mux2, &[sel, leaves[2 * pair], leaves[2 * pair + 1]], y);
+        n.add_cell(
+            CellKind::Mux2,
+            &[sel, leaves[2 * pair], leaves[2 * pair + 1]],
+            y,
+        );
         next.push(y);
     }
     build_mux_tree(n, &next, sel_for, level + 1, prefix)
@@ -205,8 +209,7 @@ pub fn barrel_wde_full_mux(width: usize) -> Netlist {
         let leaves: Vec<NetId> = (0..width)
             .map(|k| data_leaves[(bit + k) % width][bit])
             .collect();
-        let muxes_per_level =
-            |lvl: usize| -> usize { (width >> (lvl + 1)).max(1) };
+        let muxes_per_level = |lvl: usize| -> usize { (width >> (lvl + 1)).max(1) };
         let sel_for = |level: usize, pair: usize| -> NetId {
             selects[level][bit * muxes_per_level(level) + pair]
         };

@@ -201,10 +201,7 @@ impl Netlist {
 
     /// Total area in NAND2-equivalent units.
     pub fn area(&self, lib: &TechLibrary) -> f64 {
-        self.cells
-            .iter()
-            .map(|c| lib.params(c.kind).area)
-            .sum()
+        self.cells.iter().map(|c| lib.params(c.kind).area).sum()
     }
 
     /// Cell-count histogram by kind.

@@ -191,9 +191,8 @@ fn propagate(
             // ∂F/∂s = a⊕b, ∂F/∂a = ¬s, ∂F/∂b = s.
             let p_diff =
                 a.probability * (1.0 - b.probability) + b.probability * (1.0 - a.probability);
-            let density = s.density * p_diff
-                + a.density * (1.0 - s.probability)
-                + b.density * s.probability;
+            let density =
+                s.density * p_diff + a.density * (1.0 - s.probability) + b.density * s.probability;
             Activity {
                 probability: p,
                 density,

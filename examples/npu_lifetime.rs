@@ -16,7 +16,10 @@ fn main() {
         NetworkKind::Vgg16,
         NetworkKind::CustomMnist,
     ] {
-        println!("=== TPU-like NPU / {} / int8 symmetric ===", network.display_name());
+        println!(
+            "=== TPU-like NPU / {} / int8 symmetric ===",
+            network.display_name()
+        );
         println!("{:<46} {:>10} {:>10}", "policy", "mean[%]", "worst[%]");
         for policy in fig11_policies() {
             let mut spec = ExperimentSpec::fig11(network, policy, 42);

@@ -6,9 +6,7 @@
 //! ```
 
 use dnn_life::core::analysis::bit_distribution_report;
-use dnn_life::core::experiment::{
-    run_experiment, ExperimentSpec, NetworkKind, PolicySpec,
-};
+use dnn_life::core::experiment::{run_experiment, ExperimentSpec, NetworkKind, PolicySpec};
 use dnn_life::core::report::{render_bit_distribution, render_experiment};
 
 fn main() {
@@ -16,10 +14,7 @@ fn main() {
     //    the custom MNIST network distributed per number format?
     println!("== Step 1: weight-bit distributions (custom MNIST network) ==\n");
     for (format, dist) in bit_distribution_report(NetworkKind::CustomMnist, 42, 200_000) {
-        println!(
-            "-- {format}: mean P(1) = {:.3} --",
-            dist.mean_probability()
-        );
+        println!("-- {format}: mean P(1) = {:.3} --", dist.mean_probability());
         print!("{}", render_bit_distribution(&dist));
         println!();
     }

@@ -22,7 +22,10 @@ fn main() {
     let mut sgd = Sgd::new(0.03, 0.9, 1e-4);
     let batch = 16usize;
     let steps = 250u64;
-    println!("training custom CNN ({} params) for {steps} steps...", net.param_count());
+    println!(
+        "training custom CNN ({} params) for {steps} steps...",
+        net.param_count()
+    );
     for step in 0..steps {
         let (images, labels) = data.batch(step * batch as u64, batch);
         let loss = sgd.step(&mut net, &images, &labels);

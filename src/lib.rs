@@ -9,6 +9,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`core`] | experiment runner, probabilistic model, reports |
+//! | [`campaign`] | parallel scenario sweeps, resumable result store, `dnnlife` CLI |
 //! | [`nn`] | tensors, layers, training, network zoo, synthetic weights |
 //! | [`quant`] | number formats, quantizers, bit-distribution analysis |
 //! | [`sram`] | 6T-cell duty cycles, NBTI and SNM models |
@@ -37,6 +38,7 @@
 //! ```
 
 pub use dnnlife_accel as accel;
+pub use dnnlife_campaign as campaign;
 pub use dnnlife_core as core;
 pub use dnnlife_mitigation as mitigation;
 pub use dnnlife_nn as nn;

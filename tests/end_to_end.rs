@@ -100,7 +100,12 @@ fn eq1_matches_monte_carlo() {
 fn simulator_duty_variance_matches_theory() {
     let mut cfg = AcceleratorConfig::baseline();
     cfg.weight_memory_bytes = 4096;
-    let mem = FlatWeightMemory::new(&cfg, &NetworkKind::CustomMnist.spec(), NumberFormat::Int8Symmetric, 3);
+    let mem = FlatWeightMemory::new(
+        &cfg,
+        &NetworkKind::CustomMnist.spec(),
+        NumberFormat::Int8Symmetric,
+        3,
+    );
     let inferences = 50u64;
     let duties = simulate_analytic(
         &mem,

@@ -36,11 +36,7 @@ fn energy_efficiency_and_lifetime_story() {
 #[test]
 fn lifetime_respects_custom_nbti_exponent() {
     // With a steeper time exponent the lifetime gain shrinks.
-    let steep = CalibratedSnmModel::with_anchors(
-        NbtiModel::new(50.0, 1.0, 0.5, 7.0),
-        10.82,
-        26.12,
-    );
+    let steep = CalibratedSnmModel::with_anchors(NbtiModel::new(50.0, 1.0, 0.5, 7.0), 10.82, 26.12);
     let gain = lifetime_improvement(&steep, 1.0, 0.5, 15.0);
     // Halving ΔVth at n = 1/2 buys 2^2 = 4x.
     assert!((gain - 4.0).abs() < 0.5, "gain {gain}");

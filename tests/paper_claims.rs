@@ -1,9 +1,7 @@
 //! Tests pinned to specific quantitative claims of the paper's text.
 
 use dnn_life::accel::{AcceleratorConfig, BlockSource, FifoSlotMemory, FlatWeightMemory};
-use dnn_life::core::experiment::{
-    run_experiment, ExperimentSpec, NetworkKind, PolicySpec,
-};
+use dnn_life::core::experiment::{run_experiment, ExperimentSpec, NetworkKind, PolicySpec};
 use dnn_life::core::DutyCycleModel;
 use dnn_life::quant::NumberFormat;
 use dnn_life::sram::snm::{CalibratedSnmModel, SnmModel};
@@ -39,7 +37,12 @@ fn npu_fifo_geometry() {
         cfg.weight_memory_bytes,
         FifoSlotMemory::DEPTH * FifoSlotMemory::TILE_SIDE * FifoSlotMemory::TILE_SIDE
     );
-    let slot = FifoSlotMemory::new(0, &NetworkKind::Alexnet.spec(), NumberFormat::Int8Symmetric, 1);
+    let slot = FifoSlotMemory::new(
+        0,
+        &NetworkKind::Alexnet.spec(),
+        NumberFormat::Int8Symmetric,
+        1,
+    );
     assert_eq!(slot.geometry().words, 256 * 256);
 }
 

@@ -1,0 +1,204 @@
+//! Offline shim of `criterion`.
+//!
+//! Provides the macro and builder API the workspace's benches use, with
+//! a simple calibrated-measurement loop instead of criterion's full
+//! statistical machinery: each benchmark is warmed up, then timed over
+//! enough iterations to fill a fixed measurement window, and the
+//! mean ns/iteration (plus derived throughput, when configured) is
+//! printed to stdout. Good enough to compare 1-thread vs N-thread
+//! sweeps and to catch order-of-magnitude regressions; not a substitute
+//! for criterion's confidence intervals.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Target wall-clock spent warming each benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(60);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the shim re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes measurement by
+    /// wall-clock window, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`BenchmarkGroup::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        run_benchmark(&id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations to run this measurement pass.
+    iters: u64,
+    /// Accumulated measured time.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the scheduled number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` against a mutable input rebuilt by `setup` each
+    /// iteration; only `routine` is timed.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibration pass: one iteration, to size the windows.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+
+    let calibrated = |window: Duration| -> u64 {
+        (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+
+    let mut warmup = Bencher {
+        iters: calibrated(WARMUP_WINDOW),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+
+    let mut measure = Bencher {
+        iters: calibrated(MEASURE_WINDOW),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut measure);
+
+    let ns_per_iter = measure.elapsed.as_nanos() as f64 / measure.iters as f64;
+    let mut line = format!(
+        "{id:<52} {:>14.1} ns/iter ({} iters)",
+        ns_per_iter, measure.iters
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  {per_sec:>14.0} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  {:>11.1} MiB/s", per_sec / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,300 @@
+//! Offline shim of `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implements the two derives against the sibling `serde` shim's
+//! eager-`Value` data model. Supported item shapes — the only ones this
+//! workspace derives — are named-field structs, and enums whose
+//! variants are unit or named-field. Tuple structs, tuple variants and
+//! generic items are rejected with a compile error naming the item, so
+//! an unsupported use fails loudly instead of serializing wrongly.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (unavailable
+//! offline): it walks the raw `proc_macro::TokenStream` and emits the
+//! impl as a source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant, None)` = unit, `(variant, Some(fields))` = named.
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the next meaningful index.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(t) if is_punct(t, '#') => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name : Type ,` sequences out of a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree], context: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(t) if is_punct(t, ':')),
+            "serde_derive shim: expected `:` after field `{}` in {context}",
+            fields.last().unwrap(),
+        );
+        i += 1;
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or one past the end)
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree], context: &str) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push((
+                    name.clone(),
+                    Some(parse_named_fields(&inner, &format!("{context}::{name}"))),
+                ));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple variant `{context}::{name}` is unsupported");
+            }
+            _ => variants.push((name, None)),
+        }
+        if matches!(tokens.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("serde_derive shim: generic item `{name}` is unsupported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => panic!(
+            "serde_derive shim: `{name}` must have a braced body \
+             (tuple/unit items are unsupported)"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            fields: parse_named_fields(&body, &name),
+            name,
+        },
+        "enum" => Item::Enum {
+            variants: parse_variants(&body, &name),
+            name,
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{pushes}])\
+                             )]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(pairs, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let pairs = value.as_object_named(\"{name}\")?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let named_arms: String = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(pairs, \"{f}\")?,"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let pairs = inner.as_object_named(\"{name}::{v}\")?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                         }}"
+                    )
+                })
+                .collect();
+            let object_arm = if named_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {named_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(\n\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::new(\n\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             {object_arm}\
+                             _ => ::std::result::Result::Err(::serde::Error::new(\n\
+                                 \"expected a {name} variant\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
