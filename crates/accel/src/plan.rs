@@ -199,11 +199,24 @@ impl FlatWeightMemory {
     /// # Panics
     ///
     /// Panics if `spec` has a different layer structure than the plan.
-    pub fn with_compute_weighted_residency(mut self, spec: &NetworkSpec) -> Self {
+    pub fn with_compute_weighted_residency(self, spec: &NetworkSpec) -> Self {
+        let weights = self.layer_proportional_weights(spec);
+        self.with_dwell_weights(weights)
+    }
+
+    /// Per-block residency weights proportional to MAC work: each block
+    /// weighs the per-word MAC count of the layers it spans (the
+    /// [`FlatWeightMemory::with_compute_weighted_residency`] model,
+    /// exposed so callers can inspect or post-process the weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` has a different layer structure than the plan.
+    pub fn layer_proportional_weights(&self, spec: &NetworkSpec) -> Vec<f64> {
         assert_eq!(
             spec.layers().len(),
             self.layers.len(),
-            "with_compute_weighted_residency: spec mismatch"
+            "layer_proportional_weights: spec mismatch"
         );
         // MACs per stream word, by layer.
         let per_word: Vec<f64> = spec
@@ -212,6 +225,30 @@ impl FlatWeightMemory {
             .zip(&self.layers)
             .map(|(ls, plan)| ls.macs() as f64 / plan.stream_len as f64)
             .collect();
+        self.per_word_factor_weights(&per_word)
+    }
+
+    /// Per-block residency weights from arbitrary per-layer factors:
+    /// `factors[li]` is the relative time the memory dwells on one word
+    /// of layer `li`, and a block's weight sums the factors of the
+    /// stream words it holds. This is how custom dwell models are
+    /// constructed from a [`NetworkSpec`]'s layer structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len()` differs from the plan's layer count.
+    pub fn per_layer_dwell_weights(&self, factors: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            factors.len(),
+            self.layers.len(),
+            "per_layer_dwell_weights: {} factors for {} layers",
+            factors.len(),
+            self.layers.len()
+        );
+        self.per_word_factor_weights(factors)
+    }
+
+    fn per_word_factor_weights(&self, per_word: &[f64]) -> Vec<f64> {
         let words = self.geometry.words as u64;
         let mut weights = Vec::with_capacity(self.total_blocks as usize);
         for k in 0..self.total_blocks {
@@ -227,15 +264,65 @@ impl FlatWeightMemory {
             }
             weights.push(work);
         }
-        // Normalise to mean 1.0 (zero-work padding blocks get a small
-        // positive floor: the memory still holds them for the transfer).
-        let mean = weights.iter().sum::<f64>() / weights.len() as f64;
-        for w in &mut weights {
-            *w = (*w / mean).max(1e-3);
-        }
-        self.dwell_weights = Some(weights);
+        weights
+    }
+
+    /// Installs explicit per-block residency weights (one per block,
+    /// any positive scale — duties depend only on ratios). Weights are
+    /// normalised to mean 1.0, with a small positive floor for
+    /// zero-work padding blocks (the memory still holds them for the
+    /// transfer). Honoured by [`crate::simulate_exact`]; the analytic
+    /// simulator rejects non-uniform dwell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.block_count()`, or any weight
+    /// is negative or non-finite, or all weights are zero.
+    pub fn with_dwell_weights(mut self, weights: Vec<f64>) -> Self {
+        self.dwell_weights = Some(normalize_dwell(weights, self.total_blocks));
         self
     }
+}
+
+/// Normalises raw residency weights to mean 1.0 with a `1e-3` floor.
+fn normalize_dwell(mut weights: Vec<f64>, blocks: u64) -> Vec<f64> {
+    assert_eq!(
+        weights.len() as u64,
+        blocks,
+        "dwell weights: {} values for {blocks} blocks",
+        weights.len()
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "dwell weights must be finite and non-negative"
+    );
+    let mean = weights.iter().sum::<f64>() / weights.len() as f64;
+    assert!(mean > 0.0, "dwell weights must not all be zero");
+    for w in &mut weights {
+        *w = (*w / mean).max(1e-3);
+    }
+    weights
+}
+
+/// Zipf-style hot-block residency: block `b` (stream order) dwells for
+/// a time proportional to `(b + 1)^-exponent`. `exponent = 0` is
+/// uniform; larger exponents concentrate residency on the first blocks
+/// of the stream (the paper's early conv layers). Feed the result to
+/// [`FlatWeightMemory::with_dwell_weights`] /
+/// [`FifoSlotMemory::with_dwell_weights`].
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or `exponent` is negative or non-finite.
+pub fn zipf_weights(blocks: u64, exponent: f64) -> Vec<f64> {
+    assert!(blocks > 0, "zipf_weights: no blocks");
+    assert!(
+        exponent.is_finite() && exponent >= 0.0,
+        "zipf_weights: bad exponent {exponent}"
+    );
+    (0..blocks)
+        .map(|b| ((b + 1) as f64).powf(-exponent))
+        .collect()
 }
 
 impl BlockSource for FlatWeightMemory {
@@ -337,6 +424,8 @@ pub struct FifoSlotMemory {
     total_tiles: u64,
     local_blocks: u64,
     label: String,
+    /// Optional per-block relative residency (mean 1.0).
+    dwell_weights: Option<Vec<f64>>,
 }
 
 impl FifoSlotMemory {
@@ -395,6 +484,7 @@ impl FifoSlotMemory {
             total_tiles: offset,
             local_blocks,
             label: format!("tpu-like-npu/{}/{}/slot{}", spec.name(), format, slot),
+            dwell_weights: None,
         }
     }
 
@@ -408,6 +498,89 @@ impl FifoSlotMemory {
     /// Total tiles streamed per inference (across all slots).
     pub fn total_tiles(&self) -> u64 {
         self.total_tiles
+    }
+
+    /// The layer index owning tile number `tile` of the global stream.
+    fn layer_of_tile(&self, tile: u64) -> usize {
+        self.layers
+            .iter()
+            .position(|l| tile < l.tile_offset + l.tiles)
+            .expect("tile within plan")
+    }
+
+    /// Per-block residency weights proportional to MAC work, mirroring
+    /// [`FlatWeightMemory::layer_proportional_weights`]: a tile dwells
+    /// for the per-word MAC count of its layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` has a different layer structure than the plan.
+    pub fn layer_proportional_weights(&self, spec: &NetworkSpec) -> Vec<f64> {
+        assert_eq!(
+            spec.layers().len(),
+            self.layers.len(),
+            "layer_proportional_weights: spec mismatch"
+        );
+        let words_per_tile = (self.tile_side * self.tile_side) as f64;
+        let factors: Vec<f64> = spec
+            .layers()
+            .iter()
+            .zip(&self.layers)
+            .map(|(ls, plan)| ls.macs() as f64 / (plan.tiles as f64 * words_per_tile))
+            .collect();
+        self.per_layer_dwell_weights(&factors)
+    }
+
+    /// Zipf residency by **global** tile stream order: local block `b`
+    /// of this slot is global tile `slot + b·depth`, so its weight is
+    /// `(slot + b·depth + 1)^-exponent` — matching what
+    /// [`zipf_weights`] assigns the same tiles on a flat memory. Using
+    /// slot-local indices instead would give every slot's first tile
+    /// full weight regardless of where it sits in the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is negative or non-finite.
+    pub fn zipf_dwell_weights(&self, exponent: f64) -> Vec<f64> {
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "zipf_dwell_weights: bad exponent {exponent}"
+        );
+        (0..self.local_blocks)
+            .map(|b| ((self.slot + b * self.depth + 1) as f64).powf(-exponent))
+            .collect()
+    }
+
+    /// Per-block residency weights from per-layer factors (`factors[li]`
+    /// = relative dwell per word of layer `li`; a tile is wholly owned
+    /// by one layer, so its weight is that layer's factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len()` differs from the plan's layer count.
+    pub fn per_layer_dwell_weights(&self, factors: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            factors.len(),
+            self.layers.len(),
+            "per_layer_dwell_weights: {} factors for {} layers",
+            factors.len(),
+            self.layers.len()
+        );
+        (0..self.local_blocks)
+            .map(|b| factors[self.layer_of_tile(self.slot + b * self.depth)])
+            .collect()
+    }
+
+    /// Installs explicit per-block residency weights (see
+    /// [`FlatWeightMemory::with_dwell_weights`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.block_count()` or any weight is
+    /// negative or non-finite, or all weights are zero.
+    pub fn with_dwell_weights(mut self, weights: Vec<f64>) -> Self {
+        self.dwell_weights = Some(normalize_dwell(weights, self.local_blocks));
+        self
     }
 }
 
@@ -451,6 +624,12 @@ impl BlockSource for FifoSlotMemory {
 
     fn global_block_index(&self, inference: u64, block: u64) -> u64 {
         inference * self.total_tiles + self.slot + block * self.depth
+    }
+
+    fn dwell(&self, block: u64) -> f64 {
+        self.dwell_weights
+            .as_ref()
+            .map_or(1.0, |w| w[block as usize])
     }
 
     fn label(&self) -> String {
@@ -607,6 +786,94 @@ mod tests {
         );
         assert_eq!(mem.dwell(0), 1.0);
         assert_eq!(mem.dwell(mem.block_count() - 1), 1.0);
+    }
+
+    #[test]
+    fn zipf_weights_decay_and_zero_exponent_is_uniform() {
+        let flat = zipf_weights(5, 0.0);
+        assert!(flat.iter().all(|w| (w - 1.0).abs() < 1e-12));
+        let hot = zipf_weights(5, 1.0);
+        for pair in hot.windows(2) {
+            assert!(pair[0] > pair[1], "zipf weights must decay: {hot:?}");
+        }
+        assert!((hot[0] / hot[4] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_dwell_weights_normalize_to_mean_one() {
+        let mut cfg = AcceleratorConfig::baseline();
+        cfg.weight_memory_bytes = 2048;
+        let mem = FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            3,
+        );
+        let k = mem.block_count();
+        let mem = mem.with_dwell_weights(zipf_weights(k, 1.3));
+        let mean: f64 = (0..k).map(|b| mem.dwell(b)).sum::<f64>() / k as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "mean dwell {mean}");
+        assert!(mem.dwell(0) > mem.dwell(k - 1));
+    }
+
+    #[test]
+    fn per_layer_factors_weight_blocks_by_layer_span() {
+        // Two factors: double residency for conv1 words, none extra for
+        // the rest. custom_mnist has 4 layers.
+        let mut cfg = AcceleratorConfig::baseline();
+        cfg.weight_memory_bytes = 2048;
+        let mem = FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            3,
+        );
+        let raw = mem.per_layer_dwell_weights(&[2.0, 1.0, 1.0, 1.0]);
+        assert_eq!(raw.len() as u64, mem.block_count());
+        // Block 0 holds conv1 (400 words at factor 2) + conv2 start; it
+        // must outweigh a pure-conv2 block.
+        assert!(raw[0] > raw[1], "conv1 block {} vs {}", raw[0], raw[1]);
+    }
+
+    #[test]
+    fn npu_dwell_weights_follow_tile_layers() {
+        let spec = NetworkSpec::custom_mnist();
+        let slots = FifoSlotMemory::all_slots(&spec, NumberFormat::Int8Symmetric, 1);
+        // 8 tiles: conv1 (1), conv2 (2), fc1 (4), fc2 (1). Slot 0 holds
+        // tiles 0 (conv1) and 4 (fc1).
+        let raw = slots[0].per_layer_dwell_weights(&[8.0, 4.0, 2.0, 1.0]);
+        assert_eq!(raw, vec![8.0, 2.0]);
+        // Layer-proportional: conv1 is reused across 576 output
+        // positions, fc1 only once per inference, so the conv tile
+        // dwells far longer.
+        let prop = slots[0].layer_proportional_weights(&spec);
+        assert!(
+            prop[0] > 4.0 * prop[1],
+            "conv {0} vs fc {1}",
+            prop[0],
+            prop[1]
+        );
+        let mem = slots[0].clone().with_dwell_weights(prop);
+        let mean = (mem.dwell(0) + mem.dwell(1)) / 2.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn npu_zipf_dwell_uses_global_tile_order() {
+        let spec = NetworkSpec::custom_mnist();
+        let slots = FifoSlotMemory::all_slots(&spec, NumberFormat::Int8Symmetric, 1);
+        // Slot 1 holds global tiles 1 and 5; at exponent 1 their
+        // weights must be 1/2 and 1/6 — a 3:1 ratio, not the 2:1 that
+        // slot-local indices (1, 1/2) would give.
+        let w = slots[1].zipf_dwell_weights(1.0);
+        assert_eq!(w.len(), 2);
+        assert!((w[0] - 0.5).abs() < 1e-12, "global tile 1: {}", w[0]);
+        assert!((w[1] - 1.0 / 6.0).abs() < 1e-12, "global tile 5: {}", w[1]);
+        // Consistency with the flat-memory convention: slot 0's first
+        // tile is global tile 0 and gets the same weight zipf_weights
+        // assigns stream position 0.
+        let w0 = slots[0].zipf_dwell_weights(1.0);
+        assert_eq!(w0[0], zipf_weights(8, 1.0)[0]);
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Property tests for dataflow plans and the analytic simulator.
+//! Property tests for dataflow plans, the analytic simulator and the
+//! exact simulator's packed-bit image.
 
+use dnnlife_accel::exact::{read_bits, simulate_exact_sampled, write_bits};
 use dnnlife_accel::{
     simulate_analytic, simulate_exact, AcceleratorConfig, AnalyticPolicy, AnalyticSimConfig,
     BlockSource, FifoSlotMemory, FlatWeightMemory,
@@ -139,6 +141,89 @@ proptest! {
         prop_assert_eq!(exact.len(), analytic.len());
         for (i, (e, a)) in exact.iter().zip(&analytic).enumerate() {
             prop_assert!((e - a).abs() < 1e-12, "cell {}: {} vs {}", i, e, a);
+        }
+    }
+
+    /// `write_bits` round-trips random (offset, width, value) triples
+    /// through `read_bits`, including word-straddling writes.
+    #[test]
+    fn write_bits_roundtrips_random_fields(
+        offset in 0usize..192,
+        width in 1usize..=64,
+        value in 0u64..=u64::MAX,
+    ) {
+        prop_assume!(offset + width <= 256);
+        let mut state = vec![0u64; 4];
+        write_bits(&mut state, offset, width, value);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        prop_assert_eq!(read_bits(&state, offset, width), value & mask);
+    }
+
+    /// A write leaves every neighbouring bit untouched, and writing
+    /// over a previous value fully replaces it (no stale bits) — the
+    /// invariants the exact simulator's duty accounting rests on.
+    #[test]
+    fn write_bits_preserves_neighbours_and_overwrites(
+        offset in 0usize..192,
+        width in 1usize..=64,
+        value in 0u64..=u64::MAX,
+        prior in 0u64..=u64::MAX,
+        background in 0u64..=u64::MAX,
+    ) {
+        prop_assume!(offset + width <= 256);
+        // Reference model: one bool per cell.
+        let mut state = vec![background; 4];
+        let mut reference: Vec<bool> = (0..256).map(|i| background >> (i % 64) & 1 == 1).collect();
+        let apply = |state: &mut [u64], reference: &mut [bool], v: u64| {
+            write_bits(state, offset, width, v);
+            for bit in 0..width {
+                reference[offset + bit] = v >> bit & 1 == 1;
+            }
+        };
+        apply(&mut state, &mut reference, prior);
+        apply(&mut state, &mut reference, value);
+        for (i, &expect) in reference.iter().enumerate() {
+            let got = state[i / 64] >> (i % 64) & 1 == 1;
+            prop_assert_eq!(got, expect, "cell {} mismatch", i);
+        }
+    }
+
+    /// Strided exact simulation subsamples the full run exactly for
+    /// deterministic policies (per-address transducer state is
+    /// independent across words).
+    #[test]
+    fn strided_exact_subsamples_full_run(
+        seed in 0u64..30,
+        stride in 1usize..32,
+        inferences in 1u64..4,
+        policy_pick in 0usize..3,
+    ) {
+        let mut cfg = AcceleratorConfig::baseline();
+        cfg.weight_memory_bytes = 512;
+        let mem = FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        let words = mem.geometry().words;
+        let width = 8usize;
+        let mut full_t: Box<dyn WriteTransducer> = match policy_pick {
+            0 => Box::new(Passthrough::new(8)),
+            1 => Box::new(PeriodicInversion::new(8, words)),
+            _ => Box::new(BarrelShifter::new(8, words)),
+        };
+        let mut strided_t: Box<dyn WriteTransducer> = match policy_pick {
+            0 => Box::new(Passthrough::new(8)),
+            1 => Box::new(PeriodicInversion::new(8, words)),
+            _ => Box::new(BarrelShifter::new(8, words)),
+        };
+        let full = simulate_exact(&mem, full_t.as_mut(), inferences);
+        let strided = simulate_exact_sampled(&mem, strided_t.as_mut(), inferences, stride);
+        prop_assert_eq!(strided.len(), words.div_ceil(stride) * width);
+        for (si, chunk) in strided.chunks(width).enumerate() {
+            let word = si * stride;
+            prop_assert_eq!(chunk, &full[word * width..(word + 1) * width]);
         }
     }
 }

@@ -14,6 +14,7 @@ fn quick_grid() -> CampaignGrid {
         base_seed: 42,
         sample_stride: 512,
         inferences: 20,
+        ..SweepOptions::default()
     })
 }
 

@@ -24,12 +24,16 @@ fn policy_rank(policies: &[PolicySpec], policy: &PolicySpec) -> usize {
 }
 
 /// Policy label plus a lifetime qualifier when the scenario deviates
-/// from the paper's 7-year horizon (full-grid stores mix lifetimes).
+/// from the paper's 7-year horizon (full-grid stores mix lifetimes),
+/// plus the backend/dwell qualifier for off-default axes — so a store
+/// mixing analytic and exact records never renders two identical rows
+/// with different numbers.
 fn policy_label(record: &ScenarioRecord) -> String {
     let mut label = record.spec.policy.display_name();
     if record.spec.years != 7.0 {
         label.push_str(&format!(" @ {} years", record.spec.years));
     }
+    label.push_str(&record.spec.variant_suffix());
     label
 }
 
@@ -129,11 +133,12 @@ pub fn fig11_table(store: &ResultStore) -> String {
 /// by platform/network/format/lifetime are never rendered identical.
 fn context_label(record: &ScenarioRecord) -> String {
     format!(
-        "{:?}/{}/{}/{}y",
+        "{:?}/{}/{}/{}y{}",
         record.spec.platform,
         record.spec.network.display_name(),
         record.spec.format,
-        record.spec.years
+        record.spec.years,
+        record.spec.variant_suffix()
     )
 }
 
@@ -287,20 +292,108 @@ pub fn detail(store: &ResultStore) -> String {
     out
 }
 
+/// Renders the per-scenario cross-validation report of
+/// `dnnlife validate`: max/mean per-cell duty divergence between the
+/// matched analytic (uniform-dwell) and exact (requested-dwell) runs,
+/// with a verdict column. Under uniform dwell the verdict applies the
+/// documented tolerances
+/// ([`dnnlife_core::experiment::CROSSVAL_DETERMINISTIC_TOL`] per cell
+/// for deterministic policies,
+/// [`dnnlife_core::experiment::CROSSVAL_STOCHASTIC_MEAN_TOL`] on the
+/// mean for DNN-Life); under a non-uniform dwell model the divergence
+/// *measures* paper assumption (b)'s error, so rows are informational.
+pub fn crossval_table(results: &[dnnlife_core::CrossValidation]) -> String {
+    let mut out =
+        String::from("=== Cross-validation: per-cell duty divergence, exact vs analytic ===\n");
+    for cv in results {
+        let verdict = if !cv.uniform_dwell {
+            "assumption-(b) gap"
+        } else if cv.within_tolerance() {
+            "OK"
+        } else {
+            "FAIL"
+        };
+        out.push_str(&format!(
+            "  {:<64} max|Δ|={:.3e}  mean|Δ|={:.3e}  mean(a)={:.4}  mean(e)={:.4}  cells={}  [{}{}]\n",
+            cv.label,
+            cv.max_abs_duty,
+            cv.mean_abs_duty,
+            cv.mean_duty_analytic,
+            cv.mean_duty_exact,
+            cv.cells,
+            if cv.stochastic { "stochastic, " } else { "" },
+            verdict,
+        ));
+    }
+    out
+}
+
 /// Compares two stores scenario-by-scenario, matched on the seed-
 /// independent coordinate key (so sweeps differing only in `--seed`
-/// line up): reports the mean-SNM delta for shared scenarios and
-/// counts the scenarios unique to either side.
+/// line up, and an exact-backend store lines up against its analytic
+/// twin): reports the mean-SNM delta for shared scenarios and counts
+/// the scenarios unique to either side.
+///
+/// A coordinate can hold *two* records in one store — the analytic and
+/// exact twins of a mixed-backend grid — so matching prefers the
+/// same-backend record and falls back to a cross-backend match only
+/// when it is unambiguous; each B record is consumed by at most one A
+/// record.
 pub fn compare_stores(a: &ResultStore, b: &ResultStore) -> String {
-    let by_coords: std::collections::BTreeMap<String, &ScenarioRecord> =
-        b.records().map(|r| (r.spec.coordinate_key(), r)).collect();
+    let mut by_coords: std::collections::BTreeMap<String, Vec<&ScenarioRecord>> =
+        std::collections::BTreeMap::new();
+    for record in b.records() {
+        by_coords
+            .entry(record.spec.coordinate_key())
+            .or_default()
+            .push(record);
+    }
+    // Two matching passes so a cross-backend fallback can never steal
+    // the B record that another A record matches exactly: first claim
+    // every same-backend pair, then let still-unmatched A records take
+    // a remaining candidate when it is unambiguous.
+    let mut matched_b: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut picks: std::collections::BTreeMap<String, &ScenarioRecord> =
+        std::collections::BTreeMap::new();
+    for record in a.records() {
+        let candidates = by_coords
+            .get(&record.spec.coordinate_key())
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        if let Some(other) = candidates
+            .iter()
+            .copied()
+            .find(|r| r.spec.backend == record.spec.backend && !matched_b.contains(&r.key))
+        {
+            matched_b.insert(other.key.clone());
+            picks.insert(record.key.clone(), other);
+        }
+    }
+    for record in a.records() {
+        if picks.contains_key(&record.key) {
+            continue;
+        }
+        let available: Vec<&ScenarioRecord> = by_coords
+            .get(&record.spec.coordinate_key())
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .copied()
+            .filter(|r| !matched_b.contains(&r.key))
+            .collect();
+        if let [other] = available[..] {
+            matched_b.insert(other.key.clone());
+            picks.insert(record.key.clone(), other);
+        }
+    }
+
     let mut out = String::from("=== Store comparison (B − A, mean SNM degradation) ===\n");
-    let mut shared = std::collections::BTreeSet::new();
+    let mut shared = 0usize;
     let mut only_a = 0usize;
     for record in a.records() {
-        match by_coords.get(&record.spec.coordinate_key()) {
+        match picks.get(&record.key) {
             Some(other) => {
-                shared.insert(record.spec.coordinate_key());
+                shared += 1;
                 let delta = other.result.snm.mean() - record.result.snm.mean();
                 out.push_str(&format!(
                     "  {:<60} {:>+8.3} pp\n",
@@ -310,13 +403,9 @@ pub fn compare_stores(a: &ResultStore, b: &ResultStore) -> String {
             None => only_a += 1,
         }
     }
-    let only_b = b
-        .records()
-        .filter(|r| !shared.contains(&r.spec.coordinate_key()))
-        .count();
+    let only_b = b.records().filter(|r| !matched_b.contains(&r.key)).count();
     out.push_str(&format!(
-        "  shared={} only-in-A={only_a} only-in-B={only_b}\n",
-        shared.len()
+        "  shared={shared} only-in-A={only_a} only-in-B={only_b}\n"
     ));
     out
 }

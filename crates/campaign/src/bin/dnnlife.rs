@@ -1,24 +1,40 @@
 //! `dnnlife` — campaign CLI: sweep scenario grids in parallel, report
-//! aggregated tables, compare result stores.
+//! aggregated tables, compare result stores, cross-validate the
+//! analytic and exact simulators.
 //!
 //! ```text
 //! dnnlife sweep --grid <fig9|fig11|bias|mbits|full> [--threads N]
 //!               [--out FILE] [--resume] [--seed N] [--stride N]
-//!               [--inferences N] [--verbose]
+//!               [--inferences N] [--backend analytic|exact]
+//!               [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
+//!               [--verbose]
 //! dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
 //! dnnlife compare --store-a FILE --store-b FILE
+//! dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N]
+//!                  [--seed N] [--stride N] [--inferences N]
+//!                  [--dwell MODEL] [--report-only]
 //! ```
 //!
 //! `sweep` is resumable: results are journaled per scenario, so a
 //! killed sweep re-run with `--resume` executes only the missing
 //! scenarios — and the finalized store is byte-identical to a clean
 //! single-threaded run regardless of `--threads`.
+//!
+//! `validate` runs each scenario of the grid through *both* simulators
+//! (matched seeds) and reports per-cell duty divergence. Under the
+//! default uniform dwell it enforces the documented tolerances and
+//! fails loudly on disagreement; with a non-uniform `--dwell` the
+//! reported divergence measures how much the paper's equal-residency
+//! assumption (b) distorts each scenario, and no tolerance applies.
 
 use std::process::ExitCode;
 
 use dnnlife_campaign::aggregate;
 use dnnlife_campaign::grid::SweepOptions;
-use dnnlife_campaign::{run_campaign, CampaignGrid, CampaignOptions, ResultStore};
+use dnnlife_campaign::{
+    run_campaign, validate_scenarios, CampaignGrid, CampaignOptions, ResultStore,
+};
+use dnnlife_core::{DwellModel, SimulatorBackend};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +46,7 @@ fn main() -> ExitCode {
         "sweep" => sweep(rest),
         "report" => report(rest),
         "compare" => compare(rest),
+        "validate" => validate(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -48,9 +65,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   dnnlife sweep --grid <fig9|fig11|bias|mbits|full> [--threads N] [--out FILE]
-                [--resume] [--seed N] [--stride N] [--inferences N] [--verbose]
+                [--resume] [--seed N] [--stride N] [--inferences N]
+                [--backend analytic|exact]
+                [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...] [--verbose]
   dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
-  dnnlife compare --store-a FILE --store-b FILE";
+  dnnlife compare --store-a FILE --store-b FILE
+  dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
+                   [--stride N] [--inferences N] [--dwell MODEL] [--report-only]";
 
 /// Minimal `--flag [value]` argument cursor.
 struct Args<'a> {
@@ -102,6 +123,8 @@ fn sweep(argv: &[String]) -> Result<(), String> {
             "--seed" => sweep_options.base_seed = args.parsed("--seed")?,
             "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
+            "--backend" => sweep_options.backend = parse_backend(args.value("--backend")?)?,
+            "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
             other => return Err(format!("sweep: unexpected argument `{other}`")),
         }
     }
@@ -112,8 +135,22 @@ fn sweep(argv: &[String]) -> Result<(), String> {
     if sweep_options.inferences == 0 {
         return Err("sweep: --inferences must be >= 1".to_string());
     }
-    let grid = CampaignGrid::named(&grid_name, sweep_options)
+    if !sweep_options.dwell.is_uniform() && sweep_options.backend != SimulatorBackend::Exact {
+        return Err(format!(
+            "sweep: --dwell {} needs --backend exact (the analytic closed forms \
+             assume equal residency — paper assumption (b))",
+            sweep_options.dwell.display_name()
+        ));
+    }
+    let grid = CampaignGrid::named(&grid_name, sweep_options.clone())
         .ok_or_else(|| format!("sweep: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)"))?;
+    if grid.is_empty() {
+        return Err(format!(
+            "sweep: grid `{grid_name}` has no valid scenarios for these axes \
+             (check --backend/--dwell: custom factors must match the network's layer count)"
+        ));
+    }
+    warn_on_dwell_dropped_scenarios("sweep", &grid_name, &grid, &sweep_options);
     let store_path = out.unwrap_or_else(|| format!("campaign-results/{grid_name}.jsonl"));
 
     let started = std::time::Instant::now();
@@ -181,6 +218,121 @@ fn report(argv: &[String]) -> Result<(), String> {
             return Err(format!(
                 "report: unknown table `{other}` (fig9|fig11|bias|mbits|detail|all)"
             ))
+        }
+    }
+    Ok(())
+}
+
+/// A non-uniform dwell model can invalidate a *subset* of a grid's
+/// scenarios (custom per-layer factors only fit networks with that
+/// layer count), which the builder silently filters. Rebuilding the
+/// same grid under uniform dwell gives the full scenario count, so a
+/// partial drop can be reported instead of masquerading as a complete
+/// sweep. A fully-empty grid is a hard error at the call site; this
+/// covers the partial case.
+fn warn_on_dwell_dropped_scenarios(
+    command: &str,
+    grid_name: &str,
+    grid: &CampaignGrid,
+    options: &SweepOptions,
+) {
+    if options.dwell.is_uniform() {
+        return;
+    }
+    let full = CampaignGrid::named(
+        grid_name,
+        SweepOptions {
+            dwell: DwellModel::Uniform,
+            ..options.clone()
+        },
+    )
+    .map_or(0, |g| g.len());
+    if grid.len() < full {
+        eprintln!(
+            "{command}: warning: dwell model `{}` fits only {} of the {full} scenario(s) \
+             of grid `{grid_name}` — the rest were dropped (custom factors must match \
+             each network's layer count)",
+            options.dwell.display_name(),
+            grid.len(),
+        );
+    }
+}
+
+fn parse_backend(name: &str) -> Result<SimulatorBackend, String> {
+    SimulatorBackend::parse(name)
+        .ok_or_else(|| format!("--backend: unknown backend `{name}` (analytic|exact)"))
+}
+
+fn parse_dwell(name: &str) -> Result<DwellModel, String> {
+    DwellModel::parse(name).ok_or_else(|| {
+        format!("--dwell: unknown dwell model `{name}` (uniform|layer|zipf[:EXP]|custom:F1,F2,...)")
+    })
+}
+
+fn validate(argv: &[String]) -> Result<(), String> {
+    let mut grid_name: Option<String> = None;
+    let mut threads = 0usize;
+    let mut report_only = false;
+    let mut sweep_options = SweepOptions {
+        backend: SimulatorBackend::Exact,
+        ..SweepOptions::default()
+    };
+
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--grid" => grid_name = Some(args.value("--grid")?.to_string()),
+            "--threads" => threads = args.parsed("--threads")?,
+            "--seed" => sweep_options.base_seed = args.parsed("--seed")?,
+            "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
+            "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
+            "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
+            "--report-only" => report_only = true,
+            other => return Err(format!("validate: unexpected argument `{other}`")),
+        }
+    }
+    let grid_name = grid_name.ok_or("validate: --grid is required")?;
+    if sweep_options.sample_stride == 0 {
+        return Err("validate: --stride must be >= 1".to_string());
+    }
+    if sweep_options.inferences == 0 {
+        return Err("validate: --inferences must be >= 1".to_string());
+    }
+    let uniform = sweep_options.dwell.is_uniform();
+    let grid = CampaignGrid::named(&grid_name, sweep_options.clone()).ok_or_else(|| {
+        format!("validate: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)")
+    })?;
+    if grid.is_empty() {
+        return Err(format!(
+            "validate: grid `{grid_name}` has no valid scenarios for this dwell model"
+        ));
+    }
+    warn_on_dwell_dropped_scenarios("validate", &grid_name, &grid, &sweep_options);
+
+    let started = std::time::Instant::now();
+    let results = validate_scenarios(&grid.scenarios, threads);
+    print!("{}", aggregate::crossval_table(&results));
+    let worst = results
+        .iter()
+        .map(|cv| cv.max_abs_duty)
+        .fold(0.0f64, f64::max);
+    println!(
+        "validate `{grid_name}`: {} scenario pair(s), max per-cell duty divergence {worst:.3e}, {:.1}s",
+        results.len(),
+        started.elapsed().as_secs_f64(),
+    );
+    if uniform && !report_only {
+        let failures: Vec<&str> = results
+            .iter()
+            .filter(|cv| !cv.within_tolerance())
+            .map(|cv| cv.label.as_str())
+            .collect();
+        if !failures.is_empty() {
+            return Err(format!(
+                "validate: {} scenario pair(s) exceeded the documented tolerance:\n  {}",
+                failures.len(),
+                failures.join("\n  ")
+            ));
         }
     }
     Ok(())

@@ -1,0 +1,83 @@
+//! Matched analytic↔exact cross-validation over a campaign grid.
+//!
+//! For every scenario, [`dnnlife_core::cross_validate`] runs the
+//! closed-form analytic simulator (uniform dwell — paper assumption
+//! (b)) and the event-driven exact simulator (the scenario's dwell
+//! model) on the same memory plan with the same derived seed, and
+//! reports per-cell duty divergence. Under uniform dwell this is a
+//! correctness check of the closed forms; under a non-uniform dwell
+//! model the divergence quantifies how much assumption (b) distorts
+//! that scenario. This module fans the pairs out across a worker pool
+//! (same shape as the sweep executor) while keeping results in
+//! scenario order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use dnnlife_core::{cross_validate, CrossValidation, ExperimentSpec};
+
+/// Runs [`dnnlife_core::cross_validate`] for every scenario on
+/// `threads` workers (0 = all cores), returning results in scenario
+/// order.
+pub fn validate_scenarios(scenarios: &[ExperimentSpec], threads: usize) -> Vec<CrossValidation> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(scenarios.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CrossValidation)>();
+    let mut slots: Vec<Option<CrossValidation>> = vec![None; scenarios.len()];
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = scenarios.get(slot) else {
+                    break;
+                };
+                if tx.send((slot, cross_validate(spec))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (index, cv) in rx {
+            slots[index] = Some(cv);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every scenario validated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CampaignGrid, SweepOptions};
+    use dnnlife_core::SimulatorBackend;
+
+    #[test]
+    fn validate_preserves_scenario_order_and_tolerances() {
+        let grid = CampaignGrid::fig11(SweepOptions {
+            sample_stride: 1024,
+            inferences: 8,
+            backend: SimulatorBackend::Exact,
+            ..SweepOptions::default()
+        });
+        let subset: Vec<_> = grid.scenarios.into_iter().take(4).collect();
+        let results = validate_scenarios(&subset, 2);
+        assert_eq!(results.len(), subset.len());
+        for (spec, cv) in subset.iter().zip(&results) {
+            assert!(cv.label.contains(spec.network.display_name()));
+            assert!(cv.within_tolerance(), "{}: {cv:?}", cv.label);
+        }
+    }
+}

@@ -2,19 +2,22 @@
 //!
 //! A [`GridAxes`] names the values to sweep on every axis of the
 //! paper's evaluation space — platform, network, number format,
-//! mitigation policy, lifetime — plus shared run parameters. Building
-//! it produces a [`CampaignGrid`]: a deduplicated, validity-filtered
-//! scenario list in a canonical order, with a deterministic per-
-//! scenario seed derived from `(base_seed, scenario coordinates)` so a
-//! scenario keeps its seed (and therefore its result bits) no matter
-//! which grid it appears in or where.
+//! mitigation policy, lifetime, simulator backend, block-dwell model —
+//! plus shared run parameters. Building it produces a
+//! [`CampaignGrid`]: a deduplicated, validity-filtered scenario list
+//! in a canonical order, with a deterministic per-scenario seed
+//! derived from `(base_seed, scenario coordinates)` so a scenario
+//! keeps its seed (and therefore its result bits) no matter which grid
+//! it appears in or where. Coordinates normalise the backend away, so
+//! a scenario's analytic and exact variants share one seed — that is
+//! what makes matched cross-validation pairs comparable.
 
 use dnnlife_core::experiment::{fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec};
-use dnnlife_core::ExperimentSpec;
+use dnnlife_core::{DwellModel, ExperimentSpec, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
 /// Shared run parameters for every scenario of a grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepOptions {
     /// Campaign master seed; per-scenario seeds are derived from it.
     pub base_seed: u64,
@@ -22,6 +25,14 @@ pub struct SweepOptions {
     pub sample_stride: usize,
     /// Inferences used to estimate duty cycles (the paper uses 100).
     pub inferences: u64,
+    /// Simulator backend, used when [`GridAxes::backends`] is empty —
+    /// which is how the named grids thread `--backend` through; a
+    /// non-empty axis vector overrides it (to cross both backends in
+    /// one grid).
+    pub backend: SimulatorBackend,
+    /// Block-dwell model, used when [`GridAxes::dwells`] is empty
+    /// (non-uniform models require the exact backend).
+    pub dwell: DwellModel,
 }
 
 impl Default for SweepOptions {
@@ -30,6 +41,8 @@ impl Default for SweepOptions {
             base_seed: 42,
             sample_stride: 64,
             inferences: 100,
+            backend: SimulatorBackend::Analytic,
+            dwell: DwellModel::Uniform,
         }
     }
 }
@@ -48,14 +61,24 @@ pub struct GridAxes {
     pub policies: Vec<PolicySpec>,
     /// Device lifetimes in years.
     pub lifetimes_years: Vec<f64>,
+    /// Simulator backends (the builder filters analytic × non-uniform
+    /// dwell combinations, which the analytic closed forms cannot
+    /// simulate). Leave **empty** to use the single
+    /// `options.backend` value — the axis vectors, when non-empty,
+    /// are the only source the builder reads.
+    pub backends: Vec<SimulatorBackend>,
+    /// Block-dwell models. Leave **empty** to use the single
+    /// `options.dwell` value (same rule as `backends`).
+    pub dwells: Vec<DwellModel>,
     /// Shared run parameters.
     pub options: SweepOptions,
 }
 
 impl GridAxes {
     /// Enumerates the cross product in canonical order (platform →
-    /// network → format → policy → lifetime), dropping invalid
-    /// combinations (fp32 on the 8-bit NPU) and duplicates.
+    /// network → format → policy → lifetime → backend → dwell),
+    /// dropping invalid combinations (fp32 on the 8-bit NPU, analytic
+    /// backend with non-uniform dwell) and duplicates.
     ///
     /// # Panics
     ///
@@ -73,6 +96,16 @@ impl GridAxes {
             self.options.inferences > 0,
             "GridAxes::build: inferences must be >= 1"
         );
+        let backends = if self.backends.is_empty() {
+            vec![self.options.backend]
+        } else {
+            self.backends.clone()
+        };
+        let dwells = if self.dwells.is_empty() {
+            vec![self.options.dwell.clone()]
+        } else {
+            self.dwells.clone()
+        };
         let mut scenarios = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for &platform in &self.platforms {
@@ -80,22 +113,28 @@ impl GridAxes {
                 for &format in &self.formats {
                     for &policy in &self.policies {
                         for &years in &self.lifetimes_years {
-                            let mut spec = ExperimentSpec {
-                                platform,
-                                network,
-                                format,
-                                policy,
-                                inferences: self.options.inferences,
-                                years,
-                                seed: 0,
-                                sample_stride: self.options.sample_stride,
-                            };
-                            if !spec.is_valid() {
-                                continue;
-                            }
-                            spec.seed = scenario_seed(self.options.base_seed, &spec);
-                            if seen.insert(spec.content_key()) {
-                                scenarios.push(spec);
+                            for &backend in &backends {
+                                for dwell in &dwells {
+                                    let mut spec = ExperimentSpec {
+                                        platform,
+                                        network,
+                                        format,
+                                        policy,
+                                        inferences: self.options.inferences,
+                                        years,
+                                        seed: 0,
+                                        sample_stride: self.options.sample_stride,
+                                        backend,
+                                        dwell: dwell.clone(),
+                                    };
+                                    if !spec.is_valid() {
+                                        continue;
+                                    }
+                                    spec.seed = scenario_seed(self.options.base_seed, &spec);
+                                    if seen.insert(spec.content_key()) {
+                                        scenarios.push(spec);
+                                    }
+                                }
                             }
                         }
                     }
@@ -154,6 +193,8 @@ impl CampaignGrid {
             formats: NumberFormat::all().to_vec(),
             policies: fig9_policies(),
             lifetimes_years: vec![7.0],
+            backends: Vec::new(), // use options.backend
+            dwells: Vec::new(),   // use options.dwell
             options,
         }
         .build("fig9")
@@ -172,6 +213,8 @@ impl CampaignGrid {
             formats: vec![NumberFormat::Int8Symmetric],
             policies: fig11_policies(),
             lifetimes_years: vec![7.0],
+            backends: Vec::new(), // use options.backend
+            dwells: Vec::new(),   // use options.dwell
             options,
         }
         .build("fig11")
@@ -198,6 +241,8 @@ impl CampaignGrid {
             formats: vec![NumberFormat::Int8Symmetric],
             policies,
             lifetimes_years: vec![7.0],
+            backends: Vec::new(), // use options.backend
+            dwells: Vec::new(),   // use options.dwell
             options,
         }
         .build("bias")
@@ -220,6 +265,8 @@ impl CampaignGrid {
             formats: vec![NumberFormat::Int8Symmetric],
             policies,
             lifetimes_years: vec![7.0],
+            backends: Vec::new(), // use options.backend
+            dwells: Vec::new(),   // use options.dwell
             options,
         }
         .build("mbits")
@@ -239,6 +286,8 @@ impl CampaignGrid {
             formats: NumberFormat::all().to_vec(),
             policies: fig9_policies(),
             lifetimes_years: vec![2.0, 7.0, 10.0],
+            backends: Vec::new(), // use options.backend
+            dwells: Vec::new(),   // use options.dwell
             options,
         }
         .build("full")
@@ -294,9 +343,70 @@ mod tests {
             formats: vec![NumberFormat::Int8Symmetric, NumberFormat::Int8Symmetric],
             policies: vec![PolicySpec::None],
             lifetimes_years: vec![7.0],
+            backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Analytic],
+            dwells: vec![DwellModel::Uniform, DwellModel::Uniform],
             options: SweepOptions::default(),
         };
         assert_eq!(axes.build("dup").len(), 1);
+    }
+
+    #[test]
+    fn backend_axis_crosses_and_drops_analytic_nonuniform() {
+        let axes = GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies: vec![PolicySpec::None, PolicySpec::Inversion],
+            lifetimes_years: vec![7.0],
+            backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
+            dwells: vec![DwellModel::Uniform, DwellModel::Zipf { exponent: 1.0 }],
+            options: SweepOptions::default(),
+        };
+        let grid = axes.build("backend-cross");
+        // 2 policies × (analytic-uniform, exact-uniform, exact-zipf):
+        // the analytic × zipf cell is invalid and filtered.
+        assert_eq!(grid.len(), 6);
+        assert!(grid.scenarios.iter().all(ExperimentSpec::is_valid));
+    }
+
+    #[test]
+    fn matched_backend_pairs_share_seeds() {
+        let axes = GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies: fig11_policies(),
+            lifetimes_years: vec![7.0],
+            backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
+            dwells: vec![DwellModel::Uniform],
+            options: SweepOptions::default(),
+        };
+        let grid = axes.build("pairs");
+        assert_eq!(grid.len(), 8);
+        for spec in &grid.scenarios {
+            let twin = grid
+                .scenarios
+                .iter()
+                .find(|s| s.backend != spec.backend && s.coordinate_key() == spec.coordinate_key())
+                .expect("every scenario has a matched twin on the other backend");
+            assert_eq!(spec.seed, twin.seed, "matched pair seeds must agree");
+            assert_ne!(spec.content_key(), twin.content_key());
+        }
+    }
+
+    #[test]
+    fn named_grids_thread_backend_and_dwell_from_options() {
+        let grid = CampaignGrid::fig11(SweepOptions {
+            backend: SimulatorBackend::Exact,
+            dwell: DwellModel::LayerProportional,
+            ..SweepOptions::default()
+        });
+        assert_eq!(grid.len(), 12);
+        assert!(grid
+            .scenarios
+            .iter()
+            .all(|s| s.backend == SimulatorBackend::Exact
+                && s.dwell == DwellModel::LayerProportional));
     }
 
     #[test]

@@ -17,9 +17,19 @@
 //! | [`executor`] | std-only work-stealing thread pool; byte-identical results for any worker count |
 //! | [`store`] | JSONL result store keyed by spec content hash; journaled, crash-tolerant, resumable |
 //! | [`aggregate`] | folds stored records into Fig. 9/11 tables and bias / counter-width sensitivity tables |
+//! | [`crossval`] | matched analytic↔exact scenario pairs with per-cell duty divergence |
+//!
+//! Two scenario axes go beyond the paper's grids: the **simulator
+//! backend** (closed-form analytic vs event-driven exact) and the
+//! **block-dwell model** (uniform — paper assumption (b) — vs
+//! layer-proportional / Zipf / custom per-layer residency, which only
+//! the exact backend can simulate). Matched analytic/exact pairs share
+//! derived seeds (the backend is normalised out of scenario
+//! coordinates), so their stores line up under `compare` and the
+//! `validate` subcommand can quantify their divergence per cell.
 //!
 //! The `dnnlife` binary (this crate's `src/bin/dnnlife.rs`) exposes the
-//! engine as `sweep` / `report` / `compare` subcommands.
+//! engine as `sweep` / `report` / `compare` / `validate` subcommands.
 //!
 //! # Determinism contract
 //!
@@ -48,6 +58,7 @@
 //!     base_seed: 42,
 //!     sample_stride: 512, // heavy subsample: doc-test speed
 //!     inferences: 20,
+//!     ..SweepOptions::default() // analytic backend, uniform dwell
 //! });
 //! let records = run_scenarios(&grid, 2);
 //! assert_eq!(records.len(), grid.len());
@@ -63,10 +74,12 @@
 //! ```
 
 pub mod aggregate;
+pub mod crossval;
 pub mod executor;
 pub mod grid;
 pub mod store;
 
+pub use crossval::validate_scenarios;
 pub use executor::{run_campaign, run_scenarios, CampaignOptions, CampaignOutcome};
 pub use grid::{CampaignGrid, GridAxes};
 pub use store::{ResultStore, ScenarioRecord, StoreLock};

@@ -5,13 +5,15 @@ use std::path::PathBuf;
 
 use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
 use dnnlife_campaign::{run_campaign, run_scenarios, CampaignOptions};
-use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
+use dnnlife_core::experiment::{DwellModel, NetworkKind, Platform, PolicySpec, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
 mod util;
 
 /// A grid cheap enough for debug-mode CI: the custom network on the
-/// NPU, four policies × two lifetimes, heavily strided.
+/// NPU, four policies × two lifetimes × both simulator backends,
+/// heavily strided — so the determinism contract covers the exact
+/// backend's store records too.
 fn test_grid() -> CampaignGrid {
     GridAxes {
         platforms: vec![Platform::TpuLike],
@@ -32,10 +34,13 @@ fn test_grid() -> CampaignGrid {
             },
         ],
         lifetimes_years: vec![2.0, 7.0],
+        backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
+        dwells: vec![DwellModel::Uniform],
         options: SweepOptions {
             base_seed: 42,
             sample_stride: 256,
             inferences: 20,
+            ..SweepOptions::default()
         },
     }
     .build("determinism-test")

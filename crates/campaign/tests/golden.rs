@@ -1,0 +1,138 @@
+//! Golden-file tests for the `dnnlife` CLI's text output.
+//!
+//! A tiny fixed store (three policies on the NPU custom network,
+//! heavily strided) is swept deterministically, then the *actual
+//! binary* renders `report` and `compare` over it; stdout must match
+//! the committed fixtures byte for byte, so any formatting regression
+//! (column widths, headers, row ordering, qualifier suffixes) fails CI
+//! with a diff instead of shipping silently.
+//!
+//! To bless intentional format changes:
+//! `DNNLIFE_UPDATE_GOLDEN=1 cargo test -p dnnlife-campaign --test golden`
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dnnlife_campaign::grid::{GridAxes, SweepOptions};
+use dnnlife_campaign::{run_campaign, CampaignOptions};
+use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
+use dnnlife_core::{DwellModel, SimulatorBackend};
+use dnnlife_quant::NumberFormat;
+
+mod util;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The fixed grid behind every fixture: small enough for debug CI,
+/// rich enough to exercise the fig11, bias and mbits tables.
+fn golden_grid(base_seed: u64) -> dnnlife_campaign::CampaignGrid {
+    GridAxes {
+        platforms: vec![Platform::TpuLike],
+        networks: vec![NetworkKind::CustomMnist],
+        formats: vec![NumberFormat::Int8Symmetric],
+        policies: vec![
+            PolicySpec::None,
+            PolicySpec::BarrelShifter,
+            PolicySpec::DnnLife {
+                bias: 0.7,
+                bias_balancing: true,
+                m_bits: 4,
+            },
+        ],
+        lifetimes_years: vec![7.0],
+        backends: vec![SimulatorBackend::Analytic],
+        dwells: vec![DwellModel::Uniform],
+        options: SweepOptions {
+            base_seed,
+            sample_stride: 512,
+            inferences: 10,
+            ..SweepOptions::default()
+        },
+    }
+    .build("golden")
+}
+
+fn sweep(dir: &Path, name: &str, base_seed: u64) -> PathBuf {
+    let path = dir.join(format!("{name}.jsonl"));
+    run_campaign(&golden_grid(base_seed), &path, &CampaignOptions::default())
+        .expect("golden sweep");
+    path
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args(args)
+        .output()
+        .expect("spawn dnnlife");
+    assert!(
+        output.status.success(),
+        "dnnlife {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+fn assert_matches_golden(actual: &str, fixture: &str) {
+    let path = golden_dir().join(fixture);
+    if std::env::var_os("DNNLIFE_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); bless with DNNLIFE_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "`{fixture}` drifted; if the change is intentional re-bless with \
+         DNNLIFE_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn report_all_matches_golden() {
+    let dir = util::scratch_dir("golden-report");
+    let store = sweep(&dir, "store", 1234);
+    let stdout = run_cli(&[
+        "report",
+        "--store",
+        store.to_str().unwrap(),
+        "--table",
+        "all",
+    ]);
+    assert_matches_golden(&stdout, "report-all.txt");
+}
+
+#[test]
+fn report_fig11_matches_golden() {
+    let dir = util::scratch_dir("golden-report-fig11");
+    let store = sweep(&dir, "store", 1234);
+    let stdout = run_cli(&[
+        "report",
+        "--store",
+        store.to_str().unwrap(),
+        "--table",
+        "fig11",
+    ]);
+    assert_matches_golden(&stdout, "report-fig11.txt");
+}
+
+#[test]
+fn compare_matches_golden() {
+    let dir = util::scratch_dir("golden-compare");
+    let store_a = sweep(&dir, "a", 1234);
+    let store_b = sweep(&dir, "b", 5678);
+    let stdout = run_cli(&[
+        "compare",
+        "--store-a",
+        store_a.to_str().unwrap(),
+        "--store-b",
+        store_b.to_str().unwrap(),
+    ]);
+    assert_matches_golden(&stdout, "compare.txt");
+}

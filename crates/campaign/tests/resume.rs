@@ -4,7 +4,7 @@
 
 use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
 use dnnlife_campaign::{run_campaign, CampaignOptions, ResultStore};
-use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
+use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
 mod util;
@@ -25,10 +25,13 @@ fn test_grid() -> CampaignGrid {
             },
         ],
         lifetimes_years: vec![7.0],
+        backends: vec![SimulatorBackend::Analytic],
+        dwells: vec![dnnlife_core::DwellModel::Uniform],
         options: SweepOptions {
             base_seed: 99,
             sample_stride: 256,
             inferences: 20,
+            ..SweepOptions::default()
         },
     }
     .build("resume-test")
@@ -118,10 +121,13 @@ fn resume_with_changed_seed_prunes_stale_records() {
             },
         ],
         lifetimes_years: vec![7.0],
+        backends: vec![SimulatorBackend::Analytic],
+        dwells: vec![dnnlife_core::DwellModel::Uniform],
         options: SweepOptions {
             base_seed: 100,
             sample_stride: 256,
             inferences: 20,
+            ..SweepOptions::default()
         },
     }
     .build("resume-test");
@@ -169,6 +175,49 @@ fn store_rejects_mid_file_corruption() {
     std::fs::write(&path, corrupted).expect("write corrupted store");
     let error = ResultStore::open(&path).expect_err("mid-file corruption must not pass silently");
     assert!(error.to_string().contains("line 2"), "error was: {error}");
+}
+
+#[test]
+fn resume_reruns_only_the_scenario_with_a_corrupt_trailing_line() {
+    // The crash signature `--resume` is designed for: the journal's
+    // final line was torn mid-write (here: its second half replaced by
+    // garbage bytes, not merely truncated). The resumed sweep must
+    // treat every intact line as done, re-run exactly the one damaged
+    // scenario, and finalize to the clean store's bytes.
+    let dir = util::scratch_dir("resume-corrupt-tail");
+    let grid = test_grid();
+    let path = dir.join("store.jsonl");
+    run_campaign(&grid, &path, &CampaignOptions::default()).expect("clean run");
+    let clean = std::fs::read_to_string(&path).expect("read clean store");
+
+    let lines: Vec<&str> = clean.lines().collect();
+    let last = lines[lines.len() - 1];
+    let mut damaged: String = lines[..lines.len() - 1]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    damaged.push_str(&last[..last.len() / 2]);
+    damaged.push_str("\u{0}\u{0}garbage-not-json"); // torn + corrupt, no newline
+    std::fs::write(&path, &damaged).expect("write damaged store");
+
+    let outcome = run_campaign(
+        &grid,
+        &path,
+        &CampaignOptions {
+            threads: 1,
+            resume: true,
+            verbose: false,
+        },
+    )
+    .expect("resumed run over damaged store");
+    assert_eq!(
+        outcome.executed, 1,
+        "only the damaged scenario may be re-run"
+    );
+    assert_eq!(outcome.skipped, grid.len() - 1);
+
+    let resumed = std::fs::read_to_string(&path).expect("read resumed store");
+    assert_eq!(resumed, clean, "resume did not reconstruct the clean store");
 }
 
 #[test]

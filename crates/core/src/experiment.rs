@@ -1,15 +1,21 @@
 //! Run-time aging-mitigation experiments (§V, Fig. 9 and Fig. 11).
 //!
 //! An [`ExperimentSpec`] names a platform, workload, number format,
-//! mitigation policy and lifetime; [`run_experiment`] simulates the
-//! weight memory analytically, converts every cell's lifetime duty
-//! cycle into SNM degradation with the paper-calibrated model, and
-//! returns the degradation histogram that one bar chart of Fig. 9 /
-//! Fig. 11 plots.
+//! mitigation policy, lifetime, simulator backend and block-dwell
+//! model; [`run_experiment`] simulates the weight memory (closed-form
+//! analytic or event-driven exact), converts every cell's lifetime
+//! duty cycle into SNM degradation with the paper-calibrated model,
+//! and returns the degradation histogram that one bar chart of Fig. 9
+//! / Fig. 11 plots. [`cross_validate`] runs a matched analytic/exact
+//! pair and reports per-cell duty divergence.
 
 use dnnlife_accel::{
-    simulate_analytic, AcceleratorConfig, AnalyticPolicy, AnalyticSimConfig, BlockSource,
-    FifoSlotMemory, FlatWeightMemory,
+    simulate_analytic, simulate_exact_sampled, zipf_weights, AcceleratorConfig, AnalyticPolicy,
+    AnalyticSimConfig, BlockSource, FifoSlotMemory, FlatWeightMemory,
+};
+use dnnlife_mitigation::{
+    AgingController, BarrelShifter, DnnLife, Passthrough, PeriodicInversion, PseudoTrbg,
+    WriteTransducer,
 };
 use dnnlife_numerics::{Histogram, Summary};
 use dnnlife_quant::NumberFormat;
@@ -24,6 +30,113 @@ pub const SNM_HIST_LO: f64 = 10.0;
 pub const SNM_HIST_HI: f64 = 27.0;
 /// Number of histogram bins.
 pub const SNM_HIST_BINS: usize = 17;
+
+/// Which simulator computes per-cell duty cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SimulatorBackend {
+    /// The closed-form analytic simulator (`O(cells × K)`; assumes
+    /// equal block residency — paper assumption (b) of §III-B).
+    #[default]
+    Analytic,
+    /// The event-driven reference simulator (`O(cells × K ×
+    /// inferences)`; honours per-block residency weights).
+    Exact,
+}
+
+impl SimulatorBackend {
+    /// CLI / report name.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SimulatorBackend::Analytic => "analytic",
+            SimulatorBackend::Exact => "exact",
+        }
+    }
+
+    /// Parses a CLI name (`analytic` | `exact`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "analytic" => Some(SimulatorBackend::Analytic),
+            "exact" => Some(SimulatorBackend::Exact),
+            _ => None,
+        }
+    }
+}
+
+/// Per-block residency model: how long each weight block stays in the
+/// on-chip memory relative to the others. `Uniform` is the paper's
+/// assumption (b) of §III-B (equal residency for every block); the
+/// other models relax it and are only simulable by the
+/// [`SimulatorBackend::Exact`] backend.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum DwellModel {
+    /// Equal residency for every block (paper assumption (b)).
+    #[default]
+    Uniform,
+    /// Residency proportional to the MAC work of each block's weights:
+    /// conv fills are reused across output positions and dwell far
+    /// longer than FC fills (the §III-C observation that per-layer
+    /// processing times vary).
+    LayerProportional,
+    /// Zipf-decaying residency over stream order: block `b` dwells
+    /// `(b + 1)^-exponent` — a hot-block model where early (conv)
+    /// blocks dominate residency.
+    Zipf {
+        /// Decay exponent (0 = uniform; 1 ≈ classic Zipf).
+        exponent: f64,
+    },
+    /// Explicit per-layer residency factors: `factors[li]` is the
+    /// relative dwell per word of network layer `li`; block weights
+    /// sum the factors of the stream words they hold. Must have one
+    /// factor per layer of the spec's network.
+    Custom {
+        /// Relative per-word residency of each network layer.
+        factors: Vec<f64>,
+    },
+}
+
+impl DwellModel {
+    /// Whether this is the paper's equal-residency assumption.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, DwellModel::Uniform)
+    }
+
+    /// CLI / report name (`uniform`, `layer`, `zipf(1.00)`,
+    /// `custom(0.5,1,2,...)`).
+    pub fn display_name(&self) -> String {
+        match self {
+            DwellModel::Uniform => "uniform".to_string(),
+            DwellModel::LayerProportional => "layer".to_string(),
+            DwellModel::Zipf { exponent } => format!("zipf({exponent:.2})"),
+            DwellModel::Custom { factors } => {
+                let list: Vec<String> = factors.iter().map(|f| format!("{f}")).collect();
+                format!("custom({})", list.join(","))
+            }
+        }
+    }
+
+    /// Parses a CLI name: `uniform`, `layer`, `zipf` (exponent 1.0),
+    /// `zipf:EXP`, or `custom:F1,F2,...` (one factor per network
+    /// layer).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "uniform" => return Some(DwellModel::Uniform),
+            "layer" | "layer-proportional" => return Some(DwellModel::LayerProportional),
+            "zipf" => return Some(DwellModel::Zipf { exponent: 1.0 }),
+            _ => {}
+        }
+        if let Some(exp) = name.strip_prefix("zipf:") {
+            return exp
+                .parse()
+                .ok()
+                .map(|exponent| DwellModel::Zipf { exponent });
+        }
+        if let Some(list) = name.strip_prefix("custom:") {
+            let factors: Option<Vec<f64>> = list.split(',').map(|f| f.parse().ok()).collect();
+            return factors.map(|factors| DwellModel::Custom { factors });
+        }
+        None
+    }
+}
 
 /// Which hardware platform to simulate (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -125,7 +238,7 @@ impl PolicySpec {
 }
 
 /// A full experiment description (one bar chart of Fig. 9 / Fig. 11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Hardware platform.
     pub platform: Platform,
@@ -143,11 +256,71 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Simulate every n-th memory word (1 = every cell).
     pub sample_stride: usize,
+    /// Which simulator computes the duty cycles.
+    pub backend: SimulatorBackend,
+    /// Per-block residency model (non-uniform models require the exact
+    /// backend).
+    pub dwell: DwellModel,
+}
+
+// Hand-rolled (de)serialization instead of the derive: the
+// `backend`/`dwell` fields are omitted when at their defaults
+// (analytic, uniform), so stores written before those axes existed
+// still parse — and, because `content_hash` is FNV over the canonical
+// JSON, a default-axis spec keeps the hash it had then (resume and
+// cross-store comparisons survive the schema growth). Off-default
+// values are serialized, so the hash changes exactly when the
+// backend/dwell axes do.
+impl Serialize for ExperimentSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("platform".to_string(), self.platform.to_value()),
+            ("network".to_string(), self.network.to_value()),
+            ("format".to_string(), self.format.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+            ("inferences".to_string(), self.inferences.to_value()),
+            ("years".to_string(), self.years.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("sample_stride".to_string(), self.sample_stride.to_value()),
+        ];
+        if self.backend != SimulatorBackend::Analytic {
+            fields.push(("backend".to_string(), self.backend.to_value()));
+        }
+        if !self.dwell.is_uniform() {
+            fields.push(("dwell".to_string(), self.dwell.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ExperimentSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = value.as_object_named("ExperimentSpec")?;
+        let optional = |name: &str| pairs.iter().find(|(key, _)| key == name).map(|(_, v)| v);
+        Ok(ExperimentSpec {
+            platform: serde::field(pairs, "platform")?,
+            network: serde::field(pairs, "network")?,
+            format: serde::field(pairs, "format")?,
+            policy: serde::field(pairs, "policy")?,
+            inferences: serde::field(pairs, "inferences")?,
+            years: serde::field(pairs, "years")?,
+            seed: serde::field(pairs, "seed")?,
+            sample_stride: serde::field(pairs, "sample_stride")?,
+            backend: optional("backend")
+                .map(SimulatorBackend::from_value)
+                .transpose()?
+                .unwrap_or(SimulatorBackend::Analytic),
+            dwell: optional("dwell")
+                .map(DwellModel::from_value)
+                .transpose()?
+                .unwrap_or(DwellModel::Uniform),
+        })
+    }
 }
 
 impl ExperimentSpec {
     /// A Fig. 9 style spec with the paper's defaults (100 inferences,
-    /// 7 years, every cell simulated).
+    /// 7 years, every cell simulated, analytic backend, uniform dwell).
     pub fn fig9(format: NumberFormat, policy: PolicySpec, seed: u64) -> Self {
         Self {
             platform: Platform::Baseline,
@@ -158,6 +331,8 @@ impl ExperimentSpec {
             years: 7.0,
             seed,
             sample_stride: 1,
+            backend: SimulatorBackend::Analytic,
+            dwell: DwellModel::Uniform,
         }
     }
 
@@ -172,16 +347,53 @@ impl ExperimentSpec {
             years: 7.0,
             seed,
             sample_stride: 1,
+            backend: SimulatorBackend::Analytic,
+            dwell: DwellModel::Uniform,
         }
     }
 
-    /// Whether [`run_experiment`] can simulate this spec: the TPU-like
-    /// NPU's weight FIFO stores 8-bit words only (Table I), so fp32 on
-    /// that platform is rejected rather than panicking mid-simulation.
+    /// Whether [`run_experiment`] can simulate this spec:
+    ///
+    /// * the TPU-like NPU's weight FIFO stores 8-bit words only
+    ///   (Table I), so fp32 on that platform is rejected;
+    /// * the analytic simulator's closed forms assume equal residency
+    ///   (paper assumption (b)), so non-uniform dwell models require
+    ///   the exact backend;
+    /// * dwell parameters must be well-formed (finite non-negative
+    ///   Zipf exponent; one positive finite factor per network layer
+    ///   for custom dwell).
+    ///
+    /// Invalid combinations are rejected here rather than panicking
+    /// mid-simulation.
     pub fn is_valid(&self) -> bool {
-        match self.platform {
+        let platform_ok = match self.platform {
             Platform::Baseline => true,
             Platform::TpuLike => self.format.bits() == 8,
+        };
+        let dwell_ok = match &self.dwell {
+            DwellModel::Uniform | DwellModel::LayerProportional => true,
+            DwellModel::Zipf { exponent } => exponent.is_finite() && *exponent >= 0.0,
+            DwellModel::Custom { factors } => {
+                factors.len() == self.network.spec().layers().len()
+                    && factors.iter().all(|f| f.is_finite() && *f > 0.0)
+            }
+        };
+        let backend_ok = self.backend == SimulatorBackend::Exact || self.dwell.is_uniform();
+        platform_ok && dwell_ok && backend_ok
+    }
+
+    /// A short bracketed qualifier naming the spec's off-default
+    /// backend/dwell axes (empty for analytic + uniform), appended to
+    /// labels so records from different axes never render identically.
+    pub fn variant_suffix(&self) -> String {
+        match (self.backend, self.dwell.is_uniform()) {
+            (SimulatorBackend::Analytic, true) => String::new(),
+            (backend, true) => format!(" [{}]", backend.display_name()),
+            (backend, false) => format!(
+                " [{}, dwell={}]",
+                backend.display_name(),
+                self.dwell.display_name()
+            ),
         }
     }
 
@@ -200,14 +412,19 @@ impl ExperimentSpec {
         format!("{:016x}", self.content_hash())
     }
 
-    /// [`ExperimentSpec::content_hash`] with the seed zeroed: identifies
-    /// the scenario's *coordinates* (platform, network, format, policy,
-    /// run parameters) independent of its random seed. Campaign grids
-    /// derive per-scenario seeds from this, and store comparisons match
-    /// scenarios on it so sweeps with different master seeds line up.
+    /// [`ExperimentSpec::content_hash`] with the seed zeroed and the
+    /// backend normalised to analytic: identifies the scenario's
+    /// *coordinates* (platform, network, format, policy, dwell, run
+    /// parameters) independent of its random seed and of which
+    /// simulator computed it — the backend is a method, not a physical
+    /// coordinate, so matched analytic/exact scenario pairs share
+    /// coordinates (and therefore derived seeds), and store comparisons
+    /// line them up. The dwell model *is* a coordinate: it changes the
+    /// physical residency scenario.
     pub fn coordinate_hash(&self) -> u64 {
         let mut coords = self.clone();
         coords.seed = 0;
+        coords.backend = SimulatorBackend::Analytic;
         coords.content_hash()
     }
 
@@ -262,45 +479,150 @@ impl ExperimentResult {
     }
 }
 
-/// Runs one experiment with the paper-calibrated SNM model.
-///
-/// Pure: the result is a deterministic function of the spec alone
-/// (the DNN-Life TRBG draws are counter-seeded from `spec.seed`), and
-/// bit-identical regardless of simulator thread count.
-///
-/// # Panics
-///
-/// Panics on inconsistent specs (e.g. fp32 weights on the 8-bit NPU —
-/// see [`ExperimentSpec::is_valid`]).
-pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
-    run_experiment_threaded(spec, 0)
+/// Seed-mixing constant separating policy randomness from weight
+/// generation (shared by both backends so matched analytic/exact pairs
+/// draw from the same policy seed).
+const POLICY_SEED_MIX: u64 = 0x5EED_0FD0_0D42;
+
+/// Builds the event-driven write transducer for a policy on one memory
+/// unit.
+fn build_transducer(
+    policy: &PolicySpec,
+    width: u32,
+    words: usize,
+    seed: u64,
+) -> Box<dyn WriteTransducer> {
+    match *policy {
+        PolicySpec::None => Box::new(Passthrough::new(width)),
+        PolicySpec::Inversion => Box::new(PeriodicInversion::new(width, words)),
+        PolicySpec::BarrelShifter => Box::new(BarrelShifter::new(width, words)),
+        PolicySpec::DnnLife {
+            bias,
+            bias_balancing,
+            m_bits,
+        } => {
+            let trbg = PseudoTrbg::new(seed, bias);
+            let controller = if bias_balancing {
+                AgingController::new(trbg, m_bits)
+            } else {
+                AgingController::without_balancing(trbg)
+            };
+            Box::new(DnnLife::new(width, controller))
+        }
+    }
 }
 
-/// [`run_experiment`] with an explicit simulator thread count
-/// (0 = all cores). The campaign executor pins this to 1 so scenario-
-/// level parallelism isn't multiplied by cell-level parallelism.
-pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> ExperimentResult {
-    let network = spec.network.spec();
-    let snm_model = CalibratedSnmModel::paper();
-    let sim_cfg = AnalyticSimConfig {
-        inferences: spec.inferences,
-        sample_stride: spec.sample_stride,
-        threads,
-    };
-    let policy = spec.policy.analytic(spec.seed ^ 0x5EED_0FD0_0D42);
+/// The dwell-weight constructors both memory plans expose, so
+/// [`with_dwell`] dispatches a [`DwellModel`] once for both platforms
+/// (a new model variant is then handled in exactly one place).
+trait DwellTarget: BlockSource + Sized {
+    fn layer_weights(&self, network: &dnnlife_nn::NetworkSpec) -> Vec<f64>;
+    fn per_layer_weights(&self, factors: &[f64]) -> Vec<f64>;
+    /// Zipf weights by the unit's position in the *global* block
+    /// stream (for the flat memory, block order is stream order; FIFO
+    /// slots hold every fourth tile, so their local indices must be
+    /// mapped back to global ones).
+    fn zipf_stream_weights(&self, exponent: f64) -> Vec<f64>;
+    fn apply_weights(self, weights: Vec<f64>) -> Self;
+}
 
-    let mut histogram = Histogram::new(SNM_HIST_LO, SNM_HIST_HI, SNM_HIST_BINS);
-    let mut duty_summary = Summary::new();
-    let mut snm_summary = Summary::new();
+impl DwellTarget for FlatWeightMemory {
+    fn layer_weights(&self, network: &dnnlife_nn::NetworkSpec) -> Vec<f64> {
+        self.layer_proportional_weights(network)
+    }
+    fn per_layer_weights(&self, factors: &[f64]) -> Vec<f64> {
+        self.per_layer_dwell_weights(factors)
+    }
+    fn zipf_stream_weights(&self, exponent: f64) -> Vec<f64> {
+        zipf_weights(self.block_count(), exponent)
+    }
+    fn apply_weights(self, weights: Vec<f64>) -> Self {
+        self.with_dwell_weights(weights)
+    }
+}
+
+impl DwellTarget for FifoSlotMemory {
+    fn layer_weights(&self, network: &dnnlife_nn::NetworkSpec) -> Vec<f64> {
+        self.layer_proportional_weights(network)
+    }
+    fn per_layer_weights(&self, factors: &[f64]) -> Vec<f64> {
+        self.per_layer_dwell_weights(factors)
+    }
+    fn zipf_stream_weights(&self, exponent: f64) -> Vec<f64> {
+        self.zipf_dwell_weights(exponent)
+    }
+    fn apply_weights(self, weights: Vec<f64>) -> Self {
+        self.with_dwell_weights(weights)
+    }
+}
+
+/// Applies a dwell model to one memory unit (no-op for empty units —
+/// an unused NPU FIFO slot has no blocks to weight).
+fn with_dwell<T: DwellTarget>(mem: T, dwell: &DwellModel, network: &dnnlife_nn::NetworkSpec) -> T {
+    if mem.block_count() == 0 {
+        return mem;
+    }
+    let weights = match dwell {
+        DwellModel::Uniform => return mem,
+        DwellModel::LayerProportional => mem.layer_weights(network),
+        DwellModel::Zipf { exponent } => mem.zipf_stream_weights(*exponent),
+        DwellModel::Custom { factors } => mem.per_layer_weights(factors),
+    };
+    mem.apply_weights(weights)
+}
+
+/// Simulates every memory unit of `spec` under `backend` (overriding
+/// `spec.backend` so [`cross_validate`] can run both sides of a
+/// matched pair), returning per-unit duty vectors in unit order plus
+/// the total blocks written per inference. This is the single home of
+/// the memory-construction / dwell-application / transducer-seeding
+/// logic, shared by [`run_experiment_threaded`] and
+/// [`cross_validate`] — so the pair a cross-validation compares is by
+/// construction the pair the experiment runner executes.
+///
+/// The analytic side always runs uniform dwell (its closed forms
+/// require assumption (b)); the exact side applies `spec.dwell`.
+fn simulate_units(
+    spec: &ExperimentSpec,
+    backend: SimulatorBackend,
+    threads: usize,
+) -> (Vec<Vec<f64>>, u64) {
+    let network = spec.network.spec();
+    let policy_seed = spec.seed ^ POLICY_SEED_MIX;
+    let mut units = Vec::new();
     let mut blocks = 0u64;
 
-    let mut consume = |duties: Vec<f64>| {
-        for d in duties {
-            let degradation = snm_model.degradation_percent(d, spec.years);
-            histogram.record(degradation);
-            duty_summary.record(d);
-            snm_summary.record(degradation);
+    // One memory unit: dispatch to the requested simulator. `unit`
+    // numbers the NPU FIFO slots so each gets its own TRBG stream
+    // (each slot is its own memory unit with its own controller).
+    let simulate_unit = |source: &dyn BlockSource, unit: u64| match backend {
+        SimulatorBackend::Analytic => {
+            let sim_cfg = AnalyticSimConfig {
+                inferences: spec.inferences,
+                sample_stride: spec.sample_stride,
+                threads,
+            };
+            simulate_analytic(source, &spec.policy.analytic(policy_seed), &sim_cfg)
         }
+        SimulatorBackend::Exact => {
+            let geo = source.geometry();
+            let mut transducer = build_transducer(
+                &spec.policy,
+                geo.word_bits,
+                geo.words,
+                policy_seed.wrapping_add(unit),
+            );
+            simulate_exact_sampled(
+                source,
+                transducer.as_mut(),
+                spec.inferences,
+                spec.sample_stride,
+            )
+        }
+    };
+    let dwell = match backend {
+        SimulatorBackend::Analytic => &DwellModel::Uniform,
+        SimulatorBackend::Exact => &spec.dwell,
     };
 
     match spec.platform {
@@ -312,31 +634,195 @@ pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> Experim
                 spec.seed,
             );
             blocks = mem.block_count();
-            consume(simulate_analytic(&mem, &policy, &sim_cfg));
+            let mem = with_dwell(mem, dwell, &network);
+            units.push(simulate_unit(&mem, 0));
         }
         Platform::TpuLike => {
-            for slot in FifoSlotMemory::all_slots(&network, spec.format, spec.seed) {
+            for (i, slot) in FifoSlotMemory::all_slots(&network, spec.format, spec.seed)
+                .into_iter()
+                .enumerate()
+            {
                 blocks += slot.block_count();
-                if slot.block_count() > 0 {
-                    consume(simulate_analytic(&slot, &policy, &sim_cfg));
+                if slot.block_count() == 0 {
+                    continue;
                 }
+                let slot = with_dwell(slot, dwell, &network);
+                units.push(simulate_unit(&slot, i as u64));
             }
         }
+    }
+    (units, blocks)
+}
+
+/// Runs one experiment with the paper-calibrated SNM model.
+///
+/// Pure: the result is a deterministic function of the spec alone
+/// (the DNN-Life TRBG draws are counter-seeded from `spec.seed`), and
+/// bit-identical regardless of simulator thread count.
+///
+/// # Panics
+///
+/// Panics on inconsistent specs (fp32 weights on the 8-bit NPU,
+/// non-uniform dwell on the analytic backend, malformed dwell
+/// parameters — see [`ExperimentSpec::is_valid`]).
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    run_experiment_threaded(spec, 0)
+}
+
+/// [`run_experiment`] with an explicit simulator thread count
+/// (0 = all cores; the exact backend is single-threaded and ignores
+/// it). The campaign executor pins this to 1 so scenario-level
+/// parallelism isn't multiplied by cell-level parallelism.
+pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> ExperimentResult {
+    assert!(
+        spec.is_valid(),
+        "run_experiment: invalid spec (platform/format, backend/dwell): {spec:?}"
+    );
+    let snm_model = CalibratedSnmModel::paper();
+    let mut histogram = Histogram::new(SNM_HIST_LO, SNM_HIST_HI, SNM_HIST_BINS);
+    let mut duty_summary = Summary::new();
+    let mut snm_summary = Summary::new();
+
+    let (units, blocks) = simulate_units(spec, spec.backend, threads);
+    for d in units.into_iter().flatten() {
+        let degradation = snm_model.degradation_percent(d, spec.years);
+        histogram.record(degradation);
+        duty_summary.record(d);
+        snm_summary.record(degradation);
     }
 
     ExperimentResult {
         label: format!(
-            "{:?}/{}/{}/{}",
+            "{:?}/{}/{}/{}{}",
             spec.platform,
             spec.network.display_name(),
             spec.format,
-            spec.policy.display_name()
+            spec.policy.display_name(),
+            spec.variant_suffix()
         ),
         histogram,
         duty: duty_summary,
         snm: snm_summary,
         cells: duty_summary.count(),
         blocks_per_inference: blocks,
+    }
+}
+
+/// Documented analytic↔exact agreement tolerance for deterministic
+/// policies (none / inversion / barrel shifter) under uniform dwell:
+/// the closed forms are exact, so per-cell duties match to floating-
+/// point noise.
+pub const CROSSVAL_DETERMINISTIC_TOL: f64 = 1e-9;
+
+/// Documented analytic↔exact agreement tolerance on the *mean* duty
+/// for the stochastic DNN-Life policy under uniform dwell: the
+/// analytic backend collapses the TRBG into per-cell binomial draws,
+/// so per-cell values differ but the distribution agrees; at the
+/// campaign defaults (≥ 10³ sampled cells) the means agree well
+/// within this bound.
+pub const CROSSVAL_STOCHASTIC_MEAN_TOL: f64 = 0.02;
+
+/// Outcome of one matched analytic/exact scenario pair
+/// ([`cross_validate`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// Scenario label (with the dwell qualifier).
+    pub label: String,
+    /// Cells compared.
+    pub cells: u64,
+    /// Whether the policy is stochastic (DNN-Life): per-cell
+    /// comparison is then between two different random streams and
+    /// only distribution-level statistics are meaningful.
+    pub stochastic: bool,
+    /// Whether the exact side ran a non-uniform dwell model (the
+    /// divergence then *measures* paper assumption (b)'s error rather
+    /// than validating the closed forms).
+    pub uniform_dwell: bool,
+    /// Max per-cell |exact − analytic| duty divergence.
+    pub max_abs_duty: f64,
+    /// Mean per-cell |exact − analytic| duty divergence.
+    pub mean_abs_duty: f64,
+    /// Mean duty under the analytic backend (uniform dwell).
+    pub mean_duty_analytic: f64,
+    /// Mean duty under the exact backend (the spec's dwell model).
+    pub mean_duty_exact: f64,
+}
+
+impl CrossValidation {
+    /// Whether the pair agrees within the documented tolerances
+    /// ([`CROSSVAL_DETERMINISTIC_TOL`] per cell for deterministic
+    /// policies, [`CROSSVAL_STOCHASTIC_MEAN_TOL`] on the mean for
+    /// DNN-Life). Only meaningful under uniform dwell — a non-uniform
+    /// exact side is *expected* to diverge.
+    pub fn within_tolerance(&self) -> bool {
+        if self.stochastic {
+            (self.mean_duty_exact - self.mean_duty_analytic).abs() < CROSSVAL_STOCHASTIC_MEAN_TOL
+        } else {
+            self.max_abs_duty < CROSSVAL_DETERMINISTIC_TOL
+        }
+    }
+}
+
+/// Per-cell duty cycles for `spec` under one backend — the exact same
+/// memory plans, dwell application and transducer seeds the experiment
+/// runner uses ([`simulate_units`]), flattened in unit order.
+fn per_cell_duties(spec: &ExperimentSpec, backend: SimulatorBackend) -> Vec<f64> {
+    let (units, _blocks) = simulate_units(spec, backend, 1);
+    units.into_iter().flatten().collect()
+}
+
+/// Runs the matched analytic/exact pair for `spec` and reports
+/// per-cell duty divergence. The analytic side always runs uniform
+/// dwell (its closed forms require assumption (b)); the exact side
+/// runs the spec's dwell model — so under `DwellModel::Uniform` this
+/// cross-validates the two simulators, and under a non-uniform model
+/// it quantifies how much the equal-residency assumption distorts the
+/// duty cycles of this scenario. Cell order is identical on both
+/// sides (sampled-word-major, slot by slot on the NPU).
+///
+/// # Panics
+///
+/// Panics if the spec's *exact* variant is invalid (see
+/// [`ExperimentSpec::is_valid`]).
+pub fn cross_validate(spec: &ExperimentSpec) -> CrossValidation {
+    let mut exact_spec = spec.clone();
+    exact_spec.backend = SimulatorBackend::Exact;
+    assert!(
+        exact_spec.is_valid(),
+        "cross_validate: invalid spec {spec:?}"
+    );
+
+    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic);
+    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact);
+    assert_eq!(analytic.len(), exact.len(), "backend cell counts differ");
+
+    let cells = analytic.len() as u64;
+    let mut max_abs: f64 = 0.0;
+    let mut sum_abs = 0.0;
+    let (mut sum_a, mut sum_e) = (0.0, 0.0);
+    for (a, e) in analytic.iter().zip(&exact) {
+        max_abs = max_abs.max((e - a).abs());
+        sum_abs += (e - a).abs();
+        sum_a += a;
+        sum_e += e;
+    }
+    let n = (cells as f64).max(1.0);
+    CrossValidation {
+        label: format!(
+            "{:?}/{}/{}/{} [dwell={}]",
+            spec.platform,
+            spec.network.display_name(),
+            spec.format,
+            spec.policy.display_name(),
+            spec.dwell.display_name()
+        ),
+        cells,
+        stochastic: matches!(spec.policy, PolicySpec::DnnLife { .. }),
+        uniform_dwell: spec.dwell.is_uniform(),
+        max_abs_duty: max_abs,
+        mean_abs_duty: sum_abs / n,
+        mean_duty_analytic: sum_a / n,
+        mean_duty_exact: sum_e / n,
     }
 }
 
@@ -382,8 +868,8 @@ pub fn fig11_policies() -> Vec<PolicySpec> {
 mod tests {
     use super::*;
 
-    fn quick(policy: PolicySpec) -> ExperimentResult {
-        run_experiment(&ExperimentSpec {
+    fn quick_spec(policy: PolicySpec) -> ExperimentSpec {
+        ExperimentSpec {
             platform: Platform::TpuLike,
             network: NetworkKind::CustomMnist,
             format: NumberFormat::Int8Symmetric,
@@ -392,7 +878,13 @@ mod tests {
             years: 7.0,
             seed: 42,
             sample_stride: 16,
-        })
+            backend: SimulatorBackend::Analytic,
+            dwell: DwellModel::Uniform,
+        }
+    }
+
+    fn quick(policy: PolicySpec) -> ExperimentResult {
+        run_experiment(&quick_spec(policy))
     }
 
     #[test]
@@ -415,20 +907,13 @@ mod tests {
         // estimate; over a realistic lifetime write count the randomised
         // inversion drives every cell to the optimum (Fig. 11 panels
         // 7-9).
-        let result = run_experiment(&ExperimentSpec {
-            platform: Platform::TpuLike,
-            network: NetworkKind::CustomMnist,
-            format: NumberFormat::Int8Symmetric,
-            policy: PolicySpec::DnnLife {
-                bias: 0.5,
-                bias_balancing: true,
-                m_bits: 4,
-            },
-            inferences: 4000,
-            years: 7.0,
-            seed: 42,
-            sample_stride: 16,
+        let mut spec = quick_spec(PolicySpec::DnnLife {
+            bias: 0.5,
+            bias_balancing: true,
+            m_bits: 4,
         });
+        spec.inferences = 4000;
+        let result = run_experiment(&spec);
         assert!(
             result.percent_near_optimal(0.5) > 99.0,
             "only {:.2}% near optimal",
@@ -518,5 +1003,165 @@ mod tests {
         });
         assert!(r.label.contains("without Bias Balancing"));
         assert!(r.label.contains("Custom (MNIST)"));
+    }
+
+    #[test]
+    fn backend_and_dwell_serde_round_trip() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.backend = SimulatorBackend::Exact;
+        spec.dwell = DwellModel::Zipf { exponent: 1.25 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        spec.dwell = DwellModel::Custom {
+            factors: vec![1.0, 2.0, 0.5, 1.0],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn legacy_spec_json_parses_and_keeps_its_content_hash() {
+        // A record written before the backend/dwell axes existed: no
+        // `backend`/`dwell` keys. It must parse with the defaults, and
+        // — because defaults are omitted on serialization — re-encode
+        // to the same canonical JSON, so its content hash (the store
+        // key) is unchanged by the schema growth.
+        let spec = quick_spec(PolicySpec::Inversion);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(
+            !json.contains("backend") && !json.contains("dwell"),
+            "{json}"
+        );
+        let legacy: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(legacy, spec);
+        assert_eq!(legacy.content_key(), spec.content_key());
+        // Off-default axes do serialize (and so change the hash).
+        let mut exact = spec.clone();
+        exact.backend = SimulatorBackend::Exact;
+        let json = serde_json::to_string(&exact).unwrap();
+        assert!(json.contains("backend"), "{json}");
+    }
+
+    #[test]
+    fn content_hash_tracks_backend_and_dwell_axes() {
+        let base = quick_spec(PolicySpec::None);
+        let mut exact = base.clone();
+        exact.backend = SimulatorBackend::Exact;
+        assert_ne!(base.content_hash(), exact.content_hash());
+        let mut dwelled = exact.clone();
+        dwelled.dwell = DwellModel::LayerProportional;
+        assert_ne!(exact.content_hash(), dwelled.content_hash());
+        // Backend is a method, not a coordinate: matched pairs share
+        // coordinates. Dwell is physical: coordinates differ.
+        assert_eq!(base.coordinate_hash(), exact.coordinate_hash());
+        assert_ne!(exact.coordinate_hash(), dwelled.coordinate_hash());
+    }
+
+    #[test]
+    fn validity_gates_backend_dwell_combinations() {
+        let mut spec = quick_spec(PolicySpec::None);
+        assert!(spec.is_valid());
+        spec.dwell = DwellModel::LayerProportional;
+        assert!(!spec.is_valid(), "analytic cannot run non-uniform dwell");
+        spec.backend = SimulatorBackend::Exact;
+        assert!(spec.is_valid());
+        spec.dwell = DwellModel::Zipf { exponent: -1.0 };
+        assert!(!spec.is_valid(), "negative zipf exponent");
+        spec.dwell = DwellModel::Custom {
+            factors: vec![1.0, 2.0],
+        };
+        assert!(!spec.is_valid(), "custom factors must match layer count");
+        spec.dwell = DwellModel::Custom {
+            factors: vec![1.0, 2.0, 0.5, 1.0],
+        };
+        assert!(spec.is_valid(), "custom_mnist has 4 layers");
+    }
+
+    #[test]
+    fn exact_backend_runs_and_labels_variants() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.backend = SimulatorBackend::Exact;
+        spec.sample_stride = 256;
+        spec.inferences = 4;
+        let r = run_experiment(&spec);
+        assert!(r.cells > 0);
+        assert!(r.label.ends_with("[exact]"), "label: {}", r.label);
+        spec.dwell = DwellModel::Zipf { exponent: 1.0 };
+        let r = run_experiment(&spec);
+        assert!(
+            r.label.contains("[exact, dwell=zipf(1.00)]"),
+            "label: {}",
+            r.label
+        );
+    }
+
+    #[test]
+    fn dwell_model_parse_round_trips() {
+        assert_eq!(DwellModel::parse("uniform"), Some(DwellModel::Uniform));
+        assert_eq!(
+            DwellModel::parse("layer"),
+            Some(DwellModel::LayerProportional)
+        );
+        assert_eq!(
+            DwellModel::parse("zipf"),
+            Some(DwellModel::Zipf { exponent: 1.0 })
+        );
+        assert_eq!(
+            DwellModel::parse("zipf:0.5"),
+            Some(DwellModel::Zipf { exponent: 0.5 })
+        );
+        assert_eq!(
+            DwellModel::parse("custom:1,2,0.5,1"),
+            Some(DwellModel::Custom {
+                factors: vec![1.0, 2.0, 0.5, 1.0]
+            })
+        );
+        assert_eq!(DwellModel::parse("bogus"), None);
+        assert_eq!(DwellModel::parse("custom:1,x"), None);
+        assert_eq!(
+            SimulatorBackend::parse("exact"),
+            Some(SimulatorBackend::Exact)
+        );
+        assert_eq!(SimulatorBackend::parse("fancy"), None);
+    }
+
+    #[test]
+    fn cross_validate_deterministic_policies_agree() {
+        for policy in [
+            PolicySpec::None,
+            PolicySpec::Inversion,
+            PolicySpec::BarrelShifter,
+        ] {
+            let mut spec = quick_spec(policy);
+            spec.sample_stride = 256;
+            spec.inferences = 6;
+            let cv = cross_validate(&spec);
+            assert!(!cv.stochastic);
+            assert!(cv.uniform_dwell);
+            assert!(
+                cv.within_tolerance(),
+                "{}: max |Δduty| = {}",
+                cv.label,
+                cv.max_abs_duty
+            );
+        }
+    }
+
+    #[test]
+    fn cross_validate_reports_assumption_b_divergence() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.sample_stride = 256;
+        spec.inferences = 6;
+        spec.backend = SimulatorBackend::Exact;
+        spec.dwell = DwellModel::LayerProportional;
+        let cv = cross_validate(&spec);
+        assert!(!cv.uniform_dwell);
+        assert!(
+            cv.max_abs_duty > 0.01,
+            "non-uniform dwell should diverge from the uniform closed form, got {}",
+            cv.max_abs_duty
+        );
     }
 }

@@ -24,6 +24,8 @@
 //!     run_experiment, ExperimentSpec, NetworkKind, Platform, PolicySpec,
 //! };
 //!
+//! use dnnlife_core::experiment::{DwellModel, SimulatorBackend};
+//!
 //! let spec = ExperimentSpec {
 //!     platform: Platform::TpuLike,
 //!     network: NetworkKind::CustomMnist,
@@ -33,6 +35,8 @@
 //!     years: 7.0,
 //!     seed: 42,
 //!     sample_stride: 8,
+//!     backend: SimulatorBackend::Analytic, // closed forms (assumption (b))
+//!     dwell: DwellModel::Uniform,          // equal block residency
 //! };
 //! let result = run_experiment(&spec);
 //! // DNN-Life drives every cell toward the minimal-degradation bin.
@@ -46,7 +50,7 @@ pub mod probmodel;
 pub mod report;
 
 pub use experiment::{
-    run_experiment, run_experiment_threaded, ExperimentResult, ExperimentSpec, NetworkKind,
-    Platform, PolicySpec,
+    cross_validate, run_experiment, run_experiment_threaded, CrossValidation, DwellModel,
+    ExperimentResult, ExperimentSpec, NetworkKind, Platform, PolicySpec, SimulatorBackend,
 };
 pub use probmodel::DutyCycleModel;

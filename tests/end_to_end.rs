@@ -5,7 +5,8 @@ use dnn_life::accel::{
     FlatWeightMemory,
 };
 use dnn_life::core::experiment::{
-    fig9_policies, run_experiment, ExperimentSpec, NetworkKind, Platform, PolicySpec,
+    cross_validate, fig9_policies, run_experiment, DwellModel, ExperimentSpec, NetworkKind,
+    Platform, PolicySpec, SimulatorBackend,
 };
 use dnn_life::mitigation::transducer::WriteTransducer;
 use dnn_life::mitigation::{AgingController, DnnLife, PseudoTrbg};
@@ -145,6 +146,8 @@ fn fig9_policy_ordering_smoke() {
             years: 7.0,
             seed: 42,
             sample_stride: 64,
+            backend: SimulatorBackend::Analytic,
+            dwell: DwellModel::Uniform,
         };
         results.push((policy, run_experiment(&spec)));
     }
@@ -199,4 +202,38 @@ fn experiments_are_reproducible() {
     let b = run_experiment(&spec);
     assert_eq!(a.histogram.counts(), b.histogram.counts());
     assert_eq!(a.snm.mean(), b.snm.mean());
+}
+
+/// The exact backend is reachable through the facade and its uniform-
+/// dwell duties agree with the analytic closed forms per cell for a
+/// deterministic policy — the cross-validation contract end to end.
+#[test]
+fn exact_backend_cross_validates_through_facade() {
+    let mut spec = ExperimentSpec::fig11(NetworkKind::CustomMnist, PolicySpec::BarrelShifter, 7);
+    spec.sample_stride = 512;
+    spec.inferences = 8;
+    let cv = cross_validate(&spec);
+    assert!(
+        cv.within_tolerance(),
+        "max |Δduty| = {} over {} cells",
+        cv.max_abs_duty,
+        cv.cells
+    );
+
+    // The exact backend also honours a non-uniform residency model the
+    // analytic simulator cannot express: relaxing assumption (b) moves
+    // the unmitigated duty distribution.
+    spec.policy = PolicySpec::None;
+    spec.backend = SimulatorBackend::Exact;
+    spec.dwell = DwellModel::LayerProportional;
+    let weighted = run_experiment(&spec);
+    spec.dwell = DwellModel::Uniform;
+    let uniform = run_experiment(&spec);
+    assert_eq!(weighted.cells, uniform.cells);
+    assert!(
+        (weighted.duty.mean() - uniform.duty.mean()).abs() > 1e-4,
+        "residency weighting changed nothing: {} vs {}",
+        weighted.duty.mean(),
+        uniform.duty.mean()
+    );
 }
