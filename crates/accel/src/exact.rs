@@ -14,6 +14,19 @@
 //! across inferences — the weight generator and quantizer are the
 //! expensive part of the inner loop, and their output is identical
 //! every inference.
+//!
+//! [`simulate_exact_sharded`] parallelizes the same loop across
+//! contiguous *word shards*: each shard runs an independent
+//! [`WriteTransducer::fork`] of the policy over its own range of
+//! sampled words, and per-shard duty vectors are concatenated in
+//! shard-index order. Per-address transducer state makes the partition
+//! invisible to the deterministic policies (any shard count is
+//! bit-identical to the serial run); the DNN-Life policy draws from an
+//! independent seed-derived TRBG stream per shard, so a given shard
+//! count is reproducible from the scenario seed alone.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use crate::plan::BlockSource;
 use dnnlife_mitigation::WriteTransducer;
@@ -21,8 +34,41 @@ use dnnlife_sram::DutyCycleTracker;
 
 /// Raw-block-word cache ceiling for [`simulate_exact_sampled`]: above
 /// this the simulator recomputes words per inference instead of
-/// caching `block_count × sampled_words` u64s.
+/// caching `block_count × sampled_words` u64s. Sharded runs partition
+/// the same budget — each shard caches only its own word range, so the
+/// total stays under this ceiling for every shard count.
 const BLOCK_CACHE_BYTES: usize = 64 << 20;
+
+/// Execution knobs for [`simulate_exact_sharded`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExactShardConfig<'a> {
+    /// Logical word shards (≥ 1; clamped to the sampled word count).
+    /// Semantic for the DNN-Life policy: the shard count selects how
+    /// TRBG streams are dealt to words, so two different values give
+    /// two different (identically distributed) random runs.
+    pub shards: usize,
+    /// OS threads executing the shards (0 = all available cores,
+    /// clamped to the shard count). Never semantic: any thread count
+    /// produces the same bytes for a given shard count.
+    pub threads: usize,
+    /// Cooperative cancellation, polled once per block per shard — an
+    /// abort lands within one block write, well under one inference.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl Default for ExactShardConfig<'_> {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            threads: 0,
+            cancel: None,
+        }
+    }
+}
+
+fn cancelled(cancel: Option<&AtomicBool>) -> bool {
+    cancel.is_some_and(|flag| flag.load(Ordering::Relaxed))
+}
 
 /// Simulates `inferences` repeated inferences of the block stream
 /// through `transducer`, returning per-cell duty cycles (cell order:
@@ -82,6 +128,134 @@ pub fn simulate_exact_sampled(
     inferences: u64,
     sample_stride: usize,
 ) -> Vec<f64> {
+    let (sampled, use_cache) = check_and_sample(source, transducer, inferences, sample_stride);
+    simulate_word_range(source, transducer, inferences, &sampled, use_cache, None)
+        .expect("uncancellable run cannot be cancelled")
+}
+
+/// [`simulate_exact_sampled`] parallelized across contiguous word
+/// shards: the sampled-word list is split into `cfg.shards` balanced
+/// ranges, each range runs through its own [`WriteTransducer::fork`] on
+/// a scoped thread, and per-shard duty vectors are concatenated in
+/// shard-index order — so the output cell order is exactly
+/// [`simulate_exact_sampled`]'s for every shard count.
+///
+/// Determinism: the deterministic policies (per-address state) are
+/// bit-identical to the serial simulator for **any** shard count; the
+/// DNN-Life policy consumes an independent seed-derived TRBG stream per
+/// shard, so its duties are reproducible for a *given* shard count (one
+/// shard reproduces the serial stream exactly) and distribution-
+/// identical across shard counts. The thread count is never semantic.
+///
+/// Returns `None` iff `cfg.cancel` was raised before the run finished;
+/// cancellation is polled once per block per shard, so an abort lands
+/// within one inference.
+///
+/// # Panics
+///
+/// Panics if the transducer width does not match the memory word width,
+/// if the source has no blocks, if `sample_stride == 0`, or if
+/// `cfg.shards == 0`.
+pub fn simulate_exact_sharded(
+    source: &dyn BlockSource,
+    prototype: &dyn WriteTransducer,
+    inferences: u64,
+    sample_stride: usize,
+    cfg: &ExactShardConfig,
+) -> Option<Vec<f64>> {
+    assert!(cfg.shards > 0, "simulate_exact: shards must be > 0");
+    let (sampled, use_cache) = check_and_sample(source, prototype, inferences, sample_stride);
+    let width = source.geometry().word_bits as usize;
+    let shards = cfg.shards.min(sampled.len()).max(1);
+    let ranges = shard_ranges(sampled.len(), shards);
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .clamp(1, shards);
+
+    let mut slots: Vec<Option<Vec<f64>>> = (0..shards).map(|_| None).collect();
+    if threads == 1 {
+        // Serial shard loop: same forks, same merge order, no spawn.
+        for (shard, range) in ranges.iter().enumerate() {
+            let mut transducer = prototype.fork(shard as u64);
+            slots[shard] = Some(simulate_word_range(
+                source,
+                transducer.as_mut(),
+                inferences,
+                &sampled[range.clone()],
+                use_cache,
+                cfg.cancel,
+            )?);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (next, ranges, sampled) = (&next, &ranges, &sampled);
+                scope.spawn(move || loop {
+                    let shard = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = ranges.get(shard) else {
+                        break;
+                    };
+                    let mut transducer = prototype.fork(shard as u64);
+                    let Some(duties) = simulate_word_range(
+                        source,
+                        transducer.as_mut(),
+                        inferences,
+                        &sampled[range.clone()],
+                        use_cache,
+                        cfg.cancel,
+                    ) else {
+                        break; // cancelled: the partial shard is dropped
+                    };
+                    if tx.send((shard, duties)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (shard, duties) in rx {
+                // Merge guard: every shard lands at its own index, so
+                // concatenation below is in shard order regardless of
+                // completion order.
+                assert!(
+                    slots[shard].replace(duties).is_none(),
+                    "shard {shard} completed twice"
+                );
+            }
+        });
+    }
+
+    let mut out = Vec::with_capacity(sampled.len() * width);
+    for (shard, slot) in slots.into_iter().enumerate() {
+        let duties = slot?; // a missing shard means the run was cancelled
+        assert_eq!(
+            duties.len(),
+            ranges[shard].len() * width,
+            "shard {shard} returned a mis-sized duty vector"
+        );
+        out.extend(duties);
+    }
+    Some(out)
+}
+
+/// Shared input validation: returns the sampled-word list and whether
+/// the raw-block-word cache pays off (a *global* decision over the full
+/// sampled population, so shard counts never change memory behaviour —
+/// each shard caches only its own slice of the budget).
+fn check_and_sample(
+    source: &dyn BlockSource,
+    transducer: &dyn WriteTransducer,
+    inferences: u64,
+    sample_stride: usize,
+) -> (Vec<usize>, bool) {
     let geo = source.geometry();
     assert_eq!(
         transducer.width(),
@@ -93,33 +267,76 @@ pub fn simulate_exact_sampled(
     assert!(sample_stride > 0, "simulate_exact: stride must be > 0");
     let k_blocks = source.block_count();
     assert!(k_blocks > 0, "simulate_exact: source has no blocks");
-
     let sampled: Vec<usize> = (0..geo.words).step_by(sample_stride).collect();
-    let width = geo.word_bits as usize;
-    let cells = sampled.len() * width;
+    let cache_len = (k_blocks as usize).saturating_mul(sampled.len());
+    let use_cache = inferences > 1 && cache_len.saturating_mul(8) <= BLOCK_CACHE_BYTES;
+    (sampled, use_cache)
+}
+
+/// Splits `len` items into `shards` contiguous balanced ranges (the
+/// first `len % shards` ranges are one item longer).
+fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / shards;
+    let extra = len % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|shard| {
+            let size = base + usize::from(shard < extra);
+            let range = start..start + size;
+            start += size;
+            range
+        })
+        .collect()
+}
+
+/// The exact inner loop over one contiguous range of sampled words:
+/// every word of every block of every inference goes through
+/// `transducer` into a packed bit image, and each block state is
+/// recorded with its dwell weight. Returns `None` if `cancel` was
+/// raised (polled once per block, including during cache fill).
+fn simulate_word_range(
+    source: &dyn BlockSource,
+    transducer: &mut dyn WriteTransducer,
+    inferences: u64,
+    words: &[usize],
+    use_cache: bool,
+    cancel: Option<&AtomicBool>,
+) -> Option<Vec<f64>> {
+    let width = source.geometry().word_bits as usize;
+    let k_blocks = source.block_count();
+    let cells = words.len() * width;
+    if cells == 0 {
+        return Some(Vec::new());
+    }
     let mut tracker = DutyCycleTracker::new(cells);
     let mut state = vec![0u64; cells.div_ceil(64)];
 
     // Raw words are a pure function of (block, word): cache them once
     // and replay from memory on every later inference. A single
     // inference has no later replay, so it skips the cache entirely.
-    let cache_len = (k_blocks as usize).saturating_mul(sampled.len());
-    let cache_pays_off = inferences > 1 && cache_len.saturating_mul(8) <= BLOCK_CACHE_BYTES;
-    let cached: Option<Vec<u64>> = cache_pays_off.then(|| {
-        let mut words = Vec::with_capacity(cache_len);
+    let cached: Option<Vec<u64>> = if use_cache {
+        let mut cache = Vec::with_capacity((k_blocks as usize).saturating_mul(words.len()));
         for block in 0..k_blocks {
-            for &word in &sampled {
-                words.push(source.word(block, word));
+            if cancelled(cancel) {
+                return None;
+            }
+            for &word in words {
+                cache.push(source.word(block, word));
             }
         }
-        words
-    });
+        Some(cache)
+    } else {
+        None
+    };
 
     for _inference in 0..inferences {
         for block in 0..k_blocks {
-            for (si, &word) in sampled.iter().enumerate() {
+            if cancelled(cancel) {
+                return None;
+            }
+            for (si, &word) in words.iter().enumerate() {
                 let raw = match &cached {
-                    Some(words) => words[block as usize * sampled.len() + si],
+                    Some(cache) => cache[block as usize * words.len() + si],
                     None => source.word(block, word),
                 };
                 let (stored, _meta) = transducer.encode(word as u64, raw);
@@ -129,7 +346,7 @@ pub fn simulate_exact_sampled(
             tracker.record_packed(&state, source.dwell(block));
         }
     }
-    tracker.duties().collect()
+    Some(tracker.duties().collect())
 }
 
 /// Writes the low `width` bits of `value` into the packed bit image at
@@ -187,7 +404,7 @@ mod tests {
     use super::*;
     use crate::config::AcceleratorConfig;
     use crate::plan::FlatWeightMemory;
-    use dnnlife_mitigation::{Passthrough, PeriodicInversion};
+    use dnnlife_mitigation::{BarrelShifter, Passthrough, PeriodicInversion};
     use dnnlife_nn::NetworkSpec;
     use dnnlife_quant::NumberFormat;
 
@@ -296,5 +513,124 @@ mod tests {
         let mem = tiny_memory();
         let mut policy = Passthrough::new(32);
         let _ = simulate_exact(&mem, &mut policy, 1);
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_balanced() {
+        for (len, shards) in [(10, 3), (8, 8), (7, 2), (1, 1), (64, 5)] {
+            let ranges = shard_ranges(len, shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+                assert!(
+                    pair[0].len() >= pair[1].len(),
+                    "earlier shards are never smaller"
+                );
+            }
+            let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_bit_for_bit_for_deterministic_policies() {
+        let mem = tiny_memory();
+        let words = mem.geometry().words;
+        let make: Vec<(&str, Box<dyn WriteTransducer>)> = vec![
+            ("none", Box::new(Passthrough::new(8))),
+            ("inversion", Box::new(PeriodicInversion::new(8, words))),
+            ("barrel", Box::new(BarrelShifter::new(8, words))),
+        ];
+        for (name, prototype) in make {
+            let mut serial_policy = prototype.fork(0);
+            let serial = simulate_exact_sampled(&mem, serial_policy.as_mut(), 3, 5);
+            for shards in [1usize, 2, 3, 8, 64] {
+                for threads in [1usize, 4] {
+                    let cfg = ExactShardConfig {
+                        shards,
+                        threads,
+                        cancel: None,
+                    };
+                    let sharded = simulate_exact_sharded(&mem, prototype.as_ref(), 3, 5, &cfg)
+                        .expect("not cancelled");
+                    assert_eq!(
+                        sharded, serial,
+                        "policy {name}: {shards} shard(s) × {threads} thread(s) diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_dnn_life_matches_serial_stream() {
+        use dnnlife_mitigation::{AgingController, DnnLife, PseudoTrbg};
+        let mem = tiny_memory();
+        let proto = DnnLife::new(8, AgingController::new(PseudoTrbg::new(77, 0.7), 4));
+        let mut serial_policy = proto.fork(0);
+        let serial = simulate_exact_sampled(&mem, serial_policy.as_mut(), 4, 3);
+        let cfg = ExactShardConfig::default();
+        let sharded = simulate_exact_sharded(&mem, &proto, 4, 3, &cfg).expect("not cancelled");
+        assert_eq!(
+            sharded, serial,
+            "one shard must replay the serial TRBG stream"
+        );
+    }
+
+    #[test]
+    fn sharded_dnn_life_stays_distribution_identical() {
+        use dnnlife_mitigation::{AgingController, DnnLife, PseudoTrbg};
+        let mem = tiny_memory();
+        let proto = DnnLife::new(8, AgingController::new(PseudoTrbg::new(5, 0.5), 4));
+        let mean = |duties: &[f64]| duties.iter().sum::<f64>() / duties.len() as f64;
+        let base = simulate_exact_sharded(&mem, &proto, 60, 1, &ExactShardConfig::default())
+            .expect("not cancelled");
+        let split = simulate_exact_sharded(
+            &mem,
+            &proto,
+            60,
+            1,
+            &ExactShardConfig {
+                shards: 8,
+                threads: 2,
+                cancel: None,
+            },
+        )
+        .expect("not cancelled");
+        assert_eq!(base.len(), split.len());
+        assert_ne!(
+            base, split,
+            "different shard counts deal different TRBG draws"
+        );
+        assert!(
+            (mean(&base) - mean(&split)).abs() < 0.02,
+            "mean duty moved: {} vs {}",
+            mean(&base),
+            mean(&split)
+        );
+    }
+
+    #[test]
+    fn pre_raised_cancel_returns_none_immediately() {
+        let mem = tiny_memory();
+        let proto = Passthrough::new(8);
+        let flag = AtomicBool::new(true);
+        let cfg = ExactShardConfig {
+            shards: 4,
+            threads: 2,
+            cancel: Some(&flag),
+        };
+        // An inference count that would take far too long uncancelled.
+        let started = std::time::Instant::now();
+        assert_eq!(
+            simulate_exact_sharded(&mem, &proto, u64::MAX, 1, &cfg),
+            None
+        );
+        assert!(
+            started.elapsed().as_secs() < 10,
+            "cancellation was not prompt"
+        );
     }
 }

@@ -38,5 +38,5 @@ pub mod rng;
 
 pub use analytic::{simulate_analytic, AnalyticPolicy, AnalyticSimConfig};
 pub use config::AcceleratorConfig;
-pub use exact::{simulate_exact, simulate_exact_sampled};
+pub use exact::{simulate_exact, simulate_exact_sampled, simulate_exact_sharded, ExactShardConfig};
 pub use plan::{zipf_weights, BlockSource, FifoSlotMemory, FlatWeightMemory, MemoryGeometry};

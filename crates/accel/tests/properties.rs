@@ -3,8 +3,8 @@
 
 use dnnlife_accel::exact::{read_bits, simulate_exact_sampled, write_bits};
 use dnnlife_accel::{
-    simulate_analytic, simulate_exact, AcceleratorConfig, AnalyticPolicy, AnalyticSimConfig,
-    BlockSource, FifoSlotMemory, FlatWeightMemory,
+    simulate_analytic, simulate_exact, simulate_exact_sharded, AcceleratorConfig, AnalyticPolicy,
+    AnalyticSimConfig, BlockSource, ExactShardConfig, FifoSlotMemory, FlatWeightMemory,
 };
 use dnnlife_mitigation::{BarrelShifter, Passthrough, PeriodicInversion, WriteTransducer};
 use dnnlife_nn::NetworkSpec;
@@ -225,5 +225,40 @@ proptest! {
             let word = si * stride;
             prop_assert_eq!(chunk, &full[word * width..(word + 1) * width]);
         }
+    }
+
+    /// Word sharding is invisible to the deterministic policies: for
+    /// any shard count, thread count and stride, the sharded exact
+    /// simulator reproduces the serial run bit for bit (per-address
+    /// transducer state + shard-index-order merge).
+    #[test]
+    fn sharded_exact_matches_serial_for_any_partition(
+        seed in 0u64..30,
+        stride in 1usize..16,
+        shards in 1usize..10,
+        threads in 1usize..5,
+        inferences in 1u64..4,
+        policy_pick in 0usize..3,
+    ) {
+        let mut cfg = AcceleratorConfig::baseline();
+        cfg.weight_memory_bytes = 512;
+        let mem = FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            seed,
+        );
+        let words = mem.geometry().words;
+        let prototype: Box<dyn WriteTransducer> = match policy_pick {
+            0 => Box::new(Passthrough::new(8)),
+            1 => Box::new(PeriodicInversion::new(8, words)),
+            _ => Box::new(BarrelShifter::new(8, words)),
+        };
+        let mut serial_t = prototype.fork(0);
+        let serial = simulate_exact_sampled(&mem, serial_t.as_mut(), inferences, stride);
+        let cfg = ExactShardConfig { shards, threads, cancel: None };
+        let sharded = simulate_exact_sharded(&mem, prototype.as_ref(), inferences, stride, &cfg)
+            .expect("not cancelled");
+        prop_assert_eq!(sharded, serial);
     }
 }

@@ -37,6 +37,7 @@ fn bench_campaign(c: &mut Criterion) {
                     threads: 1,
                     resume: false,
                     verbose: false,
+                    ..CampaignOptions::default()
                 },
             )
             .expect("campaign run")
@@ -53,6 +54,7 @@ fn bench_campaign(c: &mut Criterion) {
                     threads: 0,
                     resume: false,
                     verbose: false,
+                    ..CampaignOptions::default()
                 },
             )
             .expect("campaign run")
@@ -67,6 +69,7 @@ fn bench_campaign(c: &mut Criterion) {
             threads: 0,
             resume: false,
             verbose: false,
+            ..CampaignOptions::default()
         },
     )
     .expect("seed the resume store");
@@ -79,6 +82,7 @@ fn bench_campaign(c: &mut Criterion) {
                     threads: 0,
                     resume: true,
                     verbose: false,
+                    ..CampaignOptions::default()
                 },
             )
             .expect("campaign resume")

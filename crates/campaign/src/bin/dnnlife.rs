@@ -7,32 +7,41 @@
 //!               [--out FILE] [--resume] [--seed N] [--stride N]
 //!               [--inferences N] [--backend analytic|exact]
 //!               [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
-//!               [--verbose]
+//!               [--shards auto|N] [--verbose]
 //! dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
 //! dnnlife compare --store-a FILE --store-b FILE
 //! dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N]
 //!                  [--seed N] [--stride N] [--inferences N]
-//!                  [--dwell MODEL] [--report-only]
+//!                  [--dwell MODEL] [--shards auto|N] [--report-only]
 //! ```
 //!
 //! `sweep` is resumable: results are journaled per scenario, so a
 //! killed sweep re-run with `--resume` executes only the missing
 //! scenarios — and the finalized store is byte-identical to a clean
-//! single-threaded run regardless of `--threads`.
+//! single-threaded run regardless of `--threads`. The budget is
+//! two-level: threads left over by a narrow grid are handed to the
+//! in-flight simulators (analytic cell shards / exact word shards)
+//! instead of idling. `--shards` controls the exact backend's word
+//! sharding: deterministic policies are bit-identical at any value,
+//! while DNN-Life deals one seed-derived TRBG stream per shard, so the
+//! default `auto` (a machine-independent function of the sampled word
+//! count) keeps every store reproducible.
 //!
-//! `validate` runs each scenario of the grid through *both* simulators
-//! (matched seeds) and reports per-cell duty divergence. Under the
-//! default uniform dwell it enforces the documented tolerances and
-//! fails loudly on disagreement; with a non-uniform `--dwell` the
-//! reported divergence measures how much the paper's equal-residency
-//! assumption (b) distorts each scenario, and no tolerance applies.
+//! `validate` fans scenario pairs across `--threads` workers and runs
+//! each pair's exact side at `--shards`; it reports per-cell duty
+//! divergence. Under the default uniform dwell it enforces the
+//! documented tolerances and fails loudly on disagreement; with a
+//! non-uniform `--dwell` the reported divergence measures how much the
+//! paper's equal-residency assumption (b) distorts each scenario, and
+//! no tolerance applies.
 
 use std::process::ExitCode;
 
 use dnnlife_campaign::aggregate;
 use dnnlife_campaign::grid::SweepOptions;
 use dnnlife_campaign::{
-    run_campaign, validate_scenarios, CampaignGrid, CampaignOptions, ResultStore,
+    run_campaign, validate_scenarios_sharded, CampaignGrid, CampaignOptions, ResultStore,
+    ShardPolicy,
 };
 use dnnlife_core::{DwellModel, SimulatorBackend};
 
@@ -67,11 +76,13 @@ usage:
   dnnlife sweep --grid <fig9|fig11|bias|mbits|full> [--threads N] [--out FILE]
                 [--resume] [--seed N] [--stride N] [--inferences N]
                 [--backend analytic|exact]
-                [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...] [--verbose]
+                [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
+                [--shards auto|N] [--verbose]
   dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
   dnnlife compare --store-a FILE --store-b FILE
   dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
-                   [--stride N] [--inferences N] [--dwell MODEL] [--report-only]";
+                   [--stride N] [--inferences N] [--dwell MODEL]
+                   [--shards auto|N] [--report-only]";
 
 /// Minimal `--flag [value]` argument cursor.
 struct Args<'a> {
@@ -125,6 +136,7 @@ fn sweep(argv: &[String]) -> Result<(), String> {
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
             "--backend" => sweep_options.backend = parse_backend(args.value("--backend")?)?,
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
+            "--shards" => options.shards = parse_shards(args.value("--shards")?)?,
             other => return Err(format!("sweep: unexpected argument `{other}`")),
         }
     }
@@ -269,9 +281,15 @@ fn parse_dwell(name: &str) -> Result<DwellModel, String> {
     })
 }
 
+fn parse_shards(name: &str) -> Result<ShardPolicy, String> {
+    ShardPolicy::parse(name)
+        .ok_or_else(|| format!("--shards: expected `auto` or a positive count, got `{name}`"))
+}
+
 fn validate(argv: &[String]) -> Result<(), String> {
     let mut grid_name: Option<String> = None;
     let mut threads = 0usize;
+    let mut shards = ShardPolicy::Auto;
     let mut report_only = false;
     let mut sweep_options = SweepOptions {
         backend: SimulatorBackend::Exact,
@@ -287,6 +305,7 @@ fn validate(argv: &[String]) -> Result<(), String> {
             "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
+            "--shards" => shards = parse_shards(args.value("--shards")?)?,
             "--report-only" => report_only = true,
             other => return Err(format!("validate: unexpected argument `{other}`")),
         }
@@ -310,7 +329,7 @@ fn validate(argv: &[String]) -> Result<(), String> {
     warn_on_dwell_dropped_scenarios("validate", &grid_name, &grid, &sweep_options);
 
     let started = std::time::Instant::now();
-    let results = validate_scenarios(&grid.scenarios, threads);
+    let results = validate_scenarios_sharded(&grid.scenarios, threads, shards);
     print!("{}", aggregate::crossval_table(&results));
     let worst = results
         .iter()

@@ -14,21 +14,26 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use dnnlife_core::{cross_validate, CrossValidation, ExperimentSpec};
+use dnnlife_core::{cross_validate_sharded, CrossValidation, ExperimentSpec, ShardPolicy};
 
 /// Runs [`dnnlife_core::cross_validate`] for every scenario on
 /// `threads` workers (0 = all cores), returning results in scenario
 /// order.
 pub fn validate_scenarios(scenarios: &[ExperimentSpec], threads: usize) -> Vec<CrossValidation> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(scenarios.len())
-    .max(1);
+    validate_scenarios_sharded(scenarios, threads, ShardPolicy::Auto)
+}
+
+/// [`validate_scenarios`] with an explicit exact-backend shard policy
+/// (`dnnlife validate --shards`). The documented tolerances hold for
+/// every shard count, so the nightly tier runs this at `--shards 4` to
+/// keep the sharded exact path under the same contract as the serial
+/// one.
+pub fn validate_scenarios_sharded(
+    scenarios: &[ExperimentSpec],
+    threads: usize,
+    shards: ShardPolicy,
+) -> Vec<CrossValidation> {
+    let threads = crate::executor::effective_threads(threads, scenarios.len());
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, CrossValidation)>();
@@ -42,7 +47,10 @@ pub fn validate_scenarios(scenarios: &[ExperimentSpec], threads: usize) -> Vec<C
                 let Some(spec) = scenarios.get(slot) else {
                     break;
                 };
-                if tx.send((slot, cross_validate(spec))).is_err() {
+                if tx
+                    .send((slot, cross_validate_sharded(spec, shards)))
+                    .is_err()
+                {
                     break;
                 }
             });

@@ -4,20 +4,36 @@
 //! the next pending scenario index from a shared atomic counter (work
 //! stealing without queues — scenario runtimes vary by orders of
 //! magnitude between networks, so static partitioning would idle
-//! cores), run it with the simulator pinned to one thread, and send
-//! the record back over a channel. The main thread journals each
-//! completion to the [`ResultStore`] immediately, then finalizes the
-//! store in canonical grid order.
+//! cores), run it, and send the record back over a channel. The main
+//! thread journals each completion to the [`ResultStore`] immediately,
+//! then finalizes the store in canonical grid order.
 //!
-//! Determinism: each scenario's result depends only on its spec (per-
-//! cell counter-seeded RNG streams), and the finalize pass orders the
-//! file by the grid, so the finished store is **byte-identical for any
-//! worker count** and for interrupted-then-resumed runs.
+//! The thread budget is **two-level**: when a grid has fewer pending
+//! scenarios than budgeted threads, the leftover threads are pooled
+//! and each worker claims a fair share of them when it starts a
+//! scenario, handing them to the simulator (analytic cell shards /
+//! exact word shards) instead of letting them idle — one exact
+//! scenario no longer monopolizes a single core while the rest of the
+//! pool waits.
+//!
+//! Determinism: each scenario's result depends only on its spec plus
+//! the (deterministic) shard policy — never on the thread count — and
+//! the finalize pass orders the file by the grid, so the finished
+//! store is **byte-identical for any worker count** and for
+//! interrupted-then-resumed runs.
+//!
+//! Aborts are prompt: when the completion callback declines further
+//! results, a shared flag cancels in-flight **exact** simulations at
+//! block granularity (within one inference — the backend whose
+//! scenarios run for minutes) and their partial results are discarded,
+//! not journaled. Analytic scenarios poll the flag only between memory
+//! units; their closed forms are orders of magnitude shorter, so the
+//! flag exists to stop the expensive backend, not the cheap one.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-use dnnlife_core::experiment::run_experiment_threaded;
+use dnnlife_core::experiment::{run_experiment_with, RunOptions, ShardPolicy};
 
 use crate::grid::CampaignGrid;
 use crate::store::{ResultStore, ScenarioRecord, StoreLock};
@@ -25,13 +41,21 @@ use crate::store::{ResultStore, ScenarioRecord, StoreLock};
 /// Executor knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CampaignOptions {
-    /// Worker threads (0 = all available cores).
+    /// Total thread budget: scenario workers plus the spare threads
+    /// handed to in-flight simulators (0 = all available cores).
     pub threads: usize,
     /// Skip scenarios already present in the store. When false, an
     /// existing store file is discarded and every scenario re-runs.
     pub resume: bool,
     /// Print per-scenario progress lines to stderr.
     pub verbose: bool,
+    /// Exact-backend word-shard policy per scenario. `Auto` (default)
+    /// derives a machine-independent count from each memory unit's
+    /// sampled word population, so stores stay byte-identical for any
+    /// thread count; a `Fixed` count pins the DNN-Life stream split
+    /// explicitly (deterministic policies are bit-identical either
+    /// way).
+    pub shards: ShardPolicy,
 }
 
 /// What a campaign run did.
@@ -78,20 +102,44 @@ pub fn run_campaign(
             store.path().display()
         );
     }
+    // A stored record satisfies a scenario only if it was computed
+    // under the same word-shard annotation: shard-sensitive records
+    // (exact × DNN-Life) journaled by a sweep with a different
+    // `--shards` hold a different TRBG stream-deal, and skipping them
+    // would silently mix two deals in one store.
+    let mut shard_stale = 0usize;
     let pending: Vec<usize> = (0..grid.scenarios.len())
-        .filter(|&i| !store.contains(&keys[i]))
+        .filter(|&i| match store.get(&keys[i]) {
+            None => true,
+            Some(record) => {
+                let stale = record.shards
+                    != crate::store::shard_annotation(&grid.scenarios[i], options.shards);
+                shard_stale += usize::from(stale);
+                stale
+            }
+        })
         .collect();
+    if shard_stale > 0 {
+        eprintln!(
+            "campaign `{}`: re-running {shard_stale} DNN-Life exact record(s) journaled \
+             under a different --shards value (their TRBG stream split differs)",
+            grid.name,
+        );
+    }
     let skipped = grid.scenarios.len() - pending.len();
 
+    let budget = requested_threads(options.threads);
     let threads = effective_threads(options.threads, pending.len());
     if options.verbose {
         eprintln!(
-            "campaign `{}`: {} scenarios ({} pending, {} already stored), {} worker(s)",
+            "campaign `{}`: {} scenarios ({} pending, {} already stored), {} worker(s), \
+             {} thread(s) total",
             grid.name,
             grid.scenarios.len(),
             pending.len(),
             skipped,
-            threads
+            threads,
+            budget
         );
     }
 
@@ -100,7 +148,7 @@ pub fn run_campaign(
             pending.iter().map(|&i| &grid.scenarios[i]).collect();
         let mut done = 0usize;
         let mut journal_error = None;
-        execute_pool(&specs, threads, |_, record| {
+        execute_pool(&specs, budget, options.shards, |_, record| {
             let label = record.result.label.clone();
             if let Err(e) = store.append(record) {
                 journal_error = Some(e);
@@ -125,15 +173,17 @@ pub fn run_campaign(
     })
 }
 
-/// Runs every scenario of `grid` on `threads` workers (0 = all cores)
-/// without touching disk, returning records in grid order. This is the
-/// path report harnesses use when they only need the in-memory fold.
+/// Runs every scenario of `grid` on a `threads`-sized budget (0 = all
+/// cores) without touching disk, returning records in grid order. This
+/// is the path report harnesses use when they only need the in-memory
+/// fold.
 pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord> {
     let specs: Vec<&dnnlife_core::ExperimentSpec> = grid.scenarios.iter().collect();
     let mut slots: Vec<Option<ScenarioRecord>> = vec![None; specs.len()];
     execute_pool(
         &specs,
-        effective_threads(threads, specs.len()),
+        requested_threads(threads),
+        ShardPolicy::default(),
         |index, record| {
             slots[index] = Some(record);
             true
@@ -145,31 +195,61 @@ pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord>
         .collect()
 }
 
-/// Shared worker pool: workers pull scenario indices from an atomic
-/// counter, run them with the simulator pinned to one thread, and the
-/// calling thread observes each `(index, record)` completion in
-/// completion order. `on_complete` returning `false` aborts remaining
-/// work (in-flight scenarios still finish).
-fn execute_pool<F>(specs: &[&dnnlife_core::ExperimentSpec], threads: usize, mut on_complete: F)
-where
+/// Shared worker pool with a two-level thread budget: `budget` threads
+/// total, `min(budget, |specs|)` of them scenario workers pulling
+/// indices from an atomic counter, the remainder pooled as *spare*
+/// simulator threads. A worker starting a scenario claims a fair share
+/// of the spare pool and runs the scenario on `1 + share` simulator
+/// threads (returning the share afterwards), so a wide machine is not
+/// wasted on a narrow grid.
+///
+/// The calling thread observes each `(index, record)` completion in
+/// completion order. `on_complete` returning `false` raises a shared
+/// abort flag that cancels in-flight exact simulations at block
+/// granularity — workers notice within one inference, not after
+/// finishing a minutes-long scenario — and cancelled partial results
+/// are discarded, never delivered. (Analytic scenarios poll the flag
+/// only between memory units.)
+fn execute_pool<F>(
+    specs: &[&dnnlife_core::ExperimentSpec],
+    budget: usize,
+    shards: ShardPolicy,
+    mut on_complete: F,
+) where
     F: FnMut(usize, ScenarioRecord) -> bool,
 {
+    let workers = budget.min(specs.len()).max(1);
+    let spare = AtomicUsize::new(budget.saturating_sub(workers));
+    let abort = AtomicBool::new(false);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, ScenarioRecord)>();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..workers {
             let tx = tx.clone();
-            let next = &next;
+            let (next, spare, abort) = (&next, &spare, &abort);
             scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
                 let slot = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(slot) else {
                     break;
                 };
-                let result = run_experiment_threaded(spec, 1);
-                if tx
-                    .send((slot, ScenarioRecord::new((*spec).clone(), result)))
-                    .is_err()
-                {
+                let extra = claim_spare(spare, specs.len() - slot);
+                let opts = RunOptions {
+                    threads: 1 + extra,
+                    shards,
+                    cancel: Some(abort),
+                };
+                let result = run_experiment_with(spec, &opts);
+                if extra > 0 {
+                    spare.fetch_add(extra, Ordering::AcqRel);
+                }
+                let Some(result) = result else {
+                    break; // cancelled mid-scenario: discard the partial
+                };
+                let record = ScenarioRecord::annotated((*spec).clone(), result, shards);
+                if tx.send((slot, record)).is_err() {
                     break; // receiver gone: abort requested
                 }
             });
@@ -177,26 +257,51 @@ where
         drop(tx);
         for (index, record) in rx {
             if !on_complete(index, record) {
-                break; // dropping rx stops the workers
+                // Raise the cancel flag *and* drop the receiver: idle
+                // workers stop at their next claim, in-flight
+                // simulations stop within one inference.
+                abort.store(true, Ordering::Relaxed);
+                break;
             }
         }
     });
 }
 
-fn effective_threads(requested: usize, pending: usize) -> usize {
-    let available = if requested == 0 {
+/// Claims this worker's share of the spare-thread pool: an even split
+/// over the scenarios not yet claimed (`remaining` ≥ 1 counts the one
+/// being started), so early claimers don't starve the rest of the
+/// grid, and the last scenario takes everything still pooled.
+fn claim_spare(spare: &AtomicUsize, remaining: usize) -> usize {
+    let mut take = 0;
+    let _ = spare.fetch_update(Ordering::AcqRel, Ordering::Acquire, |pooled| {
+        take = pooled.div_ceil(remaining.max(1)).min(pooled);
+        Some(pooled - take)
+    });
+    take
+}
+
+/// The requested total thread budget (0 = all available cores).
+fn requested_threads(requested: usize) -> usize {
+    if requested == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     } else {
         requested
-    };
-    available.min(pending).max(1)
+    }
+}
+
+pub(crate) fn effective_threads(requested: usize, pending: usize) -> usize {
+    requested_threads(requested).min(pending).max(1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dnnlife_core::experiment::{
+        DwellModel, NetworkKind, Platform, PolicySpec, SimulatorBackend,
+    };
+    use dnnlife_core::ExperimentSpec;
 
     #[test]
     fn thread_count_clamps_to_pending_work() {
@@ -204,5 +309,85 @@ mod tests {
         assert_eq!(effective_threads(2, 100), 2);
         assert_eq!(effective_threads(4, 0), 1);
         assert!(effective_threads(0, usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn spare_claims_split_fairly_and_drain_on_the_tail() {
+        let spare = AtomicUsize::new(5);
+        assert_eq!(claim_spare(&spare, 3), 2);
+        assert_eq!(claim_spare(&spare, 2), 2);
+        assert_eq!(claim_spare(&spare, 1), 1, "last scenario takes the rest");
+        assert_eq!(claim_spare(&spare, 4), 0, "empty pool claims nothing");
+        let spare = AtomicUsize::new(7);
+        assert_eq!(claim_spare(&spare, 1), 7, "sole scenario takes everything");
+    }
+
+    fn npu_spec(backend: SimulatorBackend, inferences: u64, stride: usize) -> ExperimentSpec {
+        ExperimentSpec {
+            platform: Platform::TpuLike,
+            network: NetworkKind::CustomMnist,
+            format: dnnlife_quant::NumberFormat::Int8Symmetric,
+            policy: PolicySpec::None,
+            inferences,
+            years: 7.0,
+            seed: 3,
+            sample_stride: stride,
+            backend,
+            dwell: DwellModel::Uniform,
+        }
+    }
+
+    /// The abort-latency contract: after `on_complete` declines, an
+    /// in-flight exact scenario is cancelled within one inference (not
+    /// after minutes of finishing its whole run), and its partial
+    /// result is discarded — `on_complete` never sees it.
+    #[test]
+    fn abort_cancels_in_flight_scenarios_within_one_inference() {
+        // One fast analytic scenario and one exact scenario that would
+        // take on the order of minutes uncancelled (tens of thousands
+        // of inferences over every word of every FIFO slot).
+        let fast = npu_spec(SimulatorBackend::Analytic, 10, 1024);
+        let slow = npu_spec(SimulatorBackend::Exact, 50_000, 16);
+        let specs: Vec<&ExperimentSpec> = vec![&fast, &slow];
+
+        let started = std::time::Instant::now();
+        let mut delivered = 0usize;
+        execute_pool(&specs, 2, ShardPolicy::Auto, |_, _| {
+            delivered += 1;
+            false // abort after the first completion
+        });
+        assert_eq!(
+            delivered, 1,
+            "the cancelled partial result must be discarded, not delivered"
+        );
+        assert!(
+            started.elapsed().as_secs() < 30,
+            "abort took {:?} — in-flight work was not cancelled promptly",
+            started.elapsed()
+        );
+    }
+
+    /// Budgets wider than the grid hand their leftover threads to the
+    /// running scenarios instead of idling them — and results are the
+    /// same as a single-threaded pool.
+    #[test]
+    fn wide_budget_on_narrow_grid_matches_single_thread_results() {
+        let a = npu_spec(SimulatorBackend::Exact, 8, 256);
+        let mut b = a.clone();
+        b.seed = 4;
+        let specs: Vec<&ExperimentSpec> = vec![&a, &b];
+        let run = |budget: usize| {
+            let mut out: Vec<Option<ScenarioRecord>> = vec![None; specs.len()];
+            execute_pool(&specs, budget, ShardPolicy::Fixed(4), |i, r| {
+                out[i] = Some(r);
+                true
+            });
+            out
+        };
+        assert_eq!(
+            run(1),
+            run(8),
+            "spare simulator threads must never be semantic"
+        );
     }
 }

@@ -79,7 +79,8 @@ pub mod executor;
 pub mod grid;
 pub mod store;
 
-pub use crossval::validate_scenarios;
+pub use crossval::{validate_scenarios, validate_scenarios_sharded};
+pub use dnnlife_core::ShardPolicy;
 pub use executor::{run_campaign, run_scenarios, CampaignOptions, CampaignOutcome};
 pub use grid::{CampaignGrid, GridAxes};
 pub use store::{ResultStore, ScenarioRecord, StoreLock};

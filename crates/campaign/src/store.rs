@@ -20,11 +20,12 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use dnnlife_core::{ExperimentResult, ExperimentSpec};
+use dnnlife_core::experiment::PolicySpec;
+use dnnlife_core::{ExperimentResult, ExperimentSpec, ShardPolicy, SimulatorBackend};
 use serde::{Deserialize, Serialize};
 
 /// One completed scenario: the spec, its store key, and the result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioRecord {
     /// [`ExperimentSpec::content_key`] of `spec` (stored redundantly so
     /// tools can filter lines without re-hashing).
@@ -33,16 +34,82 @@ pub struct ScenarioRecord {
     pub spec: ExperimentSpec,
     /// What it produced.
     pub result: ExperimentResult,
+    /// The word-shard policy the result was computed under — recorded
+    /// **only** for shard-sensitive scenarios (exact backend ×
+    /// stochastic DNN-Life policy, where the shard count selects the
+    /// TRBG stream assignment), `None` everywhere else. Resume compares
+    /// this against the running sweep's policy and re-runs mismatches
+    /// instead of silently mixing two stream-deals in one store.
+    pub shards: Option<String>,
 }
 
 impl ScenarioRecord {
-    /// Builds a record, deriving the key from the spec.
+    /// Builds a record, deriving the key from the spec (no shard
+    /// annotation — see [`ScenarioRecord::annotated`]).
     pub fn new(spec: ExperimentSpec, result: ExperimentResult) -> Self {
         Self {
             key: spec.content_key(),
             spec,
             result,
+            shards: None,
         }
+    }
+
+    /// [`ScenarioRecord::new`] with the shard annotation the executor
+    /// stores: [`shard_annotation`] of the spec under `shards`.
+    pub fn annotated(spec: ExperimentSpec, result: ExperimentResult, shards: ShardPolicy) -> Self {
+        let annotation = shard_annotation(&spec, shards);
+        Self {
+            shards: annotation,
+            ..Self::new(spec, result)
+        }
+    }
+}
+
+/// The shard annotation a record of `spec` carries when swept under
+/// `shards`: the policy's display name iff the scenario is
+/// shard-sensitive (exact backend × DNN-Life — different shard counts
+/// deal different TRBG streams), `None` otherwise (deterministic
+/// policies and the analytic backend are bit-identical at every shard
+/// count, so annotating them would only break store byte-identity
+/// across `--shards` values).
+pub fn shard_annotation(spec: &ExperimentSpec, shards: ShardPolicy) -> Option<String> {
+    (spec.backend == SimulatorBackend::Exact && matches!(spec.policy, PolicySpec::DnnLife { .. }))
+        .then(|| shards.display_name())
+}
+
+// Hand-rolled (de)serialization, mirroring `ExperimentSpec`'s pattern:
+// the `shards` annotation is omitted when `None`, so records of
+// shard-insensitive scenarios keep the exact bytes (and parseability)
+// they had before the field existed.
+impl Serialize for ScenarioRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("key".to_string(), self.key.to_value()),
+            ("spec".to_string(), self.spec.to_value()),
+            ("result".to_string(), self.result.to_value()),
+        ];
+        if let Some(shards) = &self.shards {
+            fields.push(("shards".to_string(), shards.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = value.as_object_named("ScenarioRecord")?;
+        let shards = pairs
+            .iter()
+            .find(|(key, _)| key == "shards")
+            .map(|(_, v)| String::from_value(v))
+            .transpose()?;
+        Ok(ScenarioRecord {
+            key: serde::field(pairs, "key")?,
+            spec: serde::field(pairs, "spec")?,
+            result: serde::field(pairs, "result")?,
+            shards,
+        })
     }
 }
 

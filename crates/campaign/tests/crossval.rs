@@ -11,11 +11,16 @@
 //! * an exact-backend sweep journals and resumes like any other.
 
 use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
-use dnnlife_campaign::{run_campaign, validate_scenarios, CampaignOptions, ResultStore};
-use dnnlife_core::experiment::{
-    fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec, CROSSVAL_STOCHASTIC_MEAN_TOL,
+use dnnlife_campaign::{
+    run_campaign, validate_scenarios, validate_scenarios_sharded, CampaignOptions, ResultStore,
 };
-use dnnlife_core::{DwellModel, ExperimentSpec, SimulatorBackend};
+use dnnlife_core::experiment::{
+    fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec, RunOptions,
+    CROSSVAL_STOCHASTIC_MEAN_TOL,
+};
+use dnnlife_core::{
+    run_experiment_with, DwellModel, ExperimentSpec, ShardPolicy, SimulatorBackend,
+};
 use dnnlife_quant::NumberFormat;
 
 mod util;
@@ -307,6 +312,7 @@ fn exact_sweep_is_resumable() {
             threads: 2,
             resume: true,
             verbose: false,
+            ..CampaignOptions::default()
         },
     )
     .expect("resumed run");
@@ -314,6 +320,129 @@ fn exact_sweep_is_resumable() {
     assert_eq!(outcome.executed, grid.len() - keep);
     let resumed = std::fs::read_to_string(&resumed_path).expect("read resumed store");
     assert_eq!(resumed, clean, "resumed exact store differs from clean run");
+}
+
+/// Resuming an exact sweep under a different `--shards` value must
+/// not mix two TRBG stream-deals in one store: shard-sensitive
+/// DNN-Life records journaled under the old policy are re-run, the
+/// shard-insensitive rest are skipped, and the finalized store is
+/// byte-identical to a clean run at the new policy.
+#[test]
+fn resume_with_different_shards_reruns_dnn_life_records() {
+    let dir = util::scratch_dir("crossval-shards-resume");
+    let (_, npu) = crossval_axes(SimulatorBackend::Exact, 37);
+    let grid = npu.build("shards-resume");
+    let dnn_life = grid
+        .scenarios
+        .iter()
+        .filter(|s| matches!(s.policy, PolicySpec::DnnLife { .. }))
+        .count();
+    assert!(dnn_life >= 1, "grid must hold a shard-sensitive scenario");
+
+    let sweep = |path: &std::path::Path, shards: ShardPolicy, resume: bool| {
+        run_campaign(
+            &grid,
+            path,
+            &CampaignOptions {
+                resume,
+                shards,
+                ..CampaignOptions::default()
+            },
+        )
+        .expect("campaign run")
+    };
+    let clean2 = dir.join("clean-shards2.jsonl");
+    sweep(&clean2, ShardPolicy::Fixed(2), false);
+
+    let mixed = dir.join("mixed.jsonl");
+    sweep(&mixed, ShardPolicy::Fixed(8), false);
+    let outcome = sweep(&mixed, ShardPolicy::Fixed(2), true);
+    assert_eq!(
+        outcome.executed, dnn_life,
+        "exactly the shard-sensitive records must re-run"
+    );
+    assert_eq!(outcome.skipped, grid.len() - dnn_life);
+    assert_eq!(
+        std::fs::read(&mixed).expect("read resumed store"),
+        std::fs::read(&clean2).expect("read clean store"),
+        "resumed store must match a clean run at the new shard policy"
+    );
+
+    // Same policy resumed: nothing re-runs.
+    let again = sweep(&mixed, ShardPolicy::Fixed(2), true);
+    assert_eq!(again.executed, 0);
+}
+
+/// Sharded DNN-Life stays inside the cross-validation contract: for
+/// every shard count, the mean duty of a word-sharded exact run agrees
+/// with the unsharded run within the documented stochastic tolerance
+/// (each shard's seed-derived TRBG stream is identically distributed),
+/// while the per-cell draws genuinely change — sharding is a stream
+/// re-deal, not a no-op.
+#[test]
+fn sharded_dnn_life_agrees_with_unsharded_within_tolerance() {
+    let mut spec = ExperimentSpec::fig11(
+        NetworkKind::CustomMnist,
+        PolicySpec::DnnLife {
+            bias: 0.7,
+            bias_balancing: true,
+            m_bits: 4,
+        },
+        9,
+    );
+    spec.backend = SimulatorBackend::Exact;
+    spec.sample_stride = 64;
+    spec.inferences = 20;
+
+    let run = |shards: ShardPolicy| {
+        run_experiment_with(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                shards,
+                cancel: None,
+            },
+        )
+        .expect("not cancelled")
+    };
+    let unsharded = run(ShardPolicy::Fixed(1));
+    for shards in [2usize, 4, 8] {
+        let sharded = run(ShardPolicy::Fixed(shards));
+        assert_eq!(sharded.cells, unsharded.cells);
+        assert_ne!(
+            sharded.duty, unsharded.duty,
+            "{shards} shards must re-deal the TRBG streams"
+        );
+        let delta = (sharded.duty.mean() - unsharded.duty.mean()).abs();
+        assert!(
+            delta < CROSSVAL_STOCHASTIC_MEAN_TOL,
+            "{shards} shards: mean duty moved by {delta:.4}"
+        );
+    }
+}
+
+/// The analytic↔exact contract holds when the exact side runs
+/// word-sharded: every policy × format cell of the fast-tier grids
+/// cross-validates at `--shards 3` within the same tolerances as the
+/// serial exact simulator.
+#[test]
+fn per_cell_duties_agree_under_sharded_exact_backend() {
+    let (_, npu) = crossval_axes(SimulatorBackend::Exact, 11);
+    let scenarios = npu.build("cv-npu-sharded").scenarios;
+    let results = validate_scenarios_sharded(&scenarios, 0, ShardPolicy::Fixed(3));
+    for cv in &results {
+        assert!(
+            cv.within_tolerance(),
+            "{}: max|Δ|={:.3e}, mean(a)={:.4}, mean(e)={:.4}",
+            cv.label,
+            cv.max_abs_duty,
+            cv.mean_duty_analytic,
+            cv.mean_duty_exact
+        );
+        if !cv.stochastic {
+            assert!(cv.max_abs_duty < 1e-12, "{}", cv.label);
+        }
+    }
 }
 
 /// Slow tier (`cargo test -- --ignored`): the full cross-validation at
@@ -343,6 +472,41 @@ fn slow_crossval_finer_stride_and_alexnet_baseline() {
         assert!(
             cv.within_tolerance(),
             "{}: max|Δ|={:.3e}, mean(a)={:.4}, mean(e)={:.4}",
+            cv.label,
+            cv.max_abs_duty,
+            cv.mean_duty_analytic,
+            cv.mean_duty_exact
+        );
+    }
+}
+
+/// Slow tier (`cargo test -- --ignored`, CI nightly): the same
+/// cross-validation suite with the exact side split across four word
+/// shards — the sharded simulator must satisfy the documented
+/// tolerances at finer strides too, including on the AlexNet-scale
+/// baseline memory where the shards are thousands of words wide.
+#[test]
+#[ignore = "slow cross-validation tier: run with `cargo test -- --ignored` (CI nightly job)"]
+fn slow_crossval_with_four_shards() {
+    let (mut baseline, mut npu) = crossval_axes(SimulatorBackend::Exact, 53);
+    baseline.options.sample_stride = 64;
+    baseline.options.inferences = 40;
+    npu.options.sample_stride = 64;
+    npu.options.inferences = 40;
+    let mut scenarios = baseline.build("slow-baseline-4s").scenarios;
+    scenarios.extend(npu.build("slow-npu-4s").scenarios);
+
+    let mut alex = ExperimentSpec::fig9(NumberFormat::Int8Symmetric, PolicySpec::Inversion, 5);
+    alex.sample_stride = 4096;
+    alex.inferences = 10;
+    alex.backend = SimulatorBackend::Exact;
+    scenarios.push(alex);
+
+    let results = validate_scenarios_sharded(&scenarios, 0, ShardPolicy::Fixed(4));
+    for cv in &results {
+        assert!(
+            cv.within_tolerance(),
+            "{} [4 shards]: max|Δ|={:.3e}, mean(a)={:.4}, mean(e)={:.4}",
             cv.label,
             cv.max_abs_duty,
             cv.mean_duty_analytic,

@@ -1,10 +1,12 @@
 //! Campaign determinism property: the finalized result store is
-//! byte-identical regardless of worker thread count.
+//! byte-identical regardless of worker thread count — and, for the
+//! deterministic mitigation policies, regardless of the exact
+//! backend's word-shard count.
 
 use std::path::PathBuf;
 
 use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
-use dnnlife_campaign::{run_campaign, run_scenarios, CampaignOptions};
+use dnnlife_campaign::{run_campaign, run_scenarios, CampaignOptions, ShardPolicy};
 use dnnlife_core::experiment::{DwellModel, NetworkKind, Platform, PolicySpec, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
@@ -55,6 +57,7 @@ fn sweep_bytes(dir: &std::path::Path, threads: usize) -> Vec<u8> {
             threads,
             resume: false,
             verbose: false,
+            ..CampaignOptions::default()
         },
     )
     .expect("campaign run");
@@ -72,6 +75,69 @@ fn store_bytes_identical_across_1_2_8_threads() {
     assert!(!bytes_1.is_empty());
     assert_eq!(bytes_1, bytes_2, "1-thread vs 2-thread stores differ");
     assert_eq!(bytes_1, bytes_8, "1-thread vs 8-thread stores differ");
+}
+
+/// Every deterministic policy × number-format cell the paper's grids
+/// span, under the exact backend: the baseline accelerator covers all
+/// three formats, the NPU its 8-bit one. DNN-Life is deliberately
+/// absent — its per-shard TRBG streams make the shard count semantic.
+fn deterministic_exact_grid() -> CampaignGrid {
+    GridAxes {
+        platforms: vec![Platform::Baseline, Platform::TpuLike],
+        networks: vec![NetworkKind::CustomMnist],
+        formats: NumberFormat::all().to_vec(),
+        policies: vec![
+            PolicySpec::None,
+            PolicySpec::Inversion,
+            PolicySpec::BarrelShifter,
+        ],
+        lifetimes_years: vec![7.0],
+        backends: vec![SimulatorBackend::Exact],
+        dwells: vec![DwellModel::Uniform],
+        options: SweepOptions {
+            base_seed: 42,
+            sample_stride: 256,
+            inferences: 10,
+            ..SweepOptions::default()
+        },
+    }
+    .build("shard-determinism-test")
+}
+
+/// The tentpole's merge guard, end to end: a word-sharded exact sweep
+/// journals byte-identical stores for `--shards 1` and `--shards 8`
+/// (per-shard duty vectors concatenate in shard-index order, and the
+/// deterministic policies' per-address state makes the partition
+/// invisible), at every deterministic policy × format cell.
+#[test]
+fn store_bytes_identical_across_shard_counts_for_deterministic_policies() {
+    let dir = util::scratch_dir("shard-determinism");
+    let grid = deterministic_exact_grid();
+    assert_eq!(
+        grid.len(),
+        3 * 3 + 2 * 3,
+        "baseline 3 formats × 3 policies + NPU 2 eight-bit formats × 3 policies"
+    );
+    let sweep = |shards: ShardPolicy, tag: &str| -> Vec<u8> {
+        let path = dir.join(format!("{tag}.jsonl"));
+        run_campaign(
+            &grid,
+            &path,
+            &CampaignOptions {
+                threads: 2,
+                shards,
+                ..CampaignOptions::default()
+            },
+        )
+        .expect("campaign run");
+        std::fs::read(&path).expect("read store")
+    };
+    let unsharded = sweep(ShardPolicy::Fixed(1), "shards1");
+    let sharded = sweep(ShardPolicy::Fixed(8), "shards8");
+    let auto = sweep(ShardPolicy::Auto, "auto");
+    assert!(!unsharded.is_empty());
+    assert_eq!(unsharded, sharded, "1-shard vs 8-shard stores differ");
+    assert_eq!(unsharded, auto, "1-shard vs auto-shard stores differ");
 }
 
 #[test]
@@ -103,6 +169,7 @@ fn rerun_over_existing_store_skips_everything() {
             threads: 0,
             resume: true,
             verbose: false,
+            ..CampaignOptions::default()
         },
     )
     .expect("second run");

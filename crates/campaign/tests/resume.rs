@@ -71,6 +71,7 @@ fn resume_after_interruption_equals_clean_run() {
                 threads: 2,
                 resume: true,
                 verbose: false,
+                ..CampaignOptions::default()
             },
         )
         .expect("resumed run");
@@ -144,6 +145,7 @@ fn resume_with_changed_seed_prunes_stale_records() {
             threads: 1,
             resume: true,
             verbose: false,
+            ..CampaignOptions::default()
         },
     )
     .expect("B over A with resume");
@@ -207,6 +209,7 @@ fn resume_reruns_only_the_scenario_with_a_corrupt_trailing_line() {
             threads: 1,
             resume: true,
             verbose: false,
+            ..CampaignOptions::default()
         },
     )
     .expect("resumed run over damaged store");

@@ -9,9 +9,11 @@
 //! / Fig. 11 plots. [`cross_validate`] runs a matched analytic/exact
 //! pair and reports per-cell duty divergence.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use dnnlife_accel::{
-    simulate_analytic, simulate_exact_sampled, zipf_weights, AcceleratorConfig, AnalyticPolicy,
-    AnalyticSimConfig, BlockSource, FifoSlotMemory, FlatWeightMemory,
+    simulate_analytic, simulate_exact_sharded, zipf_weights, AcceleratorConfig, AnalyticPolicy,
+    AnalyticSimConfig, BlockSource, ExactShardConfig, FifoSlotMemory, FlatWeightMemory,
 };
 use dnnlife_mitigation::{
     AgingController, BarrelShifter, DnnLife, Passthrough, PeriodicInversion, PseudoTrbg,
@@ -60,6 +62,90 @@ impl SimulatorBackend {
             _ => None,
         }
     }
+}
+
+/// How many contiguous word shards the exact backend splits each
+/// memory unit into (`dnnlife --shards auto|N`).
+///
+/// Shard count is an *execution* knob, never stored in the spec or its
+/// content hash — but it is semantic for the stochastic DNN-Life
+/// policy (the shard count selects how seed-derived TRBG streams are
+/// dealt to words), so both variants are deterministic functions of
+/// the spec and the chosen policy: `Auto` derives the count from the
+/// sampled word population alone (machine-independent), and `Fixed`
+/// pins it outright. Deterministic mitigation policies are
+/// bit-identical at every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// One shard per [`ShardPolicy::AUTO_WORDS_PER_SHARD`] sampled
+    /// words, capped at [`ShardPolicy::AUTO_MAX_SHARDS`] — enough
+    /// granularity to feed every core on paper-scale memories while
+    /// small strided scenarios stay unsharded, computing the same
+    /// duties the pre-sharding simulator did. (Store *bytes* for
+    /// shard-sensitive records still change across the schema growth:
+    /// they gain a shard annotation, and resume conservatively re-runs
+    /// unannotated DNN-Life exact records once.)
+    #[default]
+    Auto,
+    /// Exactly this many shards (clamped to the sampled word count).
+    Fixed(usize),
+}
+
+impl ShardPolicy {
+    /// Sampled words per auto shard.
+    pub const AUTO_WORDS_PER_SHARD: usize = 4096;
+    /// Auto shard-count ceiling.
+    pub const AUTO_MAX_SHARDS: usize = 64;
+
+    /// The shard count for a memory unit with `sampled_words` sampled
+    /// words — a pure function of its arguments, so results never
+    /// depend on the executing machine.
+    pub fn resolve(self, sampled_words: usize) -> usize {
+        match self {
+            ShardPolicy::Fixed(shards) => shards.max(1),
+            ShardPolicy::Auto => sampled_words
+                .div_ceil(Self::AUTO_WORDS_PER_SHARD)
+                .clamp(1, Self::AUTO_MAX_SHARDS),
+        }
+    }
+
+    /// Parses a CLI value: `auto` or a positive shard count.
+    pub fn parse(name: &str) -> Option<Self> {
+        if name == "auto" {
+            return Some(ShardPolicy::Auto);
+        }
+        name.parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(ShardPolicy::Fixed)
+    }
+
+    /// CLI / report name (`auto` | the fixed count).
+    pub fn display_name(self) -> String {
+        match self {
+            ShardPolicy::Auto => "auto".to_string(),
+            ShardPolicy::Fixed(shards) => shards.to_string(),
+        }
+    }
+}
+
+/// Execution budget for one experiment run. Everything here is *how*
+/// the spec is computed, never *what* — with the one documented
+/// exception that the resolved shard count selects the DNN-Life
+/// per-shard TRBG stream assignment (see [`ShardPolicy`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    /// Simulator worker threads (0 = all available cores). The thread
+    /// count never affects results.
+    pub threads: usize,
+    /// Exact-backend word-shard policy.
+    pub shards: ShardPolicy,
+    /// Cooperative cancellation: when raised, [`run_experiment_with`]
+    /// returns `None` and the partial result is discarded. The exact
+    /// backend polls the flag at block granularity (an abort lands
+    /// within one inference); the analytic backend — orders of
+    /// magnitude faster — polls it only between memory units.
+    pub cancel: Option<&'a AtomicBool>,
 }
 
 /// Per-block residency model: how long each weight block stays in the
@@ -574,19 +660,20 @@ fn with_dwell<T: DwellTarget>(mem: T, dwell: &DwellModel, network: &dnnlife_nn::
 /// Simulates every memory unit of `spec` under `backend` (overriding
 /// `spec.backend` so [`cross_validate`] can run both sides of a
 /// matched pair), returning per-unit duty vectors in unit order plus
-/// the total blocks written per inference. This is the single home of
-/// the memory-construction / dwell-application / transducer-seeding
-/// logic, shared by [`run_experiment_threaded`] and
-/// [`cross_validate`] — so the pair a cross-validation compares is by
-/// construction the pair the experiment runner executes.
+/// the total blocks written per inference — or `None` if
+/// `opts.cancel` was raised mid-run. This is the single home of the
+/// memory-construction / dwell-application / transducer-seeding logic,
+/// shared by [`run_experiment_with`] and [`cross_validate`] — so the
+/// pair a cross-validation compares is by construction the pair the
+/// experiment runner executes.
 ///
 /// The analytic side always runs uniform dwell (its closed forms
 /// require assumption (b)); the exact side applies `spec.dwell`.
 fn simulate_units(
     spec: &ExperimentSpec,
     backend: SimulatorBackend,
-    threads: usize,
-) -> (Vec<Vec<f64>>, u64) {
+    opts: &RunOptions,
+) -> Option<(Vec<Vec<f64>>, u64)> {
     let network = spec.network.spec();
     let policy_seed = spec.seed ^ POLICY_SEED_MIX;
     let mut units = Vec::new();
@@ -594,30 +681,47 @@ fn simulate_units(
 
     // One memory unit: dispatch to the requested simulator. `unit`
     // numbers the NPU FIFO slots so each gets its own TRBG stream
-    // (each slot is its own memory unit with its own controller).
-    let simulate_unit = |source: &dyn BlockSource, unit: u64| match backend {
-        SimulatorBackend::Analytic => {
-            let sim_cfg = AnalyticSimConfig {
-                inferences: spec.inferences,
-                sample_stride: spec.sample_stride,
-                threads,
-            };
-            simulate_analytic(source, &spec.policy.analytic(policy_seed), &sim_cfg)
+    // (each slot is its own memory unit with its own controller; the
+    // per-shard fork streams then split from that per-unit seed).
+    let simulate_unit = |source: &dyn BlockSource, unit: u64| -> Option<Vec<f64>> {
+        if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return None;
         }
-        SimulatorBackend::Exact => {
-            let geo = source.geometry();
-            let mut transducer = build_transducer(
-                &spec.policy,
-                geo.word_bits,
-                geo.words,
-                policy_seed.wrapping_add(unit),
-            );
-            simulate_exact_sampled(
-                source,
-                transducer.as_mut(),
-                spec.inferences,
-                spec.sample_stride,
-            )
+        match backend {
+            SimulatorBackend::Analytic => {
+                let sim_cfg = AnalyticSimConfig {
+                    inferences: spec.inferences,
+                    sample_stride: spec.sample_stride,
+                    threads: opts.threads,
+                };
+                Some(simulate_analytic(
+                    source,
+                    &spec.policy.analytic(policy_seed),
+                    &sim_cfg,
+                ))
+            }
+            SimulatorBackend::Exact => {
+                let geo = source.geometry();
+                let transducer = build_transducer(
+                    &spec.policy,
+                    geo.word_bits,
+                    geo.words,
+                    policy_seed.wrapping_add(unit),
+                );
+                let sampled_words = geo.words.div_ceil(spec.sample_stride);
+                let cfg = ExactShardConfig {
+                    shards: opts.shards.resolve(sampled_words),
+                    threads: opts.threads,
+                    cancel: opts.cancel,
+                };
+                simulate_exact_sharded(
+                    source,
+                    transducer.as_ref(),
+                    spec.inferences,
+                    spec.sample_stride,
+                    &cfg,
+                )
+            }
         }
     };
     let dwell = match backend {
@@ -635,7 +739,7 @@ fn simulate_units(
             );
             blocks = mem.block_count();
             let mem = with_dwell(mem, dwell, &network);
-            units.push(simulate_unit(&mem, 0));
+            units.push(simulate_unit(&mem, 0)?);
         }
         Platform::TpuLike => {
             for (i, slot) in FifoSlotMemory::all_slots(&network, spec.format, spec.seed)
@@ -647,11 +751,11 @@ fn simulate_units(
                     continue;
                 }
                 let slot = with_dwell(slot, dwell, &network);
-                units.push(simulate_unit(&slot, i as u64));
+                units.push(simulate_unit(&slot, i as u64)?);
             }
         }
     }
-    (units, blocks)
+    Some((units, blocks))
 }
 
 /// Runs one experiment with the paper-calibrated SNM model.
@@ -669,11 +773,31 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     run_experiment_threaded(spec, 0)
 }
 
-/// [`run_experiment`] with an explicit simulator thread count
-/// (0 = all cores; the exact backend is single-threaded and ignores
-/// it). The campaign executor pins this to 1 so scenario-level
-/// parallelism isn't multiplied by cell-level parallelism.
+/// [`run_experiment`] with an explicit simulator thread count (0 = all
+/// cores). Both backends honour it: the analytic simulator shards
+/// cells, the exact simulator runs its word shards
+/// ([`ShardPolicy::Auto`]) on that many threads. The campaign executor
+/// passes each scenario its slice of the two-level thread budget so
+/// scenario-level parallelism isn't multiplied by cell-level
+/// parallelism.
 pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> ExperimentResult {
+    let opts = RunOptions {
+        threads,
+        ..RunOptions::default()
+    };
+    run_experiment_with(spec, &opts).expect("run without a cancel token cannot be cancelled")
+}
+
+/// [`run_experiment`] under an explicit execution budget
+/// ([`RunOptions`]: simulator threads, exact-backend shard policy,
+/// cooperative cancellation). Returns `None` iff `opts.cancel` was
+/// raised before the run finished — the partial result is discarded,
+/// never observable.
+///
+/// # Panics
+///
+/// Panics on inconsistent specs (see [`ExperimentSpec::is_valid`]).
+pub fn run_experiment_with(spec: &ExperimentSpec, opts: &RunOptions) -> Option<ExperimentResult> {
     assert!(
         spec.is_valid(),
         "run_experiment: invalid spec (platform/format, backend/dwell): {spec:?}"
@@ -683,7 +807,7 @@ pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> Experim
     let mut duty_summary = Summary::new();
     let mut snm_summary = Summary::new();
 
-    let (units, blocks) = simulate_units(spec, spec.backend, threads);
+    let (units, blocks) = simulate_units(spec, spec.backend, opts)?;
     for d in units.into_iter().flatten() {
         let degradation = snm_model.degradation_percent(d, spec.years);
         histogram.record(degradation);
@@ -691,7 +815,7 @@ pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> Experim
         snm_summary.record(degradation);
     }
 
-    ExperimentResult {
+    Some(ExperimentResult {
         label: format!(
             "{:?}/{}/{}/{}{}",
             spec.platform,
@@ -705,7 +829,7 @@ pub fn run_experiment_threaded(spec: &ExperimentSpec, threads: usize) -> Experim
         snm: snm_summary,
         cells: duty_summary.count(),
         blocks_per_inference: blocks,
-    }
+    })
 }
 
 /// Documented analytic↔exact agreement tolerance for deterministic
@@ -766,8 +890,13 @@ impl CrossValidation {
 /// Per-cell duty cycles for `spec` under one backend — the exact same
 /// memory plans, dwell application and transducer seeds the experiment
 /// runner uses ([`simulate_units`]), flattened in unit order.
-fn per_cell_duties(spec: &ExperimentSpec, backend: SimulatorBackend) -> Vec<f64> {
-    let (units, _blocks) = simulate_units(spec, backend, 1);
+fn per_cell_duties(
+    spec: &ExperimentSpec,
+    backend: SimulatorBackend,
+    opts: &RunOptions,
+) -> Vec<f64> {
+    let (units, _blocks) =
+        simulate_units(spec, backend, opts).expect("cross-validation runs are uncancellable");
     units.into_iter().flatten().collect()
 }
 
@@ -785,15 +914,29 @@ fn per_cell_duties(spec: &ExperimentSpec, backend: SimulatorBackend) -> Vec<f64>
 /// Panics if the spec's *exact* variant is invalid (see
 /// [`ExperimentSpec::is_valid`]).
 pub fn cross_validate(spec: &ExperimentSpec) -> CrossValidation {
+    cross_validate_sharded(spec, ShardPolicy::Auto)
+}
+
+/// [`cross_validate`] with an explicit exact-backend shard policy —
+/// what `dnnlife validate --shards` and the nightly sharded crossval
+/// tier run. The documented tolerances hold for every shard count:
+/// deterministic policies are partition-invariant, and each DNN-Life
+/// shard stream is identically distributed.
+pub fn cross_validate_sharded(spec: &ExperimentSpec, shards: ShardPolicy) -> CrossValidation {
     let mut exact_spec = spec.clone();
     exact_spec.backend = SimulatorBackend::Exact;
     assert!(
         exact_spec.is_valid(),
         "cross_validate: invalid spec {spec:?}"
     );
+    let opts = RunOptions {
+        threads: 1,
+        shards,
+        cancel: None,
+    };
 
-    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic);
-    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact);
+    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic, &opts);
+    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact, &opts);
     assert_eq!(analytic.len(), exact.len(), "backend cell counts differ");
 
     let cells = analytic.len() as u64;
@@ -1125,6 +1268,67 @@ mod tests {
             Some(SimulatorBackend::Exact)
         );
         assert_eq!(SimulatorBackend::parse("fancy"), None);
+    }
+
+    #[test]
+    fn shard_policy_resolution_and_parsing() {
+        assert_eq!(ShardPolicy::Auto.resolve(1), 1);
+        assert_eq!(ShardPolicy::Auto.resolve(4096), 1);
+        assert_eq!(ShardPolicy::Auto.resolve(4097), 2);
+        assert_eq!(
+            ShardPolicy::Auto.resolve(usize::MAX),
+            ShardPolicy::AUTO_MAX_SHARDS
+        );
+        assert_eq!(ShardPolicy::Fixed(8).resolve(10), 8);
+        assert_eq!(
+            ShardPolicy::Fixed(0).resolve(10),
+            1,
+            "zero clamps to one shard"
+        );
+        assert_eq!(ShardPolicy::parse("auto"), Some(ShardPolicy::Auto));
+        assert_eq!(ShardPolicy::parse("4"), Some(ShardPolicy::Fixed(4)));
+        assert_eq!(ShardPolicy::parse("0"), None);
+        assert_eq!(ShardPolicy::parse("many"), None);
+        assert_eq!(ShardPolicy::Auto.display_name(), "auto");
+        assert_eq!(ShardPolicy::Fixed(4).display_name(), "4");
+    }
+
+    #[test]
+    fn sharded_exact_run_is_deterministic_and_thread_invariant() {
+        let mut spec = quick_spec(PolicySpec::DnnLife {
+            bias: 0.7,
+            bias_balancing: true,
+            m_bits: 4,
+        });
+        spec.backend = SimulatorBackend::Exact;
+        spec.sample_stride = 64;
+        spec.inferences = 6;
+        let run = |threads: usize| {
+            run_experiment_with(
+                &spec,
+                &RunOptions {
+                    threads,
+                    shards: ShardPolicy::Fixed(8),
+                    cancel: None,
+                },
+            )
+            .expect("not cancelled")
+        };
+        assert_eq!(run(1), run(4), "thread count must never be semantic");
+    }
+
+    #[test]
+    fn cancelled_run_returns_none() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.backend = SimulatorBackend::Exact;
+        spec.sample_stride = 64;
+        let flag = AtomicBool::new(true);
+        let opts = RunOptions {
+            threads: 1,
+            shards: ShardPolicy::Auto,
+            cancel: Some(&flag),
+        };
+        assert_eq!(run_experiment_with(&spec, &opts), None);
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub mod probmodel;
 pub mod report;
 
 pub use experiment::{
-    cross_validate, run_experiment, run_experiment_threaded, CrossValidation, DwellModel,
-    ExperimentResult, ExperimentSpec, NetworkKind, Platform, PolicySpec, SimulatorBackend,
+    cross_validate, cross_validate_sharded, run_experiment, run_experiment_threaded,
+    run_experiment_with, CrossValidation, DwellModel, ExperimentResult, ExperimentSpec,
+    NetworkKind, Platform, PolicySpec, RunOptions, ShardPolicy, SimulatorBackend,
 };
 pub use probmodel::DutyCycleModel;

@@ -70,6 +70,22 @@ impl<T: Trbg> AgingController<T> {
         }
     }
 
+    /// A controller for TRBG stream `stream` of a word-sharded
+    /// simulation: the TRBG forks into an independent per-stream
+    /// generator ([`Trbg::fork`]) while the deterministic
+    /// bias-balancing register — width, enablement and current count —
+    /// is copied, because every shard observes the same *new data
+    /// block* schedule and the MSB correction must stay in lockstep
+    /// across shards.
+    pub fn fork(&self, stream: u64) -> Self {
+        Self {
+            trbg: self.trbg.fork(stream),
+            m_bits: self.m_bits,
+            block_counter: self.block_counter,
+            balancing: self.balancing,
+        }
+    }
+
     /// Whether bias balancing is active.
     pub fn balancing(&self) -> bool {
         self.balancing
@@ -172,5 +188,28 @@ mod tests {
     #[should_panic(expected = "m_bits must be in 1..=63")]
     fn rejects_zero_width_register() {
         let _ = AgingController::new(PseudoTrbg::new(0, 0.5), 0);
+    }
+
+    #[test]
+    fn fork_copies_register_but_splits_trbg() {
+        let mut parent = AgingController::new(PseudoTrbg::new(9, 1.0), 2);
+        parent.new_block();
+        parent.new_block(); // counter = 2 → MSB high
+        let mut forked = parent.fork(3);
+        assert_eq!(forked.m_bits(), parent.m_bits());
+        assert!(forked.balancing());
+        // A stuck-at-1 TRBG makes the enable the MSB complement, so the
+        // copied register state is directly observable.
+        assert!(!forked.next_enable(), "MSB high ⇒ enable low");
+        forked.new_block();
+        forked.new_block(); // wraps to 0 → MSB low
+        assert!(forked.next_enable(), "MSB low ⇒ enable high");
+    }
+
+    #[test]
+    fn forked_balancing_still_cancels_bias() {
+        let parent = AgingController::new(PseudoTrbg::new(11, 0.7), 4);
+        let ratio = enable_ratio(parent.fork(5), 1600, 8);
+        assert!((ratio - 0.5).abs() < 0.02, "ratio {ratio}");
     }
 }

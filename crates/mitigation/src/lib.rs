@@ -25,7 +25,12 @@
 //!
 //! All transducers implement [`WriteTransducer`], whose
 //! `encode`/`decode` pair is verified to be the identity by property
-//! tests — the scheme must never alter inference results.
+//! tests — the scheme must never alter inference results. For the
+//! word-sharded exact simulator every transducer can also
+//! [`WriteTransducer::fork`] into per-shard clones (deterministic
+//! policies: a per-address state snapshot; DNN-Life: an independent
+//! seed-derived TRBG stream per shard) — see the *Fork contract* on
+//! the trait.
 //!
 //! # Example
 //!

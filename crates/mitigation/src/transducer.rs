@@ -28,7 +28,40 @@ pub enum Metadata {
 /// Implementations must satisfy `decode(encode(w)) == w` for every word
 /// that fits the transducer width — verified by property tests; the
 /// mitigation scheme must never alter inference results.
-pub trait WriteTransducer {
+///
+/// # Fork contract
+///
+/// [`WriteTransducer::fork`] splits one transducer into per-shard
+/// clones for the word-sharded exact simulator. The contract all
+/// implementations and callers uphold:
+///
+/// * **Fork before the first `encode`.** Forks snapshot the
+///   transducer's current per-address state; the simulator forks a
+///   freshly constructed prototype, so every shard starts from reset
+///   state. Forking mid-stream is well-defined (a state snapshot) but
+///   not what the shard semantics below are stated for.
+/// * **Shards write disjoint address sets.** Per-address state
+///   (inversion parity, rotation counters) is never shared between
+///   forks, so two forks writing the same address would diverge from a
+///   serial run.
+/// * **Every fork sees every block boundary.** Callers signal
+///   [`WriteTransducer::new_block`] to each fork at each boundary, so
+///   schedule-driven state (the DNN-Life bias-balancing register)
+///   advances in lockstep across shards.
+/// * **Deterministic policies are partition-invariant:** their state is
+///   per-address, so any shard partition reproduces the serial run's
+///   stored stream bit-for-bit.
+/// * **DNN-Life is reproducible per shard:** `fork(s)` derives TRBG
+///   stream `s` from the construction seed ([`crate::Trbg::fork`]);
+///   shard 0 reproduces the unforked stream, so a one-shard run matches
+///   the serial simulator exactly, and any fixed shard count is a
+///   deterministic function of the scenario seed.
+///
+/// The `Send + Sync` supertraits let the sharded simulator share a
+/// prototype across its scoped worker threads (each fork itself stays
+/// thread-local) — hardware transducer models are plain state, so this
+/// costs implementations nothing.
+pub trait WriteTransducer: Send + Sync {
     /// Short policy name for reports (e.g. `"dnn-life"`).
     fn name(&self) -> &'static str;
 
@@ -53,6 +86,12 @@ pub trait WriteTransducer {
     /// Signals a block boundary (drives the controller's bias-balancing
     /// register in the DNN-Life policy; a no-op for the baselines).
     fn new_block(&mut self) {}
+
+    /// A transducer for word-shard `shard` of a sharded exact
+    /// simulation — see the trait-level *Fork contract*. Deterministic
+    /// policies return a state snapshot; DNN-Life additionally forks
+    /// its TRBG into independent stream `shard`.
+    fn fork(&self, shard: u64) -> Box<dyn WriteTransducer>;
 }
 
 fn mask(width: u32) -> u64 {
@@ -120,6 +159,10 @@ impl WriteTransducer for Passthrough {
 
     fn decode(&self, stored: u64, _meta: Metadata) -> u64 {
         stored
+    }
+
+    fn fork(&self, _shard: u64) -> Box<dyn WriteTransducer> {
+        Box::new(self.clone())
     }
 }
 
@@ -189,6 +232,10 @@ impl WriteTransducer for PeriodicInversion {
             Metadata::Inverted(false) => stored,
             other => panic!("PeriodicInversion: wrong metadata {other:?}"),
         }
+    }
+
+    fn fork(&self, _shard: u64) -> Box<dyn WriteTransducer> {
+        Box::new(self.clone())
     }
 }
 
@@ -272,6 +319,10 @@ impl WriteTransducer for BarrelShifter {
             other => panic!("BarrelShifter: wrong metadata {other:?}"),
         }
     }
+
+    fn fork(&self, _shard: u64) -> Box<dyn WriteTransducer> {
+        Box::new(self.clone())
+    }
 }
 
 /// The paper's DNN-Life WDE/RDD: each word write is inverted or not
@@ -299,7 +350,7 @@ impl<T: Trbg> DnnLife<T> {
     }
 }
 
-impl<T: Trbg> WriteTransducer for DnnLife<T> {
+impl<T: Trbg + Send + Sync + 'static> WriteTransducer for DnnLife<T> {
     fn name(&self) -> &'static str {
         "dnn-life"
     }
@@ -333,6 +384,13 @@ impl<T: Trbg> WriteTransducer for DnnLife<T> {
 
     fn new_block(&mut self) {
         self.controller.new_block();
+    }
+
+    fn fork(&self, shard: u64) -> Box<dyn WriteTransducer> {
+        Box::new(Self {
+            width: self.width,
+            controller: self.controller.fork(shard),
+        })
     }
 }
 
@@ -487,5 +545,74 @@ mod tests {
     fn rejects_wide_words() {
         let mut t = Passthrough::new(8);
         let _ = t.encode(0, 0x100);
+    }
+
+    #[test]
+    fn deterministic_forks_match_parent_stream_per_address() {
+        // Fresh forks of the deterministic policies replay exactly what
+        // the parent would have stored at each address, regardless of
+        // shard index — the partition-invariance leg of the contract.
+        let parents: Vec<Box<dyn WriteTransducer>> = vec![
+            Box::new(Passthrough::new(8)),
+            Box::new(PeriodicInversion::new(8, 16)),
+            Box::new(BarrelShifter::new(8, 16)),
+        ];
+        for parent in parents {
+            let mut serial = parent.fork(0);
+            let mut sharded = parent.fork(7);
+            for round in 0..5u64 {
+                for addr in 0..16u64 {
+                    let word = (addr * 31 + round) & 0xFF;
+                    assert_eq!(
+                        serial.encode(addr, word).0,
+                        sharded.encode(addr, word).0,
+                        "policy {} addr {addr} round {round}",
+                        parent.name()
+                    );
+                }
+                serial.new_block();
+                sharded.new_block();
+            }
+        }
+    }
+
+    #[test]
+    fn dnn_life_fork_zero_reproduces_parent_stream() {
+        let make = || DnnLife::new(8, AgingController::new(PseudoTrbg::new(42, 0.7), 4));
+        let prototype = make();
+        let mut forked = prototype.fork(0);
+        let mut fresh = make();
+        for i in 0..200u64 {
+            assert_eq!(forked.encode(i % 8, 0xA5).0, fresh.encode(i % 8, 0xA5).0);
+            if i % 4 == 3 {
+                forked.new_block();
+                fresh.new_block();
+            }
+        }
+    }
+
+    #[test]
+    fn dnn_life_forks_decorrelate_but_stay_balanced() {
+        let prototype = DnnLife::new(8, AgingController::new(PseudoTrbg::new(42, 0.7), 4));
+        let mut a = prototype.fork(1);
+        let mut b = prototype.fork(2);
+        let stream = |t: &mut Box<dyn WriteTransducer>| -> Vec<u64> {
+            (0..4000u64)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        t.new_block();
+                    }
+                    t.encode(0, 0xFF).0
+                })
+                .collect()
+        };
+        let sa = stream(&mut a);
+        let sb = stream(&mut b);
+        assert_ne!(sa, sb, "distinct shards must draw distinct streams");
+        // Each forked stream still balances the duty cycle.
+        for s in [sa, sb] {
+            let duty = s.iter().map(|w| (w & 1) as f64).sum::<f64>() / s.len() as f64;
+            assert!((duty - 0.5).abs() < 0.03, "duty {duty}");
+        }
     }
 }

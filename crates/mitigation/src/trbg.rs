@@ -14,6 +14,15 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Derives the construction seed of stream `stream` forked from a
+/// generator built with `seed`. Stream 0 maps to `seed` itself — a
+/// single-stream fork reproduces the parent's draw sequence exactly —
+/// and the golden-ratio multiply spreads adjacent stream indices across
+/// the seed space before the generator's own seed mixing runs.
+pub(crate) fn fork_seed(seed: u64, stream: u64) -> u64 {
+    seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// A source of (possibly biased) random bits — the enable-signal
 /// generator of the aging controller.
 pub trait Trbg {
@@ -26,6 +35,16 @@ pub trait Trbg {
     fn nominal_bias(&self) -> Option<f64> {
         None
     }
+
+    /// An independent generator for stream `stream`, derived from this
+    /// generator's *construction* seed (not its current state): stream
+    /// 0 reproduces the parent's own draw sequence from its initial
+    /// state, streams 1.. are decorrelated. The word-sharded exact
+    /// simulator forks one stream per shard so every shard count is
+    /// reproducible from the scenario seed alone.
+    fn fork(&self, stream: u64) -> Self
+    where
+        Self: Sized;
 }
 
 /// Ideal Bernoulli TRBG with exact bias.
@@ -42,6 +61,7 @@ pub trait Trbg {
 #[derive(Debug)]
 pub struct PseudoTrbg {
     rng: StdRng,
+    seed: u64,
     bias: f64,
 }
 
@@ -58,6 +78,7 @@ impl PseudoTrbg {
         );
         Self {
             rng: StdRng::seed_from_u64(seed),
+            seed,
             bias,
         }
     }
@@ -70,6 +91,10 @@ impl Trbg for PseudoTrbg {
 
     fn nominal_bias(&self) -> Option<f64> {
         Some(self.bias)
+    }
+
+    fn fork(&self, stream: u64) -> Self {
+        Self::new(fork_seed(self.seed, stream), self.bias)
     }
 }
 
@@ -97,6 +122,8 @@ impl Trbg for PseudoTrbg {
 #[derive(Debug)]
 pub struct RingOscillatorTrbg {
     rng: StdRng,
+    /// Construction seed, kept for [`Trbg::fork`].
+    seed: u64,
     /// Duration of the next high phase, ps (5 stages × rise-ish delay).
     high_half_ps: f64,
     /// Duration of the next low phase, ps.
@@ -136,6 +163,7 @@ impl RingOscillatorTrbg {
         assert!(jitter_ps >= 0.0, "RingOscillatorTrbg: jitter must be >= 0");
         Self {
             rng: StdRng::seed_from_u64(seed),
+            seed,
             high_half_ps,
             low_half_ps,
             jitter_ps,
@@ -180,6 +208,16 @@ impl RingOscillatorTrbg {
 }
 
 impl Trbg for RingOscillatorTrbg {
+    fn fork(&self, stream: u64) -> Self {
+        Self::new(
+            fork_seed(self.seed, stream),
+            self.high_half_ps,
+            self.low_half_ps,
+            self.jitter_ps,
+            self.sample_period_ps,
+        )
+    }
+
     fn next_bit(&mut self) -> bool {
         // Advance the oscillator by one sampling period.
         let mut remaining = self.sample_period_ps;
@@ -262,5 +300,33 @@ mod tests {
     fn nominal_bias_reporting() {
         assert_eq!(PseudoTrbg::new(0, 0.7).nominal_bias(), Some(0.7));
         assert_eq!(RingOscillatorTrbg::symmetric(0).nominal_bias(), None);
+    }
+
+    #[test]
+    fn fork_stream_zero_reproduces_parent_sequence() {
+        let parent = PseudoTrbg::new(17, 0.5);
+        let mut forked = parent.fork(0);
+        let mut fresh = PseudoTrbg::new(17, 0.5);
+        for _ in 0..200 {
+            assert_eq!(forked.next_bit(), fresh.next_bit());
+        }
+        let ro_parent = RingOscillatorTrbg::symmetric(17);
+        let mut ro_forked = ro_parent.fork(0);
+        let mut ro_fresh = RingOscillatorTrbg::symmetric(17);
+        for _ in 0..50 {
+            assert_eq!(ro_forked.next_bit(), ro_fresh.next_bit());
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_deterministic_and_distinct() {
+        let parent = PseudoTrbg::new(23, 0.5);
+        let collect = |mut t: PseudoTrbg| -> Vec<bool> { (0..128).map(|_| t.next_bit()).collect() };
+        let s1a = collect(parent.fork(1));
+        let s1b = collect(parent.fork(1));
+        let s2 = collect(parent.fork(2));
+        assert_eq!(s1a, s1b, "same stream index must reproduce");
+        assert_ne!(s1a, s2, "distinct stream indices must decorrelate");
+        assert_ne!(s1a, collect(parent.fork(0)), "stream 1 differs from parent");
     }
 }

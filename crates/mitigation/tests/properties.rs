@@ -4,7 +4,7 @@
 use dnnlife_mitigation::transducer::{
     BarrelShifter, DnnLife, Passthrough, PeriodicInversion, WriteTransducer,
 };
-use dnnlife_mitigation::{AgingController, PseudoTrbg, RingOscillatorTrbg};
+use dnnlife_mitigation::{AgingController, PseudoTrbg, RingOscillatorTrbg, Trbg};
 use proptest::prelude::*;
 
 fn mask(width: u32) -> u64 {
@@ -96,6 +96,83 @@ proptest! {
         for p in &mut policies {
             let (stored, _) = p.encode(0, word);
             prop_assert_eq!(stored & !mask(width), 0, "policy {} leaked bits", p.name());
+        }
+    }
+
+    /// Forked TRBG streams never overlap draws: for any deterministic
+    /// seed, no 64-bit window of one shard's stream reappears anywhere
+    /// in another shard's stream (a shifted match would mean two
+    /// shards consuming the same underlying draw sequence). A fair
+    /// stream makes an accidental 64-bit window collision ~2⁻⁶⁴, so a
+    /// match can only be a seed-derivation bug.
+    #[test]
+    fn forked_trbg_streams_never_overlap_draws(
+        seed: u64,
+        bias_pick in 0usize..3,
+    ) {
+        let bias = [0.3f64, 0.5, 0.7][bias_pick];
+        let parent = PseudoTrbg::new(seed, bias);
+        let take = |mut t: PseudoTrbg, n: usize| -> Vec<bool> {
+            (0..n).map(|_| t.next_bit()).collect()
+        };
+        let window = |bits: &[bool], at: usize| -> u64 {
+            bits[at..at + 64]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+        };
+        let streams: Vec<Vec<bool>> = (0..4).map(|s| take(parent.fork(s), 256)).collect();
+        // Every 64-bit window of every stream, tagged with its stream:
+        // a window seen from two different streams is a shifted match,
+        // i.e. two shards walking the same underlying draw sequence.
+        let mut seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (stream, bits) in streams.iter().enumerate() {
+            for at in 0..=bits.len() - 64 {
+                if let Some(&owner) = seen.get(&window(bits, at)) {
+                    prop_assert_eq!(
+                        owner,
+                        stream,
+                        "a window of stream {} reappears in stream {} (offset {})",
+                        owner,
+                        stream,
+                        at
+                    );
+                } else {
+                    seen.insert(window(bits, at), stream);
+                }
+            }
+        }
+    }
+
+    /// Every fork of every policy still satisfies the encode/decode
+    /// identity — sharding must never alter inference results either.
+    #[test]
+    fn forked_transducers_roundtrip(
+        width in 1u32..=64,
+        shard in 0u64..16,
+        seed: u64,
+        writes in prop::collection::vec((0u64..16, any::<u64>()), 1..40)
+    ) {
+        let controller = AgingController::new(PseudoTrbg::new(seed, 0.5), 4);
+        let prototypes: Vec<Box<dyn WriteTransducer>> = vec![
+            Box::new(Passthrough::new(width)),
+            Box::new(PeriodicInversion::new(width, 16)),
+            Box::new(BarrelShifter::new(width, 16)),
+            Box::new(DnnLife::new(width, controller)),
+        ];
+        for prototype in &prototypes {
+            let mut fork = prototype.fork(shard);
+            for &(addr, word) in &writes {
+                let word = word & mask(width);
+                let (stored, meta) = fork.encode(addr, word);
+                prop_assert_eq!(
+                    fork.decode(stored, meta),
+                    word,
+                    "fork {} of policy {} broke the identity",
+                    shard,
+                    prototype.name()
+                );
+            }
         }
     }
 }

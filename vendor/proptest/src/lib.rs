@@ -232,8 +232,8 @@ pub mod prop {
 /// Everything the workspace's tests import.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Gen,
-        ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Gen, ProptestConfig, Strategy,
     };
 }
 
@@ -379,6 +379,35 @@ macro_rules! prop_assert_eq {
                 stringify!($right),
                 __l,
                 __r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property (mirrors the real crate's
+/// `prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l != __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l != __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both {:?}) — {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
                 ::std::format!($($fmt)+)
             ));
         }
