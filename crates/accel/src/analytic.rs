@@ -79,6 +79,15 @@ pub struct AnalyticSimConfig {
     pub sample_stride: usize,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
+    /// Contiguous word shards the sampled population is split into —
+    /// the same work-partitioning axis the exact backend's
+    /// `ExactShardConfig::shards` uses, so both backends share one
+    /// execution story (`RunOptions { shards }` resolves this for
+    /// both). 0 derives one shard per worker thread. **Never
+    /// semantic**: the analytic per-cell draws are counter-seeded, so
+    /// every shard count produces identical bytes (unlike the exact
+    /// backend, where the shard count deals DNN-Life TRBG streams).
+    pub shards: usize,
 }
 
 impl Default for AnalyticSimConfig {
@@ -87,6 +96,7 @@ impl Default for AnalyticSimConfig {
             inferences: 100,
             sample_stride: 1,
             threads: 0,
+            shards: 0,
         }
     }
 }
@@ -125,7 +135,7 @@ const _: () = {
 ///     NumberFormat::Int8Symmetric,
 ///     42,
 /// );
-/// let cfg = AnalyticSimConfig { inferences: 100, sample_stride: 64, threads: 1 };
+/// let cfg = AnalyticSimConfig { inferences: 100, sample_stride: 64, threads: 1, shards: 1 };
 /// let duties = simulate_analytic(&mem, &AnalyticPolicy::PeriodicInversion, &cfg);
 /// assert!(!duties.is_empty());
 /// assert!(duties.iter().all(|d| (0.0..=1.0).contains(d)));
@@ -181,26 +191,60 @@ pub fn simulate_analytic(
             .unwrap_or(1)
     } else {
         cfg.threads
-    };
-    let chunk = sampled.len().div_ceil(threads.max(1)).max(1);
+    }
+    .max(1);
+    // Same partitioning story as the exact backend: contiguous balanced
+    // word shards, executed by up to `threads` workers. Per-cell duties
+    // are counter-seeded, so the partition is never semantic here.
+    let shards = if cfg.shards == 0 { threads } else { cfg.shards }.clamp(1, sampled.len().max(1));
+    let ranges = crate::exact::shard_ranges(sampled.len(), shards);
+    let workers = threads.min(shards);
+
+    /// One shard's work: its sampled-word range and the disjoint
+    /// output slice it writes.
+    type ShardJob<'a> = (std::ops::Range<usize>, &'a mut [f64]);
 
     let mut duties = vec![0.0f64; sampled.len() * width];
     {
         let m1 = &m1;
         let sampled = &sampled;
-        let slices: Vec<(usize, &mut [f64])> = duties
-            .chunks_mut(chunk * width)
-            .enumerate()
-            .map(|(i, s)| (i * chunk, s))
-            .collect();
-        std::thread::scope(|scope| {
-            for (start, out) in slices {
-                scope.spawn(move || {
-                    let words = &sampled[start..(start + out.len() / width).min(sampled.len())];
-                    simulate_words(source, policy, cfg, k_blocks, m1, words, out);
-                });
+        // Hand each shard its disjoint output slice up front; workers
+        // then pull (range, slice) pairs until the queue drains.
+        let mut queue: Vec<ShardJob> = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [f64] = duties.as_mut_slice();
+        for range in ranges {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(range.len() * width);
+            rest = tail;
+            queue.push((range, head));
+        }
+        if workers == 1 {
+            for (range, out) in queue {
+                simulate_words(source, policy, cfg, k_blocks, m1, &sampled[range], out);
             }
-        });
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let jobs: Vec<std::sync::Mutex<Option<ShardJob>>> = queue
+                .drain(..)
+                .map(|job| std::sync::Mutex::new(Some(job)))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let (next, jobs) = (&next, &jobs);
+                    scope.spawn(move || loop {
+                        let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(job) = jobs.get(slot) else {
+                            break;
+                        };
+                        let (range, out) = job
+                            .lock()
+                            .expect("job mutex never poisoned")
+                            .take()
+                            .expect("each job claimed once");
+                        simulate_words(source, policy, cfg, k_blocks, m1, &sampled[range], out);
+                    });
+                }
+            });
+        }
     }
     duties
 }
@@ -483,6 +527,49 @@ mod tests {
         dnn_life_duties(&bits, 400, 0.7, Some(&m1), 9, 0, &mut out);
         for d in out {
             assert!((d - 0.5).abs() < 0.05, "duty {d}");
+        }
+    }
+
+    #[test]
+    fn shard_and_thread_counts_never_change_analytic_bytes() {
+        use crate::config::AcceleratorConfig;
+        use crate::plan::FlatWeightMemory;
+        let mut hw = AcceleratorConfig::baseline();
+        hw.weight_memory_bytes = 2048;
+        let mem = FlatWeightMemory::new(
+            &hw,
+            &dnnlife_nn::NetworkSpec::custom_mnist(),
+            dnnlife_quant::NumberFormat::Int8Symmetric,
+            3,
+        );
+        let run = |threads: usize, shards: usize, policy: &AnalyticPolicy| {
+            simulate_analytic(
+                &mem,
+                policy,
+                &AnalyticSimConfig {
+                    inferences: 6,
+                    sample_stride: 5,
+                    threads,
+                    shards,
+                },
+            )
+        };
+        for policy in [
+            AnalyticPolicy::BarrelShifter,
+            AnalyticPolicy::DnnLife {
+                bias: 0.7,
+                bias_balancing: Some(4),
+                seed: 11,
+            },
+        ] {
+            let base = run(1, 1, &policy);
+            for (threads, shards) in [(1, 7), (4, 1), (4, 16), (2, 0), (4, 1000)] {
+                assert_eq!(
+                    run(threads, shards, &policy),
+                    base,
+                    "{threads} thread(s) × {shards} shard(s) diverged for {policy:?}"
+                );
+            }
         }
     }
 

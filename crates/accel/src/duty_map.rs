@@ -1,0 +1,200 @@
+//! Per-cell duty maps: simulator output keyed by physical address.
+//!
+//! The simulators in [`crate::analytic`] / [`crate::exact`] return flat
+//! per-cell duty vectors in sampled-word-major order — fine for the
+//! histogram aggregates of Fig. 9 / Fig. 11, but downstream consumers
+//! that reason about *specific* cells (the fault-injection pipeline
+//! needs the duty of every cell that stores a network weight) must not
+//! re-derive the sampling layout by hand. A [`UnitDutyMap`] wraps one
+//! memory unit's duty vector together with its geometry and sampling
+//! stride and answers "what is the lifetime duty of bit `b` of word
+//! `w`" directly.
+
+use crate::analytic::{simulate_analytic, AnalyticPolicy, AnalyticSimConfig};
+use crate::plan::BlockSource;
+
+/// Per-cell duty cycles of one memory unit, addressable by
+/// `(word, bit)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDutyMap {
+    label: String,
+    word_bits: u32,
+    words: usize,
+    sample_stride: usize,
+    /// Sampled-word-major, bit 0 first — the simulators' cell order.
+    duties: Vec<f64>,
+}
+
+impl UnitDutyMap {
+    /// Wraps a duty vector produced by one of the simulators for
+    /// `source` at `sample_stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_stride == 0` or `duties.len()` disagrees with
+    /// the sampled cell count of the unit.
+    pub fn new(source: &dyn BlockSource, sample_stride: usize, duties: Vec<f64>) -> Self {
+        assert!(sample_stride > 0, "UnitDutyMap: stride must be > 0");
+        let geo = source.geometry();
+        let sampled = geo.words.div_ceil(sample_stride);
+        assert_eq!(
+            duties.len(),
+            sampled * geo.word_bits as usize,
+            "UnitDutyMap: {} duties for {} sampled cells",
+            duties.len(),
+            sampled * geo.word_bits as usize
+        );
+        Self {
+            label: source.label(),
+            word_bits: geo.word_bits,
+            words: geo.words,
+            sample_stride,
+            duties,
+        }
+    }
+
+    /// Runs the closed-form analytic simulator on `source` and wraps
+    /// its output — the one-call path from a memory plan to an
+    /// addressable duty map.
+    pub fn analytic(
+        source: &dyn BlockSource,
+        policy: &AnalyticPolicy,
+        cfg: &AnalyticSimConfig,
+    ) -> Self {
+        Self::new(
+            source,
+            cfg.sample_stride,
+            simulate_analytic(source, policy, cfg),
+        )
+    }
+
+    /// The unit's report label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Word width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Total words of the unit (sampled or not).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The stride the map was sampled at (1 = every cell present).
+    pub fn sample_stride(&self) -> usize {
+        self.sample_stride
+    }
+
+    /// Number of cells the map holds duties for.
+    pub fn cells(&self) -> usize {
+        self.duties.len()
+    }
+
+    /// The raw duty vector (sampled-word-major, bit 0 first).
+    pub fn duties(&self) -> &[f64] {
+        &self.duties
+    }
+
+    /// Mean duty over the sampled cells.
+    pub fn mean(&self) -> f64 {
+        if self.duties.is_empty() {
+            return 0.0;
+        }
+        self.duties.iter().sum::<f64>() / self.duties.len() as f64
+    }
+
+    /// Per-bit duties of word `word`, or `None` if the word was not
+    /// sampled (never for stride 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is outside the unit.
+    pub fn word_duties(&self, word: usize) -> Option<&[f64]> {
+        assert!(word < self.words, "word {word} outside unit");
+        if !word.is_multiple_of(self.sample_stride) {
+            return None;
+        }
+        let si = word / self.sample_stride;
+        let width = self.word_bits as usize;
+        Some(&self.duties[si * width..(si + 1) * width])
+    }
+
+    /// The duty of bit `bit` of word `word`, or `None` if the word was
+    /// not sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is outside the unit or `bit >= word_bits`.
+    pub fn cell(&self, word: usize, bit: u32) -> Option<f64> {
+        assert!(bit < self.word_bits, "bit {bit} outside word");
+        self.word_duties(word).map(|d| d[bit as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use crate::plan::FlatWeightMemory;
+    use dnnlife_nn::NetworkSpec;
+    use dnnlife_quant::NumberFormat;
+
+    fn tiny_memory() -> FlatWeightMemory {
+        let mut cfg = AcceleratorConfig::baseline();
+        cfg.weight_memory_bytes = 2048;
+        FlatWeightMemory::new(
+            &cfg,
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            3,
+        )
+    }
+
+    #[test]
+    fn map_addresses_the_flat_duty_vector() {
+        let mem = tiny_memory();
+        let cfg = AnalyticSimConfig {
+            inferences: 4,
+            sample_stride: 3,
+            threads: 1,
+            shards: 1,
+        };
+        let map = UnitDutyMap::analytic(&mem, &AnalyticPolicy::Passthrough, &cfg);
+        assert_eq!(map.word_bits(), 8);
+        assert_eq!(map.words(), mem.geometry().words);
+        assert_eq!(map.cells(), mem.geometry().words.div_ceil(3) * 8);
+        // Sampled word 6 is sampled index 2.
+        let by_word = map.word_duties(6).expect("word 6 is sampled");
+        assert_eq!(by_word, &map.duties()[2 * 8..3 * 8]);
+        assert_eq!(map.cell(6, 5), Some(by_word[5]));
+        // Word 7 is skipped at stride 3.
+        assert_eq!(map.word_duties(7), None);
+        assert_eq!(map.cell(7, 0), None);
+    }
+
+    #[test]
+    fn stride_one_covers_every_word() {
+        let mem = tiny_memory();
+        let cfg = AnalyticSimConfig {
+            inferences: 2,
+            sample_stride: 1,
+            threads: 1,
+            shards: 1,
+        };
+        let map = UnitDutyMap::analytic(&mem, &AnalyticPolicy::PeriodicInversion, &cfg);
+        for word in [0, 1, mem.geometry().words - 1] {
+            assert!(map.word_duties(word).is_some(), "word {word}");
+        }
+        assert!((0.0..=1.0).contains(&map.mean()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duties for")]
+    fn wrong_length_rejected() {
+        let mem = tiny_memory();
+        let _ = UnitDutyMap::new(&mem, 1, vec![0.5; 7]);
+    }
+}

@@ -274,8 +274,9 @@ fn check_and_sample(
 }
 
 /// Splits `len` items into `shards` contiguous balanced ranges (the
-/// first `len % shards` ranges are one item longer).
-fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+/// first `len % shards` ranges are one item longer). Shared with the
+/// analytic simulator so both backends partition work identically.
+pub(crate) fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     let base = len / shards;
     let extra = len % shards;
     let mut start = 0;

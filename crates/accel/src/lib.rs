@@ -32,11 +32,15 @@
 
 pub mod analytic;
 pub mod config;
+pub mod duty_map;
 pub mod exact;
 pub mod plan;
 pub mod rng;
 
 pub use analytic::{simulate_analytic, AnalyticPolicy, AnalyticSimConfig};
 pub use config::AcceleratorConfig;
+pub use duty_map::UnitDutyMap;
 pub use exact::{simulate_exact, simulate_exact_sampled, simulate_exact_sharded, ExactShardConfig};
-pub use plan::{zipf_weights, BlockSource, FifoSlotMemory, FlatWeightMemory, MemoryGeometry};
+pub use plan::{
+    zipf_weights, BlockSource, FifoSlotMemory, FlatWeightMemory, MemoryGeometry, WeightAddress,
+};

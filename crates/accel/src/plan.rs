@@ -20,9 +20,106 @@
 //! function), which the analytic simulator exploits for parallelism and
 //! sampling.
 
-use dnnlife_nn::weights::LayerWeightGen;
+use std::sync::Arc;
+
+use dnnlife_nn::weights::{LayerWeightGen, WeightRange};
 use dnnlife_nn::zoo::NetworkSpec;
 use dnnlife_quant::{NumberFormat, Quantizer};
+
+/// Where one layer's weight values come from: the synthetic
+/// counter-based generator (the default — pure `O(1)` random access),
+/// or an explicit per-layer table (trained weights supplied by the
+/// fault-injection pipeline, so the simulated memory holds exactly the
+/// values the executable network computes with).
+#[derive(Debug, Clone)]
+enum WeightSource {
+    /// Synthetic trained-like model (`dnnlife_nn::weights`).
+    Gen(LayerWeightGen),
+    /// Explicit weight table in canonical `[out][in]` order.
+    Table(Arc<Vec<f32>>),
+}
+
+impl WeightSource {
+    fn weight(&self, index: u64) -> f32 {
+        match self {
+            WeightSource::Gen(gen) => gen.weight(index),
+            WeightSource::Table(table) => table[usize::try_from(index).expect("index fits usize")],
+        }
+    }
+
+    /// Observed range over the first `limit` weights (quantizer
+    /// calibration — mirrors [`LayerWeightGen::range`]).
+    fn range(&self, limit: u64) -> WeightRange {
+        match self {
+            WeightSource::Gen(gen) => gen.range(limit),
+            WeightSource::Table(table) => {
+                let n = (table.len() as u64).min(limit.max(1));
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for &w in &table[..n as usize] {
+                    lo = lo.min(w);
+                    hi = hi.max(w);
+                }
+                WeightRange {
+                    min: lo,
+                    max: hi,
+                    sampled: n,
+                }
+            }
+        }
+    }
+}
+
+/// Validates explicit per-layer tables against `spec` and wraps each
+/// in a shared handle — built once per plan *set*, so the four FIFO
+/// slots of one NPU plan share the same table allocations instead of
+/// deep-copying every weight per slot.
+fn shared_tables(spec: &NetworkSpec, tables: &[Vec<f32>]) -> Vec<Arc<Vec<f32>>> {
+    assert_eq!(
+        tables.len(),
+        spec.layers().len(),
+        "weight tables: {} tables for {} layers",
+        tables.len(),
+        spec.layers().len()
+    );
+    spec.layers()
+        .iter()
+        .zip(tables)
+        .map(|(layer, table)| {
+            assert_eq!(
+                table.len() as u64,
+                layer.weight_count(),
+                "weight table for layer {} holds {} weights, spec says {}",
+                layer.name(),
+                table.len(),
+                layer.weight_count()
+            );
+            Arc::new(table.clone())
+        })
+        .collect()
+}
+
+/// Per-layer weight sources over shared table handles.
+fn sources_from_shared(shared: &[Arc<Vec<f32>>]) -> Vec<WeightSource> {
+    shared.iter().cloned().map(WeightSource::Table).collect()
+}
+
+/// Builds per-layer weight sources from explicit tables, validating the
+/// shape against `spec`.
+fn table_sources(spec: &NetworkSpec, tables: &[Vec<f32>]) -> Vec<WeightSource> {
+    sources_from_shared(&shared_tables(spec, tables))
+}
+
+/// Physical location of one canonical weight inside a memory unit:
+/// which block writes it and at which word address it lands (every
+/// repetition of the block rewrites the same address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightAddress {
+    /// Block (memory fill / FIFO tile) carrying the weight.
+    pub block: u64,
+    /// Word address inside the memory unit.
+    pub word: usize,
+}
 
 /// Shape of one simulated memory unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +184,8 @@ struct LayerPlan {
     filters: u64,
     /// Weights per filter.
     weights_per_filter: u64,
-    /// Weight generator for the layer.
-    gen: LayerWeightGen,
+    /// Weight values for the layer.
+    source: WeightSource,
     /// Calibrated quantizer for the layer.
     quantizer: Quantizer,
 }
@@ -147,25 +244,60 @@ impl FlatWeightMemory {
         format: NumberFormat,
         seed: u64,
     ) -> Self {
+        let sources = spec
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(li, _)| WeightSource::Gen(LayerWeightGen::new(spec, li, seed)))
+            .collect();
+        Self::with_sources(config, spec, format, sources)
+    }
+
+    /// Plans the same dataflow with weights read from explicit
+    /// per-layer tables (canonical `[out][in]` order) instead of the
+    /// synthetic generator — the path the fault-injection pipeline uses
+    /// so that the aged memory holds exactly the trained weights the
+    /// executable network computes with. Quantizers are calibrated from
+    /// the table ranges, matching what [`FlatWeightMemory::new`] does
+    /// for generated weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table count or any table length disagrees with
+    /// `spec`, or if the memory cannot hold at least one weight.
+    pub fn with_weight_tables(
+        config: &crate::config::AcceleratorConfig,
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        tables: &[Vec<f32>],
+    ) -> Self {
+        Self::with_sources(config, spec, format, table_sources(spec, tables))
+    }
+
+    fn with_sources(
+        config: &crate::config::AcceleratorConfig,
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        sources: Vec<WeightSource>,
+    ) -> Self {
         let word_bits = format.bits() as u32;
         let words = config.weight_capacity(word_bits) as usize;
         assert!(words > 0, "FlatWeightMemory: memory holds no weights");
         let f = config.parallel_filters;
         let mut layers = Vec::with_capacity(spec.layers().len());
         let mut offset = 0u64;
-        for (li, layer) in spec.layers().iter().enumerate() {
+        for (layer, source) in spec.layers().iter().zip(sources) {
             let filters = layer.filter_count();
             let wpf = layer.weights_per_filter();
             let sets = filters.div_ceil(f);
             let stream_len = sets * f * wpf;
-            let gen = LayerWeightGen::new(spec, li, seed);
-            let quantizer = Quantizer::calibrate(format, &gen.range(RANGE_CAP));
+            let quantizer = Quantizer::calibrate(format, &source.range(RANGE_CAP));
             layers.push(LayerPlan {
                 stream_offset: offset,
                 stream_len,
                 filters,
                 weights_per_filter: wpf,
-                gen,
+                source,
                 quantizer,
             });
             offset += stream_len;
@@ -179,6 +311,45 @@ impl FlatWeightMemory {
             total_blocks,
             label: format!("{}/{}/{}", config.name, spec.name(), format),
             dwell_weights: None,
+        }
+    }
+
+    /// The calibrated quantizer of layer `layer` — what
+    /// [`BlockSource::word`] encodes that layer's weights with, exposed
+    /// so fault injection decodes corrupted codes with the exact same
+    /// scale/zero-point the memory image was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_quantizer(&self, layer: usize) -> Quantizer {
+        self.layers[layer].quantizer
+    }
+
+    /// The physical address of canonical weight `index` of layer
+    /// `layer` (the inverse of the [`BlockSource::word`] dataflow
+    /// mapping): the block that writes it and the word it lands on.
+    /// Always well-defined — every real weight occupies exactly one
+    /// (block, word) slot; padded lanes have no canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `index` is out of range.
+    pub fn locate_weight(&self, layer: usize, index: u64) -> WeightAddress {
+        let plan = &self.layers[layer];
+        assert!(
+            index < plan.filters * plan.weights_per_filter,
+            "locate_weight: index {index} out of range for layer {layer}"
+        );
+        let f = self.parallel_filters;
+        let filter = index / plan.weights_per_filter;
+        let weight_index = index % plan.weights_per_filter;
+        let set = filter / f;
+        let in_set = weight_index * f + filter % f;
+        let pos = plan.stream_offset + set * (f * plan.weights_per_filter) + in_set;
+        WeightAddress {
+            block: pos / self.geometry.words as u64,
+            word: (pos % self.geometry.words as u64) as usize,
         }
     }
 
@@ -360,7 +531,7 @@ impl BlockSource for FlatWeightMemory {
             return 0; // padded lane of a ragged final set
         }
         let canonical = filter * layer.weights_per_filter + weight_index;
-        u64::from(layer.quantizer.encode(layer.gen.weight(canonical)))
+        u64::from(layer.quantizer.encode(layer.source.weight(canonical)))
     }
 
     fn global_block_index(&self, inference: u64, block: u64) -> u64 {
@@ -386,7 +557,7 @@ struct LayerTiles {
     row_tiles: u64,
     filters: u64,
     weights_per_filter: u64,
-    gen: LayerWeightGen,
+    source: WeightSource,
     quantizer: Quantizer,
 }
 
@@ -441,6 +612,37 @@ impl FifoSlotMemory {
     /// Panics if `slot >= 4` or `format` is not 8-bit (the NPU datapath
     /// is 8-bit per Table I).
     pub fn new(slot: u64, spec: &NetworkSpec, format: NumberFormat, seed: u64) -> Self {
+        let sources = spec
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(li, _)| WeightSource::Gen(LayerWeightGen::new(spec, li, seed)))
+            .collect();
+        Self::with_sources(slot, spec, format, sources)
+    }
+
+    /// Plans slot `slot` with weights read from explicit per-layer
+    /// tables — see [`FlatWeightMemory::with_weight_tables`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 4`, `format` is not 8-bit, or the tables
+    /// disagree with `spec`.
+    pub fn with_weight_tables(
+        slot: u64,
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        tables: &[Vec<f32>],
+    ) -> Self {
+        Self::with_sources(slot, spec, format, table_sources(spec, tables))
+    }
+
+    fn with_sources(
+        slot: u64,
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        sources: Vec<WeightSource>,
+    ) -> Self {
         assert!(
             slot < Self::DEPTH,
             "FifoSlotMemory: slot {slot} out of range"
@@ -453,20 +655,19 @@ impl FifoSlotMemory {
         let side = Self::TILE_SIDE;
         let mut layers = Vec::with_capacity(spec.layers().len());
         let mut offset = 0u64;
-        for (li, layer) in spec.layers().iter().enumerate() {
+        for (layer, source) in spec.layers().iter().zip(sources) {
             let filters = layer.filter_count();
             let wpf = layer.weights_per_filter();
             let col_tiles = filters.div_ceil(side);
             let row_tiles = wpf.div_ceil(side);
-            let gen = LayerWeightGen::new(spec, li, seed);
-            let quantizer = Quantizer::calibrate(format, &gen.range(RANGE_CAP));
+            let quantizer = Quantizer::calibrate(format, &source.range(RANGE_CAP));
             layers.push(LayerTiles {
                 tile_offset: offset,
                 tiles: col_tiles * row_tiles,
                 row_tiles,
                 filters,
                 weights_per_filter: wpf,
-                gen,
+                source,
                 quantizer,
             });
             offset += col_tiles * row_tiles;
@@ -493,6 +694,65 @@ impl FifoSlotMemory {
         (0..Self::DEPTH)
             .map(|s| Self::new(s, spec, format, seed))
             .collect()
+    }
+
+    /// All four slots with explicit per-layer weight tables — see
+    /// [`FlatWeightMemory::with_weight_tables`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `format` is not 8-bit or the tables disagree with
+    /// `spec`.
+    pub fn all_slots_with_weight_tables(
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        tables: &[Vec<f32>],
+    ) -> Vec<Self> {
+        // One validation + one allocation per layer; the four slots
+        // share the table handles.
+        let shared = shared_tables(spec, tables);
+        (0..Self::DEPTH)
+            .map(|s| Self::with_sources(s, spec, format, sources_from_shared(&shared)))
+            .collect()
+    }
+
+    /// The calibrated quantizer of layer `layer` — see
+    /// [`FlatWeightMemory::layer_quantizer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_quantizer(&self, layer: usize) -> Quantizer {
+        self.layers[layer].quantizer
+    }
+
+    /// The physical address of canonical weight `index` of layer
+    /// `layer` *if its tile round-robins into this slot* — `None` when
+    /// another slot holds it (exactly one of the four slots returns
+    /// `Some` for every weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `index` is out of range.
+    pub fn locate_weight(&self, layer: usize, index: u64) -> Option<WeightAddress> {
+        let plan = &self.layers[layer];
+        assert!(
+            index < plan.filters * plan.weights_per_filter,
+            "locate_weight: index {index} out of range for layer {layer}"
+        );
+        let side = self.tile_side;
+        let filter = index / plan.weights_per_filter;
+        let weight_index = index % plan.weights_per_filter;
+        let col_tile = filter / side;
+        let row_tile = weight_index / side;
+        let tile = plan.tile_offset + col_tile * plan.row_tiles + row_tile;
+        if tile % self.depth != self.slot {
+            return None;
+        }
+        Some(WeightAddress {
+            block: (tile - self.slot) / self.depth,
+            word: ((weight_index % side) * side + filter % side) as usize,
+        })
     }
 
     /// Total tiles streamed per inference (across all slots).
@@ -619,7 +879,7 @@ impl BlockSource for FifoSlotMemory {
             return 0;
         }
         let canonical = filter * layer.weights_per_filter + weight_index;
-        u64::from(layer.quantizer.encode(layer.gen.weight(canonical)))
+        u64::from(layer.quantizer.encode(layer.source.weight(canonical)))
     }
 
     fn global_block_index(&self, inference: u64, block: u64) -> u64 {
@@ -909,6 +1169,122 @@ mod tests {
             FifoSlotMemory::new(0, &NetworkSpec::custom_mnist(), NumberFormat::Fp32, 1)
         });
         assert!(result.is_err());
+    }
+
+    fn gen_tables(spec: &NetworkSpec, seed: u64) -> Vec<Vec<f32>> {
+        (0..spec.layers().len())
+            .map(|li| {
+                let gen = LayerWeightGen::new(spec, li, seed);
+                gen.iter().collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_backed_flat_plan_reproduces_generated_words() {
+        let spec = NetworkSpec::custom_mnist();
+        let from_gen = FlatWeightMemory::new(
+            &AcceleratorConfig::baseline(),
+            &spec,
+            NumberFormat::Int8Asymmetric,
+            9,
+        );
+        let from_tables = FlatWeightMemory::with_weight_tables(
+            &AcceleratorConfig::baseline(),
+            &spec,
+            NumberFormat::Int8Asymmetric,
+            &gen_tables(&spec, 9),
+        );
+        assert_eq!(from_tables.block_count(), from_gen.block_count());
+        for word in [0usize, 1, 399, 19_600, 231_695] {
+            assert_eq!(from_tables.word(0, word), from_gen.word(0, word));
+        }
+        assert_eq!(
+            from_tables.layer_quantizer(2),
+            from_gen.layer_quantizer(2),
+            "table calibration must match the generator's range"
+        );
+    }
+
+    #[test]
+    fn table_backed_plan_sees_edited_weights() {
+        let spec = NetworkSpec::custom_mnist();
+        let mut tables = gen_tables(&spec, 9);
+        tables[0][0] = 100.0; // outlier dominating conv1's calibration range
+        let mem = FlatWeightMemory::with_weight_tables(
+            &AcceleratorConfig::baseline(),
+            &spec,
+            NumberFormat::Int8Symmetric,
+            &tables,
+        );
+        let addr = mem.locate_weight(0, 0);
+        let code = mem.word(addr.block, addr.word);
+        // The outlier dominates the symmetric range, so it encodes to
+        // the top code.
+        assert_eq!(code as u8 as i8, 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight table for layer")]
+    fn table_shape_mismatch_rejected() {
+        let spec = NetworkSpec::custom_mnist();
+        let mut tables = gen_tables(&spec, 9);
+        tables[1].pop();
+        let _ = FlatWeightMemory::with_weight_tables(
+            &AcceleratorConfig::baseline(),
+            &spec,
+            NumberFormat::Int8Symmetric,
+            &tables,
+        );
+    }
+
+    #[test]
+    fn locate_weight_inverts_the_flat_dataflow() {
+        let spec = NetworkSpec::custom_mnist();
+        let mem = FlatWeightMemory::new(
+            &AcceleratorConfig::baseline(),
+            &spec,
+            NumberFormat::Int8Symmetric,
+            7,
+        );
+        for (li, layer) in spec.layers().iter().enumerate() {
+            let gen = LayerWeightGen::new(&spec, li, 7);
+            let quantizer = mem.layer_quantizer(li);
+            let count = layer.weight_count();
+            for index in [0, 1, count / 2, count - 1] {
+                let addr = mem.locate_weight(li, index);
+                assert_eq!(
+                    mem.word(addr.block, addr.word),
+                    u64::from(quantizer.encode(gen.weight(index))),
+                    "layer {li} weight {index} at {addr:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locate_weight_inverts_the_npu_dataflow() {
+        let spec = NetworkSpec::custom_mnist();
+        let slots = FifoSlotMemory::all_slots(&spec, NumberFormat::Int8Symmetric, 7);
+        for (li, layer) in spec.layers().iter().enumerate() {
+            let gen = LayerWeightGen::new(&spec, li, 7);
+            let quantizer = slots[0].layer_quantizer(li);
+            let count = layer.weight_count();
+            for index in [0, 1, count / 2, count - 1] {
+                let hits: Vec<(usize, WeightAddress)> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, slot)| slot.locate_weight(li, index).map(|a| (s, a)))
+                    .collect();
+                assert_eq!(hits.len(), 1, "layer {li} weight {index}: {hits:?}");
+                let (s, addr) = hits[0];
+                assert_eq!(
+                    slots[s].word(addr.block, addr.word),
+                    u64::from(quantizer.encode(gen.weight(index))),
+                    "layer {li} weight {index} in slot {s} at {addr:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -94,7 +94,7 @@ proptest! {
             2 => AnalyticPolicy::BarrelShifter,
             _ => AnalyticPolicy::DnnLife { bias: 0.6, bias_balancing: Some(4), seed },
         };
-        let cfg = AnalyticSimConfig { inferences, sample_stride: 37, threads: 1 };
+        let cfg = AnalyticSimConfig { inferences, sample_stride: 37, threads: 1, shards: 1 };
         let duties = simulate_analytic(&mem, &policy, &cfg);
         prop_assert!(!duties.is_empty());
         for d in duties {
@@ -136,7 +136,7 @@ proptest! {
         let analytic = simulate_analytic(
             &mem,
             &policy,
-            &AnalyticSimConfig { inferences, sample_stride: 1, threads: 1 },
+            &AnalyticSimConfig { inferences, sample_stride: 1, threads: 1, shards: 1 },
         );
         prop_assert_eq!(exact.len(), analytic.len());
         for (i, (e, a)) in exact.iter().zip(&analytic).enumerate() {

@@ -23,6 +23,7 @@ fn analytic_cfg(inferences: u64) -> AnalyticSimConfig {
         inferences,
         sample_stride: 1,
         threads: 2,
+        shards: 0,
     }
 }
 
@@ -186,6 +187,7 @@ fn stride_sampling_is_consistent() {
             inferences: 4,
             sample_stride: 4,
             threads: 1,
+            shards: 0,
         },
     );
     let width = 8usize;
@@ -211,6 +213,7 @@ fn thread_count_invariance() {
             inferences: 10,
             sample_stride: 1,
             threads: 1,
+            shards: 0,
         },
     );
     let many = simulate_analytic(
@@ -220,6 +223,7 @@ fn thread_count_invariance() {
             inferences: 10,
             sample_stride: 1,
             threads: 7,
+            shards: 0,
         },
     );
     assert_eq!(one, many);

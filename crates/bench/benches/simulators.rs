@@ -28,6 +28,7 @@ fn bench_simulators(c: &mut Criterion) {
         inferences: 10,
         sample_stride: 1,
         threads: 1,
+        shards: 0,
     };
 
     let mut group = c.benchmark_group("memory_simulation_2kB");
@@ -80,6 +81,7 @@ fn bench_simulators(c: &mut Criterion) {
         inferences: 100,
         sample_stride: 512,
         threads: 1,
+        shards: 0,
     };
     let mut group = c.benchmark_group("memory_simulation_alexnet_512KB");
     group.sample_size(10);

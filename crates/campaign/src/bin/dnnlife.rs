@@ -36,16 +36,49 @@
 //! no tolerance applies.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dnnlife_campaign::aggregate;
 use dnnlife_campaign::grid::SweepOptions;
 use dnnlife_campaign::{
-    run_campaign, validate_scenarios_sharded, CampaignGrid, CampaignOptions, ResultStore,
-    ShardPolicy,
+    accuracy_vs_age_table, run_campaign_cancellable, run_injection_campaign,
+    validate_scenarios_cancellable, CampaignGrid, CampaignOptions, InjectCampaignOptions,
+    InjectionGrid, InjectionParams, InjectionStore, ResultStore, ShardPolicy,
 };
+use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
 use dnnlife_core::{DwellModel, SimulatorBackend};
+use dnnlife_quant::NumberFormat;
+
+/// Raised by the SIGINT handler; every long-running subcommand polls
+/// it through the campaign cancellation plumbing, so Ctrl-C aborts
+/// in-flight scenarios / cross-validation pairs / injection trials
+/// mid-scenario instead of killing the process with a half-written
+/// journal line.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    unsafe extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: one atomic store. The handler stays
+        // installed, so repeated Ctrl-C just re-raises the flag while
+        // the graceful abort (one block of the exact simulator, one
+        // SGD step, one injection trial) finishes.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
 
 fn main() -> ExitCode {
+    install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
@@ -56,6 +89,7 @@ fn main() -> ExitCode {
         "report" => report(rest),
         "compare" => compare(rest),
         "validate" => validate(rest),
+        "inject" => inject(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -66,6 +100,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("dnnlife: {message}");
+            if INTERRUPTED.load(Ordering::SeqCst) {
+                return ExitCode::from(130); // conventional SIGINT exit
+            }
             ExitCode::from(2)
         }
     }
@@ -82,7 +119,13 @@ usage:
   dnnlife compare --store-a FILE --store-b FILE
   dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
                    [--stride N] [--inferences N] [--dwell MODEL]
-                   [--shards auto|N] [--report-only]";
+                   [--shards auto|N] [--report-only]
+  dnnlife inject [--platform baseline|npu] [--format fp32|int8|int8-asym]
+                 [--policy SUBSTRING] [--ages Y1,Y2,...] [--trials N]
+                 [--eval-images N] [--train-steps N] [--noise-mv F]
+                 [--inferences N] [--seed N] [--threads N] [--out FILE]
+                 [--resume] [--verbose]
+  dnnlife inject --report --store FILE";
 
 /// Minimal `--flag [value]` argument cursor.
 struct Args<'a> {
@@ -166,7 +209,8 @@ fn sweep(argv: &[String]) -> Result<(), String> {
     let store_path = out.unwrap_or_else(|| format!("campaign-results/{grid_name}.jsonl"));
 
     let started = std::time::Instant::now();
-    let outcome = run_campaign(&grid, &store_path, &options).map_err(|e| e.to_string())?;
+    let outcome = run_campaign_cancellable(&grid, &store_path, &options, Some(&INTERRUPTED))
+        .map_err(|e| e.to_string())?;
     println!(
         "campaign `{grid_name}`: {} executed, {} skipped, {} thread(s), {:.1}s -> {store_path}",
         outcome.executed,
@@ -329,7 +373,14 @@ fn validate(argv: &[String]) -> Result<(), String> {
     warn_on_dwell_dropped_scenarios("validate", &grid_name, &grid, &sweep_options);
 
     let started = std::time::Instant::now();
-    let results = validate_scenarios_sharded(&grid.scenarios, threads, shards);
+    let results =
+        validate_scenarios_cancellable(&grid.scenarios, threads, shards, Some(&INTERRUPTED))
+            .ok_or_else(|| {
+                format!(
+                    "validate `{grid_name}` interrupted mid-scenario; \
+                     completed pairs were discarded"
+                )
+            })?;
     print!("{}", aggregate::crossval_table(&results));
     let worst = results
         .iter()
@@ -354,6 +405,136 @@ fn validate(argv: &[String]) -> Result<(), String> {
             ));
         }
     }
+    Ok(())
+}
+
+fn parse_platform(name: &str) -> Result<Platform, String> {
+    match name {
+        "baseline" => Ok(Platform::Baseline),
+        "npu" | "tpu" | "tpu-like" => Ok(Platform::TpuLike),
+        other => Err(format!(
+            "--platform: unknown platform `{other}` (baseline|npu)"
+        )),
+    }
+}
+
+fn parse_format(name: &str) -> Result<NumberFormat, String> {
+    match name {
+        "fp32" => Ok(NumberFormat::Fp32),
+        "int8" | "int8-sym" | "int8-symmetric" => Ok(NumberFormat::Int8Symmetric),
+        "int8-asym" | "int8-asymmetric" => Ok(NumberFormat::Int8Asymmetric),
+        other => Err(format!(
+            "--format: unknown format `{other}` (fp32|int8|int8-asym)"
+        )),
+    }
+}
+
+fn parse_ages(list: &str) -> Result<Vec<f64>, String> {
+    let ages: Option<Vec<f64>> = list.split(',').map(|a| a.parse().ok()).collect();
+    let ages = ages.ok_or_else(|| format!("--ages: invalid age list `{list}`"))?;
+    if ages.is_empty() || ages.iter().any(|a| !a.is_finite() || *a < 0.0) {
+        return Err(format!(
+            "--ages: ages must be finite and >= 0, got `{list}`"
+        ));
+    }
+    Ok(ages)
+}
+
+/// `dnnlife inject`: the fault-injection campaign — accuracy vs age
+/// per mitigation policy, resumable like `sweep`.
+fn inject(argv: &[String]) -> Result<(), String> {
+    let mut platform = Platform::Baseline;
+    let mut format = NumberFormat::Int8Symmetric;
+    let mut policy_filter: Option<String> = None;
+    let mut params = InjectionParams::default();
+    let mut options = InjectCampaignOptions::default();
+    let mut out: Option<String> = None;
+    let mut report_only = false;
+    let mut report_store: Option<String> = None;
+
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--platform" => platform = parse_platform(args.value("--platform")?)?,
+            "--format" => format = parse_format(args.value("--format")?)?,
+            "--policy" => policy_filter = Some(args.value("--policy")?.to_lowercase()),
+            "--ages" => params.ages_years = parse_ages(args.value("--ages")?)?,
+            "--trials" => params.trials = args.parsed("--trials")?,
+            "--eval-images" => params.eval_images = args.parsed("--eval-images")?,
+            "--train-steps" => params.train_steps = args.parsed("--train-steps")?,
+            "--noise-mv" => params.noise_sigma_mv = args.parsed("--noise-mv")?,
+            "--inferences" => params.inferences = args.parsed("--inferences")?,
+            "--seed" => params.base_seed = args.parsed("--seed")?,
+            "--threads" => options.threads = args.parsed("--threads")?,
+            "--out" => out = Some(args.value("--out")?.to_string()),
+            "--resume" => options.resume = true,
+            "--verbose" => options.verbose = true,
+            "--report" => report_only = true,
+            "--store" => report_store = Some(args.value("--store")?.to_string()),
+            other => return Err(format!("inject: unexpected argument `{other}`")),
+        }
+    }
+
+    if report_only {
+        let store_path = report_store.ok_or("inject --report: --store is required")?;
+        let store = InjectionStore::open(&store_path).map_err(|e| e.to_string())?;
+        if store.is_empty() {
+            return Err(format!("inject: `{store_path}` holds no injection records"));
+        }
+        print!("{}", accuracy_vs_age_table(&store));
+        return Ok(());
+    }
+    if params.trials == 0 {
+        return Err("inject: --trials must be >= 1".to_string());
+    }
+    if params.eval_images == 0 {
+        return Err("inject: --eval-images must be >= 1".to_string());
+    }
+    if params.inferences == 0 {
+        return Err("inject: --inferences must be >= 1".to_string());
+    }
+    if !(params.noise_sigma_mv.is_finite() && params.noise_sigma_mv > 0.0) {
+        return Err("inject: --noise-mv must be > 0".to_string());
+    }
+
+    // The runnable zoo network crossed with the paper's Fig. 11 policy
+    // set (optionally filtered by `--policy` substring).
+    let mut policies = dnnlife_core::experiment::fig11_policies();
+    if let Some(filter) = &policy_filter {
+        policies.retain(|p: &PolicySpec| p.display_name().to_lowercase().contains(filter));
+        if policies.is_empty() {
+            return Err(format!(
+                "inject: --policy `{filter}` matches no policy of the Fig. 11 set"
+            ));
+        }
+    }
+    let grid = InjectionGrid::build(
+        "inject",
+        platform,
+        NetworkKind::CustomMnist,
+        format,
+        &policies,
+        &params,
+    );
+    if grid.is_empty() {
+        return Err(
+            "inject: no valid cells for these axes (fp32 needs --platform baseline)".to_string(),
+        );
+    }
+    let store_path = out.unwrap_or_else(|| "campaign-results/inject.jsonl".to_string());
+
+    let started = std::time::Instant::now();
+    let outcome = run_injection_campaign(&grid, &store_path, &options, Some(&INTERRUPTED))
+        .map_err(|e| e.to_string())?;
+    let store = InjectionStore::open(&store_path).map_err(|e| e.to_string())?;
+    print!("{}", accuracy_vs_age_table(&store));
+    println!(
+        "inject: {} executed, {} skipped, {} thread(s), {:.1}s -> {store_path}",
+        outcome.executed,
+        outcome.skipped,
+        outcome.threads,
+        started.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 

@@ -7,14 +7,19 @@
 //! reports per-cell duty divergence. Under uniform dwell this is a
 //! correctness check of the closed forms; under a non-uniform dwell
 //! model the divergence quantifies how much assumption (b) distorts
-//! that scenario. This module fans the pairs out across a worker pool
-//! (same shape as the sweep executor) while keeping results in
-//! scenario order.
+//! that scenario. This module fans the pairs out across the shared
+//! campaign worker pool, keeping results in scenario order.
+//!
+//! The fan-out honours the campaign cancellation token: a raised token
+//! (the CLI's Ctrl-C handler) aborts in-flight pairs *mid-scenario* —
+//! the exact side polls the flag at block granularity — instead of
+//! letting a minutes-long pair run to completion first.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use dnnlife_core::{cross_validate_sharded, CrossValidation, ExperimentSpec, ShardPolicy};
+use dnnlife_core::{cross_validate_cancellable, CrossValidation, ExperimentSpec, ShardPolicy};
+
+use crate::executor::{execute_shared_pool, requested_threads};
 
 /// Runs [`dnnlife_core::cross_validate`] for every scenario on
 /// `threads` workers (0 = all cores), returning results in scenario
@@ -33,37 +38,45 @@ pub fn validate_scenarios_sharded(
     threads: usize,
     shards: ShardPolicy,
 ) -> Vec<CrossValidation> {
-    let threads = crate::executor::effective_threads(threads, scenarios.len());
+    validate_scenarios_cancellable(scenarios, threads, shards, None)
+        .expect("run without a cancel token cannot be cancelled")
+}
 
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, CrossValidation)>();
+/// [`validate_scenarios_sharded`] under an external cancellation
+/// token: returns `None` iff `cancel` was raised before every pair
+/// finished. Completed pairs are discarded in that case — a
+/// cross-validation report is only meaningful over the whole grid.
+pub fn validate_scenarios_cancellable(
+    scenarios: &[ExperimentSpec],
+    threads: usize,
+    shards: ShardPolicy,
+    cancel: Option<&AtomicBool>,
+) -> Option<Vec<CrossValidation>> {
+    let budget = requested_threads(threads);
     let mut slots: Vec<Option<CrossValidation>> = vec![None; scenarios.len()];
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let slot = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = scenarios.get(slot) else {
-                    break;
-                };
-                if tx
-                    .send((slot, cross_validate_sharded(spec, shards)))
-                    .is_err()
-                {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (index, cv) in rx {
+    execute_shared_pool(
+        scenarios,
+        budget,
+        cancel,
+        // Each pair runs single-threaded internally (matched pairs are
+        // plentiful on real grids); the pool-level fan-out is the
+        // parallelism. The shared flag still reaches the exact
+        // simulator through `cross_validate_cancellable`.
+        |spec, _threads, cancel| cross_validate_cancellable(spec, shards, Some(cancel)),
+        |index, cv| {
             slots[index] = Some(cv);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every scenario validated"))
-        .collect()
+            true
+        },
+    );
+    if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+        return None;
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every scenario validated"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -87,5 +100,27 @@ mod tests {
             assert!(cv.label.contains(spec.network.display_name()));
             assert!(cv.within_tolerance(), "{}: {cv:?}", cv.label);
         }
+    }
+
+    #[test]
+    fn pre_raised_cancel_aborts_validation_promptly() {
+        // Scenario pairs whose exact side would run for minutes; a
+        // pre-raised token must return None near-instantly.
+        let grid = CampaignGrid::fig11(SweepOptions {
+            sample_stride: 4,
+            inferences: 50_000,
+            backend: SimulatorBackend::Exact,
+            ..SweepOptions::default()
+        });
+        let flag = AtomicBool::new(true);
+        let started = std::time::Instant::now();
+        let result =
+            validate_scenarios_cancellable(&grid.scenarios, 2, ShardPolicy::Auto, Some(&flag));
+        assert!(result.is_none());
+        assert!(
+            started.elapsed().as_secs() < 30,
+            "cancelled validation took {:?}",
+            started.elapsed()
+        );
     }
 }

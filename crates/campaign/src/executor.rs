@@ -16,6 +16,11 @@
 //! scenario no longer monopolizes a single core while the rest of the
 //! pool waits.
 //!
+//! The pool itself ([`execute_shared_pool`]) is generic over the work
+//! item: the scenario sweep, the cross-validation fan-out and the
+//! fault-injection campaign all run on it, so every subsystem shares
+//! the same budget arithmetic and the same cancellation story.
+//!
 //! Determinism: each scenario's result depends only on its spec plus
 //! the (deterministic) shard policy — never on the thread count — and
 //! the finalize pass orders the file by the grid, so the finished
@@ -23,10 +28,11 @@
 //! interrupted-then-resumed runs.
 //!
 //! Aborts are prompt: when the completion callback declines further
-//! results, a shared flag cancels in-flight **exact** simulations at
-//! block granularity (within one inference — the backend whose
-//! scenarios run for minutes) and their partial results are discarded,
-//! not journaled. Analytic scenarios poll the flag only between memory
+//! results — or an external cancellation token (Ctrl-C) is raised — a
+//! shared flag cancels in-flight **exact** simulations at block
+//! granularity (within one inference — the backend whose scenarios run
+//! for minutes) and their partial results are discarded, not
+//! journaled. Analytic scenarios poll the flag only between memory
 //! units; their closed forms are orders of magnitude shorter, so the
 //! flag exists to stop the expensive backend, not the cheap one.
 
@@ -81,6 +87,21 @@ pub fn run_campaign(
     grid: &CampaignGrid,
     store_path: impl Into<std::path::PathBuf>,
     options: &CampaignOptions,
+) -> std::io::Result<CampaignOutcome> {
+    run_campaign_cancellable(grid, store_path, options, None)
+}
+
+/// [`run_campaign`] under an external cancellation token (the CLI's
+/// Ctrl-C handler): when `cancel` is raised, idle workers stop at
+/// their next claim, in-flight exact simulations abort within one
+/// inference, journaled completions are kept, and the call returns an
+/// [`std::io::ErrorKind::Interrupted`] error — re-running with
+/// `resume` picks up exactly the missing scenarios.
+pub fn run_campaign_cancellable(
+    grid: &CampaignGrid,
+    store_path: impl Into<std::path::PathBuf>,
+    options: &CampaignOptions,
+    cancel: Option<&AtomicBool>,
 ) -> std::io::Result<CampaignOutcome> {
     let store_path = store_path.into();
     // Held for the whole campaign: a second sweep journaling into the
@@ -143,34 +164,98 @@ pub fn run_campaign(
         );
     }
 
+    let specs: Vec<&dnnlife_core::ExperimentSpec> =
+        pending.iter().map(|&i| &grid.scenarios[i]).collect();
+    let shards = options.shards;
+    let done = journal_into_store(
+        &grid.name,
+        "scenario",
+        &mut store,
+        &keys,
+        &specs,
+        budget,
+        cancel,
+        options.verbose,
+        |record| record.result.label.clone(),
+        |spec, threads, cancel| {
+            let opts = RunOptions {
+                threads,
+                shards,
+                cancel: Some(cancel),
+            };
+            run_experiment_with(spec, &opts)
+                .map(|result| ScenarioRecord::annotated((*spec).clone(), result, shards))
+        },
+    )?;
+    Ok(CampaignOutcome {
+        executed: done,
+        skipped,
+        threads,
+    })
+}
+
+/// The common tail of the scenario and injection campaign drivers:
+/// fans `pending` through the shared pool, journals every completed
+/// record into `store` (flushing per record), reports progress, maps a
+/// journal I/O error or a raised cancellation token to an error, and
+/// finalizes the store in canonical `keys` order. Returns the number
+/// of items journaled by this invocation.
+///
+/// # Errors
+///
+/// The first journal I/O error, or [`std::io::ErrorKind::Interrupted`]
+/// when `cancel` was raised before the pending set drained (journaled
+/// completions are kept either way — the caller's resume flow picks up
+/// the remainder).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn journal_into_store<T, R, RunF>(
+    name: &str,
+    noun: &str,
+    store: &mut crate::store::JsonlStore<R>,
+    keys: &[String],
+    pending: &[&T],
+    budget: usize,
+    cancel: Option<&AtomicBool>,
+    verbose: bool,
+    label: fn(&R) -> String,
+    run: RunF,
+) -> std::io::Result<usize>
+where
+    T: Sync,
+    R: crate::store::StoreRecord + Send,
+    RunF: Fn(&&T, usize, &AtomicBool) -> Option<R> + Sync,
+{
+    let mut done = 0usize;
     if !pending.is_empty() {
-        let specs: Vec<&dnnlife_core::ExperimentSpec> =
-            pending.iter().map(|&i| &grid.scenarios[i]).collect();
-        let mut done = 0usize;
         let mut journal_error = None;
-        execute_pool(&specs, budget, options.shards, |_, record| {
-            let label = record.result.label.clone();
+        execute_shared_pool(pending, budget, cancel, run, |_, record| {
+            let label = label(&record);
             if let Err(e) = store.append(record) {
                 journal_error = Some(e);
                 return false;
             }
             done += 1;
-            if options.verbose {
-                eprintln!("  [{done}/{}] {label}", specs.len());
+            if verbose {
+                eprintln!("  [{done}/{}] {label}", pending.len());
             }
             true
         });
         if let Some(e) = journal_error {
             return Err(e);
         }
+        if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!(
+                    "`{name}` interrupted after {done} of {} pending {noun}(s); \
+                     journaled results kept — rerun with --resume",
+                    pending.len()
+                ),
+            ));
+        }
     }
-
-    store.finalize(&keys)?;
-    Ok(CampaignOutcome {
-        executed: pending.len(),
-        skipped,
-        threads,
-    })
+    store.finalize(keys)?;
+    Ok(done)
 }
 
 /// Runs every scenario of `grid` on a `threads`-sized budget (0 = all
@@ -180,10 +265,20 @@ pub fn run_campaign(
 pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord> {
     let specs: Vec<&dnnlife_core::ExperimentSpec> = grid.scenarios.iter().collect();
     let mut slots: Vec<Option<ScenarioRecord>> = vec![None; specs.len()];
-    execute_pool(
+    execute_shared_pool(
         &specs,
         requested_threads(threads),
-        ShardPolicy::default(),
+        None,
+        |spec, threads, cancel| {
+            let opts = RunOptions {
+                threads,
+                shards: ShardPolicy::default(),
+                cancel: Some(cancel),
+            };
+            run_experiment_with(spec, &opts).map(|result| {
+                ScenarioRecord::annotated((*spec).clone(), result, ShardPolicy::default())
+            })
+        },
         |index, record| {
             slots[index] = Some(record);
             true
@@ -191,76 +286,88 @@ pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord>
     );
     slots
         .into_iter()
-        .map(|slot| slot.expect("execute_pool completes every scenario"))
+        .map(|slot| slot.expect("execute_shared_pool completes every scenario"))
         .collect()
 }
 
 /// Shared worker pool with a two-level thread budget: `budget` threads
-/// total, `min(budget, |specs|)` of them scenario workers pulling
-/// indices from an atomic counter, the remainder pooled as *spare*
-/// simulator threads. A worker starting a scenario claims a fair share
-/// of the spare pool and runs the scenario on `1 + share` simulator
-/// threads (returning the share afterwards), so a wide machine is not
-/// wasted on a narrow grid.
+/// total, `min(budget, |items|)` of them item workers pulling indices
+/// from an atomic counter, the remainder pooled as *spare* simulator
+/// threads. A worker starting an item claims a fair share of the spare
+/// pool and runs the item on `1 + share` simulator threads (returning
+/// the share afterwards), so a wide machine is not wasted on a narrow
+/// grid.
 ///
-/// The calling thread observes each `(index, record)` completion in
-/// completion order. `on_complete` returning `false` raises a shared
-/// abort flag that cancels in-flight exact simulations at block
-/// granularity — workers notice within one inference, not after
-/// finishing a minutes-long scenario — and cancelled partial results
-/// are discarded, never delivered. (Analytic scenarios poll the flag
-/// only between memory units.)
-fn execute_pool<F>(
-    specs: &[&dnnlife_core::ExperimentSpec],
+/// `run` executes one item on the given thread count under the shared
+/// cancellation flag, returning `None` iff the item was cancelled
+/// mid-run (a cancelled partial result is discarded, never delivered).
+/// The calling thread observes each `(index, result)` completion in
+/// completion order; `on_complete` returning `false` — or an external
+/// `cancel` token being raised — stops the pool: idle workers stop at
+/// their next claim, and in-flight work observes the flag through
+/// `run`'s cancel argument (the exact simulator polls it at block
+/// granularity, within one inference).
+pub(crate) fn execute_shared_pool<T, R, RunF, DoneF>(
+    items: &[T],
     budget: usize,
-    shards: ShardPolicy,
-    mut on_complete: F,
+    cancel: Option<&AtomicBool>,
+    run: RunF,
+    mut on_complete: DoneF,
 ) where
-    F: FnMut(usize, ScenarioRecord) -> bool,
+    T: Sync,
+    R: Send,
+    RunF: Fn(&T, usize, &AtomicBool) -> Option<R> + Sync,
+    DoneF: FnMut(usize, R) -> bool,
 {
-    let workers = budget.min(specs.len()).max(1);
+    let workers = budget.min(items.len()).max(1);
     let spare = AtomicUsize::new(budget.saturating_sub(workers));
-    let abort = AtomicBool::new(false);
+    // Two abort sources, never written into the caller's token (a
+    // journal error must not masquerade as a Ctrl-C): `on_complete`
+    // declining raises the *local* flag; the external token is only
+    // read. In-flight work polls `run_flag` — the external token when
+    // provided (so Ctrl-C cancels at block granularity), the local
+    // flag otherwise (so an in-process abort stays equally prompt);
+    // a local abort with an external token present still stops
+    // in-flight items at delivery (the dropped receiver fails their
+    // send) and idle workers at their next claim.
+    let local_abort = AtomicBool::new(false);
+    let run_flag: &AtomicBool = cancel.unwrap_or(&local_abort);
+    let aborted = || local_abort.load(Ordering::Relaxed) || run_flag.load(Ordering::Relaxed);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, ScenarioRecord)>();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
-            let (next, spare, abort) = (&next, &spare, &abort);
+            let (next, spare, run, aborted) = (&next, &spare, &run, &aborted);
             scope.spawn(move || loop {
-                if abort.load(Ordering::Relaxed) {
+                if aborted() {
                     break;
                 }
                 let slot = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(slot) else {
+                let Some(item) = items.get(slot) else {
                     break;
                 };
-                let extra = claim_spare(spare, specs.len() - slot);
-                let opts = RunOptions {
-                    threads: 1 + extra,
-                    shards,
-                    cancel: Some(abort),
-                };
-                let result = run_experiment_with(spec, &opts);
+                let extra = claim_spare(spare, items.len() - slot);
+                let result = run(item, 1 + extra, run_flag);
                 if extra > 0 {
                     spare.fetch_add(extra, Ordering::AcqRel);
                 }
                 let Some(result) = result else {
-                    break; // cancelled mid-scenario: discard the partial
+                    break; // cancelled mid-item: discard the partial
                 };
-                let record = ScenarioRecord::annotated((*spec).clone(), result, shards);
-                if tx.send((slot, record)).is_err() {
+                if tx.send((slot, result)).is_err() {
                     break; // receiver gone: abort requested
                 }
             });
         }
         drop(tx);
-        for (index, record) in rx {
-            if !on_complete(index, record) {
-                // Raise the cancel flag *and* drop the receiver: idle
+        for (index, result) in rx {
+            if !on_complete(index, result) {
+                // Raise the local flag *and* drop the receiver: idle
                 // workers stop at their next claim, in-flight
-                // simulations stop within one inference.
-                abort.store(true, Ordering::Relaxed);
+                // simulations stop within one inference (or, with an
+                // external token present, at delivery).
+                local_abort.store(true, Ordering::Relaxed);
                 break;
             }
         }
@@ -268,9 +375,9 @@ fn execute_pool<F>(
 }
 
 /// Claims this worker's share of the spare-thread pool: an even split
-/// over the scenarios not yet claimed (`remaining` ≥ 1 counts the one
+/// over the items not yet claimed (`remaining` ≥ 1 counts the one
 /// being started), so early claimers don't starve the rest of the
-/// grid, and the last scenario takes everything still pooled.
+/// grid, and the last item takes everything still pooled.
 fn claim_spare(spare: &AtomicUsize, remaining: usize) -> usize {
     let mut take = 0;
     let _ = spare.fetch_update(Ordering::AcqRel, Ordering::Acquire, |pooled| {
@@ -281,7 +388,7 @@ fn claim_spare(spare: &AtomicUsize, remaining: usize) -> usize {
 }
 
 /// The requested total thread budget (0 = all available cores).
-fn requested_threads(requested: usize) -> usize {
+pub(crate) fn requested_threads(requested: usize) -> usize {
     if requested == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -302,6 +409,27 @@ mod tests {
         DwellModel, NetworkKind, Platform, PolicySpec, SimulatorBackend,
     };
     use dnnlife_core::ExperimentSpec;
+
+    fn run_pool_of_specs<F>(specs: &[&ExperimentSpec], budget: usize, shards: ShardPolicy, f: F)
+    where
+        F: FnMut(usize, ScenarioRecord) -> bool,
+    {
+        execute_shared_pool(
+            specs,
+            budget,
+            None,
+            |spec, threads, cancel| {
+                let opts = RunOptions {
+                    threads,
+                    shards,
+                    cancel: Some(cancel),
+                };
+                run_experiment_with(spec, &opts)
+                    .map(|r| ScenarioRecord::annotated((*spec).clone(), r, shards))
+            },
+            f,
+        );
+    }
 
     #[test]
     fn thread_count_clamps_to_pending_work() {
@@ -352,7 +480,7 @@ mod tests {
 
         let started = std::time::Instant::now();
         let mut delivered = 0usize;
-        execute_pool(&specs, 2, ShardPolicy::Auto, |_, _| {
+        run_pool_of_specs(&specs, 2, ShardPolicy::Auto, |_, _| {
             delivered += 1;
             false // abort after the first completion
         });
@@ -363,6 +491,45 @@ mod tests {
         assert!(
             started.elapsed().as_secs() < 30,
             "abort took {:?} — in-flight work was not cancelled promptly",
+            started.elapsed()
+        );
+    }
+
+    /// An external cancellation token raised mid-run stops the pool the
+    /// same way `on_complete` declining does.
+    #[test]
+    fn external_cancel_token_aborts_the_pool() {
+        let fast = npu_spec(SimulatorBackend::Analytic, 10, 1024);
+        let slow = npu_spec(SimulatorBackend::Exact, 50_000, 16);
+        let specs: Vec<&ExperimentSpec> = vec![&fast, &slow];
+        let cancel = AtomicBool::new(false);
+
+        let started = std::time::Instant::now();
+        let mut delivered = 0usize;
+        execute_shared_pool(
+            &specs,
+            2,
+            Some(&cancel),
+            |spec, threads, cancel| {
+                let opts = RunOptions {
+                    threads,
+                    shards: ShardPolicy::Auto,
+                    cancel: Some(cancel),
+                };
+                run_experiment_with(spec, &opts).map(|r| ScenarioRecord::new((*spec).clone(), r))
+            },
+            |_, _| {
+                delivered += 1;
+                // Simulate Ctrl-C arriving while the slow scenario is
+                // in flight.
+                cancel.store(true, Ordering::Relaxed);
+                true // the callback itself keeps accepting
+            },
+        );
+        assert_eq!(delivered, 1, "the cancelled scenario must not deliver");
+        assert!(
+            started.elapsed().as_secs() < 30,
+            "external cancel took {:?}",
             started.elapsed()
         );
     }
@@ -378,7 +545,7 @@ mod tests {
         let specs: Vec<&ExperimentSpec> = vec![&a, &b];
         let run = |budget: usize| {
             let mut out: Vec<Option<ScenarioRecord>> = vec![None; specs.len()];
-            execute_pool(&specs, budget, ShardPolicy::Fixed(4), |i, r| {
+            run_pool_of_specs(&specs, budget, ShardPolicy::Fixed(4), |i, r| {
                 out[i] = Some(r);
                 true
             });

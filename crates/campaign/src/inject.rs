@@ -1,0 +1,442 @@
+//! Fault-injection campaigns: accuracy-vs-age sweeps over mitigation
+//! policies.
+//!
+//! A [`InjectionGrid`] is the companion grid to a scenario sweep: one
+//! platform × network × format cell crossed with a policy list, each
+//! cell carrying the shared injection parameters (age checkpoints,
+//! trials, training recipe, read-noise operating point). The campaign
+//! executor fans the cells over the shared two-level worker pool —
+//! spare threads go to each in-flight injection's duty simulation and
+//! trial fan-out — journals every completed cell to a resumable
+//! [`InjectionStore`] keyed by the spec's content hash, and finalizes
+//! the store in grid order, so finished stores are byte-identical for
+//! any thread count, exactly like scenario sweeps.
+
+use std::sync::atomic::AtomicBool;
+
+use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
+use dnnlife_core::{DwellModel, ExperimentSpec, FaultInjectionSpec, SimulatorBackend};
+use dnnlife_faultsim::{run_injection, InjectOptions, InjectionResult};
+use dnnlife_quant::NumberFormat;
+use serde::{Deserialize, Serialize};
+
+use crate::executor::{effective_threads, journal_into_store, requested_threads};
+use crate::store::{JsonlStore, StoreLock, StoreRecord};
+
+/// One completed injection cell: the spec, its store key, the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// [`FaultInjectionSpec::content_key`] of `spec`.
+    pub key: String,
+    /// The injection experiment that ran.
+    pub spec: FaultInjectionSpec,
+    /// What it produced.
+    pub result: InjectionResult,
+}
+
+impl InjectionRecord {
+    /// Builds a record, deriving the key from the spec.
+    pub fn new(spec: FaultInjectionSpec, result: InjectionResult) -> Self {
+        Self {
+            key: spec.content_key(),
+            spec,
+            result,
+        }
+    }
+}
+
+impl StoreRecord for InjectionRecord {
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn computed_key(&self) -> String {
+        self.spec.content_key()
+    }
+}
+
+/// The fault-injection result store (`dnnlife inject`).
+pub type InjectionStore = JsonlStore<InjectionRecord>;
+
+/// Shared parameters of every cell of an injection grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionParams {
+    /// Campaign master seed (scenario seeds derive from it exactly
+    /// like sweep grids, so an injection cell and its sweep twin
+    /// share seeds).
+    pub base_seed: u64,
+    /// Inferences for the duty-cycle estimate.
+    pub inferences: u64,
+    /// Age checkpoints in years.
+    pub ages_years: Vec<f64>,
+    /// Seeded trials per age.
+    pub trials: u32,
+    /// Held-out evaluation images.
+    pub eval_images: u32,
+    /// SGD steps of the training recipe (0 = untrained).
+    pub train_steps: u32,
+    /// Read-noise operating point in mV.
+    pub noise_sigma_mv: f64,
+}
+
+impl Default for InjectionParams {
+    fn default() -> Self {
+        let proto = FaultInjectionSpec::paper_default(ExperimentSpec::fig11(
+            NetworkKind::CustomMnist,
+            PolicySpec::None,
+            0,
+        ));
+        Self {
+            base_seed: 42,
+            inferences: 100,
+            ages_years: proto.ages_years,
+            trials: proto.trials,
+            eval_images: proto.eval_images,
+            train_steps: proto.train_steps,
+            noise_sigma_mv: proto.noise_sigma_mv,
+        }
+    }
+}
+
+/// A built injection campaign: the cells the executor runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionGrid {
+    /// Campaign name (used for default store file names).
+    pub name: String,
+    /// Cells in canonical (policy-list) order, all valid.
+    pub specs: Vec<FaultInjectionSpec>,
+}
+
+impl InjectionGrid {
+    /// Builds the campaign for one platform × network × format cell
+    /// crossed with `policies`. Invalid combinations (an unrunnable
+    /// network, fp32 on the NPU) are dropped; policies appear in list
+    /// order.
+    pub fn build(
+        name: impl Into<String>,
+        platform: Platform,
+        network: NetworkKind,
+        format: NumberFormat,
+        policies: &[PolicySpec],
+        params: &InjectionParams,
+    ) -> Self {
+        let mut specs = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for &policy in policies {
+            let mut scenario = ExperimentSpec {
+                platform,
+                network,
+                format,
+                policy,
+                inferences: params.inferences,
+                years: 7.0,
+                seed: 0,
+                sample_stride: 1,
+                backend: SimulatorBackend::Analytic,
+                dwell: DwellModel::Uniform,
+            };
+            scenario.seed = crate::grid::scenario_seed(params.base_seed, &scenario);
+            let spec = FaultInjectionSpec {
+                scenario,
+                ages_years: params.ages_years.clone(),
+                trials: params.trials,
+                eval_images: params.eval_images,
+                train_steps: params.train_steps,
+                noise_sigma_mv: params.noise_sigma_mv,
+                data_seed: params.base_seed,
+            };
+            if spec.is_valid() && seen.insert(spec.content_key()) {
+                specs.push(spec);
+            }
+        }
+        Self {
+            name: name.into(),
+            specs,
+        }
+    }
+
+    /// Store keys in cell order.
+    pub fn keys(&self) -> Vec<String> {
+        self.specs.iter().map(|s| s.content_key()).collect()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// Executor knobs for [`run_injection_campaign`] (mirrors
+/// `CampaignOptions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectCampaignOptions {
+    /// Total thread budget (0 = all available cores).
+    pub threads: usize,
+    /// Skip cells already present in the store.
+    pub resume: bool,
+    /// Print per-cell progress lines to stderr.
+    pub verbose: bool,
+}
+
+/// What an injection campaign run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionOutcome {
+    /// Cells executed by this invocation.
+    pub executed: usize,
+    /// Cells skipped because the store already held them.
+    pub skipped: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Runs every cell of `grid`, journaling into (and finalizing) the
+/// injection store at `store_path`. Honors the campaign cancellation
+/// token exactly like the scenario executor: a raised token keeps
+/// journaled cells, aborts in-flight ones between trials, and returns
+/// [`std::io::ErrorKind::Interrupted`].
+///
+/// # Errors
+///
+/// Propagates store I/O errors.
+pub fn run_injection_campaign(
+    grid: &InjectionGrid,
+    store_path: impl Into<std::path::PathBuf>,
+    options: &InjectCampaignOptions,
+    cancel: Option<&AtomicBool>,
+) -> std::io::Result<InjectionOutcome> {
+    let store_path = store_path.into();
+    let _lock = StoreLock::acquire(&store_path)?;
+    if !options.resume && store_path.exists() {
+        std::fs::remove_file(&store_path)?;
+    }
+    let mut store = InjectionStore::open(&store_path)?;
+
+    let keys = grid.keys();
+    let stale = store.stale_keys(&keys);
+    if !stale.is_empty() {
+        eprintln!(
+            "inject `{}`: dropping {} stale record(s) from {} — they were produced by a \
+             campaign with different parameters",
+            grid.name,
+            stale.len(),
+            store.path().display()
+        );
+    }
+    let pending: Vec<usize> = (0..grid.specs.len())
+        .filter(|&i| !store.contains(&keys[i]))
+        .collect();
+    let skipped = grid.specs.len() - pending.len();
+
+    let budget = requested_threads(options.threads);
+    let threads = effective_threads(options.threads, pending.len());
+    if options.verbose {
+        eprintln!(
+            "inject `{}`: {} cell(s) ({} pending, {} already stored), {} worker(s), \
+             {} thread(s) total",
+            grid.name,
+            grid.specs.len(),
+            pending.len(),
+            skipped,
+            threads,
+            budget
+        );
+    }
+
+    let specs: Vec<&FaultInjectionSpec> = pending.iter().map(|&i| &grid.specs[i]).collect();
+    let done = journal_into_store(
+        &grid.name,
+        "cell",
+        &mut store,
+        &keys,
+        &specs,
+        budget,
+        cancel,
+        options.verbose,
+        |record| record.result.label.clone(),
+        |spec, threads, cancel| {
+            let opts = InjectOptions {
+                threads,
+                cancel: Some(cancel),
+            };
+            run_injection(spec, &opts).map(|result| InjectionRecord::new((*spec).clone(), result))
+        },
+    )?;
+    Ok(InjectionOutcome {
+        executed: done,
+        skipped,
+        threads,
+    })
+}
+
+/// Renders the accuracy-vs-age table of an injection store: one block
+/// per platform × network × format × operating-point group, one row
+/// per policy, one column per age checkpoint, plus the flipped-bit
+/// counts behind each mean.
+pub fn accuracy_vs_age_table(store: &InjectionStore) -> String {
+    // Group records by everything except the policy. The age list is
+    // part of the key (rendered only when off-default), so a store
+    // mixing record generations (an interrupted resume under different
+    // `--ages`) renders separate, correctly-aligned blocks instead of
+    // attributing one generation's accuracies to the other's columns.
+    let default_ages = FaultInjectionSpec::paper_default(ExperimentSpec::fig11(
+        NetworkKind::CustomMnist,
+        PolicySpec::None,
+        0,
+    ))
+    .ages_years;
+    let mut groups: std::collections::BTreeMap<String, Vec<&InjectionRecord>> =
+        std::collections::BTreeMap::new();
+    for record in store.records() {
+        let s = &record.spec;
+        let mut group = format!(
+            "{:?} / {} / {} — σ={} mV, {} trials × {} images, {} train steps",
+            s.scenario.platform,
+            s.scenario.network.display_name(),
+            s.scenario.format,
+            s.noise_sigma_mv,
+            s.trials,
+            s.eval_images,
+            s.train_steps,
+        );
+        if s.ages_years != default_ages {
+            let list: Vec<String> = s.ages_years.iter().map(|a| format_age(*a)).collect();
+            group.push_str(&format!(", ages {}", list.join("/")));
+        }
+        groups.entry(group).or_default().push(record);
+    }
+
+    let fig9 = dnnlife_core::experiment::fig9_policies();
+    let rank = |policy: &PolicySpec| fig9.iter().position(|p| p == policy).unwrap_or(fig9.len());
+    let mut out = String::new();
+    for (group, mut records) in groups {
+        records.sort_by_key(|r| rank(&r.spec.scenario.policy));
+        out.push_str(&format!("=== Accuracy vs age: {group} ===\n"));
+        let ages = &records[0].spec.ages_years;
+        let mut header = format!("  {:<44} {:>8}", "policy", "clean");
+        for age in ages {
+            header.push_str(&format!(" {:>7}y", format_age(*age)));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        for record in &records {
+            let mut row = format!(
+                "  {:<44} {:>8.4}",
+                record.spec.scenario.policy.display_name(),
+                record.result.clean_accuracy
+            );
+            for age in &record.result.ages {
+                row.push_str(&format!(" {:>8.4}", age.mean_accuracy));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.push_str(&format!("  {:<44} {:>8}", "mean flipped bits / trial", ""));
+        out.push('\n');
+        for record in &records {
+            let mut row = format!(
+                "  {:<44} {:>8}",
+                format!("  {}", record.spec.scenario.policy.display_name()),
+                ""
+            );
+            for age in &record.result.ages {
+                row.push_str(&format!(" {:>8.1}", age.mean_flipped_bits));
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn format_age(age: f64) -> String {
+    if age.fract() == 0.0 {
+        format!("{age:.0}")
+    } else {
+        format!("{age:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> InjectionParams {
+        InjectionParams {
+            base_seed: 9,
+            inferences: 2,
+            ages_years: vec![0.0, 7.0],
+            trials: 1,
+            eval_images: 4,
+            train_steps: 0,
+            noise_sigma_mv: 65.0,
+        }
+    }
+
+    #[test]
+    fn grid_builder_filters_invalid_cells_and_derives_seeds() {
+        let params = tiny_params();
+        let grid = InjectionGrid::build(
+            "t",
+            Platform::TpuLike,
+            NetworkKind::CustomMnist,
+            NumberFormat::Int8Symmetric,
+            &[PolicySpec::None, PolicySpec::Inversion, PolicySpec::None],
+            &params,
+        );
+        assert_eq!(grid.len(), 2, "duplicates dedup");
+        assert_ne!(grid.specs[0].scenario.seed, grid.specs[1].scenario.seed);
+        // fp32 on the NPU is invalid and filtered.
+        let fp32 = InjectionGrid::build(
+            "t",
+            Platform::TpuLike,
+            NetworkKind::CustomMnist,
+            NumberFormat::Fp32,
+            &[PolicySpec::None],
+            &params,
+        );
+        assert!(fp32.is_empty());
+        // Unrunnable networks are filtered.
+        let alex = InjectionGrid::build(
+            "t",
+            Platform::Baseline,
+            NetworkKind::Alexnet,
+            NumberFormat::Int8Symmetric,
+            &[PolicySpec::None],
+            &params,
+        );
+        assert!(alex.is_empty());
+    }
+
+    #[test]
+    fn injection_seeds_match_sweep_twins() {
+        // The injection scenario's derived seed equals the seed the
+        // sweep grid derives for the same coordinates, so duty cycles
+        // line up between the two campaign kinds.
+        let params = tiny_params();
+        let grid = InjectionGrid::build(
+            "t",
+            Platform::TpuLike,
+            NetworkKind::CustomMnist,
+            NumberFormat::Int8Symmetric,
+            &[PolicySpec::None],
+            &params,
+        );
+        let sweep = crate::grid::CampaignGrid::fig11(crate::grid::SweepOptions {
+            base_seed: params.base_seed,
+            sample_stride: 1,
+            inferences: params.inferences,
+            ..crate::grid::SweepOptions::default()
+        });
+        let twin = sweep
+            .scenarios
+            .iter()
+            .find(|s| s.coordinate_key() == grid.specs[0].scenario.coordinate_key())
+            .expect("the fig11 grid contains the same cell");
+        assert_eq!(twin.seed, grid.specs[0].scenario.seed);
+    }
+}

@@ -77,10 +77,19 @@ pub mod aggregate;
 pub mod crossval;
 pub mod executor;
 pub mod grid;
+pub mod inject;
 pub mod store;
 
-pub use crossval::{validate_scenarios, validate_scenarios_sharded};
+pub use crossval::{
+    validate_scenarios, validate_scenarios_cancellable, validate_scenarios_sharded,
+};
 pub use dnnlife_core::ShardPolicy;
-pub use executor::{run_campaign, run_scenarios, CampaignOptions, CampaignOutcome};
+pub use executor::{
+    run_campaign, run_campaign_cancellable, run_scenarios, CampaignOptions, CampaignOutcome,
+};
 pub use grid::{CampaignGrid, GridAxes};
-pub use store::{ResultStore, ScenarioRecord, StoreLock};
+pub use inject::{
+    accuracy_vs_age_table, run_injection_campaign, InjectCampaignOptions, InjectionGrid,
+    InjectionOutcome, InjectionParams, InjectionRecord, InjectionStore,
+};
+pub use store::{JsonlStore, ResultStore, ScenarioRecord, StoreLock, StoreRecord};

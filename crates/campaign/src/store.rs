@@ -1,8 +1,12 @@
-//! Resumable on-disk result store.
+//! Resumable on-disk result stores.
 //!
-//! One campaign = one JSONL file: each line is a [`ScenarioRecord`]
-//! keyed by the spec's content hash. The store is written twice over a
-//! campaign's life:
+//! One campaign = one JSONL file: each line is a record keyed by its
+//! spec's content hash. The store machinery is generic over the record
+//! type ([`JsonlStore`]): the scenario sweep engine stores
+//! [`ScenarioRecord`]s ([`ResultStore`]) and the fault-injection
+//! engine stores `InjectionRecord`s, both under the same journaling,
+//! crash-recovery and finalize-ordering contract. A store is written
+//! twice over a campaign's life:
 //!
 //! 1. **Journal phase** — the executor appends each record as it
 //!    completes (and flushes), so an interrupted sweep loses at most
@@ -23,6 +27,17 @@ use std::path::{Path, PathBuf};
 use dnnlife_core::experiment::PolicySpec;
 use dnnlife_core::{ExperimentResult, ExperimentSpec, ShardPolicy, SimulatorBackend};
 use serde::{Deserialize, Serialize};
+
+/// What a record type must provide to live in a [`JsonlStore`]: a
+/// stored key and a way to recompute it from the record's content, so
+/// a record whose spec was edited (or written by a binary with a
+/// different hash scheme) can't silently satisfy a pending scenario.
+pub trait StoreRecord: Serialize + Deserialize + Clone {
+    /// The key the record was stored under.
+    fn key(&self) -> &str;
+    /// The key recomputed from the record's content.
+    fn computed_key(&self) -> String;
+}
 
 /// One completed scenario: the spec, its store key, and the result.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +78,16 @@ impl ScenarioRecord {
             shards: annotation,
             ..Self::new(spec, result)
         }
+    }
+}
+
+impl StoreRecord for ScenarioRecord {
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn computed_key(&self) -> String {
+        self.spec.content_key()
     }
 }
 
@@ -113,18 +138,22 @@ impl Deserialize for ScenarioRecord {
     }
 }
 
-/// A JSONL scenario store bound to one file path.
+/// A JSONL record store bound to one file path, generic over the
+/// record type.
 #[derive(Debug)]
-pub struct ResultStore {
+pub struct JsonlStore<R> {
     path: PathBuf,
-    records: BTreeMap<String, ScenarioRecord>,
+    records: BTreeMap<String, R>,
     /// Byte length of the valid prefix of the file on open (a torn
     /// final line is cut off before the first append).
     valid_len: u64,
     writer: Option<BufWriter<File>>,
 }
 
-impl ResultStore {
+/// The scenario-sweep store (`dnnlife sweep` / `report` / `compare`).
+pub type ResultStore = JsonlStore<ScenarioRecord>;
+
+impl<R: StoreRecord> JsonlStore<R> {
     /// Opens (or creates the notion of) a store at `path`, loading any
     /// records already on disk. A torn final line — the signature of a
     /// killed journal append — is ignored and later truncated; corrupt
@@ -139,26 +168,26 @@ impl ResultStore {
             let mut offset = 0usize;
             for (i, line) in text.split_inclusive('\n').enumerate() {
                 let trimmed = line.trim_end_matches('\n');
-                match serde_json::from_str::<ScenarioRecord>(trimmed) {
+                match serde_json::from_str::<R>(trimmed) {
                     Ok(record) if line.ends_with('\n') => {
                         // The key is stored redundantly; verify it so a
                         // record whose spec was edited (or written by a
                         // binary with a different hash scheme) can't
                         // silently satisfy a pending scenario.
-                        if record.key != record.spec.content_key() {
+                        if record.key() != record.computed_key() {
                             return Err(std::io::Error::new(
                                 std::io::ErrorKind::InvalidData,
                                 format!(
                                     "{}: record on line {} has key {} but its spec hashes to {}",
                                     path.display(),
                                     i + 1,
-                                    record.key,
-                                    record.spec.content_key()
+                                    record.key(),
+                                    record.computed_key()
                                 ),
                             ));
                         }
                         offset += line.len();
-                        records.insert(record.key.clone(), record);
+                        records.insert(record.key().to_string(), record);
                     }
                     Ok(_) | Err(_) if offset + line.len() == text.len() => {
                         // Unterminated or unparsable final line: torn
@@ -205,17 +234,17 @@ impl ResultStore {
     }
 
     /// Looks up a scenario by key.
-    pub fn get(&self, key: &str) -> Option<&ScenarioRecord> {
+    pub fn get(&self, key: &str) -> Option<&R> {
         self.records.get(key)
     }
 
     /// All records, in key order.
-    pub fn records(&self) -> impl Iterator<Item = &ScenarioRecord> {
+    pub fn records(&self) -> impl Iterator<Item = &R> {
         self.records.values()
     }
 
     /// Appends one record to the journal and flushes it to disk.
-    pub fn append(&mut self, record: ScenarioRecord) -> std::io::Result<()> {
+    pub fn append(&mut self, record: R) -> std::io::Result<()> {
         if self.writer.is_none() {
             if let Some(parent) = self.path.parent() {
                 if !parent.as_os_str().is_empty() {
@@ -241,13 +270,13 @@ impl ResultStore {
         writer.write_all(b"\n")?;
         writer.flush()?;
         self.valid_len += line.len() as u64 + 1;
-        self.records.insert(record.key.clone(), record);
+        self.records.insert(record.key().to_string(), record);
         Ok(())
     }
 
     /// Keys held by the store that are not in `keys` — records left
     /// over from a sweep with different parameters (seed, stride,
-    /// grid). The executor reports these before [`ResultStore::finalize`]
+    /// grid). The executor reports these before [`JsonlStore::finalize`]
     /// drops them.
     pub fn stale_keys(&self, keys: &[String]) -> Vec<String> {
         let keep: std::collections::BTreeSet<&String> = keys.iter().collect();
@@ -350,7 +379,7 @@ impl StoreLock {
     }
 }
 
-fn write_line(writer: &mut BufWriter<File>, record: &ScenarioRecord) -> std::io::Result<()> {
+fn write_line<R: Serialize>(writer: &mut BufWriter<File>, record: &R) -> std::io::Result<()> {
     let line = serde_json::to_string(record)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     writer.write_all(line.as_bytes())?;

@@ -1,0 +1,176 @@
+//! Integration tests for the fault-injection campaign: store-level
+//! determinism, resume, table rendering, and (nightly tier) the
+//! paper's accuracy claim.
+//!
+//! The tier-1 smoke test keeps debug-mode cost down by using the
+//! cheap deterministic policies and an untrained network — the
+//! stochastic DNN-Life policy and the trained-accuracy claim run in
+//! the nightly `--ignored` release tier (and in `dnnlife-faultsim`'s
+//! own unit tests at smaller scale).
+
+use std::path::Path;
+
+use dnnlife_campaign::{
+    accuracy_vs_age_table, run_injection_campaign, InjectCampaignOptions, InjectionGrid,
+    InjectionParams, InjectionStore,
+};
+use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
+use dnnlife_quant::NumberFormat;
+
+mod util;
+
+fn dnn_life() -> PolicySpec {
+    PolicySpec::DnnLife {
+        bias: 0.5,
+        bias_balancing: true,
+        m_bits: 4,
+    }
+}
+
+/// Debug-CI sizing: untrained network, two checkpoints, tiny eval.
+fn tiny_params() -> InjectionParams {
+    InjectionParams {
+        base_seed: 7,
+        inferences: 2,
+        ages_years: vec![0.0, 7.0],
+        trials: 1,
+        eval_images: 4,
+        train_steps: 0,
+        noise_sigma_mv: 65.0,
+    }
+}
+
+fn tiny_grid(policies: &[PolicySpec]) -> InjectionGrid {
+    InjectionGrid::build(
+        "inject-test",
+        Platform::TpuLike,
+        NetworkKind::CustomMnist,
+        NumberFormat::Int8Symmetric,
+        policies,
+        &tiny_params(),
+    )
+}
+
+fn run(grid: &InjectionGrid, path: &Path, threads: usize, resume: bool) {
+    let options = InjectCampaignOptions {
+        threads,
+        resume,
+        verbose: false,
+    };
+    run_injection_campaign(grid, path, &options, None).expect("injection campaign");
+}
+
+/// One end-to-end flow covering the store contract: byte-identity
+/// across thread counts, interrupted-then-resumed equality, and the
+/// rendered accuracy table.
+#[test]
+fn injection_store_is_deterministic_resumable_and_renders() {
+    let dir = util::scratch_dir("inject-smoke");
+    let full = tiny_grid(&[PolicySpec::None, PolicySpec::Inversion]);
+    let partial = tiny_grid(&[PolicySpec::None]);
+
+    // Clean single-shot reference at one thread...
+    let path_1 = dir.join("t1.jsonl");
+    run(&full, &path_1, 1, false);
+    let bytes_1 = std::fs::read(&path_1).expect("read store 1");
+    assert!(!bytes_1.is_empty());
+
+    // ...must match a wide-budget run byte for byte.
+    let path_8 = dir.join("t8.jsonl");
+    run(&full, &path_8, 8, false);
+    assert_eq!(
+        bytes_1,
+        std::fs::read(&path_8).expect("read store 8"),
+        "injection stores must be byte-identical for --threads 1 vs 8"
+    );
+
+    // "Interrupted" flow: only the first cell completed, then a resume
+    // run finishes the rest and finalizes to the clean bytes.
+    let resumed = dir.join("resumed.jsonl");
+    run(&partial, &resumed, 1, false);
+    let options = InjectCampaignOptions {
+        threads: 2,
+        resume: true,
+        verbose: false,
+    };
+    let outcome = run_injection_campaign(&full, &resumed, &options, None).expect("resume campaign");
+    assert_eq!(outcome.skipped, 1, "the completed cell must be reused");
+    assert_eq!(outcome.executed, 1);
+    assert_eq!(
+        bytes_1,
+        std::fs::read(&resumed).unwrap(),
+        "a resumed store must finalize to the clean run's bytes"
+    );
+
+    // Table rendering over the finished store.
+    let store = InjectionStore::open(&path_1).expect("open store");
+    assert_eq!(store.len(), 2);
+    let table = accuracy_vs_age_table(&store);
+    assert!(table.contains("Accuracy vs age"), "{table}");
+    assert!(table.contains("Without Aging Mitigation"), "{table}");
+    assert!(table.contains("Inversion-based"), "{table}");
+    assert!(table.contains("0y") && table.contains("7y"), "{table}");
+    assert!(table.contains("mean flipped bits"), "{table}");
+    for record in store.records() {
+        assert_eq!(record.key, record.spec.content_key());
+        assert_eq!(record.result.ages.len(), 2);
+    }
+}
+
+/// The paper's headline consequence, end to end (nightly `--ignored`
+/// tier — trains the network, so it wants release mode): at the 7-year
+/// checkpoint the DNN-Life policy retains strictly higher accuracy
+/// than the unprotected baseline on the trained custom network.
+#[test]
+#[ignore = "trains the CNN; run in the nightly release tier"]
+fn trained_dnn_life_beats_unprotected_baseline_at_seven_years() {
+    let dir = util::scratch_dir("inject-nightly");
+    // Exactly the `dnnlife inject --platform baseline` default profile
+    // (InjectionParams::default()), so this asserts over the same
+    // deterministic records the README table documents.
+    let params = InjectionParams::default();
+    let grid = InjectionGrid::build(
+        "inject-nightly",
+        Platform::Baseline,
+        NetworkKind::CustomMnist,
+        NumberFormat::Int8Symmetric,
+        &[PolicySpec::None, dnn_life()],
+        &params,
+    );
+    let path = dir.join("nightly.jsonl");
+    run(&grid, &path, 0, false);
+    let store = InjectionStore::open(&path).expect("open store");
+    let by_policy = |needle: &str| {
+        store
+            .records()
+            .find(|r| r.spec.scenario.policy.display_name().contains(needle))
+            .unwrap_or_else(|| panic!("no record for {needle}"))
+    };
+    let none = by_policy("Without Aging Mitigation");
+    let dnn = by_policy("DNN-Life");
+
+    // The trained quantized network is well above chance.
+    assert!(
+        none.result.clean_accuracy > 0.5,
+        "clean accuracy {}",
+        none.result.clean_accuracy
+    );
+    // At 7 years (ages = [0, 2, 7, 10]) the unprotected memory has
+    // flipped far more bits...
+    let none_7y = &none.result.ages[2];
+    let dnn_7y = &dnn.result.ages[2];
+    assert_eq!(none_7y.years, 7.0);
+    assert!(
+        none_7y.mean_flipped_bits > 3.0 * dnn_7y.mean_flipped_bits,
+        "flips: none {} vs dnn-life {}",
+        none_7y.mean_flipped_bits,
+        dnn_7y.mean_flipped_bits
+    );
+    // ...and the accuracy consequence is strict.
+    assert!(
+        dnn_7y.mean_accuracy > none_7y.mean_accuracy,
+        "7-year accuracy: dnn-life {} vs none {}",
+        dnn_7y.mean_accuracy,
+        none_7y.mean_accuracy
+    );
+}

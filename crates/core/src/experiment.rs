@@ -262,6 +262,15 @@ impl NetworkKind {
             NetworkKind::CustomMnist => "Custom (MNIST)",
         }
     }
+
+    /// Whether the workload exists as an *executable* network
+    /// (`dnnlife_nn::zoo::build_custom_mnist`) and not only as a weight
+    /// provider. Fault-injection campaigns need to run inference on the
+    /// corrupted weights, so they are restricted to runnable workloads;
+    /// AlexNet and VGG-16 supply weight tensors only.
+    pub fn is_runnable(self) -> bool {
+        matches!(self, NetworkKind::CustomMnist)
+    }
 }
 
 /// Mitigation policy selection for an experiment.
@@ -305,7 +314,12 @@ impl PolicySpec {
         }
     }
 
-    fn analytic(&self, seed: u64) -> AnalyticPolicy {
+    /// The closed-form parameterisation of this policy for the
+    /// analytic simulator, drawing policy randomness from `seed`
+    /// (callers composing their own simulations pass
+    /// [`ExperimentSpec::policy_seed`] so their duty cycles match what
+    /// [`run_experiment`] computes for the same spec).
+    pub fn analytic(&self, seed: u64) -> AnalyticPolicy {
         match *self {
             PolicySpec::None => AnalyticPolicy::Passthrough,
             PolicySpec::Inversion => AnalyticPolicy::PeriodicInversion,
@@ -518,11 +532,20 @@ impl ExperimentSpec {
     pub fn coordinate_key(&self) -> String {
         format!("{:016x}", self.coordinate_hash())
     }
+
+    /// The seed policy randomness is drawn from when this spec runs —
+    /// `spec.seed` mixed away from the weight-generation stream.
+    /// Exposed so external pipelines (fault injection) that rebuild the
+    /// memory plans themselves reproduce the exact duty cycles
+    /// [`run_experiment`] computes.
+    pub fn policy_seed(&self) -> u64 {
+        self.seed ^ POLICY_SEED_MIX
+    }
 }
 
 /// FNV-1a over a byte string: stable across platforms and releases,
 /// which is what store keys need (`DefaultHasher` guarantees neither).
-fn fnv1a_64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -689,10 +712,18 @@ fn simulate_units(
         }
         match backend {
             SimulatorBackend::Analytic => {
+                let geo = source.geometry();
+                let sampled_words = geo.words.div_ceil(spec.sample_stride);
+                // Same `RunOptions { shards }` resolution as the exact
+                // backend, so both backends share one execution story.
+                // For the analytic closed forms the shard count is pure
+                // work partitioning — never semantic (counter-seeded
+                // per-cell draws), unlike the exact DNN-Life streams.
                 let sim_cfg = AnalyticSimConfig {
                     inferences: spec.inferences,
                     sample_stride: spec.sample_stride,
                     threads: opts.threads,
+                    shards: opts.shards.resolve(sampled_words),
                 };
                 Some(simulate_analytic(
                     source,
@@ -889,15 +920,15 @@ impl CrossValidation {
 
 /// Per-cell duty cycles for `spec` under one backend — the exact same
 /// memory plans, dwell application and transducer seeds the experiment
-/// runner uses ([`simulate_units`]), flattened in unit order.
+/// runner uses ([`simulate_units`]), flattened in unit order. `None`
+/// iff `opts.cancel` was raised mid-run.
 fn per_cell_duties(
     spec: &ExperimentSpec,
     backend: SimulatorBackend,
     opts: &RunOptions,
-) -> Vec<f64> {
-    let (units, _blocks) =
-        simulate_units(spec, backend, opts).expect("cross-validation runs are uncancellable");
-    units.into_iter().flatten().collect()
+) -> Option<Vec<f64>> {
+    let (units, _blocks) = simulate_units(spec, backend, opts)?;
+    Some(units.into_iter().flatten().collect())
 }
 
 /// Runs the matched analytic/exact pair for `spec` and reports
@@ -923,6 +954,20 @@ pub fn cross_validate(spec: &ExperimentSpec) -> CrossValidation {
 /// deterministic policies are partition-invariant, and each DNN-Life
 /// shard stream is identically distributed.
 pub fn cross_validate_sharded(spec: &ExperimentSpec, shards: ShardPolicy) -> CrossValidation {
+    cross_validate_cancellable(spec, shards, None).expect("run without a cancel token")
+}
+
+/// [`cross_validate_sharded`] under a cooperative cancellation token:
+/// returns `None` iff `cancel` was raised before both sides finished —
+/// the exact side polls at block granularity, so a raised token aborts
+/// a cross-validation pair *mid-scenario* rather than after its
+/// minutes-long exact run completes. This is what lets the campaign
+/// `validate` fan-out (and its Ctrl-C handling) stop promptly.
+pub fn cross_validate_cancellable(
+    spec: &ExperimentSpec,
+    shards: ShardPolicy,
+    cancel: Option<&AtomicBool>,
+) -> Option<CrossValidation> {
     let mut exact_spec = spec.clone();
     exact_spec.backend = SimulatorBackend::Exact;
     assert!(
@@ -932,11 +977,11 @@ pub fn cross_validate_sharded(spec: &ExperimentSpec, shards: ShardPolicy) -> Cro
     let opts = RunOptions {
         threads: 1,
         shards,
-        cancel: None,
+        cancel,
     };
 
-    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic, &opts);
-    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact, &opts);
+    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic, &opts)?;
+    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact, &opts)?;
     assert_eq!(analytic.len(), exact.len(), "backend cell counts differ");
 
     let cells = analytic.len() as u64;
@@ -950,7 +995,7 @@ pub fn cross_validate_sharded(spec: &ExperimentSpec, shards: ShardPolicy) -> Cro
         sum_e += e;
     }
     let n = (cells as f64).max(1.0);
-    CrossValidation {
+    Some(CrossValidation {
         label: format!(
             "{:?}/{}/{}/{} [dwell={}]",
             spec.platform,
@@ -966,7 +1011,7 @@ pub fn cross_validate_sharded(spec: &ExperimentSpec, shards: ShardPolicy) -> Cro
         mean_abs_duty: sum_abs / n,
         mean_duty_analytic: sum_a / n,
         mean_duty_exact: sum_e / n,
-    }
+    })
 }
 
 /// The six policies of Fig. 9, in the paper's order.

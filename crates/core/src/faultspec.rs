@@ -1,0 +1,253 @@
+//! Fault-injection experiment specification.
+//!
+//! A [`FaultInjectionSpec`] extends an aging scenario
+//! ([`crate::ExperimentSpec`]) with everything needed to close the loop
+//! from per-cell duty cycles to end-to-end DNN accuracy: the age
+//! checkpoints to evaluate, how many seeded injection trials to
+//! average, the held-out evaluation set size, the training recipe that
+//! produces the weights under test, and the read-noise operating point
+//! of the failure model. Like `ExperimentSpec`, it is a pure *value*:
+//! content-hashed for the campaign result store, with every random
+//! stream (training data, held-out set, per-trial bit flips)
+//! deterministically derived from it — so a finished injection store is
+//! byte-identical no matter how many threads produced it.
+
+use crate::experiment::{fnv1a_64, ExperimentSpec, SimulatorBackend};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finaliser used for all seed derivations below.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain-separation constants for the derived streams.
+const TRAIN_MIX: u64 = 0xF417_0000_7261_494E;
+const EVAL_MIX: u64 = 0xF417_0000_E7A1_5E75;
+const TRIAL_MIX: u64 = 0xF417_0000_0F11_95ED;
+
+/// One fault-injection experiment: a duty-cycle scenario plus the
+/// injection campaign parameters.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_core::experiment::{ExperimentSpec, NetworkKind, PolicySpec};
+/// use dnnlife_core::FaultInjectionSpec;
+///
+/// let scenario = ExperimentSpec::fig11(NetworkKind::CustomMnist, PolicySpec::None, 42);
+/// let spec = FaultInjectionSpec::paper_default(scenario);
+/// assert!(spec.is_valid());
+/// assert_eq!(spec.content_key().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjectionSpec {
+    /// The aging scenario whose per-cell duty cycles drive the failure
+    /// probabilities. Must be runnable end to end: a runnable network,
+    /// `sample_stride == 1` (every weight cell needs a duty), analytic
+    /// backend, uniform dwell.
+    pub scenario: ExperimentSpec,
+    /// Device ages (years) at which accuracy is evaluated.
+    pub ages_years: Vec<f64>,
+    /// Seeded injection trials averaged per age checkpoint.
+    pub trials: u32,
+    /// Held-out evaluation images per accuracy measurement.
+    pub eval_images: u32,
+    /// SGD steps of the deterministic training recipe producing the
+    /// weights under test (0 = the untrained synthetic model).
+    pub train_steps: u32,
+    /// RMS read noise (mV) of the failure model. The fault-injection
+    /// operating point is a *low-margin read* (voltage-scaled /
+    /// assist-free): at the nominal 25 mV of
+    /// `ReadFailureModel::default_65nm` even a fully aged cell fails
+    /// with probability ~1e-14 per read and no accuracy signal exists
+    /// within a device lifetime.
+    pub noise_sigma_mv: f64,
+    /// Shared data seed: training batches and the held-out set derive
+    /// from this (not from `scenario.seed`), so every policy cell of a
+    /// campaign corrupts the *same* trained network and is scored on
+    /// the *same* held-out images.
+    pub data_seed: u64,
+}
+
+impl FaultInjectionSpec {
+    /// The defaults the `dnnlife inject` CLI uses: age checkpoints
+    /// 0 / 2 / 7 / 10 years, 8 trials, 200 held-out images, 180
+    /// training steps, 80 mV read noise, data seed 42.
+    pub fn paper_default(scenario: ExperimentSpec) -> Self {
+        Self {
+            scenario,
+            ages_years: vec![0.0, 2.0, 7.0, 10.0],
+            trials: 8,
+            eval_images: 200,
+            train_steps: 180,
+            noise_sigma_mv: 80.0,
+            data_seed: 42,
+        }
+    }
+
+    /// Whether the injection pipeline can run this spec — see the field
+    /// docs for each constraint.
+    pub fn is_valid(&self) -> bool {
+        self.scenario.is_valid()
+            && self.scenario.network.is_runnable()
+            && self.scenario.sample_stride == 1
+            && self.scenario.backend == SimulatorBackend::Analytic
+            && self.scenario.dwell.is_uniform()
+            && !self.ages_years.is_empty()
+            && self.ages_years.iter().all(|a| a.is_finite() && *a >= 0.0)
+            && self.trials >= 1
+            && self.eval_images >= 1
+            && self.noise_sigma_mv.is_finite()
+            && self.noise_sigma_mv > 0.0
+    }
+
+    /// Stable 64-bit content hash (FNV-1a over the canonical JSON),
+    /// mirroring [`ExperimentSpec::content_hash`]. Two specs hash equal
+    /// iff every field matches; the injection store keys records by it.
+    pub fn content_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("FaultInjectionSpec serializes infallibly");
+        fnv1a_64(json.as_bytes())
+    }
+
+    /// [`FaultInjectionSpec::content_hash`] as a fixed-width hex key.
+    pub fn content_key(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
+    /// Seed of the deterministic training run. Depends only on the
+    /// data seed, network and recipe length — *not* on the scenario's
+    /// policy/format/seed — so every cell of one campaign trains the
+    /// same network once.
+    pub fn train_seed(&self) -> u64 {
+        splitmix(
+            self.data_seed
+                ^ TRAIN_MIX
+                ^ (self.train_steps as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ network_tag(&self.scenario),
+        )
+    }
+
+    /// Seed of the held-out evaluation set (shared across all cells of
+    /// a campaign, disjoint by construction from the training stream).
+    pub fn eval_seed(&self) -> u64 {
+        splitmix(self.data_seed ^ EVAL_MIX ^ network_tag(&self.scenario))
+    }
+
+    /// Seed of the bit-flip stream for `(age_index, trial)` — derived
+    /// from the full content hash, so distinct specs (different policy,
+    /// noise, …) never share flip randomness, while re-running the same
+    /// spec replays every trial exactly.
+    pub fn trial_seed(&self, age_index: usize, trial: u32) -> u64 {
+        splitmix(
+            self.content_hash()
+                ^ TRIAL_MIX
+                ^ (age_index as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ u64::from(trial).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        )
+    }
+
+    /// Report label: the scenario label parts plus the injection
+    /// operating point.
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}/{}/{}/{} inject[σ={}mV, {} trials]",
+            self.scenario.platform,
+            self.scenario.network.display_name(),
+            self.scenario.format,
+            self.scenario.policy.display_name(),
+            self.noise_sigma_mv,
+            self.trials,
+        )
+    }
+}
+
+/// A small per-network tag for seed derivation (stable across runs).
+fn network_tag(scenario: &ExperimentSpec) -> u64 {
+    fnv1a_64(scenario.network.display_name().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{NetworkKind, PolicySpec};
+
+    fn spec(policy: PolicySpec) -> FaultInjectionSpec {
+        FaultInjectionSpec::paper_default(ExperimentSpec::fig11(
+            NetworkKind::CustomMnist,
+            policy,
+            7,
+        ))
+    }
+
+    #[test]
+    fn default_spec_is_valid_and_round_trips() {
+        let s = spec(PolicySpec::None);
+        assert!(s.is_valid());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultInjectionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.content_key(), s.content_key());
+    }
+
+    #[test]
+    fn validity_rejects_unrunnable_and_strided_scenarios() {
+        let mut s = spec(PolicySpec::None);
+        s.scenario.network = NetworkKind::Alexnet;
+        assert!(!s.is_valid(), "AlexNet is not executable");
+        let mut s = spec(PolicySpec::None);
+        s.scenario.sample_stride = 2;
+        assert!(!s.is_valid(), "every weight cell needs a duty");
+        let mut s = spec(PolicySpec::None);
+        s.ages_years.clear();
+        assert!(!s.is_valid());
+        let mut s = spec(PolicySpec::None);
+        s.noise_sigma_mv = 0.0;
+        assert!(!s.is_valid());
+        let mut s = spec(PolicySpec::None);
+        s.trials = 0;
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn content_hash_tracks_every_injection_axis() {
+        let base = spec(PolicySpec::None);
+        let mut o = base.clone();
+        o.trials = 9;
+        assert_ne!(base.content_hash(), o.content_hash());
+        let mut o = base.clone();
+        o.noise_sigma_mv = 70.0;
+        assert_ne!(base.content_hash(), o.content_hash());
+        let mut o = base.clone();
+        o.ages_years = vec![0.0, 7.0];
+        assert_ne!(base.content_hash(), o.content_hash());
+        assert_ne!(
+            base.content_hash(),
+            spec(PolicySpec::Inversion).content_hash()
+        );
+        assert_eq!(base.content_hash(), base.clone().content_hash());
+    }
+
+    #[test]
+    fn data_streams_are_shared_across_policies_but_trials_are_not() {
+        let a = spec(PolicySpec::None);
+        let mut b = spec(PolicySpec::Inversion);
+        b.scenario.seed = 99; // campaign-derived seeds differ per cell
+        assert_eq!(a.train_seed(), b.train_seed());
+        assert_eq!(a.eval_seed(), b.eval_seed());
+        assert_ne!(a.trial_seed(0, 0), b.trial_seed(0, 0));
+        // Distinct (age, trial) pairs draw distinct streams.
+        assert_ne!(a.trial_seed(0, 0), a.trial_seed(0, 1));
+        assert_ne!(a.trial_seed(0, 0), a.trial_seed(1, 0));
+        // And replaying the same pair is exact.
+        assert_eq!(a.trial_seed(2, 3), a.trial_seed(2, 3));
+    }
+
+    #[test]
+    fn train_and_eval_streams_are_disjoint() {
+        let s = spec(PolicySpec::None);
+        assert_ne!(s.train_seed(), s.eval_seed());
+    }
+}

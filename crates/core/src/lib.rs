@@ -46,12 +46,14 @@
 pub mod analysis;
 pub mod energy;
 pub mod experiment;
+pub mod faultspec;
 pub mod probmodel;
 pub mod report;
 
 pub use experiment::{
-    cross_validate, cross_validate_sharded, run_experiment, run_experiment_threaded,
-    run_experiment_with, CrossValidation, DwellModel, ExperimentResult, ExperimentSpec,
-    NetworkKind, Platform, PolicySpec, RunOptions, ShardPolicy, SimulatorBackend,
+    cross_validate, cross_validate_cancellable, cross_validate_sharded, run_experiment,
+    run_experiment_threaded, run_experiment_with, CrossValidation, DwellModel, ExperimentResult,
+    ExperimentSpec, NetworkKind, Platform, PolicySpec, RunOptions, ShardPolicy, SimulatorBackend,
 };
+pub use faultspec::FaultInjectionSpec;
 pub use probmodel::DutyCycleModel;

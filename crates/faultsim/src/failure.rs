@@ -1,0 +1,255 @@
+//! From per-cell duty cycles to per-weight-bit failure probabilities.
+//!
+//! The duty simulation runs on the *trained* weight tables (the memory
+//! plan is rebuilt with [`FlatWeightMemory::with_weight_tables`] /
+//! [`FifoSlotMemory::all_slots_with_weight_tables`]), so the aged
+//! memory image is exactly the one the corrupted network reads back —
+//! the policy's seed and closed forms match what
+//! `dnnlife_core::run_experiment` computes for the same scenario via
+//! [`dnnlife_core::ExperimentSpec::policy_seed`].
+
+use std::collections::HashMap;
+
+use dnnlife_accel::{
+    AcceleratorConfig, AnalyticSimConfig, BlockSource, FifoSlotMemory, FlatWeightMemory,
+    UnitDutyMap,
+};
+use dnnlife_core::experiment::Platform;
+use dnnlife_core::ExperimentSpec;
+use dnnlife_quant::Quantizer;
+use dnnlife_sram::lifetime::ReadFailureModel;
+use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
+
+/// Per-weight-cell lifetime duty cycles of every layer, in canonical
+/// weight order (`per_layer[li][w * bits + b]` is the duty of the
+/// physical cell storing bit `b` of weight `w`), plus the quantizers
+/// the memory image was encoded with.
+#[derive(Debug, Clone)]
+pub struct WeightCellDuties {
+    /// Stored word width in bits.
+    pub word_bits: u32,
+    /// Flattened per-layer duties, weight-major, bit 0 first.
+    pub per_layer: Vec<Vec<f64>>,
+}
+
+impl WeightCellDuties {
+    /// Simulates `scenario`'s memory at stride 1 on the given weight
+    /// tables and gathers the duty of every cell that stores a network
+    /// weight (padding cells age too, but carry no accuracy
+    /// consequence). Returns the duties and the per-layer quantizers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is not an analytic / uniform-dwell /
+    /// stride-1 spec (see `FaultInjectionSpec::is_valid`), or the
+    /// tables disagree with the network.
+    pub fn compute(
+        scenario: &ExperimentSpec,
+        tables: &[Vec<f32>],
+        threads: usize,
+    ) -> (Self, Vec<Quantizer>) {
+        assert_eq!(scenario.sample_stride, 1, "weight duties need stride 1");
+        assert!(
+            scenario.dwell.is_uniform(),
+            "the analytic closed forms need uniform dwell"
+        );
+        let network = scenario.network.spec();
+        let policy = scenario.policy.analytic(scenario.policy_seed());
+        let cfg = AnalyticSimConfig {
+            inferences: scenario.inferences,
+            sample_stride: 1,
+            threads,
+            shards: 0,
+        };
+        let layer_count = network.layers().len();
+        let mut per_layer: Vec<Vec<f64>> = Vec::with_capacity(layer_count);
+        let mut quantizers = Vec::with_capacity(layer_count);
+        let word_bits;
+
+        match scenario.platform {
+            Platform::Baseline => {
+                let mem = FlatWeightMemory::with_weight_tables(
+                    &AcceleratorConfig::baseline(),
+                    &network,
+                    scenario.format,
+                    tables,
+                );
+                word_bits = mem.geometry().word_bits;
+                let map = UnitDutyMap::analytic(&mem, &policy, &cfg);
+                for (li, layer) in network.layers().iter().enumerate() {
+                    quantizers.push(mem.layer_quantizer(li));
+                    let mut duties =
+                        Vec::with_capacity(layer.weight_count() as usize * word_bits as usize);
+                    for w in 0..layer.weight_count() {
+                        let addr = mem.locate_weight(li, w);
+                        duties.extend_from_slice(
+                            map.word_duties(addr.word).expect("stride 1 covers all"),
+                        );
+                    }
+                    per_layer.push(duties);
+                }
+            }
+            Platform::TpuLike => {
+                let slots =
+                    FifoSlotMemory::all_slots_with_weight_tables(&network, scenario.format, tables);
+                word_bits = slots[0].geometry().word_bits;
+                let maps: Vec<UnitDutyMap> = slots
+                    .iter()
+                    .map(|slot| UnitDutyMap::analytic(slot, &policy, &cfg))
+                    .collect();
+                for (li, layer) in network.layers().iter().enumerate() {
+                    quantizers.push(slots[0].layer_quantizer(li));
+                    let mut duties =
+                        Vec::with_capacity(layer.weight_count() as usize * word_bits as usize);
+                    for w in 0..layer.weight_count() {
+                        let (slot, addr) = slots
+                            .iter()
+                            .enumerate()
+                            .find_map(|(s, slot)| slot.locate_weight(li, w).map(|a| (s, a)))
+                            .expect("every weight lands in exactly one FIFO slot");
+                        duties.extend_from_slice(
+                            maps[slot].word_duties(addr.word).expect("stride 1"),
+                        );
+                    }
+                    per_layer.push(duties);
+                }
+            }
+        }
+        (
+            Self {
+                word_bits,
+                per_layer,
+            },
+            quantizers,
+        )
+    }
+
+    /// Total weight cells (weights × word bits) across layers.
+    pub fn cells(&self) -> u64 {
+        self.per_layer.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Maps every cell's duty to its read-failure probability at age
+    /// `years`: duty → NBTI ΔVth → SNM degradation (`snm`) →
+    /// Gaussian read-noise failure (`model`). Memoized per distinct
+    /// duty value — analytic duties take few distinct values (block-bit
+    /// fractions), so the `normal_sf` tail evaluation runs once per
+    /// value, not once per cell.
+    pub fn failure_probabilities(
+        &self,
+        snm: &CalibratedSnmModel,
+        model: &ReadFailureModel,
+        years: f64,
+    ) -> Vec<Vec<f64>> {
+        let mut memo: HashMap<u64, f64> = HashMap::new();
+        self.per_layer
+            .iter()
+            .map(|duties| {
+                duties
+                    .iter()
+                    .map(|&duty| {
+                        *memo.entry(duty.to_bits()).or_insert_with(|| {
+                            model.failure_probability(snm.degradation_percent(duty, years))
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnlife_core::experiment::{NetworkKind, PolicySpec};
+    use dnnlife_core::{DwellModel, SimulatorBackend};
+    use dnnlife_nn::zoo::{build_custom_mnist, extract_layer_weights};
+
+    fn scenario(platform: Platform, policy: PolicySpec) -> ExperimentSpec {
+        ExperimentSpec {
+            platform,
+            network: NetworkKind::CustomMnist,
+            format: dnnlife_quant::NumberFormat::Int8Symmetric,
+            policy,
+            inferences: 4,
+            years: 7.0,
+            seed: 11,
+            sample_stride: 1,
+            backend: SimulatorBackend::Analytic,
+            dwell: DwellModel::Uniform,
+        }
+    }
+
+    fn tables() -> Vec<Vec<f32>> {
+        extract_layer_weights(&mut build_custom_mnist(5))
+    }
+
+    #[test]
+    fn unmitigated_baseline_duties_are_stored_bits() {
+        // On the baseline platform the custom network fits in one
+        // 512 KB fill (K = 1): with no mitigation every cell's duty is
+        // its stored bit value.
+        let scenario = scenario(Platform::Baseline, PolicySpec::None);
+        let tables = tables();
+        let (duties, quantizers) = WeightCellDuties::compute(&scenario, &tables, 1);
+        assert_eq!(duties.per_layer.len(), 4);
+        for (li, layer_duties) in duties.per_layer.iter().enumerate() {
+            let q = quantizers[li];
+            for (w, chunk) in layer_duties.chunks(8).enumerate().step_by(997) {
+                let code = q.encode(tables[li][w]);
+                for (b, &d) in chunk.iter().enumerate() {
+                    let bit = (code >> b) & 1;
+                    assert_eq!(d, f64::from(bit), "layer {li} weight {w} bit {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dnn_life_flattens_weight_cell_duties() {
+        let none = scenario(Platform::TpuLike, PolicySpec::None);
+        let dnn = scenario(
+            Platform::TpuLike,
+            PolicySpec::DnnLife {
+                bias: 0.5,
+                bias_balancing: true,
+                m_bits: 4,
+            },
+        );
+        let tables = tables();
+        let spread = |d: &WeightCellDuties| {
+            let all: Vec<f64> = d.per_layer.iter().flatten().copied().collect();
+            let mean = all.iter().sum::<f64>() / all.len() as f64;
+            all.iter().map(|x| (x - mean).abs()).sum::<f64>() / all.len() as f64
+        };
+        let (d_none, _) = WeightCellDuties::compute(&none, &tables, 1);
+        let (d_dnn, _) = WeightCellDuties::compute(&dnn, &tables, 1);
+        assert_eq!(d_none.cells(), d_dnn.cells());
+        assert!(
+            spread(&d_dnn) < spread(&d_none) * 0.6,
+            "DNN-Life should concentrate duties near 0.5: {} vs {}",
+            spread(&d_dnn),
+            spread(&d_none)
+        );
+    }
+
+    #[test]
+    fn failure_probabilities_grow_with_age_and_duty_imbalance() {
+        let scenario = scenario(Platform::Baseline, PolicySpec::None);
+        let tables = tables();
+        let (duties, _) = WeightCellDuties::compute(&scenario, &tables, 1);
+        let snm = CalibratedSnmModel::paper();
+        let model = ReadFailureModel {
+            noise_sigma_mv: 65.0,
+            ..ReadFailureModel::default_65nm()
+        };
+        let mean = |probs: &[Vec<f64>]| {
+            let n: usize = probs.iter().map(Vec::len).sum();
+            probs.iter().flatten().sum::<f64>() / n as f64
+        };
+        let p2 = mean(&duties.failure_probabilities(&snm, &model, 2.0));
+        let p7 = mean(&duties.failure_probabilities(&snm, &model, 7.0));
+        let p10 = mean(&duties.failure_probabilities(&snm, &model, 10.0));
+        assert!(p2 < p7 && p7 < p10, "{p2} {p7} {p10}");
+    }
+}

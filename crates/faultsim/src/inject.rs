@@ -1,0 +1,379 @@
+//! Seeded bit-flip injection trials and accuracy evaluation.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dnnlife_core::experiment::PolicySpec;
+use dnnlife_core::FaultInjectionSpec;
+use dnnlife_nn::data::SyntheticMnist;
+use dnnlife_nn::train::accuracy;
+use dnnlife_nn::zoo::apply_layer_weights;
+use dnnlife_nn::{Sequential, Tensor};
+use dnnlife_quant::Quantizer;
+use dnnlife_sram::lifetime::ReadFailureModel;
+use dnnlife_sram::snm::CalibratedSnmModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::failure::WeightCellDuties;
+use crate::network::TrainedNetwork;
+
+/// First sample index of the held-out evaluation range — far past any
+/// training batch (180 steps × 24 images ≈ 4 K samples), so train and
+/// eval sets never overlap even for long recipes.
+pub const HOLDOUT_OFFSET: u64 = 1 << 20;
+
+/// Execution knobs for [`run_injection`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InjectOptions<'a> {
+    /// Worker threads for the duty simulation and the trial fan-out
+    /// (0 = all available cores). Never semantic: every trial's flips
+    /// are seeded by `(spec, age, trial)` alone.
+    pub threads: usize,
+    /// Cooperative cancellation, polled between SGD steps and between
+    /// trials; a raised token makes [`run_injection`] return `None`.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+/// Accuracy at one age checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgeAccuracy {
+    /// Device age in years.
+    pub years: f64,
+    /// Mean accuracy over the trials.
+    pub mean_accuracy: f64,
+    /// Per-trial accuracies, in trial order.
+    pub trial_accuracies: Vec<f64>,
+    /// Mean number of weight bits flipped per trial.
+    pub mean_flipped_bits: f64,
+}
+
+/// What one fault-injection experiment produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionResult {
+    /// Human-readable experiment label.
+    pub label: String,
+    /// Accuracy of the fault-free quantized network on the held-out
+    /// set (identical across ages; the age-0 baseline up to the
+    /// near-zero fresh-cell failure rate).
+    pub clean_accuracy: f64,
+    /// Total weight cells subject to injection (weights × word bits).
+    pub weight_bits: u64,
+    /// Accuracy at each requested age checkpoint, in spec order.
+    pub ages: Vec<AgeAccuracy>,
+}
+
+/// Runs the full pipeline for one spec: train → simulate duties on the
+/// trained weights → per-age failure probabilities → seeded flip
+/// trials → held-out accuracy. Returns `None` iff `opts.cancel` was
+/// raised mid-run.
+///
+/// Deterministic: the result is a pure function of `spec`, independent
+/// of `opts.threads`.
+///
+/// # Panics
+///
+/// Panics if `spec.is_valid()` is false.
+pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<InjectionResult> {
+    assert!(spec.is_valid(), "run_injection: invalid spec {spec:?}");
+    let cancelled = || opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
+
+    let trained = TrainedNetwork::train(spec, opts.cancel)?;
+    if cancelled() {
+        return None;
+    }
+    let (duties, quantizers) =
+        WeightCellDuties::compute(&spec.scenario, trained.layer_weights(), opts.threads);
+    if cancelled() {
+        return None;
+    }
+
+    // The stored codes of the trained weights — the flip substrate.
+    let codes: Vec<Vec<u32>> = trained
+        .layer_weights()
+        .iter()
+        .zip(&quantizers)
+        .map(|(table, q)| table.iter().map(|&w| q.encode(w)).collect())
+        .collect();
+    // The fault-free network computes with the *dequantized* codes, so
+    // quantization error is part of the baseline, and a zero-flip trial
+    // reproduces it exactly.
+    let clean_tables: Vec<Vec<f32>> = codes
+        .iter()
+        .zip(&quantizers)
+        .map(|(layer, q)| layer.iter().map(|&c| q.decode_corrupted(c)).collect())
+        .collect();
+
+    let network = spec.scenario.network.spec();
+    let (images, labels) =
+        SyntheticMnist::new(spec.eval_seed()).batch(HOLDOUT_OFFSET, spec.eval_images as usize);
+    let clean_accuracy = {
+        let mut net = trained.instantiate();
+        apply_layer_weights(&mut net, &network, &clean_tables);
+        accuracy(&mut net, &images, &labels)
+    };
+
+    let snm = CalibratedSnmModel::paper();
+    let failure_model = ReadFailureModel {
+        noise_sigma_mv: spec.noise_sigma_mv,
+        ..ReadFailureModel::default_65nm()
+    };
+
+    let mut ages = Vec::with_capacity(spec.ages_years.len());
+    for (age_index, &years) in spec.ages_years.iter().enumerate() {
+        if cancelled() {
+            return None;
+        }
+        let probs = duties.failure_probabilities(&snm, &failure_model, years);
+        let trials = run_trials(
+            spec,
+            &trained,
+            &network,
+            &codes,
+            &quantizers,
+            &probs,
+            duties.word_bits,
+            age_index,
+            (&images, &labels),
+            opts,
+        )?;
+        let n = trials.len() as f64;
+        ages.push(AgeAccuracy {
+            years,
+            mean_accuracy: trials.iter().map(|t| t.0).sum::<f64>() / n,
+            trial_accuracies: trials.iter().map(|t| t.0).collect(),
+            mean_flipped_bits: trials.iter().map(|t| t.1 as f64).sum::<f64>() / n,
+        });
+    }
+
+    Some(InjectionResult {
+        label: spec.label(),
+        clean_accuracy,
+        weight_bits: duties.cells(),
+        ages,
+    })
+}
+
+/// Runs `spec.trials` seeded trials for one age on a small worker pool,
+/// returning `(accuracy, flipped_bits)` in trial order. `None` iff
+/// cancelled.
+#[allow(clippy::too_many_arguments)]
+fn run_trials(
+    spec: &FaultInjectionSpec,
+    trained: &TrainedNetwork,
+    network: &dnnlife_nn::NetworkSpec,
+    codes: &[Vec<u32>],
+    quantizers: &[Quantizer],
+    probs: &[Vec<f64>],
+    word_bits: u32,
+    age_index: usize,
+    eval: (&Tensor, &[usize]),
+    opts: &InjectOptions,
+) -> Option<Vec<(f64, u64)>> {
+    let trials = spec.trials as usize;
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .clamp(1, trials);
+
+    let run_one = |net: &mut Sequential, trial: usize| -> (f64, u64) {
+        let (tables, flips) =
+            corrupt_tables(spec, codes, quantizers, probs, word_bits, age_index, trial);
+        apply_layer_weights(net, network, &tables);
+        (accuracy(net, eval.0, eval.1), flips)
+    };
+
+    let slots: Vec<Mutex<Option<(f64, u64)>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+    if threads == 1 {
+        let mut net = trained.instantiate();
+        for (trial, slot) in slots.iter().enumerate() {
+            if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                return None;
+            }
+            *slot.lock().expect("slot mutex") = Some(run_one(&mut net, trial));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let (next, slots) = (&next, &slots);
+                scope.spawn(move || {
+                    let mut net = trained.instantiate();
+                    loop {
+                        if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                            break;
+                        }
+                        let trial = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(trial) else {
+                            break;
+                        };
+                        *slot.lock().expect("slot mutex") = Some(run_one(&mut net, trial));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot mutex"))
+        .collect()
+}
+
+/// Builds the corrupted weight tables of one trial: every physical
+/// weight cell fails independently with its probability, the flip mask
+/// is carried through the policy's read-decode permutation, and the
+/// corrupted code is dequantized. Returns the tables and the number of
+/// flipped bits.
+fn corrupt_tables(
+    spec: &FaultInjectionSpec,
+    codes: &[Vec<u32>],
+    quantizers: &[Quantizer],
+    probs: &[Vec<f64>],
+    word_bits: u32,
+    age_index: usize,
+    trial: usize,
+) -> (Vec<Vec<f32>>, u64) {
+    let mut rng = StdRng::seed_from_u64(spec.trial_seed(age_index, trial as u32));
+    let rotates = matches!(spec.scenario.policy, PolicySpec::BarrelShifter);
+    let bits = word_bits as usize;
+    let mut flips = 0u64;
+    let tables = codes
+        .iter()
+        .zip(quantizers)
+        .zip(probs)
+        .map(|((layer_codes, q), layer_probs)| {
+            layer_codes
+                .iter()
+                .enumerate()
+                .map(|(w, &code)| {
+                    let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
+                    let mut mask = 0u32;
+                    for (b, &p) in cell_probs.iter().enumerate() {
+                        if p > 0.0 && rng.random::<f64>() < p {
+                            mask |= 1 << b;
+                        }
+                    }
+                    if mask == 0 {
+                        return q.decode_corrupted(code);
+                    }
+                    flips += u64::from(mask.count_ones());
+                    if rotates {
+                        // The barrel shifter reads at the schedule's
+                        // rotation phase; over the lifetime the phase
+                        // is uniform, so the stored-bit flip lands on a
+                        // uniformly drawn logical position.
+                        let shift = (rng.random::<f64>() * word_bits as f64) as u32 % word_bits;
+                        mask = rotate_right(mask, shift, word_bits);
+                    }
+                    q.decode_corrupted(code ^ mask)
+                })
+                .collect()
+        })
+        .collect();
+    (tables, flips)
+}
+
+/// Rotates the low `width` bits of `mask` right by `by`.
+fn rotate_right(mask: u32, by: u32, width: u32) -> u32 {
+    let by = by % width;
+    if by == 0 {
+        return mask;
+    }
+    let field = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    ((mask >> by) | (mask << (width - by))) & field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnlife_core::experiment::{ExperimentSpec, NetworkKind, Platform, PolicySpec};
+    use dnnlife_core::FaultInjectionSpec;
+
+    pub(crate) fn tiny_spec(policy: PolicySpec) -> FaultInjectionSpec {
+        let mut scenario = ExperimentSpec::fig11(NetworkKind::CustomMnist, policy, 7);
+        scenario.platform = Platform::TpuLike;
+        scenario.inferences = 2;
+        let mut spec = FaultInjectionSpec::paper_default(scenario);
+        spec.train_steps = 0;
+        spec.trials = 2;
+        spec.eval_images = 4;
+        spec.ages_years = vec![7.0];
+        spec
+    }
+
+    #[test]
+    fn rotate_right_wraps_within_width() {
+        assert_eq!(rotate_right(0b0000_0001, 1, 8), 0b1000_0000);
+        assert_eq!(rotate_right(0b1000_0001, 4, 8), 0b0001_1000);
+        assert_eq!(rotate_right(0xFF, 3, 8), 0xFF);
+        assert_eq!(rotate_right(1, 0, 8), 1);
+        assert_eq!(rotate_right(1, 1, 32), 1u32 << 31);
+    }
+
+    #[test]
+    fn injection_is_thread_invariant() {
+        let spec = tiny_spec(PolicySpec::None);
+        let one = run_injection(&spec, &InjectOptions::default()).expect("uncancelled");
+        let four = run_injection(
+            &spec,
+            &InjectOptions {
+                threads: 4,
+                cancel: None,
+            },
+        )
+        .expect("uncancelled");
+        assert_eq!(one, four, "thread count must never be semantic");
+        assert_eq!(one.ages.len(), 1);
+        assert_eq!(one.ages[0].trial_accuracies.len(), 2);
+    }
+
+    #[test]
+    fn negligible_noise_reproduces_clean_accuracy_exactly() {
+        // At a 1e-3 mV read noise the failure probability underflows to
+        // zero for every duty: every trial must reproduce the clean
+        // quantized network bit for bit.
+        let mut spec = tiny_spec(PolicySpec::BarrelShifter);
+        spec.noise_sigma_mv = 1e-3;
+        let result = run_injection(&spec, &InjectOptions::default()).expect("uncancelled");
+        for age in &result.ages {
+            assert_eq!(age.mean_flipped_bits, 0.0);
+            for &acc in &age.trial_accuracies {
+                assert_eq!(acc, result.clean_accuracy);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_raised_cancel_returns_none() {
+        let spec = tiny_spec(PolicySpec::None);
+        let flag = AtomicBool::new(true);
+        let opts = InjectOptions {
+            threads: 1,
+            cancel: Some(&flag),
+        };
+        assert!(run_injection(&spec, &opts).is_none());
+    }
+
+    #[test]
+    fn extreme_noise_destroys_accuracy_monotonically() {
+        // A huge read noise makes every cell fail half the time: the
+        // corrupted network collapses to chance while the clean one is
+        // untouched — the pipeline end responds to the failure model.
+        let mut spec = tiny_spec(PolicySpec::None);
+        spec.noise_sigma_mv = 1e4;
+        spec.trials = 1;
+        spec.eval_images = 8;
+        let result = run_injection(&spec, &InjectOptions::default()).expect("uncancelled");
+        let aged = &result.ages[0];
+        assert!(aged.mean_flipped_bits > 100_000.0, "flips {aged:?}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic training of the network under test.
+//!
+//! Fault injection needs a network whose accuracy is worth degrading:
+//! the synthetic "trained-like" weight model reproduces trained-weight
+//! *statistics* (which is all the duty-cycle analysis needs) but scores
+//! at chance on the classification task. This module actually trains
+//! the runnable zoo network on the procedural MNIST dataset with a
+//! fixed SGD recipe — a pure function of the spec's
+//! [`dnnlife_core::FaultInjectionSpec::train_seed`], shared by every
+//! policy/format cell of a campaign so all cells corrupt the same
+//! weights.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use dnnlife_core::FaultInjectionSpec;
+use dnnlife_nn::data::SyntheticMnist;
+use dnnlife_nn::train::Sgd;
+use dnnlife_nn::zoo::{build_custom_mnist, extract_layer_weights};
+use dnnlife_nn::Sequential;
+
+/// Training mini-batch size.
+pub const TRAIN_BATCH: usize = 24;
+/// SGD learning rate.
+pub const TRAIN_LR: f32 = 0.05;
+/// SGD momentum.
+pub const TRAIN_MOMENTUM: f32 = 0.9;
+/// SGD L2 weight decay.
+pub const TRAIN_WEIGHT_DECAY: f32 = 1e-4;
+
+/// A trained (or deliberately untrained, `train_steps == 0`) network
+/// snapshot: every parameter tensor by name, plus the weight tables in
+/// layer order for the memory planner.
+#[derive(Debug, Clone)]
+pub struct TrainedNetwork {
+    params: Vec<(String, Vec<f32>)>,
+    layer_weights: Vec<Vec<f32>>,
+}
+
+/// Per-process memo of finished training runs, keyed by
+/// `(train_seed, train_steps)`. Every policy/format cell of one
+/// campaign shares the recipe by construction (the seed ignores the
+/// scenario's policy axes), so a 4-cell campaign trains once instead
+/// of four times. Purely an execution cache: the stored snapshot is
+/// the deterministic function of the key, so results are unchanged.
+fn training_cache() -> &'static Mutex<HashMap<(u64, u32), TrainedNetwork>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u32), TrainedNetwork>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl TrainedNetwork {
+    /// Runs the deterministic recipe for `spec` (serial, so the f32
+    /// arithmetic is bit-reproducible), memoized per process on
+    /// `(train_seed, train_steps)`. Returns `None` iff `cancel` was
+    /// raised between SGD steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's network is not runnable.
+    pub fn train(spec: &FaultInjectionSpec, cancel: Option<&AtomicBool>) -> Option<Self> {
+        assert!(
+            spec.scenario.network.is_runnable(),
+            "TrainedNetwork: {} is not executable",
+            spec.scenario.network.display_name()
+        );
+        let seed = spec.train_seed();
+        let key = (seed, spec.train_steps);
+        if let Some(hit) = training_cache().lock().expect("training cache").get(&key) {
+            return Some(hit.clone());
+        }
+        let mut net = build_custom_mnist(seed);
+        if spec.train_steps > 0 {
+            let data = SyntheticMnist::new(seed);
+            let mut sgd = Sgd::new(TRAIN_LR, TRAIN_MOMENTUM, TRAIN_WEIGHT_DECAY);
+            for step in 0..u64::from(spec.train_steps) {
+                if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                    return None;
+                }
+                let (images, labels) = data.batch(step * TRAIN_BATCH as u64, TRAIN_BATCH);
+                let _ = sgd.step(&mut net, &images, &labels);
+            }
+        }
+        let mut params = Vec::new();
+        net.visit_params(&mut |p| params.push((p.name.to_string(), p.value.to_vec())));
+        let layer_weights = extract_layer_weights(&mut net);
+        let trained = Self {
+            params,
+            layer_weights,
+        };
+        training_cache()
+            .lock()
+            .expect("training cache")
+            .insert(key, trained.clone());
+        Some(trained)
+    }
+
+    /// The trained weight tables in layer order (biases excluded —
+    /// the paper's weight memory stores filter/neuron weights only, so
+    /// biases are never corrupted).
+    pub fn layer_weights(&self) -> &[Vec<f32>] {
+        &self.layer_weights
+    }
+
+    /// Builds a fresh executable network carrying the snapshot's
+    /// parameters (weights *and* trained biases). Each injection worker
+    /// instantiates its own copy, then swaps corrupted weight tables in
+    /// per trial.
+    pub fn instantiate(&self) -> Sequential {
+        let mut net = build_custom_mnist(0);
+        let mut index = 0usize;
+        net.visit_params(&mut |p| {
+            let (name, values) = &self.params[index];
+            assert_eq!(p.name, name, "parameter order drifted");
+            p.value.copy_from_slice(values);
+            index += 1;
+        });
+        assert_eq!(index, self.params.len(), "parameter count drifted");
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnlife_core::experiment::{ExperimentSpec, NetworkKind, PolicySpec};
+
+    fn spec(train_steps: u32) -> FaultInjectionSpec {
+        let mut s = FaultInjectionSpec::paper_default(ExperimentSpec::fig11(
+            NetworkKind::CustomMnist,
+            PolicySpec::None,
+            7,
+        ));
+        s.train_steps = train_steps;
+        s
+    }
+
+    #[test]
+    fn untrained_snapshot_matches_the_synthetic_model() {
+        let s = spec(0);
+        let t = TrainedNetwork::train(&s, None).expect("uncancelled");
+        let mut reference = build_custom_mnist(s.train_seed());
+        let tables = extract_layer_weights(&mut reference);
+        assert_eq!(t.layer_weights(), &tables[..]);
+    }
+
+    #[test]
+    fn training_is_deterministic_and_changes_weights() {
+        let s = spec(2);
+        let a = TrainedNetwork::train(&s, None).expect("uncancelled");
+        let b = TrainedNetwork::train(&s, None).expect("uncancelled");
+        assert_eq!(a.layer_weights(), b.layer_weights());
+        let untrained = TrainedNetwork::train(&spec(0), None).expect("uncancelled");
+        assert_ne!(a.layer_weights(), untrained.layer_weights());
+    }
+
+    #[test]
+    fn instantiate_restores_every_parameter() {
+        let s = spec(1);
+        let t = TrainedNetwork::train(&s, None).expect("uncancelled");
+        let mut net = t.instantiate();
+        let mut count = 0usize;
+        net.visit_params(&mut |p| {
+            let (name, values) = &t.params[count];
+            assert_eq!(p.name, name);
+            assert_eq!(p.value, &values[..]);
+            count += 1;
+        });
+        assert_eq!(count, t.params.len());
+    }
+
+    #[test]
+    fn pre_raised_cancel_aborts_training() {
+        let flag = AtomicBool::new(true);
+        assert!(TrainedNetwork::train(&spec(5), Some(&flag)).is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests for the injection pipeline's determinism contracts.
+
+use dnnlife_core::experiment::{ExperimentSpec, NetworkKind, Platform, PolicySpec};
+use dnnlife_core::FaultInjectionSpec;
+use dnnlife_faultsim::{run_injection, InjectOptions};
+use proptest::prelude::*;
+
+fn tiny_spec(policy: PolicySpec, seed: u64) -> FaultInjectionSpec {
+    let mut scenario = ExperimentSpec::fig11(NetworkKind::CustomMnist, policy, seed);
+    scenario.platform = Platform::TpuLike;
+    scenario.inferences = 2;
+    let mut spec = FaultInjectionSpec::paper_default(scenario);
+    spec.train_steps = 0;
+    spec.trials = 2;
+    spec.eval_images = 4;
+    spec.ages_years = vec![7.0];
+    spec.data_seed = seed;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Flipping zero bits reproduces the baseline accuracy exactly:
+    /// with a read noise so small every failure probability underflows
+    /// to zero, every trial at every age must score bit-identically to
+    /// the clean quantized network — for any seed and policy.
+    #[test]
+    fn zero_flips_reproduce_baseline_accuracy_exactly(seed in 0u64..1_000_000) {
+        let policies = [
+            PolicySpec::None,
+            PolicySpec::Inversion,
+            PolicySpec::BarrelShifter,
+        ];
+        let policy = policies[(seed % 3) as usize];
+        let mut spec = tiny_spec(policy, seed);
+        spec.noise_sigma_mv = 1e-3;
+        let result = run_injection(&spec, &InjectOptions::default()).expect("uncancelled");
+        for age in &result.ages {
+            prop_assert_eq!(age.mean_flipped_bits, 0.0);
+            for &acc in &age.trial_accuracies {
+                prop_assert_eq!(acc, result.clean_accuracy, "policy {:?}", policy);
+            }
+        }
+    }
+}

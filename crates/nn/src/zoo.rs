@@ -317,6 +317,67 @@ pub fn build_custom_mnist(seed: u64) -> Sequential {
     net
 }
 
+/// Overwrites the weight tensors of `net` (parameters named
+/// `*.weight`, in visitation order) with explicit per-layer tables in
+/// the canonical `[out][in]` order — the path fault injection uses to
+/// load corrupted (or re-quantized) weights into an executable network
+/// while leaving trained biases untouched.
+///
+/// # Panics
+///
+/// Panics if the table count differs from the number of weight
+/// tensors of `net` or of layers of `spec`, or any table length
+/// differs from its tensor.
+pub fn apply_layer_weights(net: &mut Sequential, spec: &NetworkSpec, tables: &[Vec<f32>]) {
+    assert_eq!(
+        tables.len(),
+        spec.layers().len(),
+        "apply_layer_weights: {} tables for {} spec layers",
+        tables.len(),
+        spec.layers().len()
+    );
+    let mut li = 0usize;
+    net.visit_params(&mut |p| {
+        if !p.name.ends_with(".weight") {
+            return;
+        }
+        let table = tables
+            .get(li)
+            .unwrap_or_else(|| panic!("apply_layer_weights: no table for tensor {}", p.name));
+        assert_eq!(
+            p.value.len(),
+            table.len(),
+            "apply_layer_weights: {} holds {} weights, table {} has {}",
+            p.name,
+            p.value.len(),
+            li,
+            table.len()
+        );
+        p.value.copy_from_slice(table);
+        li += 1;
+    });
+    assert_eq!(
+        li,
+        tables.len(),
+        "apply_layer_weights: network has {li} weight tensors, got {} tables",
+        tables.len()
+    );
+}
+
+/// Snapshots the weight tensors of `net` (parameters named `*.weight`,
+/// in visitation order) as per-layer tables — the inverse of
+/// [`apply_layer_weights`], used to hand a trained network's weights to
+/// the memory planner.
+pub fn extract_layer_weights(net: &mut Sequential) -> Vec<Vec<f32>> {
+    let mut tables = Vec::new();
+    net.visit_params(&mut |p| {
+        if p.name.ends_with(".weight") {
+            tables.push(p.value.to_vec());
+        }
+    });
+    tables
+}
+
 fn fill_from_gen(tensor: &mut Tensor, spec: &NetworkSpec, layer: usize, seed: u64) {
     let gen = LayerWeightGen::new(spec, layer, seed);
     assert_eq!(tensor.len() as u64, gen.len(), "weight count mismatch");
@@ -403,6 +464,40 @@ mod tests {
         assert_eq!(out.shape(), &[2, 10]);
         // Weight-bearing parameter count: weights + biases.
         assert_eq!(net.param_count(), 227_760 + 332);
+    }
+
+    #[test]
+    fn weight_tables_round_trip_through_the_network() {
+        let spec = NetworkSpec::custom_mnist();
+        let mut net = build_custom_mnist(7);
+        let tables = extract_layer_weights(&mut net);
+        assert_eq!(tables.len(), 4);
+        let counts: Vec<u64> = tables.iter().map(|t| t.len() as u64).collect();
+        assert_eq!(counts, vec![400, 20_000, 204_800, 2_560]);
+        // Apply edited tables and observe the change end to end.
+        let input = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 13) as f32 * 0.07);
+        let before = net.forward(&input);
+        let mut edited = tables.clone();
+        for w in &mut edited[3] {
+            *w = -*w;
+        }
+        apply_layer_weights(&mut net, &spec, &edited);
+        let after = net.forward(&input);
+        assert_ne!(before.data(), after.data());
+        // Restoring the originals restores the outputs exactly.
+        apply_layer_weights(&mut net, &spec, &tables);
+        let restored = net.forward(&input);
+        assert_eq!(before.data(), restored.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "apply_layer_weights")]
+    fn weight_table_shape_mismatch_rejected() {
+        let spec = NetworkSpec::custom_mnist();
+        let mut net = build_custom_mnist(7);
+        let mut tables = extract_layer_weights(&mut net);
+        tables[2].pop();
+        apply_layer_weights(&mut net, &spec, &tables);
     }
 
     #[test]

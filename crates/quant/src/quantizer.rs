@@ -158,6 +158,36 @@ impl Quantizer {
         }
     }
 
+    /// Decodes a stored bit pattern that may have been corrupted by
+    /// memory faults (the fault-injection path).
+    ///
+    /// For the integer formats this is exactly [`Quantizer::decode`] —
+    /// every 8-bit pattern decodes to a finite value. For fp32 a bit
+    /// flip can land on a NaN/infinity encoding or a ~1e38 magnitude;
+    /// executing a network on those poisons every downstream
+    /// activation (and NaN logits make argmax ill-defined), so this
+    /// decoder saturates: non-finite decodes become 0.0 and finite
+    /// magnitudes clamp to ±[`Quantizer::FP32_FAULT_CLAMP`] — still
+    /// catastrophically wrong values, but ones inference arithmetic
+    /// stays total on.
+    pub fn decode_corrupted(&self, bits: u32) -> f32 {
+        let w = self.decode(bits);
+        match self {
+            Quantizer::Fp32 => {
+                if !w.is_finite() {
+                    0.0
+                } else {
+                    w.clamp(-Self::FP32_FAULT_CLAMP, Self::FP32_FAULT_CLAMP)
+                }
+            }
+            _ => w,
+        }
+    }
+
+    /// Magnitude ceiling applied by [`Quantizer::decode_corrupted`] to
+    /// fault-corrupted fp32 weights.
+    pub const FP32_FAULT_CLAMP: f32 = 1e30;
+
     /// Worst-case absolute round-trip error for in-range inputs
     /// (half a quantization step; 0 for fp32).
     pub fn max_roundtrip_error(&self) -> f32 {
@@ -281,6 +311,38 @@ mod tests {
                 let bits = q.encode(i as f32 * 0.01);
                 assert!(bits < 256, "format {fmt:?} produced wide word {bits}");
             }
+        }
+    }
+
+    #[test]
+    fn corrupted_decode_matches_decode_for_integer_formats() {
+        for fmt in [NumberFormat::Int8Symmetric, NumberFormat::Int8Asymmetric] {
+            let q = Quantizer::calibrate(fmt, &range(-0.7, 0.4));
+            for bits in 0u32..=255 {
+                assert_eq!(q.decode_corrupted(bits), q.decode(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_decode_sanitizes_fp32() {
+        let q = Quantizer::Fp32;
+        // NaN and infinities saturate to zero.
+        assert_eq!(q.decode_corrupted(f32::NAN.to_bits()), 0.0);
+        assert_eq!(q.decode_corrupted(f32::INFINITY.to_bits()), 0.0);
+        assert_eq!(q.decode_corrupted(f32::NEG_INFINITY.to_bits()), 0.0);
+        // Huge finite magnitudes clamp (sign preserved).
+        assert_eq!(
+            q.decode_corrupted(f32::MAX.to_bits()),
+            Quantizer::FP32_FAULT_CLAMP
+        );
+        assert_eq!(
+            q.decode_corrupted((-f32::MAX).to_bits()),
+            -Quantizer::FP32_FAULT_CLAMP
+        );
+        // Ordinary values pass through bit-exactly.
+        for w in [-0.123f32, 0.0, 1e-20, 3.5e7] {
+            assert_eq!(q.decode_corrupted(w.to_bits()), w);
         }
     }
 

@@ -117,15 +117,34 @@ impl ReadFailureModel {
     /// Probability that one read of a cell with the given SNM
     /// degradation fails.
     ///
+    /// # Contract
+    ///
+    /// `degradation_pct` is clamped to `[0, 100]` before use:
+    ///
+    /// * negative inputs (a recovery model overshooting) behave like a
+    ///   fresh cell — the margin never exceeds `fresh_snm_mv`;
+    /// * inputs above 100 % behave like a fully degraded cell (zero
+    ///   remaining margin, failure probability exactly 0.5) — the
+    ///   Gaussian model has no physical meaning for *negative* margins,
+    ///   so the probability saturates instead of extrapolating past
+    ///   0.5 toward certain failure.
+    ///
+    /// The clamp is deliberate: upstream degradation models
+    /// ([`crate::snm::CalibratedSnmModel`]) already clamp to `[0, 100]`,
+    /// and a caller composing its own affine model must not silently
+    /// obtain extrapolated tail probabilities from out-of-range inputs.
+    ///
     /// # Panics
     ///
-    /// Panics if `degradation_pct` is outside `[0, 100]`.
+    /// Panics if `degradation_pct` is NaN or infinite — those are
+    /// upstream bugs, not boundary conditions.
     pub fn failure_probability(&self, degradation_pct: f64) -> f64 {
         assert!(
-            (0.0..=100.0).contains(&degradation_pct),
-            "failure_probability: degradation must be in [0,100]"
+            degradation_pct.is_finite(),
+            "failure_probability: degradation must be finite, got {degradation_pct}"
         );
-        let remaining = self.fresh_snm_mv * (1.0 - degradation_pct / 100.0);
+        let degradation = degradation_pct.clamp(0.0, 100.0);
+        let remaining = self.fresh_snm_mv * (1.0 - degradation / 100.0);
         normal_sf(remaining / self.noise_sigma_mv)
     }
 
@@ -203,5 +222,38 @@ mod tests {
             assert!((0.0..=1.0).contains(&p));
         }
         assert!(m.failure_probability(100.0) >= 0.5 - 1e-6);
+    }
+
+    #[test]
+    fn failure_probability_clamps_out_of_range_degradation() {
+        let m = ReadFailureModel::default_65nm();
+        // 0 % is the fresh-cell baseline...
+        let fresh = m.failure_probability(0.0);
+        assert!(fresh > 0.0 && fresh < 1e-6, "fresh p = {fresh}");
+        // ...and negative degradation (recovery overshoot) clamps to it
+        // instead of extrapolating a larger-than-fresh margin.
+        assert_eq!(m.failure_probability(-5.0), fresh);
+        // Above 100 % the margin is gone: exactly the 0.5 saturation of
+        // the fully degraded cell, never a tail beyond it.
+        assert_eq!(m.failure_probability(150.0), m.failure_probability(100.0));
+        // 0.5 up to the erfc approximation's accuracy (~1e-7).
+        assert!((m.failure_probability(150.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_probability_monotone_across_the_clamped_domain() {
+        let m = ReadFailureModel::default_65nm();
+        let mut prev = -1.0f64;
+        for deg in [-10.0, 0.0, 10.0, 50.0, 99.0, 100.0, 400.0] {
+            let p = m.failure_probability(deg);
+            assert!(p >= prev, "degradation {deg}: p {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn failure_probability_rejects_nan() {
+        let _ = ReadFailureModel::default_65nm().failure_probability(f64::NAN);
     }
 }

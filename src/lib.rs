@@ -10,6 +10,7 @@
 //! |--------|----------|
 //! | [`core`] | experiment runner, probabilistic model, reports |
 //! | [`campaign`] | parallel scenario sweeps, resumable result store, `dnnlife` CLI |
+//! | [`faultsim`] | fault injection: duty cycles → read failures → bit flips → accuracy |
 //! | [`nn`] | tensors, layers, training, network zoo, synthetic weights |
 //! | [`quant`] | number formats, quantizers, bit-distribution analysis |
 //! | [`sram`] | 6T-cell duty cycles, NBTI and SNM models |
@@ -40,6 +41,7 @@
 pub use dnnlife_accel as accel;
 pub use dnnlife_campaign as campaign;
 pub use dnnlife_core as core;
+pub use dnnlife_faultsim as faultsim;
 pub use dnnlife_mitigation as mitigation;
 pub use dnnlife_nn as nn;
 pub use dnnlife_numerics as numerics;

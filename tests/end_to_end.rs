@@ -119,6 +119,7 @@ fn simulator_duty_variance_matches_theory() {
             inferences,
             sample_stride: 1,
             threads: 2,
+            shards: 0,
         },
     );
     let t = inferences as f64 * mem.block_count() as f64;
