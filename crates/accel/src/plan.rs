@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use dnnlife_nn::weights::{LayerWeightGen, WeightRange};
 use dnnlife_nn::zoo::NetworkSpec;
-use dnnlife_quant::{NumberFormat, Quantizer};
+use dnnlife_quant::{EccLayout, NumberFormat, Quantizer, RepairPolicy};
 
 /// Where one layer's weight values come from: the synthetic
 /// counter-based generator (the default — pure `O(1)` random access),
@@ -225,6 +225,8 @@ pub struct FlatWeightMemory {
     label: String,
     /// Optional per-block relative residency (mean 1.0).
     dwell_weights: Option<Vec<f64>>,
+    /// Optional SECDED layout: stored words carry parity columns.
+    ecc: Option<EccLayout>,
 }
 
 /// Sample cap for quantizer range calibration (see
@@ -311,7 +313,30 @@ impl FlatWeightMemory {
             total_blocks,
             label: format!("{}/{}/{}", config.name, spec.name(), format),
             dwell_weights: None,
+            ecc: None,
         }
+    }
+
+    /// Wraps the stored words in `policy`'s error-correcting code: the
+    /// memory grows the parity columns ([`RepairPolicy::parity_bits`]
+    /// extra bits per word, reflected in [`BlockSource::geometry`]),
+    /// and every stored word becomes the interleaved codeword of its
+    /// data word — so the duty and lifetime models age the parity
+    /// cells alongside the data cells (parity is rewritten on every
+    /// weight write). A no-repair policy returns the plan unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ECC was already applied, or the policy is invalid for
+    /// this word width (see [`RepairPolicy::is_valid_for`]).
+    pub fn with_repair(mut self, policy: &RepairPolicy) -> Self {
+        let Some(layout) = policy.layout(self.geometry.word_bits) else {
+            return self;
+        };
+        assert!(self.ecc.is_none(), "FlatWeightMemory: ECC applied twice");
+        self.geometry.word_bits = layout.width();
+        self.ecc = Some(layout);
+        self
     }
 
     /// The calibrated quantizer of layer `layer` — what
@@ -510,7 +535,7 @@ impl BlockSource for FlatWeightMemory {
         assert!(word < self.geometry.words, "word out of range");
         let pos = block * self.geometry.words as u64 + word as u64;
         if pos >= self.stream_len {
-            return 0; // tail of the final fill
+            return 0; // tail of the final fill (codeword of 0 is 0)
         }
         // Locate the layer containing this stream position.
         let idx = self
@@ -531,7 +556,11 @@ impl BlockSource for FlatWeightMemory {
             return 0; // padded lane of a ragged final set
         }
         let canonical = filter * layer.weights_per_filter + weight_index;
-        u64::from(layer.quantizer.encode(layer.source.weight(canonical)))
+        let data = u64::from(layer.quantizer.encode(layer.source.weight(canonical)));
+        match &self.ecc {
+            Some(layout) => layout.store(data),
+            None => data,
+        }
     }
 
     fn global_block_index(&self, inference: u64, block: u64) -> u64 {
@@ -597,6 +626,8 @@ pub struct FifoSlotMemory {
     label: String,
     /// Optional per-block relative residency (mean 1.0).
     dwell_weights: Option<Vec<f64>>,
+    /// Optional SECDED layout: stored words carry parity columns.
+    ecc: Option<EccLayout>,
 }
 
 impl FifoSlotMemory {
@@ -686,7 +717,25 @@ impl FifoSlotMemory {
             local_blocks,
             label: format!("tpu-like-npu/{}/{}/slot{}", spec.name(), format, slot),
             dwell_weights: None,
+            ecc: None,
         }
+    }
+
+    /// Wraps the stored words in `policy`'s error-correcting code —
+    /// see [`FlatWeightMemory::with_repair`]. The NPU's 8-bit datapath
+    /// grows to 13-bit SECDED codewords per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ECC was already applied, or the policy is invalid for
+    /// 8-bit words.
+    pub fn with_repair(mut self, policy: &RepairPolicy) -> Self {
+        let Some(layout) = policy.layout(8) else {
+            return self;
+        };
+        assert!(self.ecc.is_none(), "FifoSlotMemory: ECC applied twice");
+        self.ecc = Some(layout);
+        self
     }
 
     /// All four slots of the FIFO.
@@ -847,7 +896,7 @@ impl FifoSlotMemory {
 impl BlockSource for FifoSlotMemory {
     fn geometry(&self) -> MemoryGeometry {
         MemoryGeometry {
-            word_bits: 8,
+            word_bits: self.ecc.as_ref().map_or(8, EccLayout::width),
             words: (self.tile_side * self.tile_side) as usize,
         }
     }
@@ -879,7 +928,11 @@ impl BlockSource for FifoSlotMemory {
             return 0;
         }
         let canonical = filter * layer.weights_per_filter + weight_index;
-        u64::from(layer.quantizer.encode(layer.source.weight(canonical)))
+        let data = u64::from(layer.quantizer.encode(layer.source.weight(canonical)));
+        match &self.ecc {
+            Some(layout) => layout.store(data),
+            None => data,
+        }
     }
 
     fn global_block_index(&self, inference: u64, block: u64) -> u64 {
@@ -1285,6 +1338,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ecc_plan_grows_parity_columns_and_encodes_codewords() {
+        use dnnlife_quant::{RepairPolicy, SecdedCode};
+        let spec = NetworkSpec::custom_mnist();
+        let secded = RepairPolicy::Secded { interleave: 1 };
+        let plain = FlatWeightMemory::new(
+            &AcceleratorConfig::baseline(),
+            &spec,
+            NumberFormat::Int8Symmetric,
+            7,
+        );
+        let ecc = plain.clone().with_repair(&secded);
+        // Geometry: same word count, 5 extra parity columns per word —
+        // total cells are data + parity exactly.
+        assert_eq!(ecc.geometry().words, plain.geometry().words);
+        assert_eq!(ecc.geometry().word_bits, 13);
+        assert_eq!(
+            ecc.geometry().cells(),
+            plain.geometry().cells() + plain.geometry().words as u64 * 5
+        );
+        // Every stored word is the codeword of the plain data word.
+        let code = SecdedCode::for_data_bits(8);
+        for word in [0usize, 1, 399, 19_600, 231_695] {
+            assert_eq!(ecc.word(0, word), code.encode(plain.word(0, word)));
+            assert_eq!(code.syndrome(ecc.word(0, word)), 0);
+        }
+        // `RepairPolicy::None` is the identity.
+        let same = plain.clone().with_repair(&RepairPolicy::None);
+        assert_eq!(same.geometry(), plain.geometry());
+        assert_eq!(same.word(0, 42), plain.word(0, 42));
+
+        // NPU slots grow the same columns.
+        let slots = FifoSlotMemory::all_slots(&spec, NumberFormat::Int8Symmetric, 7);
+        let slot_ecc = slots[0].clone().with_repair(&secded);
+        assert_eq!(slot_ecc.geometry().word_bits, 13);
+        assert_eq!(slot_ecc.geometry().words, slots[0].geometry().words);
+        assert_eq!(slot_ecc.word(0, 5), code.encode(slots[0].word(0, 5)));
+        // Interleaved layouts permute columns but keep the bit
+        // population (the codeword content is identical).
+        let scattered = slots[0]
+            .clone()
+            .with_repair(&RepairPolicy::Secded { interleave: 5 });
+        let mut permuted_somewhere = false;
+        for w in 0..100usize {
+            assert_eq!(
+                scattered.word(0, w).count_ones(),
+                slot_ecc.word(0, w).count_ones(),
+                "word {w}"
+            );
+            permuted_somewhere |= scattered.word(0, w) != slot_ecc.word(0, w);
+        }
+        assert!(permuted_somewhere, "stride-5 layout should move columns");
     }
 
     #[test]

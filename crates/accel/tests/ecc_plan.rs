@@ -1,0 +1,139 @@
+//! Duty accounting for SECDED parity cells.
+//!
+//! Parity columns are real SRAM cells: they are rewritten on every
+//! weight write, so every mitigation policy ages them, and the duty
+//! simulation must cover them — a plan's simulated cell population is
+//! data + parity *exactly*, never data alone. These tests pin that
+//! accounting for every policy on both platforms.
+
+use dnnlife_accel::{
+    simulate_analytic, AcceleratorConfig, AnalyticPolicy, AnalyticSimConfig, BlockSource,
+    FifoSlotMemory, FlatWeightMemory,
+};
+use dnnlife_nn::NetworkSpec;
+use dnnlife_quant::{NumberFormat, RepairPolicy};
+
+fn policies() -> Vec<AnalyticPolicy> {
+    vec![
+        AnalyticPolicy::Passthrough,
+        AnalyticPolicy::PeriodicInversion,
+        AnalyticPolicy::BarrelShifter,
+        AnalyticPolicy::DnnLife {
+            bias: 0.7,
+            bias_balancing: Some(4),
+            seed: 11,
+        },
+    ]
+}
+
+fn cfg() -> AnalyticSimConfig {
+    AnalyticSimConfig {
+        inferences: 4,
+        sample_stride: 1,
+        threads: 1,
+        shards: 1,
+    }
+}
+
+/// Mean duty of the parity columns over the occupied words of a unit
+/// (`data_bits..word_bits` of each stored word). Only occupied words
+/// count: padding words store the all-zero codeword, whose parity is
+/// legitimately zero under the passthrough policy.
+fn parity_mean(duties: &[f64], word_bits: usize, data_bits: usize, occupied: usize) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for w in 0..occupied {
+        for b in data_bits..word_bits {
+            sum += duties[w * word_bits + b];
+            n += 1;
+        }
+    }
+    sum / n as f64
+}
+
+#[test]
+fn flat_plan_parity_cells_age_under_every_policy() {
+    let mut hw = AcceleratorConfig::baseline();
+    hw.weight_memory_bytes = 2048; // small fills → several blocks
+    let spec = NetworkSpec::custom_mnist();
+    let plain = FlatWeightMemory::new(&hw, &spec, NumberFormat::Int8Symmetric, 3);
+    let mem = plain
+        .clone()
+        .with_repair(&RepairPolicy::Secded { interleave: 1 });
+
+    // Cell accounting: data + parity exactly, for the whole unit.
+    let geo = mem.geometry();
+    assert_eq!(geo.word_bits, 13);
+    assert_eq!(
+        geo.cells(),
+        plain.geometry().cells() + plain.geometry().words as u64 * 5,
+        "plan cells must be data + parity exactly"
+    );
+
+    for policy in policies() {
+        let duties = simulate_analytic(&mem, &policy, &cfg());
+        assert_eq!(
+            duties.len() as u64,
+            geo.cells(),
+            "{}: simulated cells must cover parity columns",
+            policy.name()
+        );
+        assert!(duties.iter().all(|d| (0.0..=1.0).contains(d)));
+        let mean = parity_mean(&duties, 13, 8, geo.words);
+        assert!(
+            mean > 0.05,
+            "{}: parity-cell mean duty {mean} — parity cells are written \
+             on every weight write and must age",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn npu_slot_parity_cells_age_under_every_policy() {
+    let spec = NetworkSpec::custom_mnist();
+    let slots = FifoSlotMemory::all_slots(&spec, NumberFormat::Int8Symmetric, 3);
+    let mem = slots[0]
+        .clone()
+        .with_repair(&RepairPolicy::Secded { interleave: 1 });
+    let geo = mem.geometry();
+    assert_eq!(geo.word_bits, 13);
+    assert_eq!(geo.cells(), slots[0].geometry().cells() / 8 * 13);
+
+    for policy in policies() {
+        let duties = simulate_analytic(&mem, &policy, &cfg());
+        assert_eq!(duties.len() as u64, geo.cells(), "{}", policy.name());
+        let mean = parity_mean(&duties, 13, 8, geo.words);
+        assert!(
+            mean > 0.05,
+            "{}: parity-cell mean duty {mean}",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn parity_columns_shift_the_duty_distribution() {
+    // The scientifically interesting interaction: parity cells carry
+    // data-dependent bit statistics, so wrapping a memory in SECDED
+    // changes its duty distribution, not just its cell count. Under no
+    // mitigation the ECC'd unit's mean duty must differ measurably
+    // from the data-only mean.
+    let spec = NetworkSpec::custom_mnist();
+    let slots = FifoSlotMemory::all_slots(&spec, NumberFormat::Int8Symmetric, 3);
+    let mean = |duties: &[f64]| duties.iter().sum::<f64>() / duties.len() as f64;
+    let plain = simulate_analytic(&slots[0], &AnalyticPolicy::Passthrough, &cfg());
+    let ecc = simulate_analytic(
+        &slots[0]
+            .clone()
+            .with_repair(&RepairPolicy::Secded { interleave: 1 }),
+        &AnalyticPolicy::Passthrough,
+        &cfg(),
+    );
+    assert!(
+        (mean(&plain) - mean(&ecc)).abs() > 1e-3,
+        "parity columns should skew the duty distribution: {} vs {}",
+        mean(&plain),
+        mean(&ecc)
+    );
+}

@@ -7,6 +7,7 @@
 //!               [--out FILE] [--resume] [--seed N] [--stride N]
 //!               [--inferences N] [--backend analytic|exact]
 //!               [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
+//!               [--ecc none|secded[:INTERLEAVE]|both]
 //!               [--shards auto|N] [--verbose]
 //! dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
 //! dnnlife compare --store-a FILE --store-b FILE
@@ -41,12 +42,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use dnnlife_campaign::aggregate;
 use dnnlife_campaign::grid::SweepOptions;
 use dnnlife_campaign::{
-    accuracy_vs_age_table, run_campaign_cancellable, run_injection_campaign,
+    accuracy_vs_age_table, ecc_comparison_table, run_campaign_cancellable, run_injection_campaign,
     validate_scenarios_cancellable, CampaignGrid, CampaignOptions, InjectCampaignOptions,
     InjectionGrid, InjectionParams, InjectionStore, ResultStore, ShardPolicy,
 };
 use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
-use dnnlife_core::{DwellModel, SimulatorBackend};
+use dnnlife_core::{DwellModel, RepairPolicy, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
 /// Raised by the SIGINT handler; every long-running subcommand polls
@@ -114,17 +115,17 @@ usage:
                 [--resume] [--seed N] [--stride N] [--inferences N]
                 [--backend analytic|exact]
                 [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
-                [--shards auto|N] [--verbose]
+                [--ecc none|secded[:INTERLEAVE]|both] [--shards auto|N] [--verbose]
   dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
   dnnlife compare --store-a FILE --store-b FILE
   dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
                    [--stride N] [--inferences N] [--dwell MODEL]
                    [--shards auto|N] [--report-only]
   dnnlife inject [--platform baseline|npu] [--format fp32|int8|int8-asym]
-                 [--policy SUBSTRING] [--ages Y1,Y2,...] [--trials N]
-                 [--eval-images N] [--train-steps N] [--noise-mv F]
-                 [--inferences N] [--seed N] [--threads N] [--out FILE]
-                 [--resume] [--verbose]
+                 [--policy SUBSTRING] [--ecc none|secded[:INTERLEAVE]|both]
+                 [--ages Y1,Y2,...] [--trials N] [--eval-images N]
+                 [--train-steps N] [--noise-mv F] [--inferences N] [--seed N]
+                 [--threads N] [--out FILE] [--resume] [--verbose]
   dnnlife inject --report --store FILE";
 
 /// Minimal `--flag [value]` argument cursor.
@@ -165,6 +166,7 @@ fn sweep(argv: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut options = CampaignOptions::default();
     let mut sweep_options = SweepOptions::default();
+    let mut ecc = EccAxis::One(RepairPolicy::None);
 
     let mut args = Args::new(argv);
     while let Some(flag) = args.next_flag() {
@@ -179,6 +181,7 @@ fn sweep(argv: &[String]) -> Result<(), String> {
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
             "--backend" => sweep_options.backend = parse_backend(args.value("--backend")?)?,
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
+            "--ecc" => ecc = parse_ecc(args.value("--ecc")?)?,
             "--shards" => options.shards = parse_shards(args.value("--shards")?)?,
             other => return Err(format!("sweep: unexpected argument `{other}`")),
         }
@@ -197,15 +200,26 @@ fn sweep(argv: &[String]) -> Result<(), String> {
             sweep_options.dwell.display_name()
         ));
     }
-    let grid = CampaignGrid::named(&grid_name, sweep_options.clone())
+    let repairs = ecc.values();
+    let grid = CampaignGrid::named_with_repairs(&grid_name, sweep_options.clone(), &repairs)
         .ok_or_else(|| format!("sweep: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)"))?;
     if grid.is_empty() {
         return Err(format!(
             "sweep: grid `{grid_name}` has no valid scenarios for these axes \
-             (check --backend/--dwell: custom factors must match the network's layer count)"
+             (check --backend/--dwell: custom factors must match the network's layer \
+             count; check --ecc: the SECDED interleave must be coprime with the \
+             codeword width — 13 for 8-bit words, 39 for fp32)"
         ));
     }
-    warn_on_dwell_dropped_scenarios("sweep", &grid_name, &grid, &sweep_options);
+    // The like-for-like reference for repair-drop diagnostics: the
+    // same grid under no repair (everything else equal).
+    let no_repair_cells =
+        CampaignGrid::named_with_repairs(&grid_name, sweep_options.clone(), &[RepairPolicy::None])
+            .map_or(0, |g| g.len());
+    check_repair_coverage("sweep", &repairs, no_repair_cells, |repair| {
+        grid.scenarios.iter().filter(|s| s.repair == repair).count()
+    })?;
+    warn_on_dwell_dropped_scenarios("sweep", &grid_name, &grid, &sweep_options, &repairs);
     let store_path = out.unwrap_or_else(|| format!("campaign-results/{grid_name}.jsonl"));
 
     let started = std::time::Instant::now();
@@ -291,16 +305,21 @@ fn warn_on_dwell_dropped_scenarios(
     grid_name: &str,
     grid: &CampaignGrid,
     options: &SweepOptions,
+    repairs: &[RepairPolicy],
 ) {
     if options.dwell.is_uniform() {
         return;
     }
-    let full = CampaignGrid::named(
+    // The reference grid must cross the same repair axis, or an
+    // `--ecc both` grid out-counts the single-repair reference and
+    // masks the drop.
+    let full = CampaignGrid::named_with_repairs(
         grid_name,
         SweepOptions {
             dwell: DwellModel::Uniform,
             ..options.clone()
         },
+        repairs,
     )
     .map_or(0, |g| g.len());
     if grid.len() < full {
@@ -322,6 +341,80 @@ fn parse_backend(name: &str) -> Result<SimulatorBackend, String> {
 fn parse_dwell(name: &str) -> Result<DwellModel, String> {
     DwellModel::parse(name).ok_or_else(|| {
         format!("--dwell: unknown dwell model `{name}` (uniform|layer|zipf[:EXP]|custom:F1,F2,...)")
+    })
+}
+
+/// The `--ecc` axis: a single repair policy, or `both` = the plain and
+/// SECDED variants of every cell in one campaign (what the
+/// corrected-vs-uncorrected table pairs up).
+enum EccAxis {
+    One(RepairPolicy),
+    Both(RepairPolicy),
+}
+
+impl EccAxis {
+    /// The repair values to cross the grid with, in canonical order.
+    fn values(&self) -> Vec<RepairPolicy> {
+        match *self {
+            EccAxis::One(repair) => vec![repair],
+            EccAxis::Both(repair) => vec![RepairPolicy::None, repair],
+        }
+    }
+}
+
+/// An `--ecc` value must not *silently* lose cells to validity
+/// filtering. Every requested repair value is compared against
+/// `reference` — the same grid built under `RepairPolicy::None`, so
+/// the comparison is like-for-like: a value with zero surviving cells
+/// (e.g. `--ecc secded:13` on 8-bit words, where stride 13 shares a
+/// factor with the 13-bit codeword) is a hard error, and a partial
+/// drop (e.g. `secded:3` on a grid mixing int8 and fp32 — 3 divides
+/// the 39-bit fp32 codeword) gets a warning, matching the dwell axis's
+/// partial-drop diagnostics.
+fn check_repair_coverage(
+    command: &str,
+    repairs: &[RepairPolicy],
+    reference: usize,
+    count: impl Fn(RepairPolicy) -> usize,
+) -> Result<(), String> {
+    for &repair in repairs {
+        if repair.is_none() {
+            continue;
+        }
+        let cells = count(repair);
+        if cells == 0 && reference > 0 {
+            return Err(format!(
+                "{command}: --ecc {}: every cell of this repair value is invalid \
+                 (the SECDED interleave must be coprime with the codeword width — \
+                 13 for 8-bit words, 39 for fp32)",
+                repair.display_name()
+            ));
+        }
+        if cells < reference {
+            eprintln!(
+                "{command}: warning: --ecc {}: only {cells} of {reference} cell(s) are \
+                 valid under this repair value — the rest were dropped (interleave \
+                 not coprime with that word width's codeword)",
+                repair.display_name()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn parse_ecc(name: &str) -> Result<EccAxis, String> {
+    if name == "both" {
+        return Ok(EccAxis::Both(RepairPolicy::Secded { interleave: 1 }));
+    }
+    if let Some(stride) = name.strip_prefix("both:") {
+        return RepairPolicy::parse(&format!("secded:{stride}"))
+            .map(EccAxis::Both)
+            .ok_or_else(|| format!("--ecc: invalid interleave `{stride}`"));
+    }
+    RepairPolicy::parse(name).map(EccAxis::One).ok_or_else(|| {
+        format!(
+            "--ecc: unknown repair policy `{name}` (none|secded[:INTERLEAVE]|both[:INTERLEAVE])"
+        )
     })
 }
 
@@ -370,7 +463,13 @@ fn validate(argv: &[String]) -> Result<(), String> {
             "validate: grid `{grid_name}` has no valid scenarios for this dwell model"
         ));
     }
-    warn_on_dwell_dropped_scenarios("validate", &grid_name, &grid, &sweep_options);
+    warn_on_dwell_dropped_scenarios(
+        "validate",
+        &grid_name,
+        &grid,
+        &sweep_options,
+        &[sweep_options.repair],
+    );
 
     let started = std::time::Instant::now();
     let results =
@@ -447,6 +546,7 @@ fn inject(argv: &[String]) -> Result<(), String> {
     let mut format = NumberFormat::Int8Symmetric;
     let mut policy_filter: Option<String> = None;
     let mut params = InjectionParams::default();
+    let mut ecc = EccAxis::One(RepairPolicy::None);
     let mut options = InjectCampaignOptions::default();
     let mut out: Option<String> = None;
     let mut report_only = false;
@@ -458,6 +558,7 @@ fn inject(argv: &[String]) -> Result<(), String> {
             "--platform" => platform = parse_platform(args.value("--platform")?)?,
             "--format" => format = parse_format(args.value("--format")?)?,
             "--policy" => policy_filter = Some(args.value("--policy")?.to_lowercase()),
+            "--ecc" => ecc = parse_ecc(args.value("--ecc")?)?,
             "--ages" => params.ages_years = parse_ages(args.value("--ages")?)?,
             "--trials" => params.trials = args.parsed("--trials")?,
             "--eval-images" => params.eval_images = args.parsed("--eval-images")?,
@@ -482,6 +583,7 @@ fn inject(argv: &[String]) -> Result<(), String> {
             return Err(format!("inject: `{store_path}` holds no injection records"));
         }
         print!("{}", accuracy_vs_age_table(&store));
+        print!("{}", ecc_comparison_table(&store));
         return Ok(());
     }
     if params.trials == 0 {
@@ -508,19 +610,40 @@ fn inject(argv: &[String]) -> Result<(), String> {
             ));
         }
     }
-    let grid = InjectionGrid::build(
+    let repairs = ecc.values();
+    let grid = InjectionGrid::build_with_repairs(
         "inject",
         platform,
         NetworkKind::CustomMnist,
         format,
         &policies,
         &params,
+        &repairs,
     );
     if grid.is_empty() {
         return Err(
-            "inject: no valid cells for these axes (fp32 needs --platform baseline)".to_string(),
+            "inject: no valid cells for these axes (fp32 needs --platform baseline; \
+             the SECDED interleave must be coprime with the codeword width — \
+             13 for 8-bit words, 39 for fp32)"
+                .to_string(),
         );
     }
+    let no_repair_cells = InjectionGrid::build_with_repairs(
+        "inject",
+        platform,
+        NetworkKind::CustomMnist,
+        format,
+        &policies,
+        &params,
+        &[RepairPolicy::None],
+    )
+    .len();
+    check_repair_coverage("inject", &repairs, no_repair_cells, |repair| {
+        grid.specs
+            .iter()
+            .filter(|s| s.scenario.repair == repair)
+            .count()
+    })?;
     let store_path = out.unwrap_or_else(|| "campaign-results/inject.jsonl".to_string());
 
     let started = std::time::Instant::now();
@@ -528,6 +651,7 @@ fn inject(argv: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let store = InjectionStore::open(&store_path).map_err(|e| e.to_string())?;
     print!("{}", accuracy_vs_age_table(&store));
+    print!("{}", ecc_comparison_table(&store));
     println!(
         "inject: {} executed, {} skipped, {} thread(s), {:.1}s -> {store_path}",
         outcome.executed,

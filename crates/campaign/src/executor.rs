@@ -462,6 +462,7 @@ mod tests {
             sample_stride: stride,
             backend,
             dwell: DwellModel::Uniform,
+            repair: dnnlife_core::RepairPolicy::None,
         }
     }
 

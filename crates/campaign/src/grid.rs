@@ -13,7 +13,7 @@
 //! what makes matched cross-validation pairs comparable.
 
 use dnnlife_core::experiment::{fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec};
-use dnnlife_core::{DwellModel, ExperimentSpec, SimulatorBackend};
+use dnnlife_core::{DwellModel, ExperimentSpec, RepairPolicy, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
 /// Shared run parameters for every scenario of a grid.
@@ -33,6 +33,8 @@ pub struct SweepOptions {
     /// Block-dwell model, used when [`GridAxes::dwells`] is empty
     /// (non-uniform models require the exact backend).
     pub dwell: DwellModel,
+    /// Repair (ECC) axis, used when [`GridAxes::repairs`] is empty.
+    pub repair: RepairPolicy,
 }
 
 impl Default for SweepOptions {
@@ -43,6 +45,7 @@ impl Default for SweepOptions {
             inferences: 100,
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
+            repair: RepairPolicy::None,
         }
     }
 }
@@ -70,15 +73,21 @@ pub struct GridAxes {
     /// Block-dwell models. Leave **empty** to use the single
     /// `options.dwell` value (same rule as `backends`).
     pub dwells: Vec<DwellModel>,
+    /// Repair (ECC) policies over the stored weight words. Leave
+    /// **empty** to use the single `options.repair` value (same rule
+    /// as `backends`) — a two-element axis crosses every policy with
+    /// ECC on and off in one grid.
+    pub repairs: Vec<RepairPolicy>,
     /// Shared run parameters.
     pub options: SweepOptions,
 }
 
 impl GridAxes {
     /// Enumerates the cross product in canonical order (platform →
-    /// network → format → policy → lifetime → backend → dwell),
-    /// dropping invalid combinations (fp32 on the 8-bit NPU, analytic
-    /// backend with non-uniform dwell) and duplicates.
+    /// network → format → policy → lifetime → backend → dwell →
+    /// repair), dropping invalid combinations (fp32 on the 8-bit NPU,
+    /// analytic backend with non-uniform dwell, non-coprime ECC
+    /// interleave) and duplicates.
     ///
     /// # Panics
     ///
@@ -106,6 +115,11 @@ impl GridAxes {
         } else {
             self.dwells.clone()
         };
+        let repairs = if self.repairs.is_empty() {
+            vec![self.options.repair]
+        } else {
+            self.repairs.clone()
+        };
         let mut scenarios = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for &platform in &self.platforms {
@@ -115,24 +129,27 @@ impl GridAxes {
                         for &years in &self.lifetimes_years {
                             for &backend in &backends {
                                 for dwell in &dwells {
-                                    let mut spec = ExperimentSpec {
-                                        platform,
-                                        network,
-                                        format,
-                                        policy,
-                                        inferences: self.options.inferences,
-                                        years,
-                                        seed: 0,
-                                        sample_stride: self.options.sample_stride,
-                                        backend,
-                                        dwell: dwell.clone(),
-                                    };
-                                    if !spec.is_valid() {
-                                        continue;
-                                    }
-                                    spec.seed = scenario_seed(self.options.base_seed, &spec);
-                                    if seen.insert(spec.content_key()) {
-                                        scenarios.push(spec);
+                                    for &repair in &repairs {
+                                        let mut spec = ExperimentSpec {
+                                            platform,
+                                            network,
+                                            format,
+                                            policy,
+                                            inferences: self.options.inferences,
+                                            years,
+                                            seed: 0,
+                                            sample_stride: self.options.sample_stride,
+                                            backend,
+                                            dwell: dwell.clone(),
+                                            repair,
+                                        };
+                                        if !spec.is_valid() {
+                                            continue;
+                                        }
+                                        spec.seed = scenario_seed(self.options.base_seed, &spec);
+                                        if seen.insert(spec.content_key()) {
+                                            scenarios.push(spec);
+                                        }
                                     }
                                 }
                             }
@@ -189,6 +206,10 @@ impl CampaignGrid {
     /// The Fig. 9 grid: baseline accelerator, AlexNet, all three
     /// formats, the paper's six policies, 7-year lifetime.
     pub fn fig9(options: SweepOptions) -> Self {
+        Self::fig9_axes(options).build("fig9")
+    }
+
+    fn fig9_axes(options: SweepOptions) -> GridAxes {
         GridAxes {
             platforms: vec![Platform::Baseline],
             networks: vec![NetworkKind::Alexnet],
@@ -197,14 +218,18 @@ impl CampaignGrid {
             lifetimes_years: vec![7.0],
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
+            repairs: Vec::new(),  // use options.repair
             options,
         }
-        .build("fig9")
     }
 
     /// The Fig. 11 grid: TPU-like NPU, all three networks, 8-bit
     /// symmetric weights, the paper's four policies, 7-year lifetime.
     pub fn fig11(options: SweepOptions) -> Self {
+        Self::fig11_axes(options).build("fig11")
+    }
+
+    fn fig11_axes(options: SweepOptions) -> GridAxes {
         GridAxes {
             platforms: vec![Platform::TpuLike],
             networks: vec![
@@ -217,15 +242,19 @@ impl CampaignGrid {
             lifetimes_years: vec![7.0],
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
+            repairs: Vec::new(),  // use options.repair
             options,
         }
-        .build("fig11")
     }
 
     /// TRBG bias-sensitivity sweep (beyond the paper): DNN-Life with
     /// bias 0.50..0.90 in 0.05 steps, with and without bias balancing,
     /// on the NPU running the custom network.
     pub fn bias_sweep(options: SweepOptions) -> Self {
+        Self::bias_axes(options).build("bias")
+    }
+
+    fn bias_axes(options: SweepOptions) -> GridAxes {
         let mut policies = Vec::new();
         for step in 0..=8 {
             let bias = 0.5 + 0.05 * f64::from(step);
@@ -245,15 +274,19 @@ impl CampaignGrid {
             lifetimes_years: vec![7.0],
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
+            repairs: Vec::new(),  // use options.repair
             options,
         }
-        .build("bias")
     }
 
     /// Counter-width sensitivity sweep (beyond the paper): the M-bit
     /// bias-balancing register from 1 to 8 bits at the paper's 0.7
     /// bias, on the NPU running the custom network.
     pub fn mbits_sweep(options: SweepOptions) -> Self {
+        Self::mbits_axes(options).build("mbits")
+    }
+
+    fn mbits_axes(options: SweepOptions) -> GridAxes {
         let policies = (1..=8)
             .map(|m_bits| PolicySpec::DnnLife {
                 bias: 0.7,
@@ -269,15 +302,19 @@ impl CampaignGrid {
             lifetimes_years: vec![7.0],
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
+            repairs: Vec::new(),  // use options.repair
             options,
         }
-        .build("mbits")
     }
 
     /// The full design space: both platforms, all networks and formats,
     /// the six Fig. 9 policies, three lifetimes. Invalid combinations
     /// (fp32 on the NPU) are filtered by the builder.
     pub fn full(options: SweepOptions) -> Self {
+        Self::full_axes(options).build("full")
+    }
+
+    fn full_axes(options: SweepOptions) -> GridAxes {
         GridAxes {
             platforms: vec![Platform::Baseline, Platform::TpuLike],
             networks: vec![
@@ -290,19 +327,40 @@ impl CampaignGrid {
             lifetimes_years: vec![2.0, 7.0, 10.0],
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
+            repairs: Vec::new(),  // use options.repair
             options,
         }
-        .build("full")
     }
 
     /// Builds a named grid: `fig9`, `fig11`, `bias`, `mbits` or `full`.
     pub fn named(name: &str, options: SweepOptions) -> Option<Self> {
+        Some(Self::named_axes(name, options)?.build(name))
+    }
+
+    /// [`CampaignGrid::named`] with an explicit repair-axis list
+    /// (`dnnlife sweep --ecc both`): the grid crosses every cell with
+    /// each repair value through [`GridAxes::repairs`], in canonical
+    /// order (repair is the innermost axis). Values invalid for a
+    /// cell's word width (non-coprime interleave) are filtered like
+    /// any other invalid combination — callers that need to diagnose a
+    /// partial drop can count scenarios per repair value.
+    pub fn named_with_repairs(
+        name: &str,
+        options: SweepOptions,
+        repairs: &[RepairPolicy],
+    ) -> Option<Self> {
+        let mut axes = Self::named_axes(name, options)?;
+        axes.repairs = repairs.to_vec();
+        Some(axes.build(name))
+    }
+
+    fn named_axes(name: &str, options: SweepOptions) -> Option<GridAxes> {
         match name {
-            "fig9" => Some(Self::fig9(options)),
-            "fig11" => Some(Self::fig11(options)),
-            "bias" => Some(Self::bias_sweep(options)),
-            "mbits" => Some(Self::mbits_sweep(options)),
-            "full" => Some(Self::full(options)),
+            "fig9" => Some(Self::fig9_axes(options)),
+            "fig11" => Some(Self::fig11_axes(options)),
+            "bias" => Some(Self::bias_axes(options)),
+            "mbits" => Some(Self::mbits_axes(options)),
+            "full" => Some(Self::full_axes(options)),
             _ => None,
         }
     }
@@ -347,6 +405,7 @@ mod tests {
             lifetimes_years: vec![7.0],
             backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Analytic],
             dwells: vec![DwellModel::Uniform, DwellModel::Uniform],
+            repairs: Vec::new(),
             options: SweepOptions::default(),
         };
         assert_eq!(axes.build("dup").len(), 1);
@@ -362,6 +421,7 @@ mod tests {
             lifetimes_years: vec![7.0],
             backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
             dwells: vec![DwellModel::Uniform, DwellModel::Zipf { exponent: 1.0 }],
+            repairs: Vec::new(),
             options: SweepOptions::default(),
         };
         let grid = axes.build("backend-cross");
@@ -381,6 +441,7 @@ mod tests {
             lifetimes_years: vec![7.0],
             backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
             dwells: vec![DwellModel::Uniform],
+            repairs: Vec::new(),
             options: SweepOptions::default(),
         };
         let grid = axes.build("pairs");
@@ -433,6 +494,35 @@ mod tests {
             }
         }
         assert_eq!(matched, fig11.len());
+    }
+
+    #[test]
+    fn repair_axis_crosses_and_filters_bad_interleave() {
+        let axes = GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies: vec![PolicySpec::None, PolicySpec::Inversion],
+            lifetimes_years: vec![7.0],
+            backends: Vec::new(),
+            dwells: Vec::new(),
+            repairs: vec![
+                RepairPolicy::None,
+                RepairPolicy::Secded { interleave: 1 },
+                RepairPolicy::Secded { interleave: 13 }, // 13 | 13: invalid
+            ],
+            options: SweepOptions::default(),
+        };
+        let grid = axes.build("repair-cross");
+        // 2 policies × (none, secded); the non-coprime interleave is
+        // dropped by validity filtering.
+        assert_eq!(grid.len(), 4);
+        assert!(grid.scenarios.iter().all(ExperimentSpec::is_valid));
+        // Twins differ in seed (repair is a physical coordinate) and
+        // content key.
+        let keys: std::collections::BTreeSet<String> =
+            grid.scenarios.iter().map(|s| s.content_key()).collect();
+        assert_eq!(keys.len(), 4);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use std::sync::atomic::AtomicBool;
 
 use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
-use dnnlife_core::{DwellModel, ExperimentSpec, FaultInjectionSpec, SimulatorBackend};
+use dnnlife_core::{
+    DwellModel, ExperimentSpec, FaultInjectionSpec, RepairPolicy, SimulatorBackend,
+};
 use dnnlife_faultsim::{run_injection, InjectOptions, InjectionResult};
 use dnnlife_quant::NumberFormat;
 use serde::{Deserialize, Serialize};
@@ -77,6 +79,9 @@ pub struct InjectionParams {
     pub train_steps: u32,
     /// Read-noise operating point in mV.
     pub noise_sigma_mv: f64,
+    /// Repair (ECC) axis over the stored weight words
+    /// (`dnnlife inject --ecc`).
+    pub repair: RepairPolicy,
 }
 
 impl Default for InjectionParams {
@@ -94,6 +99,7 @@ impl Default for InjectionParams {
             eval_images: proto.eval_images,
             train_steps: proto.train_steps,
             noise_sigma_mv: proto.noise_sigma_mv,
+            repair: RepairPolicy::None,
         }
     }
 }
@@ -120,33 +126,65 @@ impl InjectionGrid {
         policies: &[PolicySpec],
         params: &InjectionParams,
     ) -> Self {
+        Self::build_with_repairs(
+            name,
+            platform,
+            network,
+            format,
+            policies,
+            params,
+            &[params.repair],
+        )
+    }
+
+    /// [`InjectionGrid::build`] with an explicit repair-axis list
+    /// (`dnnlife inject --ecc both`): every policy is crossed with
+    /// each repair value, repair innermost, overriding
+    /// `params.repair`. Invalid cells (a non-coprime interleave) are
+    /// dropped like any other invalid combination — callers that need
+    /// to diagnose a partial drop can count cells per repair value.
+    pub fn build_with_repairs(
+        name: impl Into<String>,
+        platform: Platform,
+        network: NetworkKind,
+        format: NumberFormat,
+        policies: &[PolicySpec],
+        params: &InjectionParams,
+        repairs: &[RepairPolicy],
+    ) -> Self {
         let mut specs = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for &policy in policies {
-            let mut scenario = ExperimentSpec {
-                platform,
-                network,
-                format,
-                policy,
-                inferences: params.inferences,
-                years: 7.0,
-                seed: 0,
-                sample_stride: 1,
-                backend: SimulatorBackend::Analytic,
-                dwell: DwellModel::Uniform,
-            };
-            scenario.seed = crate::grid::scenario_seed(params.base_seed, &scenario);
-            let spec = FaultInjectionSpec {
-                scenario,
-                ages_years: params.ages_years.clone(),
-                trials: params.trials,
-                eval_images: params.eval_images,
-                train_steps: params.train_steps,
-                noise_sigma_mv: params.noise_sigma_mv,
-                data_seed: params.base_seed,
-            };
-            if spec.is_valid() && seen.insert(spec.content_key()) {
-                specs.push(spec);
+            for &repair in repairs {
+                let mut scenario = ExperimentSpec {
+                    platform,
+                    network,
+                    format,
+                    policy,
+                    inferences: params.inferences,
+                    years: 7.0,
+                    seed: 0,
+                    sample_stride: 1,
+                    backend: SimulatorBackend::Analytic,
+                    dwell: DwellModel::Uniform,
+                    repair,
+                };
+                if !scenario.is_valid() {
+                    continue;
+                }
+                scenario.seed = crate::grid::scenario_seed(params.base_seed, &scenario);
+                let spec = FaultInjectionSpec {
+                    scenario,
+                    ages_years: params.ages_years.clone(),
+                    trials: params.trials,
+                    eval_images: params.eval_images,
+                    train_steps: params.train_steps,
+                    noise_sigma_mv: params.noise_sigma_mv,
+                    data_seed: params.base_seed,
+                };
+                if spec.is_valid() && seen.insert(spec.content_key()) {
+                    specs.push(spec);
+                }
             }
         }
         Self {
@@ -303,6 +341,9 @@ pub fn accuracy_vs_age_table(store: &InjectionStore) -> String {
             s.eval_images,
             s.train_steps,
         );
+        if !s.scenario.repair.is_none() {
+            group.push_str(&format!(", ecc {}", s.scenario.repair.display_name()));
+        }
         if s.ages_years != default_ages {
             let list: Vec<String> = s.ages_years.iter().map(|a| format_age(*a)).collect();
             group.push_str(&format!(", ages {}", list.join("/")));
@@ -361,6 +402,129 @@ fn format_age(age: f64) -> String {
     }
 }
 
+/// The twin-pairing key of the corrected-vs-uncorrected table: every
+/// spec field except the repair axis and the (repair-derived) scenario
+/// seed, so an `--ecc` cell lines up with the plain cell it repairs.
+fn repair_twin_key(spec: &FaultInjectionSpec) -> String {
+    let mut twin = spec.clone();
+    twin.scenario.repair = RepairPolicy::None;
+    twin.scenario.seed = 0;
+    twin.content_key()
+}
+
+/// Renders the corrected-vs-uncorrected table of an injection store:
+/// for every policy cell present both with and without a repair
+/// policy, the accuracy at each age side by side, the accuracy delta
+/// SECDED buys, and the decoder's corrected / detected / escaped word
+/// tallies. Cells lacking a twin are skipped (run the same campaign
+/// once with and once without `--ecc` into one store to populate it).
+pub fn ecc_comparison_table(store: &InjectionStore) -> String {
+    let mut twins: std::collections::BTreeMap<
+        String,
+        (Option<&InjectionRecord>, Vec<&InjectionRecord>),
+    > = std::collections::BTreeMap::new();
+    for record in store.records() {
+        let entry = twins.entry(repair_twin_key(&record.spec)).or_default();
+        if record.spec.scenario.repair.is_none() {
+            entry.0 = Some(record);
+        } else {
+            entry.1.push(record);
+        }
+    }
+
+    let fig9 = dnnlife_core::experiment::fig9_policies();
+    let rank = |policy: &PolicySpec| fig9.iter().position(|p| p == policy).unwrap_or(fig9.len());
+    let mut pairs: Vec<(&InjectionRecord, &InjectionRecord)> = twins
+        .values()
+        .filter_map(|(plain, ecc)| plain.map(|p| (p, ecc)))
+        .flat_map(|(plain, ecc)| ecc.iter().map(move |e| (plain, *e)))
+        .collect();
+    pairs.sort_by(|(a, ae), (b, be)| {
+        rank(&a.spec.scenario.policy)
+            .cmp(&rank(&b.spec.scenario.policy))
+            .then_with(|| {
+                ae.spec
+                    .scenario
+                    .repair
+                    .display_name()
+                    .cmp(&be.spec.scenario.repair.display_name())
+            })
+            .then_with(|| a.result.label.cmp(&b.result.label))
+    });
+    if pairs.is_empty() {
+        return String::new();
+    }
+
+    let mut out = String::new();
+    for (plain, ecc) in pairs {
+        let s = &ecc.spec;
+        out.push_str(&format!(
+            "=== SECDED corrected vs uncorrected: {:?} / {} / {} / {} — ecc {}, σ={} mV, {} trials ===\n",
+            s.scenario.platform,
+            s.scenario.network.display_name(),
+            s.scenario.format,
+            s.scenario.policy.display_name(),
+            s.scenario.repair.display_name(),
+            s.noise_sigma_mv,
+            s.trials,
+        ));
+        let mut header = format!("  {:<28} {:>8}", "", "clean");
+        for age in &s.ages_years {
+            header.push_str(&format!(" {:>9}y", format_age(*age)));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        let acc_row = |label: &str, record: &InjectionRecord| {
+            let mut row = format!("  {:<28} {:>8.4}", label, record.result.clean_accuracy);
+            for age in &record.result.ages {
+                row.push_str(&format!(" {:>10.4}", age.mean_accuracy));
+            }
+            row
+        };
+        out.push_str(&acc_row("uncorrected", plain));
+        out.push('\n');
+        out.push_str(&acc_row("corrected", ecc));
+        out.push('\n');
+        let mut delta = format!("  {:<28} {:>8}", "Δ accuracy", "");
+        for (p, e) in plain.result.ages.iter().zip(&ecc.result.ages) {
+            delta.push_str(&format!(" {:>+10.4}", e.mean_accuracy - p.mean_accuracy));
+        }
+        out.push_str(&delta);
+        out.push('\n');
+        let mut verdicts = format!("  {:<28} {:>8}", "corr/det/esc words", "");
+        for age in &ecc.result.ages {
+            match &age.ecc {
+                Some(stats) => verdicts.push_str(&format!(
+                    " {:>10}",
+                    format!(
+                        "{:.0}/{:.0}/{:.0}",
+                        stats.mean_corrected_words,
+                        stats.mean_detected_words,
+                        stats.mean_escaped_words
+                    )
+                )),
+                None => verdicts.push_str(&format!(" {:>10}", "-")),
+            }
+        }
+        out.push_str(&verdicts);
+        out.push('\n');
+        let mut residual = format!("  {:<28} {:>8}", "raw → residual flips", "");
+        for age in &ecc.result.ages {
+            let residual_flips = age
+                .ecc
+                .as_ref()
+                .map_or(0.0, |stats| stats.mean_residual_flips);
+            residual.push_str(&format!(
+                " {:>10}",
+                format!("{:.0}→{:.0}", age.mean_flipped_bits, residual_flips)
+            ));
+        }
+        out.push_str(&residual);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +538,7 @@ mod tests {
             eval_images: 4,
             train_steps: 0,
             noise_sigma_mv: 65.0,
+            repair: RepairPolicy::None,
         }
     }
 

@@ -89,7 +89,7 @@ pub use executor::{
 };
 pub use grid::{CampaignGrid, GridAxes};
 pub use inject::{
-    accuracy_vs_age_table, run_injection_campaign, InjectCampaignOptions, InjectionGrid,
-    InjectionOutcome, InjectionParams, InjectionRecord, InjectionStore,
+    accuracy_vs_age_table, ecc_comparison_table, run_injection_campaign, InjectCampaignOptions,
+    InjectionGrid, InjectionOutcome, InjectionParams, InjectionRecord, InjectionStore,
 };
 pub use store::{JsonlStore, ResultStore, ScenarioRecord, StoreLock, StoreRecord};

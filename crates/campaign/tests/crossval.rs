@@ -38,7 +38,7 @@ fn run_options(base_seed: u64, backend: SimulatorBackend) -> SweepOptions {
         sample_stride: 256,
         inferences: 20,
         backend,
-        dwell: DwellModel::Uniform,
+        ..SweepOptions::default()
     }
 }
 
@@ -56,6 +56,7 @@ fn crossval_axes(backend: SimulatorBackend, base_seed: u64) -> (GridAxes, GridAx
         lifetimes_years: vec![7.0],
         backends: vec![backend],
         dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
         options: run_options(base_seed, backend),
     };
     let npu = GridAxes {
@@ -66,6 +67,7 @@ fn crossval_axes(backend: SimulatorBackend, base_seed: u64) -> (GridAxes, GridAx
         lifetimes_years: vec![7.0],
         backends: vec![backend],
         dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
         options: run_options(base_seed, backend),
     };
     (baseline, npu)
@@ -241,6 +243,7 @@ fn compare_pairs_backend_twins_in_mixed_stores() {
         lifetimes_years: vec![7.0],
         backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
         options: run_options(13, SimulatorBackend::Analytic),
     };
     let grid = mixed_axes.build("mixed");

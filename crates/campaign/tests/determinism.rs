@@ -38,6 +38,7 @@ fn test_grid() -> CampaignGrid {
         lifetimes_years: vec![2.0, 7.0],
         backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
         options: SweepOptions {
             base_seed: 42,
             sample_stride: 256,
@@ -94,6 +95,7 @@ fn deterministic_exact_grid() -> CampaignGrid {
         lifetimes_years: vec![7.0],
         backends: vec![SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
         options: SweepOptions {
             base_seed: 42,
             sample_stride: 256,

@@ -44,6 +44,7 @@ fn golden_grid(base_seed: u64) -> dnnlife_campaign::CampaignGrid {
         lifetimes_years: vec![7.0],
         backends: vec![SimulatorBackend::Analytic],
         dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
         options: SweepOptions {
             base_seed,
             sample_stride: 512,

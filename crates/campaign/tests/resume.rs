@@ -27,6 +27,7 @@ fn test_grid() -> CampaignGrid {
         lifetimes_years: vec![7.0],
         backends: vec![SimulatorBackend::Analytic],
         dwells: vec![dnnlife_core::DwellModel::Uniform],
+        repairs: Vec::new(),
         options: SweepOptions {
             base_seed: 99,
             sample_stride: 256,
@@ -124,6 +125,7 @@ fn resume_with_changed_seed_prunes_stale_records() {
         lifetimes_years: vec![7.0],
         backends: vec![SimulatorBackend::Analytic],
         dwells: vec![dnnlife_core::DwellModel::Uniform],
+        repairs: Vec::new(),
         options: SweepOptions {
             base_seed: 100,
             sample_stride: 256,

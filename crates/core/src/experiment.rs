@@ -20,7 +20,7 @@ use dnnlife_mitigation::{
     WriteTransducer,
 };
 use dnnlife_numerics::{Histogram, Summary};
-use dnnlife_quant::NumberFormat;
+use dnnlife_quant::{NumberFormat, RepairPolicy};
 use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
 use serde::{Deserialize, Serialize};
 
@@ -361,16 +361,20 @@ pub struct ExperimentSpec {
     /// Per-block residency model (non-uniform models require the exact
     /// backend).
     pub dwell: DwellModel,
+    /// Error-correction axis: SECDED codewords wrap the stored words,
+    /// growing parity columns the duty/lifetime models age alongside
+    /// the data cells.
+    pub repair: RepairPolicy,
 }
 
 // Hand-rolled (de)serialization instead of the derive: the
-// `backend`/`dwell` fields are omitted when at their defaults
-// (analytic, uniform), so stores written before those axes existed
-// still parse — and, because `content_hash` is FNV over the canonical
-// JSON, a default-axis spec keeps the hash it had then (resume and
-// cross-store comparisons survive the schema growth). Off-default
-// values are serialized, so the hash changes exactly when the
-// backend/dwell axes do.
+// `backend`/`dwell`/`repair` fields are omitted when at their defaults
+// (analytic, uniform, no repair), so stores written before those axes
+// existed still parse — and, because `content_hash` is FNV over the
+// canonical JSON, a default-axis spec keeps the hash it had then
+// (resume and cross-store comparisons survive the schema growth).
+// Off-default values are serialized, so the hash changes exactly when
+// the backend/dwell/repair axes do.
 impl Serialize for ExperimentSpec {
     fn to_value(&self) -> serde::Value {
         let mut fields: Vec<(String, serde::Value)> = vec![
@@ -388,6 +392,9 @@ impl Serialize for ExperimentSpec {
         }
         if !self.dwell.is_uniform() {
             fields.push(("dwell".to_string(), self.dwell.to_value()));
+        }
+        if !self.repair.is_none() {
+            fields.push(("repair".to_string(), self.repair.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -414,6 +421,10 @@ impl Deserialize for ExperimentSpec {
                 .map(DwellModel::from_value)
                 .transpose()?
                 .unwrap_or(DwellModel::Uniform),
+            repair: optional("repair")
+                .map(RepairPolicy::from_value)
+                .transpose()?
+                .unwrap_or(RepairPolicy::None),
         })
     }
 }
@@ -433,6 +444,7 @@ impl ExperimentSpec {
             sample_stride: 1,
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
+            repair: RepairPolicy::None,
         }
     }
 
@@ -449,6 +461,7 @@ impl ExperimentSpec {
             sample_stride: 1,
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
+            repair: RepairPolicy::None,
         }
     }
 
@@ -479,21 +492,29 @@ impl ExperimentSpec {
             }
         };
         let backend_ok = self.backend == SimulatorBackend::Exact || self.dwell.is_uniform();
-        platform_ok && dwell_ok && backend_ok
+        let repair_ok = self.repair.is_valid_for(self.format.bits() as u32);
+        platform_ok && dwell_ok && backend_ok && repair_ok
     }
 
     /// A short bracketed qualifier naming the spec's off-default
-    /// backend/dwell axes (empty for analytic + uniform), appended to
-    /// labels so records from different axes never render identically.
+    /// backend/dwell/repair axes (empty for analytic + uniform + no
+    /// repair), appended to labels so records from different axes never
+    /// render identically.
     pub fn variant_suffix(&self) -> String {
-        match (self.backend, self.dwell.is_uniform()) {
-            (SimulatorBackend::Analytic, true) => String::new(),
-            (backend, true) => format!(" [{}]", backend.display_name()),
-            (backend, false) => format!(
-                " [{}, dwell={}]",
-                backend.display_name(),
-                self.dwell.display_name()
-            ),
+        let mut parts: Vec<String> = Vec::new();
+        if self.backend != SimulatorBackend::Analytic {
+            parts.push(self.backend.display_name().to_string());
+        }
+        if !self.dwell.is_uniform() {
+            parts.push(format!("dwell={}", self.dwell.display_name()));
+        }
+        if !self.repair.is_none() {
+            parts.push(format!("ecc={}", self.repair.display_name()));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", parts.join(", "))
         }
     }
 
@@ -767,7 +788,8 @@ fn simulate_units(
                 &network,
                 spec.format,
                 spec.seed,
-            );
+            )
+            .with_repair(&spec.repair);
             blocks = mem.block_count();
             let mem = with_dwell(mem, dwell, &network);
             units.push(simulate_unit(&mem, 0)?);
@@ -781,7 +803,7 @@ fn simulate_units(
                 if slot.block_count() == 0 {
                     continue;
                 }
-                let slot = with_dwell(slot, dwell, &network);
+                let slot = with_dwell(slot.with_repair(&spec.repair), dwell, &network);
                 units.push(simulate_unit(&slot, i as u64)?);
             }
         }
@@ -1068,6 +1090,7 @@ mod tests {
             sample_stride: 16,
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
+            repair: RepairPolicy::None,
         }
     }
 
@@ -1282,6 +1305,82 @@ mod tests {
             r.label.contains("[exact, dwell=zipf(1.00)]"),
             "label: {}",
             r.label
+        );
+    }
+
+    #[test]
+    fn repair_axis_hashes_serializes_and_validates() {
+        let base = quick_spec(PolicySpec::None);
+        // Legacy byte-compat: a no-repair spec serializes without the
+        // field, so its content hash (the store key) is unchanged by
+        // the schema growth.
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("repair"), "{json}");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, base);
+        assert_eq!(back.content_key(), base.content_key());
+
+        // The axis is hashed, serialized and round-trips when set.
+        let mut ecc = base.clone();
+        ecc.repair = RepairPolicy::Secded { interleave: 1 };
+        assert_ne!(base.content_hash(), ecc.content_hash());
+        let json = serde_json::to_string(&ecc).unwrap();
+        assert!(json.contains("repair"), "{json}");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ecc);
+        // Distinct interleaves are distinct scenarios.
+        let mut scattered = ecc.clone();
+        scattered.repair = RepairPolicy::Secded { interleave: 5 };
+        assert_ne!(ecc.content_hash(), scattered.content_hash());
+        // Repair is a physical coordinate (unlike the backend).
+        assert_ne!(base.coordinate_hash(), ecc.coordinate_hash());
+
+        // Validity: the interleave must be coprime with the codeword
+        // width (13 for 8-bit formats, 39 for fp32).
+        assert!(ecc.is_valid());
+        let mut bad = ecc.clone();
+        bad.repair = RepairPolicy::Secded { interleave: 13 };
+        assert!(!bad.is_valid(), "13 shares a factor with width 13");
+        let mut fp32 = ExperimentSpec::fig9(NumberFormat::Fp32, PolicySpec::None, 1);
+        fp32.repair = RepairPolicy::Secded { interleave: 3 };
+        assert!(!fp32.is_valid(), "3 divides the fp32 codeword width 39");
+        fp32.repair = RepairPolicy::Secded { interleave: 2 };
+        assert!(fp32.is_valid());
+
+        // Labels carry the qualifier.
+        assert_eq!(ecc.variant_suffix(), " [ecc=secded]");
+        assert_eq!(scattered.variant_suffix(), " [ecc=secded:5]");
+        let mut exact = ecc.clone();
+        exact.backend = SimulatorBackend::Exact;
+        assert_eq!(exact.variant_suffix(), " [exact, ecc=secded]");
+        assert_eq!(base.variant_suffix(), "");
+    }
+
+    #[test]
+    fn experiment_with_repair_ages_parity_cells() {
+        let mut spec = quick_spec(PolicySpec::Inversion);
+        spec.repair = RepairPolicy::Secded { interleave: 1 };
+        let plain = quick(PolicySpec::Inversion);
+        let ecc = run_experiment(&spec);
+        // 13/8 the simulated cells: the parity columns are aged too.
+        assert_eq!(ecc.cells, plain.cells / 8 * 13);
+        assert!(ecc.label.contains("[ecc=secded]"), "{}", ecc.label);
+        assert_eq!(ecc.histogram.total(), ecc.cells);
+    }
+
+    #[test]
+    fn repair_axis_runs_on_the_exact_backend_too() {
+        let mut spec = quick_spec(PolicySpec::BarrelShifter);
+        spec.repair = RepairPolicy::Secded { interleave: 1 };
+        spec.sample_stride = 256;
+        spec.inferences = 4;
+        let cv = cross_validate(&spec);
+        assert!(
+            cv.within_tolerance(),
+            "{}: max |Δduty| = {} — the closed forms must stay exact over \
+             13-bit codewords",
+            cv.label,
+            cv.max_abs_duty
         );
     }
 

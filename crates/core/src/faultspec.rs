@@ -149,15 +149,17 @@ impl FaultInjectionSpec {
         )
     }
 
-    /// Report label: the scenario label parts plus the injection
-    /// operating point.
+    /// Report label: the scenario label parts (with the variant
+    /// qualifier — e.g. `[ecc=secded]` — when off-default axes are
+    /// set) plus the injection operating point.
     pub fn label(&self) -> String {
         format!(
-            "{:?}/{}/{}/{} inject[σ={}mV, {} trials]",
+            "{:?}/{}/{}/{}{} inject[σ={}mV, {} trials]",
             self.scenario.platform,
             self.scenario.network.display_name(),
             self.scenario.format,
             self.scenario.policy.display_name(),
+            self.scenario.variant_suffix(),
             self.noise_sigma_mv,
             self.trials,
         )

@@ -37,6 +37,7 @@
 //!     sample_stride: 8,
 //!     backend: SimulatorBackend::Analytic, // closed forms (assumption (b))
 //!     dwell: DwellModel::Uniform,          // equal block residency
+//!     repair: dnnlife_quant::RepairPolicy::None, // no ECC over stored words
 //! };
 //! let result = run_experiment(&spec);
 //! // DNN-Life drives every cell toward the minimal-degradation bin.
@@ -50,6 +51,7 @@ pub mod faultspec;
 pub mod probmodel;
 pub mod report;
 
+pub use dnnlife_quant::RepairPolicy;
 pub use experiment::{
     cross_validate, cross_validate_cancellable, cross_validate_sharded, run_experiment,
     run_experiment_threaded, run_experiment_with, CrossValidation, DwellModel, ExperimentResult,

@@ -22,8 +22,10 @@ use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
 
 /// Per-weight-cell lifetime duty cycles of every layer, in canonical
 /// weight order (`per_layer[li][w * bits + b]` is the duty of the
-/// physical cell storing bit `b` of weight `w`), plus the quantizers
-/// the memory image was encoded with.
+/// physical cell storing bit `b` of weight `w`, where `bits` is the
+/// *stored* word width — data plus SECDED parity columns when the
+/// scenario carries a repair policy), plus the quantizers the memory
+/// image was encoded with.
 #[derive(Debug, Clone)]
 pub struct WeightCellDuties {
     /// Stored word width in bits.
@@ -73,7 +75,8 @@ impl WeightCellDuties {
                     &network,
                     scenario.format,
                     tables,
-                );
+                )
+                .with_repair(&scenario.repair);
                 word_bits = mem.geometry().word_bits;
                 let map = UnitDutyMap::analytic(&mem, &policy, &cfg);
                 for (li, layer) in network.layers().iter().enumerate() {
@@ -90,8 +93,11 @@ impl WeightCellDuties {
                 }
             }
             Platform::TpuLike => {
-                let slots =
-                    FifoSlotMemory::all_slots_with_weight_tables(&network, scenario.format, tables);
+                let slots: Vec<FifoSlotMemory> =
+                    FifoSlotMemory::all_slots_with_weight_tables(&network, scenario.format, tables)
+                        .into_iter()
+                        .map(|slot| slot.with_repair(&scenario.repair))
+                        .collect();
                 word_bits = slots[0].geometry().word_bits;
                 let maps: Vec<UnitDutyMap> = slots
                     .iter()
@@ -177,6 +183,7 @@ mod tests {
             sample_stride: 1,
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
+            repair: dnnlife_core::RepairPolicy::None,
         }
     }
 

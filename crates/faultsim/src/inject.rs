@@ -9,6 +9,7 @@ use dnnlife_nn::data::SyntheticMnist;
 use dnnlife_nn::train::accuracy;
 use dnnlife_nn::zoo::apply_layer_weights;
 use dnnlife_nn::{Sequential, Tensor};
+use dnnlife_quant::ecc::{EccLayout, EccOutcome};
 use dnnlife_quant::Quantizer;
 use dnnlife_sram::lifetime::ReadFailureModel;
 use dnnlife_sram::snm::CalibratedSnmModel;
@@ -36,8 +37,39 @@ pub struct InjectOptions<'a> {
     pub cancel: Option<&'a AtomicBool>,
 }
 
-/// Accuracy at one age checkpoint.
+/// Per-trial tallies of the SECDED decoder's verdicts (internal
+/// accumulator; the stored aggregate is [`EccAgeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct EccTrialCounts {
+    /// Word reads whose errors were fully removed.
+    corrected: u64,
+    /// Word reads flagged uncorrectable (delivered with raw errors).
+    detected: u64,
+    /// Word reads the decoder miscorrected (≥3-bit patterns aliasing a
+    /// single-bit column — wrong data delivered as good).
+    escaped: u64,
+    /// Data-bit flips surviving past the decoder.
+    residual_flips: u64,
+}
+
+/// SECDED decoder statistics at one age checkpoint (means over the
+/// trials). Present only for specs with a repair policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccAgeStats {
+    /// Mean corrected word reads per trial (errors fully removed).
+    pub mean_corrected_words: f64,
+    /// Mean detected-uncorrectable word reads per trial.
+    pub mean_detected_words: f64,
+    /// Mean miscorrected word reads per trial (escapes).
+    pub mean_escaped_words: f64,
+    /// Mean data-bit flips per trial surviving past the decoder
+    /// (compare with [`AgeAccuracy::mean_flipped_bits`], the raw
+    /// pre-correction cell flips).
+    pub mean_residual_flips: f64,
+}
+
+/// Accuracy at one age checkpoint.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgeAccuracy {
     /// Device age in years.
     pub years: f64,
@@ -45,8 +77,56 @@ pub struct AgeAccuracy {
     pub mean_accuracy: f64,
     /// Per-trial accuracies, in trial order.
     pub trial_accuracies: Vec<f64>,
-    /// Mean number of weight bits flipped per trial.
+    /// Mean number of physical cell flips per trial (data + parity
+    /// cells under a repair policy; the decoder removes most of them
+    /// before they reach the weights — see [`AgeAccuracy::ecc`]).
     pub mean_flipped_bits: f64,
+    /// SECDED decoder tallies — `Some` iff the spec's scenario carries
+    /// a repair policy.
+    pub ecc: Option<EccAgeStats>,
+}
+
+// Hand-rolled (de)serialization: the `ecc` field is omitted when
+// absent, so records written by `RepairPolicy::None` campaigns are
+// byte-identical to pre-repair-axis stores (the golden-file regression
+// in `dnnlife-campaign` pins this), and old stores still parse.
+impl Serialize for AgeAccuracy {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("years".to_string(), self.years.to_value()),
+            ("mean_accuracy".to_string(), self.mean_accuracy.to_value()),
+            (
+                "trial_accuracies".to_string(),
+                self.trial_accuracies.to_value(),
+            ),
+            (
+                "mean_flipped_bits".to_string(),
+                self.mean_flipped_bits.to_value(),
+            ),
+        ];
+        if let Some(ecc) = &self.ecc {
+            fields.push(("ecc".to_string(), ecc.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for AgeAccuracy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = value.as_object_named("AgeAccuracy")?;
+        let ecc = pairs
+            .iter()
+            .find(|(key, _)| key == "ecc")
+            .map(|(_, v)| EccAgeStats::from_value(v))
+            .transpose()?;
+        Ok(AgeAccuracy {
+            years: serde::field(pairs, "years")?,
+            mean_accuracy: serde::field(pairs, "mean_accuracy")?,
+            trial_accuracies: serde::field(pairs, "trial_accuracies")?,
+            mean_flipped_bits: serde::field(pairs, "mean_flipped_bits")?,
+            ecc,
+        })
+    }
 }
 
 /// What one fault-injection experiment produced.
@@ -58,7 +138,8 @@ pub struct InjectionResult {
     /// set (identical across ages; the age-0 baseline up to the
     /// near-zero fresh-cell failure rate).
     pub clean_accuracy: f64,
-    /// Total weight cells subject to injection (weights × word bits).
+    /// Total weight cells subject to injection (weights × stored word
+    /// bits — including SECDED parity columns under a repair policy).
     pub weight_bits: u64,
     /// Accuracy at each requested age checkpoint, in spec order.
     pub ages: Vec<AgeAccuracy>,
@@ -119,6 +200,17 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
         noise_sigma_mv: spec.noise_sigma_mv,
         ..ReadFailureModel::default_65nm()
     };
+    let ecc_layout = spec
+        .scenario
+        .repair
+        .layout(spec.scenario.format.bits() as u32);
+    if let Some(layout) = &ecc_layout {
+        assert_eq!(
+            layout.width(),
+            duties.word_bits,
+            "duty simulation must cover the parity columns"
+        );
+    }
 
     let mut ages = Vec::with_capacity(spec.ages_years.len());
     for (age_index, &years) in spec.ages_years.iter().enumerate() {
@@ -134,16 +226,28 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
             &quantizers,
             &probs,
             duties.word_bits,
+            ecc_layout.as_ref(),
             age_index,
             (&images, &labels),
             opts,
         )?;
         let n = trials.len() as f64;
+        let ecc = ecc_layout.is_some().then(|| EccAgeStats {
+            mean_corrected_words: trials.iter().map(|t| t.2.corrected as f64).sum::<f64>() / n,
+            mean_detected_words: trials.iter().map(|t| t.2.detected as f64).sum::<f64>() / n,
+            mean_escaped_words: trials.iter().map(|t| t.2.escaped as f64).sum::<f64>() / n,
+            mean_residual_flips: trials
+                .iter()
+                .map(|t| t.2.residual_flips as f64)
+                .sum::<f64>()
+                / n,
+        });
         ages.push(AgeAccuracy {
             years,
             mean_accuracy: trials.iter().map(|t| t.0).sum::<f64>() / n,
             trial_accuracies: trials.iter().map(|t| t.0).collect(),
             mean_flipped_bits: trials.iter().map(|t| t.1 as f64).sum::<f64>() / n,
+            ecc,
         });
     }
 
@@ -156,8 +260,8 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
 }
 
 /// Runs `spec.trials` seeded trials for one age on a small worker pool,
-/// returning `(accuracy, flipped_bits)` in trial order. `None` iff
-/// cancelled.
+/// returning `(accuracy, flipped_bits, ecc_counts)` in trial order.
+/// `None` iff cancelled.
 #[allow(clippy::too_many_arguments)]
 fn run_trials(
     spec: &FaultInjectionSpec,
@@ -167,10 +271,11 @@ fn run_trials(
     quantizers: &[Quantizer],
     probs: &[Vec<f64>],
     word_bits: u32,
+    ecc: Option<&EccLayout>,
     age_index: usize,
     eval: (&Tensor, &[usize]),
     opts: &InjectOptions,
-) -> Option<Vec<(f64, u64)>> {
+) -> Option<Vec<(f64, u64, EccTrialCounts)>> {
     let trials = spec.trials as usize;
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
@@ -181,14 +286,16 @@ fn run_trials(
     }
     .clamp(1, trials);
 
-    let run_one = |net: &mut Sequential, trial: usize| -> (f64, u64) {
-        let (tables, flips) =
-            corrupt_tables(spec, codes, quantizers, probs, word_bits, age_index, trial);
+    let run_one = |net: &mut Sequential, trial: usize| -> (f64, u64, EccTrialCounts) {
+        let (tables, flips, counts) = corrupt_tables(
+            spec, codes, quantizers, probs, word_bits, ecc, age_index, trial,
+        );
         apply_layer_weights(net, network, &tables);
-        (accuracy(net, eval.0, eval.1), flips)
+        (accuracy(net, eval.0, eval.1), flips, counts)
     };
 
-    let slots: Vec<Mutex<Option<(f64, u64)>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(f64, u64, EccTrialCounts)>>> =
+        (0..trials).map(|_| Mutex::new(None)).collect();
     if threads == 1 {
         let mut net = trained.instantiate();
         for (trial, slot) in slots.iter().enumerate() {
@@ -225,23 +332,31 @@ fn run_trials(
 }
 
 /// Builds the corrupted weight tables of one trial: every physical
-/// weight cell fails independently with its probability, the flip mask
-/// is carried through the policy's read-decode permutation, and the
-/// corrupted code is dequantized. Returns the tables and the number of
-/// flipped bits.
+/// cell (data *and* parity under a repair policy) fails independently
+/// with its probability; with SECDED the raw word's error mask runs
+/// through syndrome decode *before* the policy's read-decode
+/// permutation (the ECC engine sits at the SRAM array port, below the
+/// mitigation logic); the surviving data-bit flips are then carried
+/// through the permutation and the corrupted code is dequantized.
+/// Returns the tables, the raw flipped-cell count, and the decoder
+/// tallies (zero without a repair policy).
+#[allow(clippy::too_many_arguments)]
 fn corrupt_tables(
     spec: &FaultInjectionSpec,
     codes: &[Vec<u32>],
     quantizers: &[Quantizer],
     probs: &[Vec<f64>],
     word_bits: u32,
+    ecc: Option<&EccLayout>,
     age_index: usize,
     trial: usize,
-) -> (Vec<Vec<f32>>, u64) {
+) -> (Vec<Vec<f32>>, u64, EccTrialCounts) {
     let mut rng = StdRng::seed_from_u64(spec.trial_seed(age_index, trial as u32));
     let rotates = matches!(spec.scenario.policy, PolicySpec::BarrelShifter);
     let bits = word_bits as usize;
+    let data_bits = spec.scenario.format.bits() as u32;
     let mut flips = 0u64;
+    let mut counts = EccTrialCounts::default();
     let tables = codes
         .iter()
         .zip(quantizers)
@@ -252,7 +367,7 @@ fn corrupt_tables(
                 .enumerate()
                 .map(|(w, &code)| {
                     let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
-                    let mut mask = 0u32;
+                    let mut mask = 0u64;
                     for (b, &p) in cell_probs.iter().enumerate() {
                         if p > 0.0 && rng.random::<f64>() < p {
                             mask |= 1 << b;
@@ -262,20 +377,44 @@ fn corrupt_tables(
                         return q.decode_corrupted(code);
                     }
                     flips += u64::from(mask.count_ones());
+                    let mut data_mask = match ecc {
+                        None => mask as u32,
+                        Some(layout) => {
+                            // Syndrome decode on the raw array word's
+                            // error pattern (codes are linear, so the
+                            // decoder's action depends only on the
+                            // mask), gathered out of the interleaved
+                            // column layout.
+                            let decode = layout.code().decode_mask(layout.gather_mask(mask));
+                            match decode.outcome {
+                                EccOutcome::Corrected => counts.corrected += 1,
+                                EccOutcome::Detected => counts.detected += 1,
+                                EccOutcome::Escaped => counts.escaped += 1,
+                                EccOutcome::Clean => unreachable!("nonzero mask"),
+                            }
+                            let survived = (decode.residual & ((1u64 << data_bits) - 1)) as u32;
+                            counts.residual_flips += u64::from(survived.count_ones());
+                            survived
+                        }
+                    };
+                    if data_mask == 0 {
+                        return q.decode_corrupted(code);
+                    }
                     if rotates {
                         // The barrel shifter reads at the schedule's
                         // rotation phase; over the lifetime the phase
-                        // is uniform, so the stored-bit flip lands on a
-                        // uniformly drawn logical position.
-                        let shift = (rng.random::<f64>() * word_bits as f64) as u32 % word_bits;
-                        mask = rotate_right(mask, shift, word_bits);
+                        // is uniform, so a surviving stored-bit flip
+                        // lands on a uniformly drawn logical position
+                        // of the data word.
+                        let shift = (rng.random::<f64>() * f64::from(data_bits)) as u32 % data_bits;
+                        data_mask = rotate_right(data_mask, shift, data_bits);
                     }
-                    q.decode_corrupted(code ^ mask)
+                    q.decode_corrupted(code ^ data_mask)
                 })
                 .collect()
         })
         .collect();
-    (tables, flips)
+    (tables, flips, counts)
 }
 
 /// Rotates the low `width` bits of `mask` right by `by`.
@@ -361,6 +500,94 @@ mod tests {
             cancel: Some(&flag),
         };
         assert!(run_injection(&spec, &opts).is_none());
+    }
+
+    #[test]
+    fn secded_corrects_most_flips_and_counts_verdicts() {
+        use dnnlife_core::RepairPolicy;
+        let mut plain = tiny_spec(PolicySpec::None);
+        plain.noise_sigma_mv = 80.0;
+        let mut ecc = plain.clone();
+        ecc.scenario.repair = RepairPolicy::Secded { interleave: 1 };
+
+        let plain_result = run_injection(&plain, &InjectOptions::default()).expect("uncancelled");
+        let ecc_result = run_injection(&ecc, &InjectOptions::default()).expect("uncancelled");
+
+        // The ECC'd memory carries the parity columns: 13/8 the cells.
+        assert_eq!(ecc_result.weight_bits, plain_result.weight_bits / 8 * 13);
+        let plain_age = &plain_result.ages[0];
+        let ecc_age = &ecc_result.ages[0];
+        assert!(plain_age.ecc.is_none(), "no decoder stats without repair");
+        let stats = ecc_age.ecc.as_ref().expect("decoder stats with repair");
+        // The decoder saw errors and corrected the overwhelming
+        // majority of corrupted words...
+        assert!(stats.mean_corrected_words > 0.0);
+        assert!(
+            stats.mean_corrected_words
+                > 10.0 * (stats.mean_detected_words + stats.mean_escaped_words),
+            "corrected {} vs detected {} + escaped {}",
+            stats.mean_corrected_words,
+            stats.mean_detected_words,
+            stats.mean_escaped_words
+        );
+        // ...so the flips surviving into the weights are a small
+        // fraction of the raw cell flips (which themselves exceed the
+        // plain memory's: parity cells fail too).
+        assert!(ecc_age.mean_flipped_bits > plain_age.mean_flipped_bits);
+        assert!(
+            stats.mean_residual_flips < 0.2 * plain_age.mean_flipped_bits,
+            "residual {} vs unprotected {}",
+            stats.mean_residual_flips,
+            plain_age.mean_flipped_bits
+        );
+    }
+
+    #[test]
+    fn secded_injection_is_thread_invariant_and_round_trips() {
+        use dnnlife_core::RepairPolicy;
+        let mut spec = tiny_spec(PolicySpec::BarrelShifter);
+        spec.scenario.repair = RepairPolicy::Secded { interleave: 5 };
+        spec.noise_sigma_mv = 80.0;
+        let one = run_injection(&spec, &InjectOptions::default()).expect("uncancelled");
+        let four = run_injection(
+            &spec,
+            &InjectOptions {
+                threads: 4,
+                cancel: None,
+            },
+        )
+        .expect("uncancelled");
+        assert_eq!(one, four, "thread count must never be semantic");
+        // The result (with its ECC stats) survives the store's JSON
+        // round trip.
+        let json = serde_json::to_string(&one).expect("serialize");
+        let back: InjectionResult = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, one);
+        assert!(json.contains("\"ecc\""));
+        // And a repair-free result serializes without the field.
+        let plain = run_injection(&tiny_spec(PolicySpec::None), &InjectOptions::default())
+            .expect("uncancelled");
+        assert!(!serde_json::to_string(&plain)
+            .expect("serialize")
+            .contains("\"ecc\""));
+    }
+
+    #[test]
+    fn negligible_noise_with_secded_reproduces_clean_accuracy() {
+        use dnnlife_core::RepairPolicy;
+        let mut spec = tiny_spec(PolicySpec::None);
+        spec.scenario.repair = RepairPolicy::Secded { interleave: 1 };
+        spec.noise_sigma_mv = 1e-3;
+        let result = run_injection(&spec, &InjectOptions::default()).expect("uncancelled");
+        for age in &result.ages {
+            assert_eq!(age.mean_flipped_bits, 0.0);
+            let stats = age.ecc.as_ref().expect("stats present");
+            assert_eq!(stats.mean_corrected_words, 0.0);
+            assert_eq!(stats.mean_residual_flips, 0.0);
+            for &acc in &age.trial_accuracies {
+                assert_eq!(acc, result.clean_accuracy);
+            }
+        }
     }
 
     #[test]

@@ -64,5 +64,5 @@ pub mod inject;
 pub mod network;
 
 pub use failure::WeightCellDuties;
-pub use inject::{run_injection, AgeAccuracy, InjectOptions, InjectionResult};
+pub use inject::{run_injection, AgeAccuracy, EccAgeStats, InjectOptions, InjectionResult};
 pub use network::TrainedNetwork;

@@ -34,6 +34,6 @@ pub mod train;
 pub mod weights;
 pub mod zoo;
 
-pub use network::Sequential;
+pub use network::{nan_tolerant_argmax, Sequential};
 pub use tensor::Tensor;
 pub use zoo::{LayerSpec, NetworkSpec};

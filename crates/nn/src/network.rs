@@ -113,6 +113,16 @@ impl Sequential {
     }
 
     /// Class predictions (argmax over the final logits) for a batch.
+    ///
+    /// The argmax is NaN-tolerant and total: raw IEEE faults in the
+    /// weights (the fault-injection path) can drive logits to NaN or
+    /// ±∞, and classification must stay deterministic rather than
+    /// panic. NaN logits are treated as smaller than every real value
+    /// (they can never win), an all-NaN row deterministically predicts
+    /// class 0, ±∞ compare normally, and exact ties resolve to the
+    /// highest tied index (the tie rule `Iterator::max_by` applied
+    /// before NaNs were tolerated, so fault-free predictions are
+    /// bit-identical to the historical behaviour).
     pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
         let logits = self.forward(input);
         assert_eq!(
@@ -122,16 +132,32 @@ impl Sequential {
         );
         let (n, classes) = (logits.shape()[0], logits.shape()[1]);
         (0..n)
-            .map(|img| {
-                let row = &logits.data()[img * classes..(img + 1) * classes];
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                    .map(|(i, _)| i)
-                    .expect("non-empty class row")
-            })
+            .map(|img| nan_tolerant_argmax(&logits.data()[img * classes..(img + 1) * classes]))
             .collect()
     }
+}
+
+/// Index of the largest logit, total over every IEEE value: NaNs lose
+/// to everything, all-NaN rows predict 0, ties go to the highest tied
+/// index. See [`Sequential::predict`].
+///
+/// # Panics
+///
+/// Panics on an empty row.
+pub fn nan_tolerant_argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of an empty class row");
+    let mut best = 0usize;
+    let mut best_value = f32::NAN;
+    for (i, &v) in row.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        if best_value.is_nan() || v >= best_value {
+            best = i;
+            best_value = v;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -188,6 +214,42 @@ mod tests {
         let mut net = two_layer();
         let preds = net.predict(&Tensor::from_vec(&[2, 2], vec![5.0, 0.0, 0.0, 5.0]));
         assert_eq!(preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn argmax_tolerates_every_ieee_edge_case() {
+        // Ordinary rows.
+        assert_eq!(nan_tolerant_argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(nan_tolerant_argmax(&[7.0]), 0);
+        // NaNs can never win, wherever they sit.
+        assert_eq!(nan_tolerant_argmax(&[f32::NAN, 1.0, 0.5]), 1);
+        assert_eq!(nan_tolerant_argmax(&[1.0, f32::NAN, 0.5]), 0);
+        assert_eq!(nan_tolerant_argmax(&[-1.0, -2.0, f32::NAN]), 0);
+        // All-NaN rows deterministically predict class 0.
+        assert_eq!(nan_tolerant_argmax(&[f32::NAN, f32::NAN, f32::NAN]), 0);
+        // Infinities compare normally; +∞ beats everything real, and a
+        // row of -∞ behaves like an all-tied row.
+        assert_eq!(nan_tolerant_argmax(&[1.0, f32::INFINITY, 2.0]), 1);
+        assert_eq!(nan_tolerant_argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+        assert_eq!(
+            nan_tolerant_argmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]),
+            1,
+            "ties resolve to the highest tied index"
+        );
+        // Exact ties: highest tied index, matching the pre-hardening
+        // `max_by` behaviour bit for bit.
+        assert_eq!(nan_tolerant_argmax(&[2.0, 2.0, 1.0]), 1);
+        assert_eq!(nan_tolerant_argmax(&[0.0, -0.0]), 1, "-0.0 ties +0.0");
+        // Deterministic: repeated evaluation agrees.
+        let row = [f32::NAN, 3.0, 3.0, f32::NEG_INFINITY];
+        assert_eq!(nan_tolerant_argmax(&row), nan_tolerant_argmax(&row));
+        assert_eq!(nan_tolerant_argmax(&row), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty class row")]
+    fn argmax_rejects_empty_rows() {
+        let _ = nan_tolerant_argmax(&[]);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! ```
 
 pub mod distribution;
+pub mod ecc;
 pub mod quantizer;
 
 pub use distribution::{analyze_layer, analyze_network, BitDistribution};
+pub use ecc::{EccLayout, EccOutcome, RepairPolicy, SecdedCode};
 pub use quantizer::{NumberFormat, Quantizer};

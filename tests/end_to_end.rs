@@ -149,6 +149,7 @@ fn fig9_policy_ordering_smoke() {
             sample_stride: 64,
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
+            repair: dnnlife_core::RepairPolicy::None,
         };
         results.push((policy, run_experiment(&spec)));
     }
