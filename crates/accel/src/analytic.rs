@@ -34,6 +34,7 @@
 use crate::plan::BlockSource;
 use crate::rng::SplitMix64;
 use dnnlife_numerics::sample_binomial;
+use dnnlife_telemetry::{Counter, Telemetry};
 
 /// Mitigation policy, in the closed-form parameterisation used by this
 /// simulator (mirrors `dnnlife_mitigation::transducer`).
@@ -145,6 +146,24 @@ pub fn simulate_analytic(
     policy: &AnalyticPolicy,
     cfg: &AnalyticSimConfig,
 ) -> Vec<f64> {
+    simulate_analytic_telemetry(source, policy, cfg, None)
+}
+
+/// [`simulate_analytic`] with an observability handle: shard and cell
+/// counts are rolled into `telemetry` ([`AnalyticSimConfig`] stays a
+/// plain `Eq` value type, so the borrowed handle rides alongside it
+/// instead of inside). Never semantic — duties are byte-identical with
+/// or without it.
+///
+/// # Panics
+///
+/// Panics if `sample_stride == 0` or `inferences == 0`.
+pub fn simulate_analytic_telemetry(
+    source: &dyn BlockSource,
+    policy: &AnalyticPolicy,
+    cfg: &AnalyticSimConfig,
+    telemetry: Option<&Telemetry>,
+) -> Vec<f64> {
     assert!(
         cfg.sample_stride > 0,
         "simulate_analytic: stride must be > 0"
@@ -163,9 +182,14 @@ pub fn simulate_analytic(
              (paper assumption (b)); use simulate_exact for weighted dwell"
         );
     }
+    let telemetry = telemetry.unwrap_or_else(|| Telemetry::noop());
     let sampled: Vec<usize> = (0..geo.words).step_by(cfg.sample_stride).collect();
     if k_blocks == 0 {
         // An unused memory unit holds its reset state (all zeros).
+        telemetry.add(
+            Counter::AnalyticCellsSimulated,
+            (sampled.len() * width) as u64,
+        );
         return vec![0.0; sampled.len() * width];
     }
 
@@ -246,6 +270,8 @@ pub fn simulate_analytic(
             });
         }
     }
+    telemetry.add(Counter::AnalyticShardsRun, shards as u64);
+    telemetry.add(Counter::AnalyticCellsSimulated, duties.len() as u64);
     duties
 }
 

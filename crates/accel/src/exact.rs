@@ -31,6 +31,7 @@ use std::sync::mpsc;
 use crate::plan::BlockSource;
 use dnnlife_mitigation::WriteTransducer;
 use dnnlife_sram::DutyCycleTracker;
+use dnnlife_telemetry::{Counter, Telemetry};
 
 /// Raw-block-word cache ceiling for [`simulate_exact_sampled`]: above
 /// this the simulator recomputes words per inference instead of
@@ -54,6 +55,10 @@ pub struct ExactShardConfig<'a> {
     /// Cooperative cancellation, polled once per block per shard — an
     /// abort lands within one block write, well under one inference.
     pub cancel: Option<&'a AtomicBool>,
+    /// Observability handle: shard counts, word-write totals, cache
+    /// hit/miss accounting, merge timing. Never semantic — duties are
+    /// byte-identical with or without it.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 impl Default for ExactShardConfig<'_> {
@@ -62,6 +67,7 @@ impl Default for ExactShardConfig<'_> {
             shards: 1,
             threads: 0,
             cancel: None,
+            telemetry: None,
         }
     }
 }
@@ -233,15 +239,39 @@ pub fn simulate_exact_sharded(
         });
     }
 
-    let mut out = Vec::with_capacity(sampled.len() * width);
-    for (shard, slot) in slots.into_iter().enumerate() {
-        let duties = slot?; // a missing shard means the run was cancelled
-        assert_eq!(
-            duties.len(),
-            ranges[shard].len() * width,
-            "shard {shard} returned a mis-sized duty vector"
+    let telemetry = cfg.telemetry.unwrap_or_else(|| Telemetry::noop());
+    let out = telemetry.time(Counter::ShardMergeNanos, || {
+        let mut out = Vec::with_capacity(sampled.len() * width);
+        for (shard, slot) in slots.into_iter().enumerate() {
+            let duties = slot?; // a missing shard means the run was cancelled
+            assert_eq!(
+                duties.len(),
+                ranges[shard].len() * width,
+                "shard {shard} returned a mis-sized duty vector"
+            );
+            out.extend(duties);
+        }
+        Some(out)
+    })?;
+
+    // Counter bookkeeping is arithmetic over the completed run's shape
+    // — never per-encode atomics in the hot loop. Each sampled word is
+    // encoded once per block per inference; with the raw-word cache on,
+    // the fill is the only pass that touches the block source.
+    let k_blocks = source.block_count();
+    let word_reads = (sampled.len() as u64)
+        .saturating_mul(k_blocks)
+        .saturating_mul(inferences);
+    telemetry.add(Counter::ExactShardsRun, shards as u64);
+    telemetry.add(Counter::ExactWordWrites, word_reads);
+    if use_cache {
+        telemetry.add(Counter::BlockCacheHitWords, word_reads);
+        telemetry.add(
+            Counter::BlockCacheMissWords,
+            (sampled.len() as u64).saturating_mul(k_blocks),
         );
-        out.extend(duties);
+    } else {
+        telemetry.add(Counter::BlockCacheMissWords, word_reads);
     }
     Some(out)
 }
@@ -553,6 +583,7 @@ mod tests {
                         shards,
                         threads,
                         cancel: None,
+                        telemetry: None,
                     };
                     let sharded = simulate_exact_sharded(&mem, prototype.as_ref(), 3, 5, &cfg)
                         .expect("not cancelled");
@@ -597,6 +628,7 @@ mod tests {
                 shards: 8,
                 threads: 2,
                 cancel: None,
+                telemetry: None,
             },
         )
         .expect("not cancelled");
@@ -622,6 +654,7 @@ mod tests {
             shards: 4,
             threads: 2,
             cancel: Some(&flag),
+            telemetry: None,
         };
         // An inference count that would take far too long uncancelled.
         let started = std::time::Instant::now();

@@ -37,7 +37,9 @@ pub mod exact;
 pub mod plan;
 pub mod rng;
 
-pub use analytic::{simulate_analytic, AnalyticPolicy, AnalyticSimConfig};
+pub use analytic::{
+    simulate_analytic, simulate_analytic_telemetry, AnalyticPolicy, AnalyticSimConfig,
+};
 pub use config::AcceleratorConfig;
 pub use duty_map::UnitDutyMap;
 pub use exact::{simulate_exact, simulate_exact_sampled, simulate_exact_sharded, ExactShardConfig};

@@ -256,7 +256,12 @@ proptest! {
         };
         let mut serial_t = prototype.fork(0);
         let serial = simulate_exact_sampled(&mem, serial_t.as_mut(), inferences, stride);
-        let cfg = ExactShardConfig { shards, threads, cancel: None };
+        let cfg = ExactShardConfig {
+            shards,
+            threads,
+            cancel: None,
+            telemetry: None,
+        };
         let sharded = simulate_exact_sharded(&mem, prototype.as_ref(), inferences, stride, &cfg)
             .expect("not cancelled");
         prop_assert_eq!(sharded, serial);

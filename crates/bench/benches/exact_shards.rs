@@ -42,7 +42,7 @@ fn run_cell(spec: &ExperimentSpec, shards: usize) {
     let opts = RunOptions {
         threads: shards,
         shards: ShardPolicy::Fixed(shards),
-        cancel: None,
+        ..RunOptions::default()
     };
     let result = run_experiment_with(spec, &opts).expect("not cancelled");
     assert!(result.cells > 0);

@@ -1,0 +1,127 @@
+//! Telemetry overhead: the observability contract promises that the
+//! counters are cheap enough to leave compiled into the hot paths, so
+//! this bench pins the cost of (a) a raw counter bump against an
+//! enabled vs no-op sink, (b) a `time()` span, and (c) one analytic
+//! duty simulation of the Fig. 11 custom-network cell with telemetry
+//! off vs on — the end-to-end number that must stay ~1.0×.
+//!
+//! Like the other benches, the measurements land in
+//! `BENCH_telemetry.json` (override with `BENCH_JSON_PATH`) for CI
+//! artifact upload.
+
+use criterion::{criterion_group, Criterion};
+use dnnlife_accel::{
+    simulate_analytic_telemetry, AnalyticPolicy, AnalyticSimConfig, FifoSlotMemory,
+};
+use dnnlife_nn::NetworkSpec;
+use dnnlife_quant::NumberFormat;
+use dnnlife_telemetry::{Counter, Telemetry};
+
+/// Counter bumps per timing pass.
+const BUMPS: u64 = 1 << 20;
+
+fn bump_stream(telemetry: &Telemetry) -> u64 {
+    for i in 0..BUMPS {
+        telemetry.add(Counter::ExactWordWrites, i & 0xff);
+    }
+    telemetry.get(Counter::ExactWordWrites)
+}
+
+fn span_stream(telemetry: &Telemetry) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..BUMPS / 64 {
+        acc ^= telemetry.time(Counter::ShardMergeNanos, || std::hint::black_box(i));
+    }
+    acc
+}
+
+fn duty_sim(telemetry: Option<&Telemetry>) -> f64 {
+    let slot = FifoSlotMemory::new(
+        0,
+        &NetworkSpec::custom_mnist(),
+        NumberFormat::Int8Symmetric,
+        42,
+    );
+    let duties = simulate_analytic_telemetry(
+        &slot,
+        &AnalyticPolicy::PeriodicInversion,
+        &AnalyticSimConfig {
+            inferences: 10,
+            sample_stride: 4,
+            threads: 1,
+            shards: 1,
+        },
+        telemetry,
+    );
+    duties.iter().sum()
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let enabled = Telemetry::in_memory();
+    let mut group = c.benchmark_group("telemetry_counter");
+    group.bench_function("add_enabled", |b| {
+        b.iter(|| bump_stream(&enabled));
+    });
+    group.bench_function("add_noop", |b| {
+        b.iter(|| bump_stream(Telemetry::noop()));
+    });
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| span_stream(&enabled));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("telemetry_duty_sim");
+    group.sample_size(10);
+    group.bench_function("fig11_slot_off", |b| {
+        b.iter(|| duty_sim(None));
+    });
+    group.bench_function("fig11_slot_on", |b| {
+        b.iter(|| duty_sim(Some(&enabled)));
+    });
+    group.finish();
+}
+
+/// Best-of-`passes` wall-clock seconds (one warm pass first).
+fn best_of(mut f: impl FnMut() -> u64, passes: usize) -> f64 {
+    std::hint::black_box(f());
+    (0..passes)
+        .map(|_| {
+            let started = std::time::Instant::now();
+            std::hint::black_box(f());
+            started.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn emit_json() {
+    let enabled = Telemetry::in_memory();
+    let add_on = best_of(|| bump_stream(&enabled), 3);
+    let add_off = best_of(|| bump_stream(Telemetry::noop()), 3);
+    let span = best_of(|| span_stream(&enabled), 3);
+    let sim_off = best_of(|| duty_sim(None) as u64, 3);
+    let sim_on = best_of(|| duty_sim(Some(&enabled)) as u64, 3);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"host_cores\": {cores},\n  \
+         \"counter_add_mops_per_s\": {{\"enabled\": {:.1}, \"noop\": {:.1}}},\n  \
+         \"span_mops_per_s\": {:.2},\n  \
+         \"duty_sim_fig11_slot\": {{\"off_s\": {sim_off:.6}, \"on_s\": {sim_on:.6}, \
+         \"overhead\": {:.3}}}\n}}\n",
+        BUMPS as f64 / add_on / 1e6,
+        BUMPS as f64 / add_off / 1e6,
+        (BUMPS / 64) as f64 / span / 1e6,
+        sim_on / sim_off,
+    );
+    let path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("wrote {path}");
+    print!("{json}");
+}
+
+criterion_group!(benches, bench_telemetry);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -9,6 +9,7 @@
 use dnnlife_core::experiment::{fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec};
 use dnnlife_core::report::{render_experiment, to_csv};
 use dnnlife_quant::NumberFormat;
+use serde::Serialize;
 
 use crate::store::{ResultStore, ScenarioRecord};
 
@@ -340,6 +341,57 @@ pub fn crossval_table(results: &[dnnlife_core::CrossValidation]) -> String {
 /// when it is unambiguous; each B record is consumed by at most one A
 /// record.
 pub fn compare_stores(a: &ResultStore, b: &ResultStore) -> String {
+    let cmp = compare_store_records(a, b);
+    let mut out = String::from("=== Store comparison (B − A, mean SNM degradation) ===\n");
+    for (label, delta) in &cmp.rows {
+        out.push_str(&format!("  {label:<60} {delta:>+8.3} pp\n"));
+    }
+    out.push_str(&format!(
+        "  shared={} only-in-A={} only-in-B={}\n",
+        cmp.shared, cmp.only_a, cmp.only_b
+    ));
+    out
+}
+
+/// The machine-readable [`compare_stores`] (`dnnlife compare --json`).
+pub fn compare_stores_json(a: &ResultStore, b: &ResultStore) -> serde::Value {
+    let cmp = compare_store_records(a, b);
+    let rows: Vec<serde::Value> = cmp
+        .rows
+        .iter()
+        .map(|(label, delta)| {
+            serde::Value::Object(vec![
+                ("label".to_string(), label.to_value()),
+                ("delta_pp".to_string(), delta.to_value()),
+            ])
+        })
+        .collect();
+    serde::Value::Object(vec![
+        ("shared".to_string(), (cmp.shared as u64).to_value()),
+        ("only_in_a".to_string(), (cmp.only_a as u64).to_value()),
+        ("only_in_b".to_string(), (cmp.only_b as u64).to_value()),
+        ("rows".to_string(), serde::Value::Array(rows)),
+    ])
+}
+
+/// The matched-pair deltas behind [`compare_stores`] /
+/// [`compare_stores_json`].
+pub struct StoreComparison {
+    /// `(label, B − A mean SNM degradation in percentage points)` per
+    /// matched pair, in A's store order.
+    pub rows: Vec<(String, f64)>,
+    /// Matched pairs.
+    pub shared: usize,
+    /// A records with no B match.
+    pub only_a: usize,
+    /// B records with no A match.
+    pub only_b: usize,
+}
+
+/// Matches each A record against B (same-backend pairs first, then
+/// unambiguous cross-backend fallbacks) and computes the per-pair
+/// degradation deltas.
+pub fn compare_store_records(a: &ResultStore, b: &ResultStore) -> StoreComparison {
     let mut by_coords: std::collections::BTreeMap<String, Vec<&ScenarioRecord>> =
         std::collections::BTreeMap::new();
     for record in b.records() {
@@ -387,25 +439,22 @@ pub fn compare_stores(a: &ResultStore, b: &ResultStore) -> String {
         }
     }
 
-    let mut out = String::from("=== Store comparison (B − A, mean SNM degradation) ===\n");
-    let mut shared = 0usize;
+    let mut rows = Vec::new();
     let mut only_a = 0usize;
     for record in a.records() {
         match picks.get(&record.key) {
             Some(other) => {
-                shared += 1;
                 let delta = other.result.snm.mean() - record.result.snm.mean();
-                out.push_str(&format!(
-                    "  {:<60} {:>+8.3} pp\n",
-                    record.result.label, delta
-                ));
+                rows.push((record.result.label.clone(), delta));
             }
             None => only_a += 1,
         }
     }
     let only_b = b.records().filter(|r| !matched_b.contains(&r.key)).count();
-    out.push_str(&format!(
-        "  shared={shared} only-in-A={only_a} only-in-B={only_b}\n"
-    ));
-    out
+    StoreComparison {
+        shared: rows.len(),
+        rows,
+        only_a,
+        only_b,
+    }
 }

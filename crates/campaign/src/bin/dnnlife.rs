@@ -41,14 +41,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use dnnlife_campaign::aggregate;
 use dnnlife_campaign::grid::SweepOptions;
+use dnnlife_campaign::perf;
 use dnnlife_campaign::{
-    accuracy_vs_age_table, ecc_comparison_table, run_campaign_cancellable, run_injection_campaign,
-    validate_scenarios_cancellable, CampaignGrid, CampaignOptions, InjectCampaignOptions,
-    InjectionGrid, InjectionParams, InjectionStore, ResultStore, ShardPolicy,
+    accuracy_vs_age_table, ecc_comparison_table, run_campaign_instrumented,
+    run_injection_campaign_instrumented, validate_scenarios_instrumented, CampaignGrid,
+    CampaignOptions, InjectCampaignOptions, InjectionGrid, InjectionParams, InjectionStore,
+    Instrumentation, Progress, ResultStore, ShardPolicy, Telemetry,
 };
 use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
 use dnnlife_core::{DwellModel, RepairPolicy, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
+use serde::Serialize;
 
 /// Raised by the SIGINT handler; every long-running subcommand polls
 /// it through the campaign cancellation plumbing, so Ctrl-C aborts
@@ -78,6 +81,41 @@ fn install_sigint_handler() {
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
 
+/// Exit code for a missing or empty result/events store — distinct
+/// from general errors (2) so scripts and CI can branch on "nothing to
+/// report yet" without string-matching stderr.
+const EXIT_NO_STORE: u8 = 3;
+
+/// A subcommand failure: exit code plus message. `From<String>` maps
+/// plain errors to the general code 2; [`CliError::store`] marks the
+/// missing/empty-store outcome (3). A raised SIGINT flag overrides
+/// either with the conventional 130.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn store(message: impl Into<String>) -> Self {
+        Self {
+            code: EXIT_NO_STORE,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { code: 2, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self::from(message.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,20 +129,21 @@ fn main() -> ExitCode {
         "compare" => compare(rest),
         "validate" => validate(rest),
         "inject" => inject(rest),
+        "perf" => perf_command(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("dnnlife: {message}");
+        Err(error) => {
+            eprintln!("dnnlife: {}", error.message);
             if INTERRUPTED.load(Ordering::SeqCst) {
                 return ExitCode::from(130); // conventional SIGINT exit
             }
-            ExitCode::from(2)
+            ExitCode::from(error.code)
         }
     }
 }
@@ -115,18 +154,29 @@ usage:
                 [--resume] [--seed N] [--stride N] [--inferences N]
                 [--backend analytic|exact]
                 [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
-                [--ecc none|secded[:INTERLEAVE]|both] [--shards auto|N] [--verbose]
-  dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
-  dnnlife compare --store-a FILE --store-b FILE
+                [--ecc none|secded[:INTERLEAVE]|both] [--shards auto|N]
+                [--telemetry] [--progress] [--verbose]
+  dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all] [--json]
+  dnnlife compare --store-a FILE --store-b FILE [--json]
   dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
                    [--stride N] [--inferences N] [--dwell MODEL]
-                   [--shards auto|N] [--report-only]
+                   [--shards auto|N] [--telemetry] [--progress] [--report-only]
   dnnlife inject [--platform baseline|npu] [--format fp32|int8|int8-asym]
                  [--policy SUBSTRING] [--ecc none|secded[:INTERLEAVE]|both]
                  [--ages Y1,Y2,...] [--trials N] [--eval-images N]
                  [--train-steps N] [--noise-mv F] [--inferences N] [--seed N]
-                 [--threads N] [--out FILE] [--resume] [--verbose]
-  dnnlife inject --report --store FILE";
+                 [--threads N] [--out FILE] [--resume] [--telemetry]
+                 [--progress] [--verbose]
+  dnnlife inject --report --store FILE [--json]
+  dnnlife perf --events FILE [--diff FILE] [--json] [--top N]
+               [--baseline FILE --max-regression F]
+
+exit codes: 0 ok; 2 error; 3 store/journal missing or empty; 130 interrupted
+`--telemetry` journals machine-readable events next to the store
+(STORE.events.jsonl — the input of `dnnlife perf`); `--progress` draws a
+live done/total/ETA line on a stderr TTY and degrades to periodic plain
+lines when stderr is redirected. Neither ever changes results: stores
+stay byte-identical with telemetry on or off.";
 
 /// Minimal `--flag [value]` argument cursor.
 struct Args<'a> {
@@ -161,12 +211,45 @@ impl<'a> Args<'a> {
     }
 }
 
-fn sweep(argv: &[String]) -> Result<(), String> {
+/// The telemetry journal path derived from a result-store path:
+/// `campaign-results/fig9.jsonl` → `campaign-results/fig9.events.jsonl`
+/// (non-`.jsonl` stores just gain the suffix).
+fn events_path_for(store_path: &str) -> String {
+    match store_path.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}.events.jsonl"),
+        None => format!("{store_path}.events.jsonl"),
+    }
+}
+
+/// The owning halves of an [`Instrumentation`] handle, built from the
+/// `--telemetry` / `--progress` flags (the subcommand keeps them alive
+/// for the campaign's duration and borrows them into the executor).
+fn build_sinks(
+    telemetry_on: bool,
+    progress_on: bool,
+    events_path: &str,
+    label: &str,
+) -> Result<(Option<Telemetry>, Option<Progress>), CliError> {
+    let telemetry = if telemetry_on {
+        Some(
+            Telemetry::with_journal(events_path)
+                .map_err(|e| format!("--telemetry: cannot open `{events_path}`: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let progress = progress_on.then(|| Progress::stderr(label, 0));
+    Ok((telemetry, progress))
+}
+
+fn sweep(argv: &[String]) -> Result<(), CliError> {
     let mut grid_name: Option<String> = None;
     let mut out: Option<String> = None;
     let mut options = CampaignOptions::default();
     let mut sweep_options = SweepOptions::default();
     let mut ecc = EccAxis::One(RepairPolicy::None);
+    let mut telemetry_on = false;
+    let mut progress_on = false;
 
     let mut args = Args::new(argv);
     while let Some(flag) = args.next_flag() {
@@ -176,6 +259,8 @@ fn sweep(argv: &[String]) -> Result<(), String> {
             "--threads" => options.threads = args.parsed("--threads")?,
             "--resume" => options.resume = true,
             "--verbose" => options.verbose = true,
+            "--telemetry" => telemetry_on = true,
+            "--progress" => progress_on = true,
             "--seed" => sweep_options.base_seed = args.parsed("--seed")?,
             "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
@@ -183,22 +268,23 @@ fn sweep(argv: &[String]) -> Result<(), String> {
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
             "--ecc" => ecc = parse_ecc(args.value("--ecc")?)?,
             "--shards" => options.shards = parse_shards(args.value("--shards")?)?,
-            other => return Err(format!("sweep: unexpected argument `{other}`")),
+            other => return Err(format!("sweep: unexpected argument `{other}`").into()),
         }
     }
     let grid_name = grid_name.ok_or("sweep: --grid is required")?;
     if sweep_options.sample_stride == 0 {
-        return Err("sweep: --stride must be >= 1".to_string());
+        return Err("sweep: --stride must be >= 1".into());
     }
     if sweep_options.inferences == 0 {
-        return Err("sweep: --inferences must be >= 1".to_string());
+        return Err("sweep: --inferences must be >= 1".into());
     }
     if !sweep_options.dwell.is_uniform() && sweep_options.backend != SimulatorBackend::Exact {
         return Err(format!(
             "sweep: --dwell {} needs --backend exact (the analytic closed forms \
              assume equal residency — paper assumption (b))",
             sweep_options.dwell.display_name()
-        ));
+        )
+        .into());
     }
     let repairs = ecc.values();
     let grid = CampaignGrid::named_with_repairs(&grid_name, sweep_options.clone(), &repairs)
@@ -209,7 +295,8 @@ fn sweep(argv: &[String]) -> Result<(), String> {
              (check --backend/--dwell: custom factors must match the network's layer \
              count; check --ecc: the SECDED interleave must be coprime with the \
              codeword width — 13 for 8-bit words, 39 for fp32)"
-        ));
+        )
+        .into());
     }
     // The like-for-like reference for repair-drop diagnostics: the
     // same grid under no repair (everything else equal).
@@ -221,10 +308,22 @@ fn sweep(argv: &[String]) -> Result<(), String> {
     })?;
     warn_on_dwell_dropped_scenarios("sweep", &grid_name, &grid, &sweep_options, &repairs);
     let store_path = out.unwrap_or_else(|| format!("campaign-results/{grid_name}.jsonl"));
+    let events = events_path_for(&store_path);
+    let (telemetry, progress) = build_sinks(
+        telemetry_on,
+        progress_on,
+        &events,
+        &format!("sweep {grid_name}"),
+    )?;
+    let instr = Instrumentation {
+        telemetry: telemetry.as_ref(),
+        progress: progress.as_ref(),
+    };
 
     let started = std::time::Instant::now();
-    let outcome = run_campaign_cancellable(&grid, &store_path, &options, Some(&INTERRUPTED))
-        .map_err(|e| e.to_string())?;
+    let outcome =
+        run_campaign_instrumented(&grid, &store_path, &options, Some(&INTERRUPTED), instr)
+            .map_err(|e| e.to_string())?;
     println!(
         "campaign `{grid_name}`: {} executed, {} skipped, {} thread(s), {:.1}s -> {store_path}",
         outcome.executed,
@@ -232,24 +331,56 @@ fn sweep(argv: &[String]) -> Result<(), String> {
         outcome.threads,
         started.elapsed().as_secs_f64(),
     );
+    if telemetry.is_some() {
+        println!("telemetry -> {events}");
+    }
     Ok(())
 }
 
-fn report(argv: &[String]) -> Result<(), String> {
+/// Opens a result/injection-style store path for a read-only command,
+/// mapping "file does not exist" to the distinct [`EXIT_NO_STORE`]
+/// outcome *before* `open` (which would create an empty file) runs.
+fn require_store_file(command: &str, store_path: &str) -> Result<(), CliError> {
+    if !std::path::Path::new(store_path).exists() {
+        return Err(CliError::store(format!(
+            "{command}: no store at `{store_path}`"
+        )));
+    }
+    Ok(())
+}
+
+fn report(argv: &[String]) -> Result<(), CliError> {
     let mut store_path: Option<String> = None;
     let mut table = "all".to_string();
+    let mut json = false;
     let mut args = Args::new(argv);
     while let Some(flag) = args.next_flag() {
         match flag {
             "--store" => store_path = Some(args.value("--store")?.to_string()),
             "--table" => table = args.value("--table")?.to_string(),
-            other => return Err(format!("report: unexpected argument `{other}`")),
+            "--json" => json = true,
+            other => return Err(format!("report: unexpected argument `{other}`").into()),
         }
     }
     let store_path = store_path.ok_or("report: --store is required")?;
+    require_store_file("report", &store_path)?;
     let store = ResultStore::open(&store_path).map_err(|e| e.to_string())?;
     if store.is_empty() {
-        return Err(format!("report: `{store_path}` holds no scenarios"));
+        return Err(CliError::store(format!(
+            "report: `{store_path}` holds no scenarios"
+        )));
+    }
+    if json {
+        let records: Vec<serde::Value> = store.records().map(|r| r.to_value()).collect();
+        let value = serde::Value::Object(vec![
+            ("store".to_string(), store_path.to_value()),
+            ("scenarios".to_string(), serde::Value::Array(records)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string(&value).expect("records serialize")
+        );
+        return Ok(());
     }
 
     // Tables render empty when the store has no matching scenarios;
@@ -287,7 +418,8 @@ fn report(argv: &[String]) -> Result<(), String> {
         other => {
             return Err(format!(
                 "report: unknown table `{other}` (fig9|fig11|bias|mbits|detail|all)"
-            ))
+            )
+            .into())
         }
     }
     Ok(())
@@ -423,11 +555,13 @@ fn parse_shards(name: &str) -> Result<ShardPolicy, String> {
         .ok_or_else(|| format!("--shards: expected `auto` or a positive count, got `{name}`"))
 }
 
-fn validate(argv: &[String]) -> Result<(), String> {
+fn validate(argv: &[String]) -> Result<(), CliError> {
     let mut grid_name: Option<String> = None;
     let mut threads = 0usize;
     let mut shards = ShardPolicy::Auto;
     let mut report_only = false;
+    let mut telemetry_on = false;
+    let mut progress_on = false;
     let mut sweep_options = SweepOptions {
         backend: SimulatorBackend::Exact,
         ..SweepOptions::default()
@@ -444,15 +578,17 @@ fn validate(argv: &[String]) -> Result<(), String> {
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
             "--shards" => shards = parse_shards(args.value("--shards")?)?,
             "--report-only" => report_only = true,
-            other => return Err(format!("validate: unexpected argument `{other}`")),
+            "--telemetry" => telemetry_on = true,
+            "--progress" => progress_on = true,
+            other => return Err(format!("validate: unexpected argument `{other}`").into()),
         }
     }
     let grid_name = grid_name.ok_or("validate: --grid is required")?;
     if sweep_options.sample_stride == 0 {
-        return Err("validate: --stride must be >= 1".to_string());
+        return Err("validate: --stride must be >= 1".into());
     }
     if sweep_options.inferences == 0 {
-        return Err("validate: --inferences must be >= 1".to_string());
+        return Err("validate: --inferences must be >= 1".into());
     }
     let uniform = sweep_options.dwell.is_uniform();
     let grid = CampaignGrid::named(&grid_name, sweep_options.clone()).ok_or_else(|| {
@@ -461,7 +597,8 @@ fn validate(argv: &[String]) -> Result<(), String> {
     if grid.is_empty() {
         return Err(format!(
             "validate: grid `{grid_name}` has no valid scenarios for this dwell model"
-        ));
+        )
+        .into());
     }
     warn_on_dwell_dropped_scenarios(
         "validate",
@@ -471,15 +608,38 @@ fn validate(argv: &[String]) -> Result<(), String> {
         &[sweep_options.repair],
     );
 
+    // validate has no result store to sit next to, so its journal gets
+    // a grid-derived path under the default results directory.
+    let events = format!("campaign-results/validate-{grid_name}.events.jsonl");
+    let (telemetry, progress) = build_sinks(
+        telemetry_on,
+        progress_on,
+        &events,
+        &format!("validate {grid_name}"),
+    )?;
+    let instr = Instrumentation {
+        telemetry: telemetry.as_ref(),
+        progress: progress.as_ref(),
+    };
+
     let started = std::time::Instant::now();
-    let results =
-        validate_scenarios_cancellable(&grid.scenarios, threads, shards, Some(&INTERRUPTED))
-            .ok_or_else(|| {
-                format!(
-                    "validate `{grid_name}` interrupted mid-scenario; \
-                     completed pairs were discarded"
-                )
-            })?;
+    let results = validate_scenarios_instrumented(
+        &grid.scenarios,
+        threads,
+        shards,
+        Some(&INTERRUPTED),
+        instr,
+    )
+    .ok_or_else(|| {
+        format!(
+            "validate `{grid_name}` interrupted mid-scenario; \
+             completed pairs were discarded"
+        )
+    })?;
+    if let Some(telemetry) = &telemetry {
+        telemetry.emit_counters();
+        eprintln!("telemetry -> {events}");
+    }
     print!("{}", aggregate::crossval_table(&results));
     let worst = results
         .iter()
@@ -501,7 +661,8 @@ fn validate(argv: &[String]) -> Result<(), String> {
                 "validate: {} scenario pair(s) exceeded the documented tolerance:\n  {}",
                 failures.len(),
                 failures.join("\n  ")
-            ));
+            )
+            .into());
         }
     }
     Ok(())
@@ -541,7 +702,7 @@ fn parse_ages(list: &str) -> Result<Vec<f64>, String> {
 
 /// `dnnlife inject`: the fault-injection campaign — accuracy vs age
 /// per mitigation policy, resumable like `sweep`.
-fn inject(argv: &[String]) -> Result<(), String> {
+fn inject(argv: &[String]) -> Result<(), CliError> {
     let mut platform = Platform::Baseline;
     let mut format = NumberFormat::Int8Symmetric;
     let mut policy_filter: Option<String> = None;
@@ -551,6 +712,9 @@ fn inject(argv: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut report_only = false;
     let mut report_store: Option<String> = None;
+    let mut telemetry_on = false;
+    let mut progress_on = false;
+    let mut json = false;
 
     let mut args = Args::new(argv);
     while let Some(flag) = args.next_flag() {
@@ -570,33 +734,51 @@ fn inject(argv: &[String]) -> Result<(), String> {
             "--out" => out = Some(args.value("--out")?.to_string()),
             "--resume" => options.resume = true,
             "--verbose" => options.verbose = true,
+            "--telemetry" => telemetry_on = true,
+            "--progress" => progress_on = true,
             "--report" => report_only = true,
+            "--json" => json = true,
             "--store" => report_store = Some(args.value("--store")?.to_string()),
-            other => return Err(format!("inject: unexpected argument `{other}`")),
+            other => return Err(format!("inject: unexpected argument `{other}`").into()),
         }
     }
 
     if report_only {
         let store_path = report_store.ok_or("inject --report: --store is required")?;
+        require_store_file("inject", &store_path)?;
         let store = InjectionStore::open(&store_path).map_err(|e| e.to_string())?;
         if store.is_empty() {
-            return Err(format!("inject: `{store_path}` holds no injection records"));
+            return Err(CliError::store(format!(
+                "inject: `{store_path}` holds no injection records"
+            )));
+        }
+        if json {
+            let records: Vec<serde::Value> = store.records().map(|r| r.to_value()).collect();
+            let value = serde::Value::Object(vec![
+                ("store".to_string(), store_path.to_value()),
+                ("cells".to_string(), serde::Value::Array(records)),
+            ]);
+            println!(
+                "{}",
+                serde_json::to_string(&value).expect("records serialize")
+            );
+            return Ok(());
         }
         print!("{}", accuracy_vs_age_table(&store));
         print!("{}", ecc_comparison_table(&store));
         return Ok(());
     }
     if params.trials == 0 {
-        return Err("inject: --trials must be >= 1".to_string());
+        return Err("inject: --trials must be >= 1".into());
     }
     if params.eval_images == 0 {
-        return Err("inject: --eval-images must be >= 1".to_string());
+        return Err("inject: --eval-images must be >= 1".into());
     }
     if params.inferences == 0 {
-        return Err("inject: --inferences must be >= 1".to_string());
+        return Err("inject: --inferences must be >= 1".into());
     }
     if !(params.noise_sigma_mv.is_finite() && params.noise_sigma_mv > 0.0) {
-        return Err("inject: --noise-mv must be > 0".to_string());
+        return Err("inject: --noise-mv must be > 0".into());
     }
 
     // The runnable zoo network crossed with the paper's Fig. 11 policy
@@ -607,7 +789,8 @@ fn inject(argv: &[String]) -> Result<(), String> {
         if policies.is_empty() {
             return Err(format!(
                 "inject: --policy `{filter}` matches no policy of the Fig. 11 set"
-            ));
+            )
+            .into());
         }
     }
     let repairs = ecc.values();
@@ -625,7 +808,7 @@ fn inject(argv: &[String]) -> Result<(), String> {
             "inject: no valid cells for these axes (fp32 needs --platform baseline; \
              the SECDED interleave must be coprime with the codeword width — \
              13 for 8-bit words, 39 for fp32)"
-                .to_string(),
+                .into(),
         );
     }
     let no_repair_cells = InjectionGrid::build_with_repairs(
@@ -645,10 +828,22 @@ fn inject(argv: &[String]) -> Result<(), String> {
             .count()
     })?;
     let store_path = out.unwrap_or_else(|| "campaign-results/inject.jsonl".to_string());
+    let events = events_path_for(&store_path);
+    let (telemetry, progress) = build_sinks(telemetry_on, progress_on, &events, "inject")?;
+    let instr = Instrumentation {
+        telemetry: telemetry.as_ref(),
+        progress: progress.as_ref(),
+    };
 
     let started = std::time::Instant::now();
-    let outcome = run_injection_campaign(&grid, &store_path, &options, Some(&INTERRUPTED))
-        .map_err(|e| e.to_string())?;
+    let outcome = run_injection_campaign_instrumented(
+        &grid,
+        &store_path,
+        &options,
+        Some(&INTERRUPTED),
+        instr,
+    )
+    .map_err(|e| e.to_string())?;
     let store = InjectionStore::open(&store_path).map_err(|e| e.to_string())?;
     print!("{}", accuracy_vs_age_table(&store));
     print!("{}", ecc_comparison_table(&store));
@@ -659,24 +854,140 @@ fn inject(argv: &[String]) -> Result<(), String> {
         outcome.threads,
         started.elapsed().as_secs_f64(),
     );
+    if telemetry.is_some() {
+        println!("telemetry -> {events}");
+    }
     Ok(())
 }
 
-fn compare(argv: &[String]) -> Result<(), String> {
+fn compare(argv: &[String]) -> Result<(), CliError> {
     let mut store_a: Option<String> = None;
     let mut store_b: Option<String> = None;
+    let mut json = false;
     let mut args = Args::new(argv);
     while let Some(flag) = args.next_flag() {
         match flag {
             "--store-a" => store_a = Some(args.value("--store-a")?.to_string()),
             "--store-b" => store_b = Some(args.value("--store-b")?.to_string()),
-            other => return Err(format!("compare: unexpected argument `{other}`")),
+            "--json" => json = true,
+            other => return Err(format!("compare: unexpected argument `{other}`").into()),
         }
     }
     let store_a = store_a.ok_or("compare: --store-a is required")?;
     let store_b = store_b.ok_or("compare: --store-b is required")?;
+    require_store_file("compare", &store_a)?;
+    require_store_file("compare", &store_b)?;
     let a = ResultStore::open(&store_a).map_err(|e| e.to_string())?;
     let b = ResultStore::open(&store_b).map_err(|e| e.to_string())?;
+    if a.is_empty() {
+        return Err(CliError::store(format!(
+            "compare: `{store_a}` holds no scenarios"
+        )));
+    }
+    if b.is_empty() {
+        return Err(CliError::store(format!(
+            "compare: `{store_b}` holds no scenarios"
+        )));
+    }
+    if json {
+        let value = aggregate::compare_stores_json(&a, &b);
+        println!(
+            "{}",
+            serde_json::to_string(&value).expect("comparison serializes")
+        );
+        return Ok(());
+    }
     print!("{}", aggregate::compare_stores(&a, &b));
+    Ok(())
+}
+
+/// `dnnlife perf`: render performance tables from one telemetry events
+/// journal, diff two journals, and (for CI) gate the exact-backend
+/// throughput against a committed baseline.
+fn perf_command(argv: &[String]) -> Result<(), CliError> {
+    let mut events: Option<String> = None;
+    let mut diff_path: Option<String> = None;
+    let mut json = false;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 2.0f64;
+    let mut threshold = perf::DIFF_THRESHOLD;
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--events" => events = Some(args.value("--events")?.to_string()),
+            "--diff" => diff_path = Some(args.value("--diff")?.to_string()),
+            "--json" => json = true,
+            "--baseline" => baseline_path = Some(args.value("--baseline")?.to_string()),
+            "--max-regression" => max_regression = args.parsed("--max-regression")?,
+            "--threshold" => threshold = args.parsed("--threshold")?,
+            other => return Err(format!("perf: unexpected argument `{other}`").into()),
+        }
+    }
+    let events = events.ok_or("perf: --events is required (a STORE.events.jsonl journal)")?;
+    if !(max_regression.is_finite() && max_regression >= 1.0) {
+        return Err("perf: --max-regression must be >= 1".into());
+    }
+    if !(threshold.is_finite() && threshold >= 1.0) {
+        return Err("perf: --threshold must be >= 1".into());
+    }
+
+    let load = |path: &str| -> Result<perf::PerfSummary, CliError> {
+        require_store_file("perf", path)?;
+        let summary = perf::load_events(std::path::Path::new(path))
+            .map_err(|e| format!("perf: cannot read `{path}`: {e}"))?;
+        if summary.campaigns.is_empty()
+            && summary.scenarios.is_empty()
+            && summary.counters.is_empty()
+        {
+            return Err(CliError::store(format!(
+                "perf: `{path}` holds no telemetry events (was the run started with --telemetry?)"
+            )));
+        }
+        Ok(summary)
+    };
+    let summary = load(&events)?;
+
+    if let Some(diff_path) = diff_path {
+        let after = load(&diff_path)?;
+        let diff = perf::diff(&summary, &after, threshold);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&diff.to_value()).expect("diff serializes")
+            );
+        } else {
+            print!("{}", diff.render_text());
+        }
+        return Ok(());
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&summary.to_value()).expect("summary serializes")
+        );
+    } else {
+        print!("{}", summary.render_text());
+    }
+
+    if let Some(baseline_path) = baseline_path {
+        let contents = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("perf: cannot read baseline `{baseline_path}`: {e}"))?;
+        let value: serde::Value = serde_json::from_str(contents.trim())
+            .map_err(|e| format!("perf: baseline `{baseline_path}`: {e}"))?;
+        let Some(serde::Value::Number(n)) = value.get("exact_words_per_sec") else {
+            return Err(format!(
+                "perf: baseline `{baseline_path}` lacks a numeric `exact_words_per_sec` field"
+            )
+            .into());
+        };
+        let baseline = (*n).as_f64();
+        let measured = perf::check_baseline(&summary, baseline, max_regression)
+            .map_err(|e| format!("perf: {e}"))?;
+        eprintln!(
+            "perf: exact backend {measured:.0} words/s vs baseline {baseline:.0} \
+             (allowed regression {max_regression:.1}x) — ok"
+        );
+    }
     Ok(())
 }

@@ -17,7 +17,8 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use dnnlife_core::{cross_validate_cancellable, CrossValidation, ExperimentSpec, ShardPolicy};
+use dnnlife_core::{cross_validate_with, CrossValidation, ExperimentSpec, RunOptions, ShardPolicy};
+use dnnlife_telemetry::Instrumentation;
 
 use crate::executor::{execute_shared_pool, requested_threads};
 
@@ -52,7 +53,30 @@ pub fn validate_scenarios_cancellable(
     shards: ShardPolicy,
     cancel: Option<&AtomicBool>,
 ) -> Option<Vec<CrossValidation>> {
+    validate_scenarios_instrumented(
+        scenarios,
+        threads,
+        shards,
+        cancel,
+        Instrumentation::default(),
+    )
+}
+
+/// [`validate_scenarios_cancellable`] with an observability sink: the
+/// analytic/exact simulator counters of every pair accumulate into
+/// `instr.telemetry`, and each finished pair ticks `instr.progress`.
+/// Never semantic.
+pub fn validate_scenarios_instrumented(
+    scenarios: &[ExperimentSpec],
+    threads: usize,
+    shards: ShardPolicy,
+    cancel: Option<&AtomicBool>,
+    instr: Instrumentation<'_>,
+) -> Option<Vec<CrossValidation>> {
     let budget = requested_threads(threads);
+    if let Some(progress) = instr.progress {
+        progress.set_total(scenarios.len());
+    }
     let mut slots: Vec<Option<CrossValidation>> = vec![None; scenarios.len()];
     execute_shared_pool(
         scenarios,
@@ -61,10 +85,19 @@ pub fn validate_scenarios_cancellable(
         // Each pair runs single-threaded internally (matched pairs are
         // plentiful on real grids); the pool-level fan-out is the
         // parallelism. The shared flag still reaches the exact
-        // simulator through `cross_validate_cancellable`.
-        |spec, _threads, cancel| cross_validate_cancellable(spec, shards, Some(cancel)),
+        // simulator through `cross_validate_with`'s cancel option.
+        |spec, _index, _threads, cancel| {
+            let opts = RunOptions {
+                threads: 1,
+                shards,
+                cancel: Some(cancel),
+                telemetry: instr.telemetry,
+            };
+            cross_validate_with(spec, &opts)
+        },
         |index, cv| {
             slots[index] = Some(cv);
+            instr.tick();
             true
         },
     );

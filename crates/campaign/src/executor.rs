@@ -38,8 +38,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use dnnlife_core::experiment::{run_experiment_with, RunOptions, ShardPolicy};
+use dnnlife_telemetry::{Counter, Instrumentation};
+use serde::Serialize;
 
 use crate::grid::CampaignGrid;
 use crate::store::{ResultStore, ScenarioRecord, StoreLock};
@@ -102,6 +105,27 @@ pub fn run_campaign_cancellable(
     store_path: impl Into<std::path::PathBuf>,
     options: &CampaignOptions,
     cancel: Option<&AtomicBool>,
+) -> std::io::Result<CampaignOutcome> {
+    run_campaign_instrumented(
+        grid,
+        store_path,
+        options,
+        cancel,
+        Instrumentation::default(),
+    )
+}
+
+/// [`run_campaign_cancellable`] with an observability sink: counters,
+/// span timings and `events.jsonl` records flow through
+/// `instr.telemetry`, and per-scenario completions tick
+/// `instr.progress`. Telemetry is never semantic — the finished store
+/// is byte-identical with instrumentation on or off.
+pub fn run_campaign_instrumented(
+    grid: &CampaignGrid,
+    store_path: impl Into<std::path::PathBuf>,
+    options: &CampaignOptions,
+    cancel: Option<&AtomicBool>,
+    instr: Instrumentation<'_>,
 ) -> std::io::Result<CampaignOutcome> {
     let store_path = store_path.into();
     // Held for the whole campaign: a second sweep journaling into the
@@ -176,12 +200,15 @@ pub fn run_campaign_cancellable(
         budget,
         cancel,
         options.verbose,
+        instr,
         |record| record.result.label.clone(),
+        |record| record.spec.policy.display_name().to_string(),
         |spec, threads, cancel| {
             let opts = RunOptions {
                 threads,
                 shards,
                 cancel: Some(cancel),
+                telemetry: instr.telemetry,
             };
             run_experiment_with(spec, &opts)
                 .map(|result| ScenarioRecord::annotated((*spec).clone(), result, shards))
@@ -201,12 +228,22 @@ pub fn run_campaign_cancellable(
 /// finalizes the store in canonical `keys` order. Returns the number
 /// of items journaled by this invocation.
 ///
+/// Observability rides along without touching results: each item's
+/// queue wait and run wall time accumulate into `instr.telemetry`'s
+/// counters, `scenario_start`/`scenario_done`/`scenario_discarded`
+/// events flow to the journal in completion order, and every journaled
+/// record ticks `instr.progress`. `label` names a record for progress
+/// lines; `group` buckets it for per-policy throughput in `dnnlife
+/// perf`.
+///
 /// # Errors
 ///
 /// The first journal I/O error, or [`std::io::ErrorKind::Interrupted`]
 /// when `cancel` was raised before the pending set drained (journaled
 /// completions are kept either way — the caller's resume flow picks up
-/// the remainder).
+/// the remainder). The interrupted message carries the full
+/// cancellation summary: completed / in-flight discarded / never
+/// started.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn journal_into_store<T, R, RunF>(
     name: &str,
@@ -217,7 +254,9 @@ pub(crate) fn journal_into_store<T, R, RunF>(
     budget: usize,
     cancel: Option<&AtomicBool>,
     verbose: bool,
+    instr: Instrumentation<'_>,
     label: fn(&R) -> String,
+    group: fn(&R) -> String,
     run: RunF,
 ) -> std::io::Result<usize>
 where
@@ -225,29 +264,114 @@ where
     R: crate::store::StoreRecord + Send,
     RunF: Fn(&&T, usize, &AtomicBool) -> Option<R> + Sync,
 {
+    let telemetry = instr.telemetry();
+    if let Some(progress) = instr.progress {
+        progress.set_total(pending.len());
+    }
     let mut done = 0usize;
+    let discarded = AtomicUsize::new(0);
     if !pending.is_empty() {
+        let workers = budget.min(pending.len()).max(1);
+        telemetry.emit(
+            "campaign_start",
+            &[
+                ("name", name.to_value()),
+                ("noun", noun.to_value()),
+                ("pending", (pending.len() as u64).to_value()),
+                ("workers", (workers as u64).to_value()),
+                ("budget", (budget as u64).to_value()),
+            ],
+        );
+        let epoch = Instant::now();
         let mut journal_error = None;
-        execute_shared_pool(pending, budget, cancel, run, |_, record| {
-            let label = label(&record);
-            if let Err(e) = store.append(record) {
-                journal_error = Some(e);
-                return false;
-            }
-            done += 1;
-            if verbose {
-                eprintln!("  [{done}/{}] {label}", pending.len());
-            }
-            true
-        });
+        execute_shared_pool(
+            pending,
+            budget,
+            cancel,
+            |item, index, threads, run_flag| {
+                // Queue wait: how long this item sat pending before a
+                // worker claimed it. Two clock reads per item — noise
+                // next to scenario runtimes (ms to minutes).
+                let queue_nanos = epoch.elapsed().as_nanos() as u64;
+                telemetry.emit(
+                    "scenario_start",
+                    &[
+                        ("i", (index as u64).to_value()),
+                        ("threads", (threads as u64).to_value()),
+                    ],
+                );
+                let started = Instant::now();
+                let result = run(item, threads, run_flag);
+                let wall_nanos = started.elapsed().as_nanos() as u64;
+                match result {
+                    Some(record) => {
+                        telemetry.add(Counter::ScenariosCompleted, 1);
+                        telemetry.add(Counter::QueueWaitNanos, queue_nanos);
+                        telemetry.add(Counter::ScenarioWallNanos, wall_nanos);
+                        telemetry.emit(
+                            "scenario_done",
+                            &[
+                                ("i", (index as u64).to_value()),
+                                ("label", label(&record).to_value()),
+                                ("group", group(&record).to_value()),
+                                ("wall_ms", (wall_nanos as f64 / 1e6).to_value()),
+                                ("queue_ms", (queue_nanos as f64 / 1e6).to_value()),
+                                ("threads", (threads as u64).to_value()),
+                            ],
+                        );
+                        Some(record)
+                    }
+                    None => {
+                        // Counted even with telemetry off: the stderr
+                        // cancellation summary needs it.
+                        discarded.fetch_add(1, Ordering::Relaxed);
+                        telemetry.add(Counter::ScenariosDiscarded, 1);
+                        telemetry.emit(
+                            "scenario_discarded",
+                            &[
+                                ("i", (index as u64).to_value()),
+                                ("wall_ms", (wall_nanos as f64 / 1e6).to_value()),
+                            ],
+                        );
+                        None
+                    }
+                }
+            },
+            |_, record| {
+                let label = label(&record);
+                if let Err(e) = store.append(record) {
+                    journal_error = Some(e);
+                    return false;
+                }
+                done += 1;
+                instr.tick();
+                if verbose {
+                    eprintln!("  [{done}/{}] {label}", pending.len());
+                }
+                true
+            },
+        );
         if let Some(e) = journal_error {
             return Err(e);
         }
         if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            let discarded = discarded.load(Ordering::Relaxed);
+            let remaining = pending.len().saturating_sub(done + discarded);
+            telemetry.emit(
+                "campaign_abort",
+                &[
+                    ("name", name.to_value()),
+                    ("completed", (done as u64).to_value()),
+                    ("discarded", (discarded as u64).to_value()),
+                    ("remaining", (remaining as u64).to_value()),
+                ],
+            );
+            telemetry.emit_counters();
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
                 format!(
-                    "`{name}` interrupted after {done} of {} pending {noun}(s); \
+                    "`{name}` interrupted: {done} of {} pending {noun}(s) completed, \
+                     {discarded} in-flight discarded, {remaining} never started; \
                      journaled results kept — rerun with --resume",
                     pending.len()
                 ),
@@ -255,6 +379,17 @@ where
         }
     }
     store.finalize(keys)?;
+    if let Some(progress) = instr.progress {
+        progress.finish();
+    }
+    telemetry.emit(
+        "campaign_done",
+        &[
+            ("name", name.to_value()),
+            ("completed", (done as u64).to_value()),
+        ],
+    );
+    telemetry.emit_counters();
     Ok(done)
 }
 
@@ -269,11 +404,12 @@ pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord>
         &specs,
         requested_threads(threads),
         None,
-        |spec, threads, cancel| {
+        |spec, _index, threads, cancel| {
             let opts = RunOptions {
                 threads,
                 shards: ShardPolicy::default(),
                 cancel: Some(cancel),
+                ..RunOptions::default()
             };
             run_experiment_with(spec, &opts).map(|result| {
                 ScenarioRecord::annotated((*spec).clone(), result, ShardPolicy::default())
@@ -298,15 +434,18 @@ pub fn run_scenarios(grid: &CampaignGrid, threads: usize) -> Vec<ScenarioRecord>
 /// the share afterwards), so a wide machine is not wasted on a narrow
 /// grid.
 ///
-/// `run` executes one item on the given thread count under the shared
-/// cancellation flag, returning `None` iff the item was cancelled
-/// mid-run (a cancelled partial result is discarded, never delivered).
-/// The calling thread observes each `(index, result)` completion in
-/// completion order; `on_complete` returning `false` — or an external
-/// `cancel` token being raised — stops the pool: idle workers stop at
-/// their next claim, and in-flight work observes the flag through
-/// `run`'s cancel argument (the exact simulator polls it at block
-/// granularity, within one inference).
+/// `run` executes one item — `(item, index, threads, cancel)` — on the
+/// given thread count under the shared cancellation flag, returning
+/// `None` iff the item was cancelled mid-run (a cancelled partial
+/// result is discarded, never delivered). The item's index lets
+/// instrumented callers join start/done telemetry events without
+/// threading state through the result type. The calling thread
+/// observes each `(index, result)` completion in completion order;
+/// `on_complete` returning `false` — or an external `cancel` token
+/// being raised — stops the pool: idle workers stop at their next
+/// claim, and in-flight work observes the flag through `run`'s cancel
+/// argument (the exact simulator polls it at block granularity, within
+/// one inference).
 pub(crate) fn execute_shared_pool<T, R, RunF, DoneF>(
     items: &[T],
     budget: usize,
@@ -316,7 +455,7 @@ pub(crate) fn execute_shared_pool<T, R, RunF, DoneF>(
 ) where
     T: Sync,
     R: Send,
-    RunF: Fn(&T, usize, &AtomicBool) -> Option<R> + Sync,
+    RunF: Fn(&T, usize, usize, &AtomicBool) -> Option<R> + Sync,
     DoneF: FnMut(usize, R) -> bool,
 {
     let workers = budget.min(items.len()).max(1);
@@ -348,7 +487,7 @@ pub(crate) fn execute_shared_pool<T, R, RunF, DoneF>(
                     break;
                 };
                 let extra = claim_spare(spare, items.len() - slot);
-                let result = run(item, 1 + extra, run_flag);
+                let result = run(item, slot, 1 + extra, run_flag);
                 if extra > 0 {
                     spare.fetch_add(extra, Ordering::AcqRel);
                 }
@@ -418,11 +557,12 @@ mod tests {
             specs,
             budget,
             None,
-            |spec, threads, cancel| {
+            |spec, _index, threads, cancel| {
                 let opts = RunOptions {
                     threads,
                     shards,
                     cancel: Some(cancel),
+                    ..RunOptions::default()
                 };
                 run_experiment_with(spec, &opts)
                     .map(|r| ScenarioRecord::annotated((*spec).clone(), r, shards))
@@ -511,11 +651,12 @@ mod tests {
             &specs,
             2,
             Some(&cancel),
-            |spec, threads, cancel| {
+            |spec, _index, threads, cancel| {
                 let opts = RunOptions {
                     threads,
                     shards: ShardPolicy::Auto,
                     cancel: Some(cancel),
+                    ..RunOptions::default()
                 };
                 run_experiment_with(spec, &opts).map(|r| ScenarioRecord::new((*spec).clone(), r))
             },

@@ -20,6 +20,7 @@ use dnnlife_core::{
 };
 use dnnlife_faultsim::{run_injection, InjectOptions, InjectionResult};
 use dnnlife_quant::NumberFormat;
+use dnnlife_telemetry::Instrumentation;
 use serde::{Deserialize, Serialize};
 
 use crate::executor::{effective_threads, journal_into_store, requested_threads};
@@ -247,6 +248,20 @@ pub fn run_injection_campaign(
     options: &InjectCampaignOptions,
     cancel: Option<&AtomicBool>,
 ) -> std::io::Result<InjectionOutcome> {
+    run_injection_campaign_instrumented(grid, store_path, options, cancel, Default::default())
+}
+
+/// [`run_injection_campaign`] with an observability sink (mirrors
+/// `run_campaign_instrumented`): trial throughput and SECDED verdict
+/// roll-ups flow through `instr.telemetry`, journaled cells tick
+/// `instr.progress`. Never semantic.
+pub fn run_injection_campaign_instrumented(
+    grid: &InjectionGrid,
+    store_path: impl Into<std::path::PathBuf>,
+    options: &InjectCampaignOptions,
+    cancel: Option<&AtomicBool>,
+    instr: Instrumentation<'_>,
+) -> std::io::Result<InjectionOutcome> {
     let store_path = store_path.into();
     let _lock = StoreLock::acquire(&store_path)?;
     if !options.resume && store_path.exists() {
@@ -295,11 +310,14 @@ pub fn run_injection_campaign(
         budget,
         cancel,
         options.verbose,
+        instr,
         |record| record.result.label.clone(),
+        |record| record.spec.scenario.policy.display_name().to_string(),
         |spec, threads, cancel| {
             let opts = InjectOptions {
                 threads,
                 cancel: Some(cancel),
+                telemetry: instr.telemetry,
             };
             run_injection(spec, &opts).map(|result| InjectionRecord::new((*spec).clone(), result))
         },

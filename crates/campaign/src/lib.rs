@@ -78,18 +78,24 @@ pub mod crossval;
 pub mod executor;
 pub mod grid;
 pub mod inject;
+pub mod perf;
 pub mod store;
 
 pub use crossval::{
-    validate_scenarios, validate_scenarios_cancellable, validate_scenarios_sharded,
+    validate_scenarios, validate_scenarios_cancellable, validate_scenarios_instrumented,
+    validate_scenarios_sharded,
 };
 pub use dnnlife_core::ShardPolicy;
+pub use dnnlife_telemetry::{Counter, Instrumentation, Progress, ProgressStyle, Telemetry};
 pub use executor::{
-    run_campaign, run_campaign_cancellable, run_scenarios, CampaignOptions, CampaignOutcome,
+    run_campaign, run_campaign_cancellable, run_campaign_instrumented, run_scenarios,
+    CampaignOptions, CampaignOutcome,
 };
 pub use grid::{CampaignGrid, GridAxes};
 pub use inject::{
-    accuracy_vs_age_table, ecc_comparison_table, run_injection_campaign, InjectCampaignOptions,
-    InjectionGrid, InjectionOutcome, InjectionParams, InjectionRecord, InjectionStore,
+    accuracy_vs_age_table, ecc_comparison_table, run_injection_campaign,
+    run_injection_campaign_instrumented, InjectCampaignOptions, InjectionGrid, InjectionOutcome,
+    InjectionParams, InjectionRecord, InjectionStore,
 };
+pub use perf::{load_events, PerfDiff, PerfSummary};
 pub use store::{JsonlStore, ResultStore, ScenarioRecord, StoreLock, StoreRecord};

@@ -1,0 +1,611 @@
+//! The `dnnlife perf` profiler: renders performance tables from one
+//! telemetry `events.jsonl` journal and diffs two journals to flag
+//! regressions.
+//!
+//! The journal is read tolerantly — unparsable lines (a torn tail from
+//! a killed run, a hand-edited file) are skipped, never fatal — and
+//! may span several campaign invocations (resume runs append to the
+//! same file): per-invocation `counters` roll-ups sum, scenario events
+//! concatenate, and the campaign wall clock is the sum over
+//! invocations.
+
+use std::io::Read;
+use std::path::Path;
+
+use serde::{Serialize, Value};
+
+/// One `scenario_done` event: a completed item's identity and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPerf {
+    /// Pending-set index within its campaign invocation.
+    pub index: u64,
+    /// Record label (network/policy/backend descriptor).
+    pub label: String,
+    /// Throughput bucket (the mitigation policy's display name).
+    pub group: String,
+    /// Run wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Time from pool start until a worker claimed the item,
+    /// milliseconds.
+    pub queue_ms: f64,
+    /// Simulator threads the item ran on (1 + spare-pool share).
+    pub threads: u64,
+}
+
+/// Everything `dnnlife perf` aggregates out of one events journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfSummary {
+    /// Campaign names seen (`campaign_start` events), in order.
+    pub campaigns: Vec<String>,
+    /// Every completed scenario, in journal (completion) order.
+    pub scenarios: Vec<ScenarioPerf>,
+    /// Items whose in-flight partials were discarded by an abort.
+    pub discarded: u64,
+    /// Summed counter roll-ups, keyed by `Counter::name`.
+    pub counters: Vec<(String, u64)>,
+    /// Total campaign wall time (start → done/abort), summed over the
+    /// journal's invocations, milliseconds.
+    pub campaign_wall_ms: f64,
+    /// Thread budget of the widest invocation.
+    pub budget: u64,
+    /// Journal lines skipped as unparsable (torn tail, corruption).
+    pub skipped_lines: u64,
+}
+
+fn str_field<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
+    match v.get(key) {
+        Some(Value::String(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn num_field(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(Value::Number(n)) => Some((*n).as_f64()),
+        _ => None,
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Value::Number(n)) => (*n).as_u64(),
+        _ => None,
+    }
+}
+
+/// Loads and aggregates one events journal.
+///
+/// # Errors
+///
+/// Only I/O errors opening or reading the file; malformed *content* is
+/// tolerated line by line (counted in
+/// [`skipped_lines`](PerfSummary::skipped_lines)).
+pub fn load_events(path: &Path) -> std::io::Result<PerfSummary> {
+    let mut contents = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut contents)?;
+    Ok(summarize(&contents))
+}
+
+/// [`load_events`] over in-memory journal text (exposed for tests and
+/// the diff path).
+pub fn summarize(journal: &str) -> PerfSummary {
+    let mut out = PerfSummary::default();
+    // `t_ms` is relative to each invocation's Telemetry handle, so the
+    // wall clock closes per invocation: a campaign_done/abort pairs
+    // with the latest campaign_start.
+    let mut open_start_ms: Option<f64> = None;
+    for line in journal.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(event) = serde_json::from_str::<Value>(line) else {
+            out.skipped_lines += 1;
+            continue;
+        };
+        let Some(kind) = str_field(&event, "ev") else {
+            out.skipped_lines += 1;
+            continue;
+        };
+        match kind {
+            "campaign_start" => {
+                if let Some(name) = str_field(&event, "name") {
+                    out.campaigns.push(name.to_string());
+                }
+                out.budget = out.budget.max(u64_field(&event, "budget").unwrap_or(0));
+                open_start_ms = num_field(&event, "t_ms");
+            }
+            "campaign_done" | "campaign_abort" => {
+                if let (Some(start), Some(end)) = (open_start_ms.take(), num_field(&event, "t_ms"))
+                {
+                    out.campaign_wall_ms += (end - start).max(0.0);
+                }
+            }
+            "scenario_done" => {
+                out.scenarios.push(ScenarioPerf {
+                    index: u64_field(&event, "i").unwrap_or(0),
+                    label: str_field(&event, "label").unwrap_or("?").to_string(),
+                    group: str_field(&event, "group").unwrap_or("?").to_string(),
+                    wall_ms: num_field(&event, "wall_ms").unwrap_or(0.0),
+                    queue_ms: num_field(&event, "queue_ms").unwrap_or(0.0),
+                    threads: u64_field(&event, "threads").unwrap_or(1),
+                });
+            }
+            "scenario_discarded" => out.discarded += 1,
+            "counters" => {
+                let Ok(pairs) = event.as_object_named("counters event") else {
+                    out.skipped_lines += 1;
+                    continue;
+                };
+                for (name, value) in pairs {
+                    if name == "ev" || name == "t_ms" {
+                        continue;
+                    }
+                    let Value::Number(n) = value else { continue };
+                    let Some(n) = (*n).as_u64() else { continue };
+                    match out.counters.iter_mut().find(|(k, _)| k == name) {
+                        Some((_, total)) => *total += n,
+                        None => out.counters.push((name.clone(), n)),
+                    }
+                }
+            }
+            _ => {} // forward compatibility: unknown events are fine
+        }
+    }
+    out
+}
+
+impl PerfSummary {
+    /// A summed counter by `Counter::name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Exact-backend simulation throughput: word writes per second of
+    /// scenario wall time. `None` when the journal holds no exact work
+    /// (or no timing). This is the number the CI smoke check guards.
+    pub fn exact_words_per_sec(&self) -> Option<f64> {
+        let words = self.counter("exact_word_writes");
+        let wall_secs = self.counter("scenario_wall_nanos") as f64 / 1e9;
+        (words > 0 && wall_secs > 0.0).then(|| words as f64 / wall_secs)
+    }
+
+    /// Mean worker-pool occupancy: scenario wall time divided by
+    /// campaign wall time × thread budget. 1.0 = every budgeted thread
+    /// busy for the whole campaign. `None` without a closed campaign
+    /// span.
+    pub fn thread_utilization(&self) -> Option<f64> {
+        let busy_ms = self.counter("scenario_wall_nanos") as f64 / 1e6;
+        let capacity_ms = self.campaign_wall_ms * self.budget.max(1) as f64;
+        (capacity_ms > 0.0).then(|| busy_ms / capacity_ms)
+    }
+
+    /// Per-group (policy) roll-up: `(group, completed, total wall ms,
+    /// mean wall ms)`, sorted by total wall descending.
+    pub fn group_rollup(&self) -> Vec<(String, usize, f64, f64)> {
+        let mut rows: Vec<(String, usize, f64)> = Vec::new();
+        for s in &self.scenarios {
+            match rows.iter_mut().find(|(g, _, _)| *g == s.group) {
+                Some((_, n, wall)) => {
+                    *n += 1;
+                    *wall += s.wall_ms;
+                }
+                None => rows.push((s.group.clone(), 1, s.wall_ms)),
+            }
+        }
+        let mut rows: Vec<(String, usize, f64, f64)> = rows
+            .into_iter()
+            .map(|(g, n, wall)| (g, n, wall, wall / n.max(1) as f64))
+            .collect();
+        rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+        rows
+    }
+
+    /// The `top` slowest completed scenarios, wall-time descending.
+    pub fn slowest(&self, top: usize) -> Vec<&ScenarioPerf> {
+        let mut sorted: Vec<&ScenarioPerf> = self.scenarios.iter().collect();
+        sorted.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+        sorted.truncate(top);
+        sorted
+    }
+
+    /// The human-readable `dnnlife perf` report: slowest cells,
+    /// per-policy throughput, thread utilization, counter totals.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Perf: {} — {} completed, {} discarded, {} skipped line(s) ===\n",
+            if self.campaigns.is_empty() {
+                "<no campaign events>".to_string()
+            } else {
+                self.campaigns.join(", ")
+            },
+            self.scenarios.len(),
+            self.discarded,
+            self.skipped_lines,
+        ));
+        if self.campaign_wall_ms > 0.0 {
+            out.push_str(&format!(
+                "campaign wall {:.2}s on a {}-thread budget",
+                self.campaign_wall_ms / 1e3,
+                self.budget
+            ));
+            if let Some(util) = self.thread_utilization() {
+                out.push_str(&format!(", {:.0}% thread utilization", util * 100.0));
+            }
+            out.push('\n');
+        }
+        if let Some(wps) = self.exact_words_per_sec() {
+            out.push_str(&format!("exact backend: {wps:.0} word writes/s\n"));
+        }
+
+        let slowest = self.slowest(10);
+        if !slowest.is_empty() {
+            out.push_str("\n--- Slowest cells ---\n");
+            out.push_str(&format!(
+                "{:>4}  {:>10}  {:>9}  {:>7}  label\n",
+                "#", "wall ms", "queue ms", "threads"
+            ));
+            for (rank, s) in slowest.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:>4}  {:>10.1}  {:>9.1}  {:>7}  {}\n",
+                    rank + 1,
+                    s.wall_ms,
+                    s.queue_ms,
+                    s.threads,
+                    s.label
+                ));
+            }
+        }
+
+        let groups = self.group_rollup();
+        if !groups.is_empty() {
+            let width = groups
+                .iter()
+                .map(|(g, ..)| g.chars().count())
+                .max()
+                .unwrap_or(0)
+                .max("policy".len());
+            out.push_str("\n--- Per-policy throughput ---\n");
+            out.push_str(&format!(
+                "{:<width$} {:>6} {:>12} {:>12}\n",
+                "policy", "done", "total ms", "mean ms"
+            ));
+            for (group, n, total, mean) in &groups {
+                out.push_str(&format!(
+                    "{group:<width$} {n:>6} {total:>12.1} {mean:>12.1}\n"
+                ));
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\n--- Counters ---\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<28} {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl Serialize for PerfSummary {
+    fn to_value(&self) -> Value {
+        let scenarios: Vec<Value> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("i".to_string(), s.index.to_value()),
+                    ("label".to_string(), s.label.to_value()),
+                    ("group".to_string(), s.group.to_value()),
+                    ("wall_ms".to_string(), s.wall_ms.to_value()),
+                    ("queue_ms".to_string(), s.queue_ms.to_value()),
+                    ("threads".to_string(), s.threads.to_value()),
+                ])
+            })
+            .collect();
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_value()))
+            .collect();
+        let mut pairs = vec![
+            ("campaigns".to_string(), self.campaigns.to_value()),
+            (
+                "completed".to_string(),
+                (self.scenarios.len() as u64).to_value(),
+            ),
+            ("discarded".to_string(), self.discarded.to_value()),
+            (
+                "campaign_wall_ms".to_string(),
+                self.campaign_wall_ms.to_value(),
+            ),
+            ("budget".to_string(), self.budget.to_value()),
+            ("skipped_lines".to_string(), self.skipped_lines.to_value()),
+            ("counters".to_string(), Value::Object(counters)),
+            ("scenarios".to_string(), Value::Array(scenarios)),
+        ];
+        if let Some(wps) = self.exact_words_per_sec() {
+            pairs.insert(6, ("exact_words_per_sec".to_string(), wps.to_value()));
+        }
+        if let Some(util) = self.thread_utilization() {
+            pairs.insert(6, ("thread_utilization".to_string(), util.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+/// Wall-time change of one metric between two journals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Metric name.
+    pub metric: String,
+    /// Value in journal A (the "before").
+    pub before: f64,
+    /// Value in journal B (the "after").
+    pub after: f64,
+    /// `after / before` (∞ when before is 0).
+    pub ratio: f64,
+    /// Whether the change crosses the regression threshold in the
+    /// slow direction.
+    pub regressed: bool,
+}
+
+/// A↔B journal comparison: per-metric ratios plus the regression
+/// verdicts `dnnlife perf --diff` renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiff {
+    /// One row per comparable metric.
+    pub rows: Vec<DiffRow>,
+    /// Ratio past which a slow-direction change is flagged.
+    pub threshold: f64,
+}
+
+/// Default slow-direction ratio before a diff row is flagged: 25%.
+pub const DIFF_THRESHOLD: f64 = 1.25;
+
+/// Compares two journals. `threshold` is the slow-direction ratio that
+/// flags a row (e.g. 1.25 = 25% slower); lower-is-better metrics
+/// (wall, queue) regress when `after/before > threshold`,
+/// higher-is-better metrics (throughput) when
+/// `before/after > threshold`.
+pub fn diff(a: &PerfSummary, b: &PerfSummary, threshold: f64) -> PerfDiff {
+    let mut rows = Vec::new();
+    let mut lower_is_better = |metric: &str, before: f64, after: f64| {
+        if before <= 0.0 && after <= 0.0 {
+            return;
+        }
+        let ratio = if before > 0.0 {
+            after / before
+        } else {
+            f64::INFINITY
+        };
+        rows.push(DiffRow {
+            metric: metric.to_string(),
+            before,
+            after,
+            ratio,
+            regressed: ratio > threshold,
+        });
+    };
+    lower_is_better("campaign_wall_ms", a.campaign_wall_ms, b.campaign_wall_ms);
+    let mean_wall = |s: &PerfSummary| {
+        if s.scenarios.is_empty() {
+            0.0
+        } else {
+            s.scenarios.iter().map(|x| x.wall_ms).sum::<f64>() / s.scenarios.len() as f64
+        }
+    };
+    lower_is_better("mean_scenario_wall_ms", mean_wall(a), mean_wall(b));
+    let mean_queue = |s: &PerfSummary| {
+        if s.scenarios.is_empty() {
+            0.0
+        } else {
+            s.scenarios.iter().map(|x| x.queue_ms).sum::<f64>() / s.scenarios.len() as f64
+        }
+    };
+    lower_is_better("mean_queue_wait_ms", mean_queue(a), mean_queue(b));
+    if let (Some(before), Some(after)) = (a.exact_words_per_sec(), b.exact_words_per_sec()) {
+        rows.push(DiffRow {
+            metric: "exact_words_per_sec".to_string(),
+            before,
+            after,
+            ratio: if before > 0.0 {
+                after / before
+            } else {
+                f64::INFINITY
+            },
+            regressed: after > 0.0 && before / after > threshold,
+        });
+    }
+    PerfDiff { rows, threshold }
+}
+
+impl PerfDiff {
+    /// Whether any row crossed the threshold in the slow direction.
+    pub fn has_regression(&self) -> bool {
+        self.rows.iter().any(|row| row.regressed)
+    }
+
+    /// The human-readable diff table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Perf diff (B vs A, flag past {:.2}x) ===\n",
+            self.threshold
+        ));
+        out.push_str(&format!(
+            "{:<24} {:>14} {:>14} {:>8}\n",
+            "metric", "A", "B", "B/A"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>14.1} {:>14.1} {:>8.3}{}\n",
+                row.metric,
+                row.before,
+                row.after,
+                row.ratio,
+                if row.regressed { "  << REGRESSED" } else { "" }
+            ));
+        }
+        if self.rows.is_empty() {
+            out.push_str("(no comparable metrics)\n");
+        }
+        out
+    }
+}
+
+impl Serialize for PerfDiff {
+    fn to_value(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Value::Object(vec![
+                    ("metric".to_string(), row.metric.to_value()),
+                    ("before".to_string(), row.before.to_value()),
+                    ("after".to_string(), row.after.to_value()),
+                    ("ratio".to_string(), row.ratio.to_value()),
+                    ("regressed".to_string(), row.regressed.to_value()),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("threshold".to_string(), self.threshold.to_value()),
+            ("regressed".to_string(), self.has_regression().to_value()),
+            ("rows".to_string(), Value::Array(rows)),
+        ])
+    }
+}
+
+/// The CI smoke check: compares the journal's exact-backend throughput
+/// against a committed baseline. Returns the measured words/sec, or an
+/// error describing the regression (or why the journal can't be
+/// checked).
+///
+/// # Errors
+///
+/// When the journal has no exact-backend work, or throughput fell
+/// below `baseline / max_regression`.
+pub fn check_baseline(
+    summary: &PerfSummary,
+    baseline_words_per_sec: f64,
+    max_regression: f64,
+) -> Result<f64, String> {
+    let measured = summary
+        .exact_words_per_sec()
+        .ok_or("journal holds no exact-backend scenario work to check")?;
+    let floor = baseline_words_per_sec / max_regression;
+    if measured < floor {
+        return Err(format!(
+            "exact backend regressed: {measured:.0} words/s < floor {floor:.0} \
+             (baseline {baseline_words_per_sec:.0} / {max_regression:.1}x)"
+        ));
+    }
+    Ok(measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal() -> String {
+        [
+            r#"{"ev":"campaign_start","t_ms":0,"name":"fig9","noun":"scenario","pending":3,"workers":2,"budget":4}"#,
+            r#"{"ev":"scenario_start","t_ms":1,"i":0,"threads":2}"#,
+            r#"{"ev":"scenario_done","t_ms":120,"i":0,"label":"lenet/none","group":"none","wall_ms":100.0,"queue_ms":2.0,"threads":2}"#,
+            r#"{"ev":"scenario_done","t_ms":250,"i":1,"label":"lenet/dnnlife","group":"dnn-life","wall_ms":200.0,"queue_ms":4.0,"threads":2}"#,
+            r#"{"ev":"scenario_discarded","t_ms":260,"i":2,"wall_ms":10.0}"#,
+            r#"{"ev":"counters","t_ms":270,"scenarios_completed":2,"exact_word_writes":3000000,"scenario_wall_nanos":300000000}"#,
+            r#"{"ev":"campaign_abort","t_ms":280,"name":"fig9","completed":2,"discarded":1,"remaining":0}"#,
+            r#"{"ev":"future_event_kind","t_ms":281,"whatever":true}"#,
+            "this line is torn and does not par",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn summarize_aggregates_and_tolerates_garbage() {
+        let s = summarize(&journal());
+        assert_eq!(s.campaigns, vec!["fig9".to_string()]);
+        assert_eq!(s.scenarios.len(), 2);
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.skipped_lines, 1, "only the torn line is skipped");
+        assert_eq!(s.budget, 4);
+        assert_eq!(s.counter("exact_word_writes"), 3_000_000);
+        assert!((s.campaign_wall_ms - 280.0).abs() < 1e-9);
+        // 3e6 words over 0.3s of scenario wall.
+        let wps = s.exact_words_per_sec().expect("has exact work");
+        assert!((wps - 10_000_000.0).abs() < 1.0, "{wps}");
+    }
+
+    #[test]
+    fn render_text_names_the_slowest_cell_first() {
+        let s = summarize(&journal());
+        let text = s.render_text();
+        let slow = text.find("lenet/dnnlife").expect("slow cell listed");
+        let fast = text.find("lenet/none").expect("fast cell listed");
+        assert!(slow < fast, "slowest first:\n{text}");
+        assert!(text.contains("Per-policy throughput"));
+        assert!(text.contains("exact backend"));
+    }
+
+    #[test]
+    fn counters_sum_across_invocations() {
+        let two_runs = format!("{}\n{}", journal(), journal());
+        let s = summarize(&two_runs);
+        assert_eq!(s.counter("exact_word_writes"), 6_000_000);
+        assert_eq!(s.scenarios.len(), 4);
+        assert!((s.campaign_wall_ms - 560.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_flags_slow_direction_only() {
+        let a = summarize(&journal());
+        let mut b = a.clone();
+        for s in &mut b.scenarios {
+            s.wall_ms *= 2.0; // B is 2x slower
+        }
+        let d = diff(&a, &b, DIFF_THRESHOLD);
+        assert!(d.has_regression());
+        let improved = diff(&b, &a, DIFF_THRESHOLD);
+        assert!(
+            !improved
+                .rows
+                .iter()
+                .filter(|r| r.metric == "mean_scenario_wall_ms")
+                .any(|r| r.regressed),
+            "a speedup must not be flagged"
+        );
+        assert!(d.render_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn baseline_check_floors_at_the_allowed_regression() {
+        let s = summarize(&journal()); // 10M words/s
+        assert!(check_baseline(&s, 10_000_000.0, 2.0).is_ok());
+        assert!(
+            check_baseline(&s, 10_000_000.0, 1.01).is_ok(),
+            "equal is ok"
+        );
+        let err = check_baseline(&s, 50_000_000.0, 2.0).expect_err("regressed");
+        assert!(err.contains("regressed"), "{err}");
+        assert!(
+            check_baseline(&PerfSummary::default(), 1.0, 2.0).is_err(),
+            "empty journal cannot pass the smoke check"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_carries_the_headline_numbers() {
+        let s = summarize(&journal());
+        let json = serde_json::to_string(&s.to_value()).expect("serializes");
+        let back: Value = serde_json::from_str(&json).expect("round trips");
+        assert_eq!(u64_field(&back, "completed"), Some(2));
+        assert_eq!(u64_field(&back, "discarded"), Some(1));
+        assert!(num_field(&back, "exact_words_per_sec").is_some());
+    }
+}

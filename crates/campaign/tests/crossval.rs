@@ -404,6 +404,7 @@ fn sharded_dnn_life_agrees_with_unsharded_within_tolerance() {
                 threads: 1,
                 shards,
                 cancel: None,
+                ..RunOptions::default()
             },
         )
         .expect("not cancelled")

@@ -1,0 +1,371 @@
+//! Telemetry observability contract: instrumentation never changes a
+//! single store byte, the events journal tolerates torn tails across
+//! resume, the perf profiler renders from real journals, and progress
+//! output degrades when stderr is not a terminal.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
+use dnnlife_campaign::perf;
+use dnnlife_campaign::{
+    run_campaign_instrumented, run_injection_campaign_instrumented, CampaignOptions,
+    InjectCampaignOptions, InjectionGrid, InjectionParams, Instrumentation, ShardPolicy, Telemetry,
+};
+use dnnlife_core::experiment::{DwellModel, NetworkKind, Platform, PolicySpec, SimulatorBackend};
+use dnnlife_core::RepairPolicy;
+use dnnlife_quant::NumberFormat;
+
+mod util;
+
+/// Deterministic-policy grid over both backends: every cell's result
+/// is independent of the thread *and* word-shard count, so one
+/// uninstrumented reference pins the bytes for the whole
+/// threads × shards × telemetry matrix.
+fn sweep_grid(policies: Vec<PolicySpec>) -> CampaignGrid {
+    GridAxes {
+        platforms: vec![Platform::TpuLike],
+        networks: vec![NetworkKind::CustomMnist],
+        formats: vec![NumberFormat::Int8Symmetric],
+        policies,
+        lifetimes_years: vec![7.0],
+        backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
+        dwells: vec![DwellModel::Uniform],
+        repairs: Vec::new(),
+        options: SweepOptions {
+            base_seed: 42,
+            sample_stride: 256,
+            inferences: 8,
+            ..SweepOptions::default()
+        },
+    }
+    .build("telemetry-test")
+}
+
+fn deterministic_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::None,
+        PolicySpec::Inversion,
+        PolicySpec::BarrelShifter,
+    ]
+}
+
+fn sweep_with(
+    grid: &CampaignGrid,
+    path: &Path,
+    threads: usize,
+    shards: ShardPolicy,
+    resume: bool,
+    telemetry: Option<&Telemetry>,
+) -> Vec<u8> {
+    let options = CampaignOptions {
+        threads,
+        resume,
+        verbose: false,
+        shards,
+    };
+    run_campaign_instrumented(
+        grid,
+        path,
+        &options,
+        None,
+        Instrumentation {
+            telemetry,
+            progress: None,
+        },
+    )
+    .expect("campaign run");
+    std::fs::read(path).expect("read store")
+}
+
+/// The tentpole's hard invariant: the finished store is byte-identical
+/// with telemetry on or off, at any thread and word-shard count.
+#[test]
+fn sweep_store_bytes_identical_with_telemetry_on_or_off() {
+    let dir = util::scratch_dir("telemetry-sweep-identity");
+    let grid = sweep_grid(deterministic_policies());
+
+    let reference = sweep_with(
+        &grid,
+        &dir.join("plain.jsonl"),
+        1,
+        ShardPolicy::Fixed(1),
+        false,
+        None,
+    );
+    assert!(!reference.is_empty());
+
+    let matrix = [
+        (1usize, ShardPolicy::Fixed(1)),
+        (8, ShardPolicy::Fixed(1)),
+        (1, ShardPolicy::Fixed(8)),
+        (8, ShardPolicy::Fixed(8)),
+        (8, ShardPolicy::Auto),
+    ];
+    for (i, (threads, shards)) in matrix.iter().enumerate() {
+        let events = dir.join(format!("cell{i}.events.jsonl"));
+        let telemetry = Telemetry::with_journal(&events).expect("open journal");
+        let bytes = sweep_with(
+            &grid,
+            &dir.join(format!("cell{i}.jsonl")),
+            *threads,
+            *shards,
+            false,
+            Some(&telemetry),
+        );
+        assert_eq!(
+            reference, bytes,
+            "telemetry changed store bytes at threads={threads} shards={shards:?}"
+        );
+        let summary = perf::load_events(&events).expect("load journal");
+        assert_eq!(summary.scenarios.len(), grid.len());
+        assert_eq!(summary.skipped_lines, 0);
+    }
+}
+
+fn tiny_params() -> InjectionParams {
+    InjectionParams {
+        base_seed: 7,
+        inferences: 2,
+        ages_years: vec![0.0, 7.0],
+        trials: 1,
+        eval_images: 4,
+        train_steps: 0,
+        noise_sigma_mv: 65.0,
+        repair: RepairPolicy::Secded { interleave: 4 },
+    }
+}
+
+fn inject_grid() -> InjectionGrid {
+    InjectionGrid::build(
+        "telemetry-inject-test",
+        Platform::TpuLike,
+        NetworkKind::CustomMnist,
+        NumberFormat::Int8Symmetric,
+        &[PolicySpec::None, PolicySpec::Inversion],
+        &tiny_params(),
+    )
+}
+
+/// Same invariant for the fault-injection store, plus the SECDED
+/// roll-up counters the journal is expected to carry.
+#[test]
+fn inject_store_bytes_identical_with_telemetry_on_or_off() {
+    let dir = util::scratch_dir("telemetry-inject-identity");
+    let grid = inject_grid();
+
+    let run = |path: &Path, threads: usize, telemetry: Option<&Telemetry>| -> Vec<u8> {
+        let options = InjectCampaignOptions {
+            threads,
+            resume: false,
+            verbose: false,
+        };
+        run_injection_campaign_instrumented(
+            &grid,
+            path,
+            &options,
+            None,
+            Instrumentation {
+                telemetry,
+                progress: None,
+            },
+        )
+        .expect("injection campaign");
+        std::fs::read(path).expect("read store")
+    };
+
+    let reference = run(&dir.join("plain.jsonl"), 1, None);
+    assert!(!reference.is_empty());
+
+    let events = dir.join("instrumented.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    let instrumented = run(&dir.join("instrumented.jsonl"), 4, Some(&telemetry));
+    assert_eq!(
+        reference, instrumented,
+        "telemetry changed injection store bytes"
+    );
+
+    let summary = perf::load_events(&events).expect("load journal");
+    assert_eq!(summary.scenarios.len(), grid.len());
+    assert!(summary.counter("injection_trials") > 0);
+    // SECDED interleave=4 at 7 years corrects at least some words in
+    // these cells; the roll-up must surface that.
+    assert!(summary.counter("ecc_corrected_words") > 0);
+}
+
+/// The journal shares `JsonlStore`'s crash posture: a torn trailing
+/// line (power cut mid-append) is truncated on reopen, and a resumed
+/// campaign appends a second invocation that the profiler folds in.
+#[test]
+fn events_journal_survives_torn_trailing_line_on_resume() {
+    let dir = util::scratch_dir("telemetry-torn-tail");
+    let store = dir.join("store.jsonl");
+    let events = dir.join("store.events.jsonl");
+    let partial = sweep_grid(vec![PolicySpec::None]);
+    let full = sweep_grid(deterministic_policies());
+
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    sweep_with(
+        &partial,
+        &store,
+        2,
+        ShardPolicy::Auto,
+        false,
+        Some(&telemetry),
+    );
+    drop(telemetry);
+
+    // Tear the tail: a partial event line with no terminating newline.
+    let mut journal = std::fs::read(&events).expect("read journal");
+    assert!(journal.ends_with(b"\n"));
+    journal.extend_from_slice(br#"{"ev":"scenario_done","i":9"#);
+    std::fs::write(&events, &journal).expect("tear journal");
+
+    // Reopen on the same path and resume the rest of the grid.
+    let telemetry = Telemetry::with_journal(&events).expect("reopen journal");
+    let resumed = sweep_with(&full, &store, 2, ShardPolicy::Auto, true, Some(&telemetry));
+    drop(telemetry);
+
+    // Resume + telemetry still lands on the clean single-shot bytes.
+    let clean = sweep_with(
+        &full,
+        &dir.join("clean.jsonl"),
+        1,
+        ShardPolicy::Auto,
+        false,
+        None,
+    );
+    assert_eq!(clean, resumed, "resumed store diverged from clean run");
+
+    // The torn line is gone, both invocations parse, and the profiler
+    // sums them: every scenario appears exactly once per execution.
+    let summary = perf::load_events(&events).expect("load journal");
+    assert_eq!(
+        summary.skipped_lines, 0,
+        "torn tail leaked into the journal"
+    );
+    assert_eq!(summary.campaigns.len(), 2, "expected two invocations");
+    assert_eq!(
+        summary.scenarios.len(),
+        partial.len() + (full.len() - partial.len())
+    );
+}
+
+/// `dnnlife perf` renders its tables from a real sweep journal, and a
+/// self-diff never flags a regression.
+#[test]
+fn perf_profiler_renders_tables_and_self_diff_is_flat() {
+    let dir = util::scratch_dir("telemetry-perf-render");
+    let grid = sweep_grid(deterministic_policies());
+    let events = dir.join("sweep.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    sweep_with(
+        &grid,
+        &dir.join("sweep.jsonl"),
+        4,
+        ShardPolicy::Auto,
+        false,
+        Some(&telemetry),
+    );
+    drop(telemetry);
+
+    let summary = perf::load_events(&events).expect("load journal");
+    let text = summary.render_text();
+    for needle in [
+        "Slowest cells",
+        "Per-policy throughput",
+        "Counters",
+        "scenarios_completed",
+        "exact_word_writes",
+        "Without Aging Mitigation",
+    ] {
+        assert!(
+            text.contains(needle),
+            "perf text missing `{needle}`:\n{text}"
+        );
+    }
+    assert!(summary.exact_words_per_sec().unwrap_or(0.0) > 0.0);
+    assert!(summary.thread_utilization().unwrap_or(0.0) > 0.0);
+
+    let diff = perf::diff(&summary, &summary, perf::DIFF_THRESHOLD);
+    assert!(!diff.has_regression(), "self-diff flagged a regression");
+    assert!(diff.render_text().contains("campaign_wall_ms"));
+}
+
+/// Satellite 1: a cancelled campaign reports what completed, what was
+/// discarded in flight, and what never started — in the error the CLI
+/// prints on the SIGINT path — and journals a `campaign_abort` event.
+#[test]
+fn cancelled_campaign_reports_completion_summary() {
+    let dir = util::scratch_dir("telemetry-cancel");
+    let grid = sweep_grid(deterministic_policies());
+    let events = dir.join("aborted.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    let cancel = AtomicBool::new(true); // raised before the first claim
+    let err = run_campaign_instrumented(
+        &grid,
+        dir.join("aborted.jsonl"),
+        &CampaignOptions::default(),
+        Some(&cancel),
+        Instrumentation {
+            telemetry: Some(&telemetry),
+            progress: None,
+        },
+    )
+    .expect_err("pre-raised cancel token must abort the campaign");
+    drop(telemetry);
+    assert!(cancel.load(Ordering::Relaxed));
+    assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+    let message = err.to_string();
+    for needle in [
+        "never started",
+        "in-flight discarded",
+        "rerun with --resume",
+    ] {
+        assert!(
+            message.contains(needle),
+            "summary missing `{needle}`: {message}"
+        );
+    }
+
+    let journal = std::fs::read_to_string(&events).expect("read journal");
+    assert!(
+        journal.contains(r#""ev":"campaign_abort""#),
+        "abort not journaled:\n{journal}"
+    );
+}
+
+/// Satellite 3: with stderr piped (not a tty), `--progress` degrades
+/// to plain periodic lines — no `\r` cursor rewrites in the stream.
+#[test]
+fn progress_degrades_to_plain_lines_when_stderr_is_not_a_tty() {
+    let dir = util::scratch_dir("telemetry-no-tty");
+    let out = dir.join("fig11.jsonl");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args([
+            "sweep",
+            "--grid",
+            "fig11",
+            "--stride",
+            "4096",
+            "--inferences",
+            "2",
+            "--threads",
+            "2",
+            "--progress",
+            "--out",
+        ])
+        .arg(&out)
+        .output()
+        .expect("run dnnlife sweep");
+    assert!(
+        output.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stderr.contains(&b'\r'),
+        "live \\r progress leaked to a non-tty stderr: {:?}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

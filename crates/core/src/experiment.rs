@@ -12,8 +12,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use dnnlife_accel::{
-    simulate_analytic, simulate_exact_sharded, zipf_weights, AcceleratorConfig, AnalyticPolicy,
-    AnalyticSimConfig, BlockSource, ExactShardConfig, FifoSlotMemory, FlatWeightMemory,
+    simulate_analytic_telemetry, simulate_exact_sharded, zipf_weights, AcceleratorConfig,
+    AnalyticPolicy, AnalyticSimConfig, BlockSource, ExactShardConfig, FifoSlotMemory,
+    FlatWeightMemory,
 };
 use dnnlife_mitigation::{
     AgingController, BarrelShifter, DnnLife, Passthrough, PeriodicInversion, PseudoTrbg,
@@ -22,6 +23,7 @@ use dnnlife_mitigation::{
 use dnnlife_numerics::{Histogram, Summary};
 use dnnlife_quant::{NumberFormat, RepairPolicy};
 use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
+use dnnlife_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Histogram range for SNM degradation (percent). The calibrated model
@@ -146,6 +148,10 @@ pub struct RunOptions<'a> {
     /// within one inference); the analytic backend — orders of
     /// magnitude faster — polls it only between memory units.
     pub cancel: Option<&'a AtomicBool>,
+    /// Observability sink: counters and span timings for the run.
+    /// Never semantic — results are byte-identical with telemetry on
+    /// or off at any thread/shard count.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 /// Per-block residency model: how long each weight block stays in the
@@ -746,10 +752,11 @@ fn simulate_units(
                     threads: opts.threads,
                     shards: opts.shards.resolve(sampled_words),
                 };
-                Some(simulate_analytic(
+                Some(simulate_analytic_telemetry(
                     source,
                     &spec.policy.analytic(policy_seed),
                     &sim_cfg,
+                    opts.telemetry,
                 ))
             }
             SimulatorBackend::Exact => {
@@ -765,6 +772,7 @@ fn simulate_units(
                     shards: opts.shards.resolve(sampled_words),
                     threads: opts.threads,
                     cancel: opts.cancel,
+                    telemetry: opts.telemetry,
                 };
                 simulate_exact_sharded(
                     source,
@@ -990,20 +998,28 @@ pub fn cross_validate_cancellable(
     shards: ShardPolicy,
     cancel: Option<&AtomicBool>,
 ) -> Option<CrossValidation> {
+    let opts = RunOptions {
+        threads: 1,
+        shards,
+        cancel,
+        ..RunOptions::default()
+    };
+    cross_validate_with(spec, &opts)
+}
+
+/// [`cross_validate_cancellable`] under a full [`RunOptions`] budget —
+/// the instrumented campaign `validate` fan-out threads its telemetry
+/// sink through here. `opts.threads` is honoured as given (the
+/// campaign executor already splits its two-level budget per pair).
+pub fn cross_validate_with(spec: &ExperimentSpec, opts: &RunOptions) -> Option<CrossValidation> {
     let mut exact_spec = spec.clone();
     exact_spec.backend = SimulatorBackend::Exact;
     assert!(
         exact_spec.is_valid(),
         "cross_validate: invalid spec {spec:?}"
     );
-    let opts = RunOptions {
-        threads: 1,
-        shards,
-        cancel,
-    };
-
-    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic, &opts)?;
-    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact, &opts)?;
+    let analytic = per_cell_duties(spec, SimulatorBackend::Analytic, opts)?;
+    let exact = per_cell_duties(&exact_spec, SimulatorBackend::Exact, opts)?;
     assert_eq!(analytic.len(), exact.len(), "backend cell counts differ");
 
     let cells = analytic.len() as u64;
@@ -1453,7 +1469,7 @@ mod tests {
                 &RunOptions {
                     threads,
                     shards: ShardPolicy::Fixed(8),
-                    cancel: None,
+                    ..RunOptions::default()
                 },
             )
             .expect("not cancelled")
@@ -1471,6 +1487,7 @@ mod tests {
             threads: 1,
             shards: ShardPolicy::Auto,
             cancel: Some(&flag),
+            ..RunOptions::default()
         };
         assert_eq!(run_experiment_with(&spec, &opts), None);
     }

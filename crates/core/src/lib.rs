@@ -52,10 +52,12 @@ pub mod probmodel;
 pub mod report;
 
 pub use dnnlife_quant::RepairPolicy;
+pub use dnnlife_telemetry::{Counter, Instrumentation, Progress, ProgressStyle, Telemetry};
 pub use experiment::{
-    cross_validate, cross_validate_cancellable, cross_validate_sharded, run_experiment,
-    run_experiment_threaded, run_experiment_with, CrossValidation, DwellModel, ExperimentResult,
-    ExperimentSpec, NetworkKind, Platform, PolicySpec, RunOptions, ShardPolicy, SimulatorBackend,
+    cross_validate, cross_validate_cancellable, cross_validate_sharded, cross_validate_with,
+    run_experiment, run_experiment_threaded, run_experiment_with, CrossValidation, DwellModel,
+    ExperimentResult, ExperimentSpec, NetworkKind, Platform, PolicySpec, RunOptions, ShardPolicy,
+    SimulatorBackend,
 };
 pub use faultspec::FaultInjectionSpec;
 pub use probmodel::DutyCycleModel;

@@ -13,6 +13,7 @@ use dnnlife_quant::ecc::{EccLayout, EccOutcome};
 use dnnlife_quant::Quantizer;
 use dnnlife_sram::lifetime::ReadFailureModel;
 use dnnlife_sram::snm::CalibratedSnmModel;
+use dnnlife_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,9 @@ pub struct InjectOptions<'a> {
     /// Cooperative cancellation, polled between SGD steps and between
     /// trials; a raised token makes [`run_injection`] return `None`.
     pub cancel: Option<&'a AtomicBool>,
+    /// Observability sink for trial throughput and SECDED verdict
+    /// roll-ups. Never semantic.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 /// Per-trial tallies of the SECDED decoder's verdicts (internal
@@ -218,19 +222,35 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
             return None;
         }
         let probs = duties.failure_probabilities(&snm, &failure_model, years);
-        let trials = run_trials(
-            spec,
-            &trained,
-            &network,
-            &codes,
-            &quantizers,
-            &probs,
-            duties.word_bits,
-            ecc_layout.as_ref(),
-            age_index,
-            (&images, &labels),
-            opts,
-        )?;
+        let telemetry = opts.telemetry.unwrap_or_else(|| Telemetry::noop());
+        let trials = telemetry.time(Counter::TrialWallNanos, || {
+            run_trials(
+                spec,
+                &trained,
+                &network,
+                &codes,
+                &quantizers,
+                &probs,
+                duties.word_bits,
+                ecc_layout.as_ref(),
+                age_index,
+                (&images, &labels),
+                opts,
+            )
+        })?;
+        telemetry.add(Counter::InjectionTrials, trials.len() as u64);
+        telemetry.add(
+            Counter::EccCorrectedWords,
+            trials.iter().map(|t| t.2.corrected).sum(),
+        );
+        telemetry.add(
+            Counter::EccDetectedWords,
+            trials.iter().map(|t| t.2.detected).sum(),
+        );
+        telemetry.add(
+            Counter::EccEscapedWords,
+            trials.iter().map(|t| t.2.escaped).sum(),
+        );
         let n = trials.len() as f64;
         let ecc = ecc_layout.is_some().then(|| EccAgeStats {
             mean_corrected_words: trials.iter().map(|t| t.2.corrected as f64).sum::<f64>() / n,
@@ -466,7 +486,7 @@ mod tests {
             &spec,
             &InjectOptions {
                 threads: 4,
-                cancel: None,
+                ..InjectOptions::default()
             },
         )
         .expect("uncancelled");
@@ -498,6 +518,7 @@ mod tests {
         let opts = InjectOptions {
             threads: 1,
             cancel: Some(&flag),
+            ..InjectOptions::default()
         };
         assert!(run_injection(&spec, &opts).is_none());
     }
@@ -553,7 +574,7 @@ mod tests {
             &spec,
             &InjectOptions {
                 threads: 4,
-                cancel: None,
+                ..InjectOptions::default()
             },
         )
         .expect("uncancelled");

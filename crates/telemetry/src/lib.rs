@@ -1,0 +1,610 @@
+#![warn(missing_docs)]
+
+//! Run-time observability for the DNN-Life stack: lock-cheap counters
+//! and span timings, a machine-readable `events.jsonl` journal, and an
+//! opt-in live progress line.
+//!
+//! The design constraint is the campaign determinism contract: result
+//! stores must stay **byte-identical** with telemetry on or off, at any
+//! thread or shard count. Everything here therefore only *observes* —
+//! a [`Telemetry`] handle owns an array of relaxed [`AtomicU64`]
+//! counters (one add on the instrumented path, a single branch when
+//! disabled via [`Telemetry::noop`]) plus an optional journal file
+//! behind a mutex that is only touched at coarse per-scenario
+//! granularity, never inside simulator inner loops.
+//!
+//! The journal uses the same torn-line-tolerant journaling as the
+//! campaign's `JsonlStore`: every event is one JSON line, appended and
+//! flushed; on (re-)open an unterminated trailing line — a crash or
+//! power cut mid-write — is truncated away so the next event starts on
+//! a clean line. Readers (`dnnlife perf`) additionally skip lines that
+//! do not parse, so a journal survives anything short of losing the
+//! file.
+//!
+//! | type | role |
+//! |------|------|
+//! | [`Counter`] | fixed roster of hot-path counters (executor, exact/analytic simulators, fault injection) |
+//! | [`Telemetry`] | counter array + span timing + the `events.jsonl` journal |
+//! | [`Progress`]  | done/total + throughput + ETA line; live `\r` rewrite on a TTY, periodic plain lines otherwise |
+//! | [`Instrumentation`] | the `(telemetry, progress)` pair campaign entry points thread through |
+
+use std::fs::OpenOptions;
+use std::io::{IsTerminal, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// The fixed roster of hot-path counters. Each names one monotonically
+/// increasing `u64`; `*Nanos` counters accumulate span wall time. The
+/// roster is closed (an enum, not string keys) so the instrumented
+/// path is one array index + one relaxed atomic add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Campaign scenarios (or injection cells) journaled.
+    ScenariosCompleted,
+    /// In-flight scenarios cancelled mid-run; their partial results
+    /// were discarded, never journaled.
+    ScenariosDiscarded,
+    /// Total time items waited between pool start and a worker picking
+    /// them up.
+    QueueWaitNanos,
+    /// Total per-scenario run wall time (summed across workers, so it
+    /// exceeds campaign wall time under parallelism — the ratio is the
+    /// pool occupancy).
+    ScenarioWallNanos,
+    /// Exact-backend word writes: one per (sampled word, block,
+    /// inference) encode.
+    ExactWordWrites,
+    /// Exact-backend word shards executed.
+    ExactShardsRun,
+    /// Exact-backend word reads served from the raw-block cache.
+    BlockCacheHitWords,
+    /// Exact-backend word reads that went to the block source (cache
+    /// fill or cache disabled).
+    BlockCacheMissWords,
+    /// Time concatenating per-shard duty vectors into the final exact
+    /// result.
+    ShardMergeNanos,
+    /// Analytic-backend cells simulated (sampled words × word bits).
+    AnalyticCellsSimulated,
+    /// Analytic-backend word shards executed.
+    AnalyticShardsRun,
+    /// Fault-injection trials completed.
+    InjectionTrials,
+    /// Wall time inside the per-age injection trial fan-out.
+    TrialWallNanos,
+    /// SECDED word reads fully corrected, summed over trials.
+    EccCorrectedWords,
+    /// SECDED word reads flagged uncorrectable, summed over trials.
+    EccDetectedWords,
+    /// SECDED word reads miscorrected (escapes), summed over trials.
+    EccEscapedWords,
+}
+
+impl Counter {
+    /// Every counter, in declaration order (the array layout).
+    pub const ALL: [Counter; 16] = [
+        Counter::ScenariosCompleted,
+        Counter::ScenariosDiscarded,
+        Counter::QueueWaitNanos,
+        Counter::ScenarioWallNanos,
+        Counter::ExactWordWrites,
+        Counter::ExactShardsRun,
+        Counter::BlockCacheHitWords,
+        Counter::BlockCacheMissWords,
+        Counter::ShardMergeNanos,
+        Counter::AnalyticCellsSimulated,
+        Counter::AnalyticShardsRun,
+        Counter::InjectionTrials,
+        Counter::TrialWallNanos,
+        Counter::EccCorrectedWords,
+        Counter::EccDetectedWords,
+        Counter::EccEscapedWords,
+    ];
+
+    /// Stable snake_case name used in the journal's `counters` event
+    /// and the `dnnlife perf` tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ScenariosCompleted => "scenarios_completed",
+            Counter::ScenariosDiscarded => "scenarios_discarded",
+            Counter::QueueWaitNanos => "queue_wait_nanos",
+            Counter::ScenarioWallNanos => "scenario_wall_nanos",
+            Counter::ExactWordWrites => "exact_word_writes",
+            Counter::ExactShardsRun => "exact_shards_run",
+            Counter::BlockCacheHitWords => "block_cache_hit_words",
+            Counter::BlockCacheMissWords => "block_cache_miss_words",
+            Counter::ShardMergeNanos => "shard_merge_nanos",
+            Counter::AnalyticCellsSimulated => "analytic_cells_simulated",
+            Counter::AnalyticShardsRun => "analytic_shards_run",
+            Counter::InjectionTrials => "injection_trials",
+            Counter::TrialWallNanos => "trial_wall_nanos",
+            Counter::EccCorrectedWords => "ecc_corrected_words",
+            Counter::EccDetectedWords => "ecc_detected_words",
+            Counter::EccEscapedWords => "ecc_escaped_words",
+        }
+    }
+}
+
+/// The `events.jsonl` file: append-only JSON lines, flushed per event,
+/// torn trailing lines truncated on open (the `JsonlStore` journaling
+/// discipline).
+struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+    /// Set after the first write error; further events are dropped
+    /// silently so a full disk degrades observability, not the run.
+    failed: bool,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for appending, truncating an
+    /// unterminated trailing line left by a crash mid-write.
+    fn open(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)?;
+        if !contents.is_empty() && !contents.ends_with('\n') {
+            // Torn tail: keep everything up to (and including) the last
+            // complete line; drop the unterminated remainder.
+            let valid = contents.rfind('\n').map_or(0, |i| i + 1);
+            file.set_len(valid as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            failed: false,
+        })
+    }
+
+    fn append(&mut self, line: &str) {
+        if self.failed {
+            return;
+        }
+        let write = (|| -> std::io::Result<()> {
+            self.file.write_all(line.as_bytes())?;
+            self.file.write_all(b"\n")?;
+            self.file.flush()
+        })();
+        if let Err(e) = write {
+            self.failed = true;
+            eprintln!(
+                "telemetry: journal write to {} failed ({e}); further events dropped",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// The telemetry handle: counters, span timings, and the optional
+/// events journal. Cheap to share by reference across worker threads
+/// (all interior mutability is atomic or mutex-guarded); the campaign
+/// plumbing carries it as `Option<&Telemetry>` inside `RunOptions`.
+///
+/// Telemetry only observes: enabling it never changes any computed
+/// result (the campaign regression tests pin stores byte-identical
+/// with telemetry on and off).
+pub struct Telemetry {
+    enabled: bool,
+    counters: [AtomicU64; Counter::ALL.len()],
+    journal: Option<Mutex<Journal>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("journal", &self.journal_path())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    fn build(enabled: bool, journal: Option<Journal>) -> Self {
+        Self {
+            enabled,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            journal: journal.map(Mutex::new),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// An in-memory handle: counters and spans collected, no journal.
+    pub fn in_memory() -> Self {
+        Self::build(true, None)
+    }
+
+    /// A handle journaling events to `path` (created if missing; a
+    /// torn trailing line from a previous crash is truncated away, and
+    /// new events append after the surviving complete lines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal open/create I/O errors.
+    pub fn with_journal(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::build(true, Some(Journal::open(path.as_ref())?)))
+    }
+
+    /// The shared disabled handle: every instrumented call is a single
+    /// branch on `enabled` and returns immediately. This is what the
+    /// instrumentation sites substitute when no handle was provided.
+    pub fn noop() -> &'static Telemetry {
+        static NOOP: OnceLock<Telemetry> = OnceLock::new();
+        NOOP.get_or_init(|| Telemetry::build(false, None))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The journal file path, when journaling.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.journal.as_ref().map(|j| {
+            j.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .path
+                .clone()
+        })
+    }
+
+    /// Adds `n` to a counter (relaxed; a no-op when disabled).
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if self.enabled {
+            self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Times `f` and accumulates its wall time into a `*Nanos`
+    /// counter. When disabled, runs `f` without reading the clock.
+    #[inline]
+    pub fn time<R>(&self, counter: Counter, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let result = f();
+        self.add(counter, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// Non-zero counters as `(name, value)` pairs, in roster order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), self.get(c)))
+            .filter(|&(_, v)| v != 0)
+            .collect()
+    }
+
+    /// Appends one event line to the journal:
+    /// `{"ev":"<kind>","t_ms":<since handle creation>,<fields...>}`.
+    /// A no-op without a journal; write errors are reported once and
+    /// then dropped (observability must never fail the run).
+    pub fn emit(&self, kind: &str, fields: &[(&str, serde::Value)]) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        let mut pairs: Vec<(String, serde::Value)> = Vec::with_capacity(fields.len() + 2);
+        pairs.push(("ev".to_string(), kind.to_value()));
+        pairs.push((
+            "t_ms".to_string(),
+            (self.epoch.elapsed().as_millis() as u64).to_value(),
+        ));
+        for (name, value) in fields {
+            pairs.push(((*name).to_string(), value.clone()));
+        }
+        let line = serde_json::to_string(&serde::Value::Object(pairs))
+            .expect("event value tree always serializes");
+        journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .append(&line);
+    }
+
+    /// Emits the `counters` roll-up event (every non-zero counter),
+    /// the journal's machine-readable equivalent of [`snapshot`].
+    ///
+    /// [`snapshot`]: Telemetry::snapshot
+    pub fn emit_counters(&self) {
+        let fields: Vec<(&str, serde::Value)> = self
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| (name, value.to_value()))
+            .collect();
+        self.emit("counters", &fields);
+    }
+}
+
+/// How a [`Progress`] handle reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressStyle {
+    /// stderr is a TTY: one line rewritten in place with `\r`.
+    Live,
+    /// stderr is not a TTY (CI logs, pipes): periodic plain lines,
+    /// each newline-terminated, no carriage returns.
+    Periodic,
+}
+
+/// A done/total progress reporter with throughput and ETA. On a TTY it
+/// rewrites one stderr line in place; redirected (CI logs, pipes) it
+/// degrades to a plain newline-terminated line every few seconds so
+/// logs stay readable — never a `\r` in that mode.
+pub struct Progress {
+    label: String,
+    total: AtomicUsize,
+    done: AtomicUsize,
+    start: Instant,
+    style: ProgressStyle,
+    /// Minimum interval between prints (rate-limits the TTY rewrite,
+    /// paces the periodic plain lines).
+    period: Duration,
+    last: Mutex<Option<Instant>>,
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("label", &self.label)
+            .field("style", &self.style)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Progress {
+    /// A reporter writing to stderr, picking [`ProgressStyle::Live`]
+    /// iff stderr is a terminal.
+    pub fn stderr(label: impl Into<String>, total: usize) -> Self {
+        let style = if std::io::stderr().is_terminal() {
+            ProgressStyle::Live
+        } else {
+            ProgressStyle::Periodic
+        };
+        Self::with_style(label, total, style)
+    }
+
+    /// A reporter with an explicit style (tests pin the non-TTY
+    /// degradation without needing a pseudo-terminal).
+    pub fn with_style(label: impl Into<String>, total: usize, style: ProgressStyle) -> Self {
+        Self {
+            label: label.into(),
+            total: AtomicUsize::new(total),
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            style,
+            period: match style {
+                ProgressStyle::Live => Duration::from_millis(100),
+                ProgressStyle::Periodic => Duration::from_secs(5),
+            },
+            last: Mutex::new(None),
+        }
+    }
+
+    /// The reporting style in effect.
+    pub fn style(&self) -> ProgressStyle {
+        self.style
+    }
+
+    /// Re-targets the total (the campaign entry point learns the
+    /// *pending* count — after resume skips — only once the store has
+    /// been read).
+    pub fn set_total(&self, total: usize) {
+        self.total.store(total, Ordering::Relaxed);
+    }
+
+    /// Items completed so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed item and prints when due (rate-limited;
+    /// the final item always prints).
+    pub fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total.load(Ordering::Relaxed);
+        let now = Instant::now();
+        {
+            let mut last = self
+                .last
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let due = done >= total || last.is_none_or(|t| now.duration_since(t) >= self.period);
+            if !due {
+                return;
+            }
+            *last = Some(now);
+        }
+        let line = self.line(done, total);
+        match self.style {
+            ProgressStyle::Live => eprint!("\r{line}\x1b[K"),
+            ProgressStyle::Periodic => eprintln!("{line}"),
+        }
+    }
+
+    /// Ends the live line (moves the cursor off it). A no-op in
+    /// periodic mode — plain lines are already newline-terminated.
+    pub fn finish(&self) {
+        if self.style == ProgressStyle::Live && self.done() > 0 {
+            eprintln!();
+        }
+    }
+
+    /// Renders the `label: done/total (rate, ETA)` line.
+    fn line(&self, done: usize, total: usize) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = if done == 0 || done >= total {
+            0.0
+        } else {
+            (total - done) as f64 / rate
+        };
+        format!(
+            "{}: {done}/{total} ({rate:.2}/s, ETA {eta:.0}s)",
+            self.label
+        )
+    }
+}
+
+/// The observability pair the campaign entry points thread through:
+/// both sides optional, both borrowed — `Default` is fully off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Instrumentation<'a> {
+    /// Counters / spans / events journal.
+    pub telemetry: Option<&'a Telemetry>,
+    /// Live progress reporting.
+    pub progress: Option<&'a Progress>,
+}
+
+impl<'a> Instrumentation<'a> {
+    /// The telemetry handle, or the shared no-op when absent.
+    pub fn telemetry(&self) -> &'a Telemetry {
+        self.telemetry.unwrap_or_else(|| Telemetry::noop())
+    }
+
+    /// Ticks the progress reporter, when present.
+    pub fn tick(&self) {
+        if let Some(progress) = self.progress {
+            progress.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dnnlife-telemetry-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir.join("events.jsonl")
+    }
+
+    #[test]
+    fn counters_accumulate_and_noop_stays_zero() {
+        let tel = Telemetry::in_memory();
+        tel.add(Counter::ExactWordWrites, 3);
+        tel.add(Counter::ExactWordWrites, 4);
+        assert_eq!(tel.get(Counter::ExactWordWrites), 7);
+        assert_eq!(tel.snapshot(), vec![("exact_word_writes", 7)]);
+
+        let noop = Telemetry::noop();
+        noop.add(Counter::ExactWordWrites, 5);
+        assert_eq!(noop.get(Counter::ExactWordWrites), 0);
+        assert!(!noop.is_enabled());
+    }
+
+    #[test]
+    fn time_accumulates_span_nanos() {
+        let tel = Telemetry::in_memory();
+        let out = tel.time(Counter::ShardMergeNanos, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(tel.get(Counter::ShardMergeNanos) >= 1_000_000);
+    }
+
+    #[test]
+    fn journal_appends_parseable_lines() {
+        let path = scratch("emit");
+        let tel = Telemetry::with_journal(&path).expect("open journal");
+        tel.emit("campaign_start", &[("total", 3u64.to_value())]);
+        tel.add(Counter::InjectionTrials, 9);
+        tel.emit_counters();
+        drop(tel);
+
+        let contents = std::fs::read_to_string(&path).expect("read journal");
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let value: serde::Value = serde_json::from_str(line).expect("line parses");
+            assert!(value.get("ev").is_some());
+            assert!(value.get("t_ms").is_some());
+        }
+        let counters: serde::Value = serde_json::from_str(lines[1]).expect("counters line");
+        assert_eq!(counters.get("injection_trials"), Some(&9u64.to_value()));
+    }
+
+    #[test]
+    fn journal_truncates_torn_trailing_line_on_open() {
+        let path = scratch("torn");
+        {
+            let tel = Telemetry::with_journal(&path).expect("open journal");
+            tel.emit("campaign_start", &[]);
+        }
+        // Crash mid-write: an unterminated partial line at the tail.
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("append garbage");
+            file.write_all(b"{\"ev\":\"torn").expect("write torn tail");
+        }
+        let tel = Telemetry::with_journal(&path).expect("reopen journal");
+        tel.emit("campaign_done", &[]);
+        drop(tel);
+
+        let contents = std::fs::read_to_string(&path).expect("read journal");
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2, "torn tail must be gone: {contents:?}");
+        for line in lines {
+            let _: serde::Value = serde_json::from_str(line).expect("every line parses");
+        }
+    }
+
+    #[test]
+    fn periodic_progress_never_emits_carriage_returns() {
+        // The non-TTY degradation: every rendered line is plain text.
+        let progress = Progress::with_style("sweep", 4, ProgressStyle::Periodic);
+        assert_eq!(progress.style(), ProgressStyle::Periodic);
+        for done in 1..=4 {
+            let line = progress.line(done, 4);
+            assert!(!line.contains('\r'), "plain line holds a \\r: {line:?}");
+            assert!(line.starts_with("sweep: "));
+        }
+    }
+
+    #[test]
+    fn progress_line_reports_done_total_and_eta() {
+        let progress = Progress::with_style("inject", 10, ProgressStyle::Live);
+        let line = progress.line(5, 10);
+        assert!(line.contains("5/10"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+        progress.set_total(6);
+        progress.tick();
+        assert_eq!(progress.done(), 1);
+    }
+
+    #[test]
+    fn instrumentation_defaults_to_noop() {
+        let instr = Instrumentation::default();
+        assert!(!instr.telemetry().is_enabled());
+        instr.tick(); // no progress: must not panic
+    }
+}
