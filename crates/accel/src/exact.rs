@@ -8,6 +8,17 @@
 //! the analytic simulator is validated against, and the right tool for
 //! small configurations and residency ablations.
 //!
+//! The inner loop is bit-parallel: each block's stored words are
+//! encoded in one batched [`WriteTransducer::encode_run`] call, packed
+//! into the `u64` memory image, and folded into a bit-sliced
+//! [`DutySliceTracker`] — 64 cells per `u64` operation instead of an
+//! f64 add per cell. Uniform dwell (the default) keeps integer counts
+//! end to end, so deterministic policies with a known write period
+//! ([`WriteTransducer::write_period`]) simulate one period and replay
+//! it by exact multiplication ([`DutySliceTracker::scale`]). Runs with
+//! non-uniform dwell fall back to the scalar [`DutyCycleTracker`],
+//! whose order-sensitive f64 accumulation the stored goldens pin.
+//!
 //! For campaign sweeps, [`simulate_exact_sampled`] simulates every
 //! n-th memory word (the same unbiased word subsample the analytic
 //! simulator's `sample_stride` takes) and caches each block's raw words
@@ -30,7 +41,7 @@ use std::sync::mpsc;
 
 use crate::plan::BlockSource;
 use dnnlife_mitigation::WriteTransducer;
-use dnnlife_sram::DutyCycleTracker;
+use dnnlife_sram::{DutyCycleTracker, DutySliceTracker};
 use dnnlife_telemetry::{Counter, Telemetry};
 
 /// Raw-block-word cache ceiling for [`simulate_exact_sampled`]: above
@@ -255,9 +266,12 @@ pub fn simulate_exact_sharded(
     })?;
 
     // Counter bookkeeping is arithmetic over the completed run's shape
-    // — never per-encode atomics in the hot loop. Each sampled word is
-    // encoded once per block per inference; with the raw-word cache on,
-    // the fill is the only pass that touches the block source.
+    // — never per-encode atomics in the hot loop. The counts are
+    // *logical* word writes (one per sampled word per block per
+    // inference): period-collapsed inferences are counted as if
+    // simulated, so throughput metrics reflect the replayed schedule.
+    // With the raw-word cache on, the fill is the only pass that
+    // touches the block source.
     let k_blocks = source.block_count();
     let word_reads = (sampled.len() as u64)
         .saturating_mul(k_blocks)
@@ -323,8 +337,23 @@ pub(crate) fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usi
 /// The exact inner loop over one contiguous range of sampled words:
 /// every word of every block of every inference goes through
 /// `transducer` into a packed bit image, and each block state is
-/// recorded with its dwell weight. Returns `None` if `cancel` was
-/// raised (polled once per block, including during cache fill).
+/// folded into a bit-sliced integer duty tracker — 64 cells per `u64`
+/// op instead of a branch and an f64 add per cell. Returns `None` if
+/// `cancel` was raised (polled once per block, including during cache
+/// fill).
+///
+/// Two further collapses keep the loop's *output* untouched while
+/// shrinking its work:
+///
+/// * Encodes go through [`WriteTransducer::encode_run`] — one virtual
+///   dispatch per block instead of per word, with the same stored bits
+///   and state advance.
+/// * When the policy reports a [`WriteTransducer::write_period`], only
+///   one period of the repeated inference schedule is simulated; the
+///   remaining full periods are replayed by exact integer
+///   multiplication of the tracker's counts
+///   ([`DutySliceTracker::scale`]), and the leftover inferences run
+///   normally from the cycled-back (= reset) transducer state.
 fn simulate_word_range(
     source: &dyn BlockSource,
     transducer: &mut dyn WriteTransducer,
@@ -339,8 +368,23 @@ fn simulate_word_range(
     if cells == 0 {
         return Some(Vec::new());
     }
-    let mut tracker = DutyCycleTracker::new(cells);
+    // The bit-sliced integer tracker reproduces the scalar tracker bit
+    // for bit when every dwell is exactly 1.0 (integer counts, integer
+    // total — the default residency model). A non-uniform dwell
+    // sequence is accumulated by the scalar tracker instead: its
+    // per-cell result is an *order-sensitive* f64 sum that no grouped
+    // multiply-and-sum can reproduce exactly, and the store regression
+    // pins those bytes (see tests/golden/exact_dwell.jsonl in
+    // dnnlife-campaign).
+    let uniform = (0..k_blocks).all(|b| source.dwell(b).to_bits() == 1.0f64.to_bits());
+    let mut tracker = if uniform {
+        Recorder::Sliced(DutySliceTracker::new(cells))
+    } else {
+        Recorder::Scalar(DutyCycleTracker::new(cells))
+    };
     let mut state = vec![0u64; cells.div_ceil(64)];
+    let addrs: Vec<u64> = words.iter().map(|&word| word as u64).collect();
+    let mut stored = vec![0u64; words.len()];
 
     // Raw words are a pure function of (block, word): cache them once
     // and replay from memory on every later inference. A single
@@ -359,25 +403,131 @@ fn simulate_word_range(
     } else {
         None
     };
+    let mut scratch = vec![0u64; if cached.is_some() { 0 } else { words.len() }];
 
-    for _inference in 0..inferences {
-        for block in 0..k_blocks {
-            if cancelled(cancel) {
-                return None;
+    let mut run =
+        |tracker: &mut Recorder, transducer: &mut dyn WriteTransducer, n: u64| -> Option<()> {
+            for _inference in 0..n {
+                for block in 0..k_blocks {
+                    if cancelled(cancel) {
+                        return None;
+                    }
+                    let raw: &[u64] = match &cached {
+                        Some(cache) => &cache[block as usize * words.len()..][..words.len()],
+                        None => {
+                            for (slot, &word) in scratch.iter_mut().zip(words) {
+                                *slot = source.word(block, word);
+                            }
+                            &scratch
+                        }
+                    };
+                    transducer.encode_run(&addrs, raw, &mut stored);
+                    pack_state(&mut state, &stored, width);
+                    transducer.new_block();
+                    tracker.record(&state, source.dwell(block));
+                }
             }
-            for (si, &word) in words.iter().enumerate() {
-                let raw = match &cached {
-                    Some(cache) => cache[block as usize * words.len() + si],
-                    None => source.word(block, word),
-                };
-                let (stored, _meta) = transducer.encode(word as u64, raw);
-                write_bits(&mut state, si * width, width, stored);
-            }
-            transducer.new_block();
-            tracker.record_packed(&state, source.dwell(block));
+            Some(())
+        };
+
+    // Each address sees `k_blocks` writes per inference, so a policy
+    // whose encoder state has period `p` writes cycles back to reset
+    // every `p / gcd(k_blocks, p)` inferences — and the integer
+    // tracker can replay whole cycles by multiplication. The scalar
+    // (non-uniform dwell) tracker has no exact replay, so it always
+    // simulates every inference.
+    let cycle = match &tracker {
+        Recorder::Sliced(_) => transducer.write_period().and_then(|p| {
+            let c = p / gcd(k_blocks, p);
+            (c < inferences).then_some(c)
+        }),
+        Recorder::Scalar(_) => None,
+    };
+    match cycle {
+        Some(c) => {
+            run(&mut tracker, transducer, c)?;
+            tracker.scale(inferences / c);
+            run(&mut tracker, transducer, inferences % c)?;
+        }
+        None => run(&mut tracker, transducer, inferences)?,
+    }
+    Some(tracker.into_duties())
+}
+
+/// The inner loop's duty accumulator: bit-sliced integer counts on the
+/// uniform-dwell fast path, the scalar f64 tracker for non-uniform
+/// dwell sequences (whose stored bytes are order-sensitive).
+enum Recorder {
+    Sliced(DutySliceTracker),
+    Scalar(DutyCycleTracker),
+}
+
+impl Recorder {
+    #[inline]
+    fn record(&mut self, state: &[u64], dwell: f64) {
+        match self {
+            Recorder::Sliced(t) => t.record_packed(state, dwell),
+            Recorder::Scalar(t) => t.record_packed(state, dwell),
         }
     }
-    Some(tracker.duties().collect())
+
+    fn scale(&mut self, factor: u64) {
+        match self {
+            Recorder::Sliced(t) => t.scale(factor),
+            Recorder::Scalar(_) => unreachable!("scalar recorder never collapses cycles"),
+        }
+    }
+
+    fn into_duties(self) -> Vec<f64> {
+        match self {
+            Recorder::Sliced(t) => t.into_duties(),
+            Recorder::Scalar(t) => t.duties().collect(),
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Rebuilds the packed bit image from one block's stored words: word
+/// `i`'s low `width` bits land at bit offset `i × width`, LSB-first —
+/// exactly [`write_bits`] of every word in sequence, but as a
+/// streaming pack with no read-modify-write (valid because a block
+/// write covers every cell of the image). `stored` words must have no
+/// bits beyond `width` (transducer outputs never do).
+fn pack_state(state: &mut [u64], stored: &[u64], width: usize) {
+    debug_assert!((1..=64).contains(&width), "pack_state: bad width {width}");
+    debug_assert_eq!(state.len(), (stored.len() * width).div_ceil(64));
+    if width == 64 {
+        state.copy_from_slice(stored);
+        return;
+    }
+    let mut acc = 0u64;
+    let mut fill = 0usize;
+    let mut out = 0usize;
+    for &value in stored {
+        debug_assert_eq!(value >> width, 0, "stored word has bits beyond width");
+        acc |= value << fill;
+        fill += width;
+        if fill >= 64 {
+            state[out] = acc;
+            out += 1;
+            fill -= 64;
+            acc = if fill == 0 {
+                0
+            } else {
+                value >> (width - fill)
+            };
+        }
+    }
+    if fill > 0 {
+        state[out] = acc;
+    }
 }
 
 /// Writes the low `width` bits of `value` into the packed bit image at
@@ -527,6 +677,64 @@ mod tests {
         assert_eq!(read_bits(&state, 64, 64), 0x1234_5678_9ABC_DEF0);
         write_bits(&mut state, 0, 64, 0);
         assert_eq!(state[0], 0);
+    }
+
+    #[test]
+    fn write_bits_width_64_straddles_words() {
+        // A full-width field at a non-aligned offset touches two words.
+        let mut state = vec![u64::MAX; 3];
+        let value = 0x0123_4567_89AB_CDEF;
+        write_bits(&mut state, 60, 64, value);
+        assert_eq!(read_bits(&state, 60, 64), value);
+        assert_eq!(read_bits(&state, 0, 60), (1u64 << 60) - 1, "low neighbours");
+        assert_eq!(read_bits(&state, 124, 4), 0xF, "high neighbours");
+        assert_eq!(state[2], u64::MAX);
+        write_bits(&mut state, 60, 64, u64::MAX);
+        assert_eq!(state[0], u64::MAX);
+        assert_eq!(state[1], u64::MAX);
+    }
+
+    #[test]
+    fn write_bits_at_offset_zero_every_width() {
+        for width in 1..=64usize {
+            let mut state = vec![u64::MAX; 2];
+            write_bits(&mut state, 0, width, 0);
+            assert_eq!(read_bits(&state, 0, width), 0, "width {width}");
+            if width < 64 {
+                assert_eq!(
+                    read_bits(&state, width, 64 - width),
+                    u64::MAX >> width,
+                    "width {width}: bits above the field must survive"
+                );
+            }
+            assert_eq!(state[1], u64::MAX, "width {width}");
+        }
+    }
+
+    #[test]
+    fn pack_state_matches_write_bits() {
+        // The streaming packer must produce exactly the image that
+        // word-by-word `write_bits` calls would.
+        for (width, words) in [(1usize, 130usize), (3, 41), (8, 16), (13, 10), (64, 5)] {
+            let stored: Vec<u64> = (0..words as u64)
+                .map(|w| {
+                    let v = w.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    if width == 64 {
+                        v
+                    } else {
+                        v & ((1 << width) - 1)
+                    }
+                })
+                .collect();
+            let cells = words * width;
+            let mut packed = vec![0u64; cells.div_ceil(64)];
+            let mut reference = vec![0u64; cells.div_ceil(64)];
+            pack_state(&mut packed, &stored, width);
+            for (i, &value) in stored.iter().enumerate() {
+                write_bits(&mut reference, i * width, width, value);
+            }
+            assert_eq!(packed, reference, "width {width} × {words} words");
+        }
     }
 
     #[test]

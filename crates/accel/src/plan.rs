@@ -674,10 +674,19 @@ impl FifoSlotMemory {
         format: NumberFormat,
         sources: Vec<WeightSource>,
     ) -> Self {
-        assert!(
-            slot < Self::DEPTH,
-            "FifoSlotMemory: slot {slot} out of range"
-        );
+        let (layers, total_tiles) = Self::plan_layers(spec, format, sources);
+        Self::from_plan(slot, spec, format, layers, total_tiles)
+    }
+
+    /// The slot-independent part of the plan: tile layout and quantizer
+    /// calibration per layer. Calibration sweeps up to [`RANGE_CAP`]
+    /// weights per layer, so `all_slots` computes this once and shares
+    /// it across the four slots instead of re-sweeping per slot.
+    fn plan_layers(
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        sources: Vec<WeightSource>,
+    ) -> (Vec<LayerTiles>, u64) {
         assert_eq!(
             format.bits(),
             8,
@@ -703,6 +712,20 @@ impl FifoSlotMemory {
             });
             offset += col_tiles * row_tiles;
         }
+        (layers, offset)
+    }
+
+    fn from_plan(
+        slot: u64,
+        spec: &NetworkSpec,
+        format: NumberFormat,
+        layers: Vec<LayerTiles>,
+        offset: u64,
+    ) -> Self {
+        assert!(
+            slot < Self::DEPTH,
+            "FifoSlotMemory: slot {slot} out of range"
+        );
         let local_blocks = if offset > slot {
             (offset - slot).div_ceil(Self::DEPTH)
         } else {
@@ -711,7 +734,7 @@ impl FifoSlotMemory {
         Self {
             slot,
             depth: Self::DEPTH,
-            tile_side: side,
+            tile_side: Self::TILE_SIDE,
             layers,
             total_tiles: offset,
             local_blocks,
@@ -738,10 +761,20 @@ impl FifoSlotMemory {
         self
     }
 
-    /// All four slots of the FIFO.
+    /// All four slots of the FIFO. The per-layer plan (tile layout and
+    /// quantizer calibration) is slot-independent, so it is computed
+    /// once and shared — building all four slots costs one calibration
+    /// sweep, not four.
     pub fn all_slots(spec: &NetworkSpec, format: NumberFormat, seed: u64) -> Vec<Self> {
+        let sources = spec
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(li, _)| WeightSource::Gen(LayerWeightGen::new(spec, li, seed)))
+            .collect();
+        let (layers, total_tiles) = Self::plan_layers(spec, format, sources);
         (0..Self::DEPTH)
-            .map(|s| Self::new(s, spec, format, seed))
+            .map(|s| Self::from_plan(s, spec, format, layers.clone(), total_tiles))
             .collect()
     }
 
@@ -757,11 +790,12 @@ impl FifoSlotMemory {
         format: NumberFormat,
         tables: &[Vec<f32>],
     ) -> Vec<Self> {
-        // One validation + one allocation per layer; the four slots
-        // share the table handles.
+        // One validation + one allocation per layer, one calibration
+        // sweep; the four slots share the table handles and the plan.
         let shared = shared_tables(spec, tables);
+        let (layers, total_tiles) = Self::plan_layers(spec, format, sources_from_shared(&shared));
         (0..Self::DEPTH)
-            .map(|s| Self::with_sources(s, spec, format, sources_from_shared(&shared)))
+            .map(|s| Self::from_plan(s, spec, format, layers.clone(), total_tiles))
             .collect()
     }
 

@@ -958,6 +958,13 @@ fn perf_command(argv: &[String]) -> Result<(), CliError> {
         } else {
             print!("{}", diff.render_text());
         }
+        if diff.has_missing() {
+            return Err(format!(
+                "perf: `{diff_path}` is missing metric(s) that `{events}` reports \
+                 — the diff cannot demonstrate the baseline's performance"
+            )
+            .into());
+        }
         return Ok(());
     }
 

@@ -272,6 +272,17 @@ where
     let discarded = AtomicUsize::new(0);
     if !pending.is_empty() {
         let workers = budget.min(pending.len()).max(1);
+        // Absolute wall-clock anchor for the journal. Every other
+        // timestamp in the journal is the relative `t_ms` offset from
+        // the telemetry epoch; `unix_ms` on `campaign_start` is the
+        // only absolute time, letting tooling correlate journals from
+        // different runs (e.g. nightly `perf --diff` against the
+        // previous night's artifact). Consumers must tolerate its
+        // absence: journals written before this field existed lack it.
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
         telemetry.emit(
             "campaign_start",
             &[
@@ -280,6 +291,7 @@ where
                 ("pending", (pending.len() as u64).to_value()),
                 ("workers", (workers as u64).to_value()),
                 ("budget", (budget as u64).to_value()),
+                ("unix_ms", unix_ms.to_value()),
             ],
         );
         let epoch = Instant::now();

@@ -50,6 +50,13 @@ pub struct PerfSummary {
     pub budget: u64,
     /// Journal lines skipped as unparsable (torn tail, corruption).
     pub skipped_lines: u64,
+    /// Absolute wall-clock anchor: the `unix_ms` field of the first
+    /// `campaign_start` event that carries one (milliseconds since the
+    /// Unix epoch). Every other journal timestamp is the relative
+    /// `t_ms` offset; this is the only absolute time, so tooling can
+    /// order journals from different runs. `None` for journals written
+    /// before the field existed — its absence is never an error.
+    pub anchor_unix_ms: Option<u64>,
 }
 
 fn str_field<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
@@ -113,6 +120,9 @@ pub fn summarize(journal: &str) -> PerfSummary {
                     out.campaigns.push(name.to_string());
                 }
                 out.budget = out.budget.max(u64_field(&event, "budget").unwrap_or(0));
+                if out.anchor_unix_ms.is_none() {
+                    out.anchor_unix_ms = u64_field(&event, "unix_ms");
+                }
                 open_start_ms = num_field(&event, "t_ms");
             }
             "campaign_done" | "campaign_abort" => {
@@ -227,6 +237,9 @@ impl PerfSummary {
             self.discarded,
             self.skipped_lines,
         ));
+        if let Some(anchor) = self.anchor_unix_ms {
+            out.push_str(&format!("journal anchor: unix epoch {anchor} ms\n"));
+        }
         if self.campaign_wall_ms > 0.0 {
             out.push_str(&format!(
                 "campaign wall {:.2}s on a {}-thread budget",
@@ -334,6 +347,9 @@ impl Serialize for PerfSummary {
         if let Some(util) = self.thread_utilization() {
             pairs.insert(6, ("thread_utilization".to_string(), util.to_value()));
         }
+        if let Some(anchor) = self.anchor_unix_ms {
+            pairs.insert(1, ("anchor_unix_ms".to_string(), anchor.to_value()));
+        }
         Value::Object(pairs)
     }
 }
@@ -347,11 +363,17 @@ pub struct DiffRow {
     pub before: f64,
     /// Value in journal B (the "after").
     pub after: f64,
-    /// `after / before` (∞ when before is 0).
+    /// `after / before` (∞ when before is 0, 0 when B lacks the
+    /// metric).
     pub ratio: f64,
     /// Whether the change crosses the regression threshold in the
     /// slow direction.
     pub regressed: bool,
+    /// True when journal A reports this metric but journal B doesn't —
+    /// rendered as an explicit `MISSING` row and always treated as a
+    /// regression (a silently vanished metric must fail the gate, not
+    /// pass it).
+    pub missing: bool,
 }
 
 /// A↔B journal comparison: per-metric ratios plus the regression
@@ -378,6 +400,19 @@ pub fn diff(a: &PerfSummary, b: &PerfSummary, threshold: f64) -> PerfDiff {
         if before <= 0.0 && after <= 0.0 {
             return;
         }
+        if before > 0.0 && after <= 0.0 {
+            // The metric vanished from B (no scenarios, no closed
+            // campaign span) — that must flag, not read as "0 ms".
+            rows.push(DiffRow {
+                metric: metric.to_string(),
+                before,
+                after: 0.0,
+                ratio: 0.0,
+                regressed: true,
+                missing: true,
+            });
+            return;
+        }
         let ratio = if before > 0.0 {
             after / before
         } else {
@@ -389,6 +424,7 @@ pub fn diff(a: &PerfSummary, b: &PerfSummary, threshold: f64) -> PerfDiff {
             after,
             ratio,
             regressed: ratio > threshold,
+            missing: false,
         });
     };
     lower_is_better("campaign_wall_ms", a.campaign_wall_ms, b.campaign_wall_ms);
@@ -408,8 +444,8 @@ pub fn diff(a: &PerfSummary, b: &PerfSummary, threshold: f64) -> PerfDiff {
         }
     };
     lower_is_better("mean_queue_wait_ms", mean_queue(a), mean_queue(b));
-    if let (Some(before), Some(after)) = (a.exact_words_per_sec(), b.exact_words_per_sec()) {
-        rows.push(DiffRow {
+    match (a.exact_words_per_sec(), b.exact_words_per_sec()) {
+        (Some(before), Some(after)) => rows.push(DiffRow {
             metric: "exact_words_per_sec".to_string(),
             before,
             after,
@@ -419,15 +455,48 @@ pub fn diff(a: &PerfSummary, b: &PerfSummary, threshold: f64) -> PerfDiff {
                 f64::INFINITY
             },
             regressed: after > 0.0 && before / after > threshold,
-        });
+            missing: false,
+        }),
+        // A measured exact throughput, B has none: the journal that was
+        // supposed to prove throughput can't — an explicit MISSING row
+        // that fails the gate (previously this arm emitted nothing and
+        // the diff silently passed).
+        (Some(before), None) => rows.push(DiffRow {
+            metric: "exact_words_per_sec".to_string(),
+            before,
+            after: 0.0,
+            ratio: 0.0,
+            regressed: true,
+            missing: true,
+        }),
+        // A metric newly appearing in B is informational, not a
+        // regression.
+        (None, Some(after)) => rows.push(DiffRow {
+            metric: "exact_words_per_sec".to_string(),
+            before: 0.0,
+            after,
+            ratio: f64::INFINITY,
+            regressed: false,
+            missing: false,
+        }),
+        (None, None) => {}
     }
     PerfDiff { rows, threshold }
 }
 
 impl PerfDiff {
-    /// Whether any row crossed the threshold in the slow direction.
+    /// Whether any row crossed the threshold in the slow direction
+    /// (includes [`DiffRow::missing`] rows).
     pub fn has_regression(&self) -> bool {
         self.rows.iter().any(|row| row.regressed)
+    }
+
+    /// Whether journal A reports a metric that journal B lacks — the
+    /// condition `dnnlife perf --diff` must fail on (exit non-zero),
+    /// since a vanished metric means B cannot demonstrate the
+    /// performance A did.
+    pub fn has_missing(&self) -> bool {
+        self.rows.iter().any(|row| row.missing)
     }
 
     /// The human-readable diff table.
@@ -442,6 +511,13 @@ impl PerfDiff {
             "metric", "A", "B", "B/A"
         ));
         for row in &self.rows {
+            if row.missing {
+                out.push_str(&format!(
+                    "{:<24} {:>14.1} {:>14} {:>8}  << MISSING IN B\n",
+                    row.metric, row.before, "MISSING", "-"
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "{:<24} {:>14.1} {:>14.1} {:>8.3}{}\n",
                 row.metric,
@@ -470,12 +546,14 @@ impl Serialize for PerfDiff {
                     ("after".to_string(), row.after.to_value()),
                     ("ratio".to_string(), row.ratio.to_value()),
                     ("regressed".to_string(), row.regressed.to_value()),
+                    ("missing".to_string(), row.missing.to_value()),
                 ])
             })
             .collect();
         Value::Object(vec![
             ("threshold".to_string(), self.threshold.to_value()),
             ("regressed".to_string(), self.has_regression().to_value()),
+            ("missing_metrics".to_string(), self.has_missing().to_value()),
             ("rows".to_string(), Value::Array(rows)),
         ])
     }
@@ -543,6 +621,52 @@ mod tests {
     }
 
     #[test]
+    fn unix_ms_anchor_is_captured_and_tolerated_when_absent() {
+        // Pre-anchor journals (no unix_ms on campaign_start) summarize
+        // exactly as before, with no anchor.
+        let old = summarize(&journal());
+        assert_eq!(old.anchor_unix_ms, None);
+        assert!(!old.render_text().contains("journal anchor"));
+
+        // An anchored journal surfaces the first campaign_start's
+        // unix_ms in the summary, text render and JSON output.
+        let anchored = journal().replace(
+            r#"{"ev":"campaign_start","t_ms":0,"#,
+            r#"{"ev":"campaign_start","t_ms":0,"unix_ms":1754650000123,"#,
+        );
+        let s = summarize(&anchored);
+        assert_eq!(s.anchor_unix_ms, Some(1_754_650_000_123));
+        assert!(s
+            .render_text()
+            .contains("journal anchor: unix epoch 1754650000123 ms"));
+        let json = s.to_value();
+        assert_eq!(
+            u64_field(&json, "anchor_unix_ms"),
+            Some(1_754_650_000_123),
+            "anchor must appear in --json output"
+        );
+        assert_eq!(
+            u64_field(&old.to_value(), "anchor_unix_ms"),
+            None,
+            "unanchored journals must not invent the field"
+        );
+
+        // The anchor identifies the journal's first invocation; later
+        // invocations (e.g. --resume appends) don't overwrite it.
+        let second = journal().replace(
+            r#"{"ev":"campaign_start","t_ms":0,"#,
+            r#"{"ev":"campaign_start","t_ms":0,"unix_ms":1754650999999,"#,
+        );
+        let resumed = summarize(&format!("{anchored}\n{second}"));
+        assert_eq!(resumed.anchor_unix_ms, Some(1_754_650_000_123));
+
+        // Diffing an anchored journal against an unanchored one is not
+        // a regression — the anchor is metadata, not a metric.
+        let d = diff(&s, &old, DIFF_THRESHOLD);
+        assert!(!d.has_regression() && !d.has_missing());
+    }
+
+    #[test]
     fn render_text_names_the_slowest_cell_first() {
         let s = summarize(&journal());
         let text = s.render_text();
@@ -581,6 +705,67 @@ mod tests {
             "a speedup must not be flagged"
         );
         assert!(d.render_text().contains("REGRESSED"));
+    }
+
+    /// The same journal minus its `counters` roll-up: scenarios ran but
+    /// no exact throughput can be computed.
+    fn journal_without_counters() -> String {
+        journal()
+            .lines()
+            .filter(|l| !l.contains(r#""ev":"counters""#))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn diff_emits_missing_row_when_b_lacks_exact_throughput() {
+        let a = summarize(&journal());
+        let b = summarize(&journal_without_counters());
+        let d = diff(&a, &b, DIFF_THRESHOLD);
+        let row = d
+            .rows
+            .iter()
+            .find(|r| r.metric == "exact_words_per_sec")
+            .expect("a MISSING row must be emitted, not silence");
+        assert!(row.missing && row.regressed);
+        assert!(d.has_missing() && d.has_regression());
+        let text = d.render_text();
+        assert!(text.contains("MISSING"), "{text}");
+    }
+
+    #[test]
+    fn diff_metric_appearing_in_b_is_not_a_regression() {
+        let a = summarize(&journal_without_counters());
+        let b = summarize(&journal());
+        let d = diff(&a, &b, DIFF_THRESHOLD);
+        let row = d
+            .rows
+            .iter()
+            .find(|r| r.metric == "exact_words_per_sec")
+            .expect("new metric is still shown");
+        assert!(!row.missing && !row.regressed);
+        assert!(!d.has_missing());
+    }
+
+    #[test]
+    fn diff_flags_vanished_wall_metrics() {
+        let a = summarize(&journal());
+        let b = PerfSummary::default(); // empty journal: no scenarios at all
+        let d = diff(&a, &b, DIFF_THRESHOLD);
+        assert!(d.has_missing(), "an empty B journal must fail the gate");
+        for metric in ["campaign_wall_ms", "mean_scenario_wall_ms"] {
+            let row = d.rows.iter().find(|r| r.metric == metric).expect(metric);
+            assert!(row.missing && row.regressed, "{metric} must flag");
+        }
+    }
+
+    #[test]
+    fn diff_json_carries_missing_flags() {
+        let a = summarize(&journal());
+        let d = diff(&a, &PerfSummary::default(), DIFF_THRESHOLD);
+        let json = serde_json::to_string(&d.to_value()).expect("serializes");
+        let back: Value = serde_json::from_str(&json).expect("round trips");
+        assert_eq!(back.get("missing_metrics"), Some(&Value::Bool(true)));
     }
 
     #[test]

@@ -123,6 +123,49 @@ fn sweep_store_bytes_identical_with_telemetry_on_or_off() {
     }
 }
 
+/// `campaign_start` carries an absolute `unix_ms` anchor alongside the
+/// relative `t_ms` stream, and `perf` surfaces it.
+#[test]
+fn campaign_start_carries_absolute_unix_anchor() {
+    let dir = util::scratch_dir("telemetry-unix-anchor");
+    let grid = sweep_grid(deterministic_policies());
+    let events = dir.join("anchored.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    let before = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_millis() as u64;
+    sweep_with(
+        &grid,
+        &dir.join("anchored.jsonl"),
+        1,
+        ShardPolicy::Fixed(1),
+        false,
+        Some(&telemetry),
+    );
+    let after = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_millis() as u64;
+
+    let journal = std::fs::read_to_string(&events).expect("read journal");
+    let start_line = journal
+        .lines()
+        .find(|l| l.contains(r#""ev":"campaign_start""#))
+        .expect("journal has a campaign_start event");
+    assert!(
+        start_line.contains(r#""unix_ms":"#),
+        "campaign_start must carry the absolute anchor: {start_line}"
+    );
+
+    let summary = perf::load_events(&events).expect("load journal");
+    let anchor = summary.anchor_unix_ms.expect("perf surfaces the anchor");
+    assert!(
+        (before..=after).contains(&anchor),
+        "anchor {anchor} outside run window [{before}, {after}]"
+    );
+}
+
 fn tiny_params() -> InjectionParams {
     InjectionParams {
         base_seed: 7,
@@ -290,6 +333,72 @@ fn perf_profiler_renders_tables_and_self_diff_is_flat() {
     let diff = perf::diff(&summary, &summary, perf::DIFF_THRESHOLD);
     assert!(!diff.has_regression(), "self-diff flagged a regression");
     assert!(diff.render_text().contains("campaign_wall_ms"));
+}
+
+/// `dnnlife perf --diff` must exit non-zero when the compared journal
+/// lacks a metric the baseline journal reports (a vanished
+/// `exact_words_per_sec` used to silently pass the gate).
+#[test]
+fn perf_diff_fails_when_current_journal_lacks_baseline_metric() {
+    let dir = util::scratch_dir("telemetry-perf-missing");
+    let with_exact = dir.join("baseline.events.jsonl");
+    let without_exact = dir.join("current.events.jsonl");
+    std::fs::write(
+        &with_exact,
+        concat!(
+            r#"{"ev":"campaign_start","t_ms":0,"name":"fig11","budget":2}"#,
+            "\n",
+            r#"{"ev":"scenario_done","t_ms":50,"i":0,"label":"a","group":"none","wall_ms":50.0,"queue_ms":1.0,"threads":1}"#,
+            "\n",
+            r#"{"ev":"counters","t_ms":60,"exact_word_writes":1000000,"scenario_wall_nanos":50000000}"#,
+            "\n",
+            r#"{"ev":"campaign_done","t_ms":61}"#,
+            "\n",
+        ),
+    )
+    .expect("write baseline journal");
+    std::fs::write(
+        &without_exact,
+        concat!(
+            r#"{"ev":"campaign_start","t_ms":0,"name":"fig11","budget":2}"#,
+            "\n",
+            r#"{"ev":"scenario_done","t_ms":50,"i":0,"label":"a","group":"none","wall_ms":50.0,"queue_ms":1.0,"threads":1}"#,
+            "\n",
+            r#"{"ev":"campaign_done","t_ms":61}"#,
+            "\n",
+        ),
+    )
+    .expect("write current journal");
+
+    let run = |a: &Path, b: &Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+            .args(["perf", "--events"])
+            .arg(a)
+            .arg("--diff")
+            .arg(b)
+            .output()
+            .expect("run dnnlife perf")
+    };
+
+    let failing = run(&with_exact, &without_exact);
+    assert!(
+        !failing.status.success(),
+        "perf --diff must fail when the current journal lacks exact \
+         throughput, got: {}",
+        String::from_utf8_lossy(&failing.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&failing.stdout).contains("MISSING"),
+        "diff table must carry an explicit MISSING row: {}",
+        String::from_utf8_lossy(&failing.stdout)
+    );
+
+    let passing = run(&with_exact, &with_exact);
+    assert!(
+        passing.status.success(),
+        "self-diff must pass: {}",
+        String::from_utf8_lossy(&passing.stderr)
+    );
 }
 
 /// Satellite 1: a cancelled campaign reports what completed, what was

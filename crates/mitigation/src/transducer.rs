@@ -83,6 +83,36 @@ pub trait WriteTransducer: Send + Sync {
     /// Decodes a stored pattern using its metadata.
     fn decode(&self, stored: u64, meta: Metadata) -> u64;
 
+    /// Encodes a run of words (`raw[i]` written to `addrs[i]`) into
+    /// `out`, exactly as the same sequence of [`Self::encode`] calls
+    /// would, discarding the metadata. Implementations override this
+    /// with a monomorphic loop so the exact simulator pays one virtual
+    /// dispatch per run instead of one per word — the override must be
+    /// observationally identical to the default (same stored bits,
+    /// same state advance, same panics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ, or as [`Self::encode`] does
+    /// for any element.
+    fn encode_run(&mut self, addrs: &[u64], raw: &[u64], out: &mut [u64]) {
+        assert_eq!(addrs.len(), raw.len(), "encode_run: length mismatch");
+        assert_eq!(addrs.len(), out.len(), "encode_run: length mismatch");
+        for ((&addr, &word), slot) in addrs.iter().zip(raw).zip(out) {
+            *slot = self.encode(addr, word).0;
+        }
+    }
+
+    /// Period of the complete encoder state in *writes per address*,
+    /// for policies whose state (per-address and block-schedule alike)
+    /// provably returns to its initial value after that many writes to
+    /// each address — `None` for aperiodic or randomized policies.
+    /// The exact simulator uses this to simulate one period of a
+    /// repeated write schedule and replay the rest arithmetically.
+    fn write_period(&self) -> Option<u64> {
+        None
+    }
+
     /// Signals a block boundary (drives the controller's bias-balancing
     /// register in the DNN-Life policy; a no-op for the baselines).
     fn new_block(&mut self) {}
@@ -161,6 +191,19 @@ impl WriteTransducer for Passthrough {
         stored
     }
 
+    fn encode_run(&mut self, addrs: &[u64], raw: &[u64], out: &mut [u64]) {
+        assert_eq!(addrs.len(), raw.len(), "encode_run: length mismatch");
+        assert_eq!(addrs.len(), out.len(), "encode_run: length mismatch");
+        for (&word, slot) in raw.iter().zip(out) {
+            check_word(self.width, word);
+            *slot = word;
+        }
+    }
+
+    fn write_period(&self) -> Option<u64> {
+        Some(1)
+    }
+
     fn fork(&self, _shard: u64) -> Box<dyn WriteTransducer> {
         Box::new(self.clone())
     }
@@ -232,6 +275,23 @@ impl WriteTransducer for PeriodicInversion {
             Metadata::Inverted(false) => stored,
             other => panic!("PeriodicInversion: wrong metadata {other:?}"),
         }
+    }
+
+    fn encode_run(&mut self, addrs: &[u64], raw: &[u64], out: &mut [u64]) {
+        assert_eq!(addrs.len(), raw.len(), "encode_run: length mismatch");
+        assert_eq!(addrs.len(), out.len(), "encode_run: length mismatch");
+        let m = mask(self.width);
+        for ((&addr, &word), slot) in addrs.iter().zip(raw).zip(out) {
+            check_word(self.width, word);
+            let parity = &mut self.parity[usize::try_from(addr).expect("address fits usize")];
+            let invert = *parity;
+            *parity = !*parity;
+            *slot = if invert { word ^ m } else { word };
+        }
+    }
+
+    fn write_period(&self) -> Option<u64> {
+        Some(2)
     }
 
     fn fork(&self, _shard: u64) -> Box<dyn WriteTransducer> {
@@ -320,6 +380,22 @@ impl WriteTransducer for BarrelShifter {
         }
     }
 
+    fn encode_run(&mut self, addrs: &[u64], raw: &[u64], out: &mut [u64]) {
+        assert_eq!(addrs.len(), raw.len(), "encode_run: length mismatch");
+        assert_eq!(addrs.len(), out.len(), "encode_run: length mismatch");
+        for ((&addr, &word), slot) in addrs.iter().zip(raw).zip(out) {
+            check_word(self.width, word);
+            let counter = &mut self.counters[usize::try_from(addr).expect("address fits usize")];
+            let shift = u32::from(*counter) % self.width;
+            *counter = ((u32::from(*counter) + 1) % self.width) as u8;
+            *slot = self.rotate_left(word, shift);
+        }
+    }
+
+    fn write_period(&self) -> Option<u64> {
+        Some(u64::from(self.width))
+    }
+
     fn fork(&self, _shard: u64) -> Box<dyn WriteTransducer> {
         Box::new(self.clone())
     }
@@ -379,6 +455,19 @@ impl<T: Trbg + Send + Sync + 'static> WriteTransducer for DnnLife<T> {
             Metadata::Inverted(true) => stored ^ mask(self.width),
             Metadata::Inverted(false) => stored,
             other => panic!("DnnLife: wrong metadata {other:?}"),
+        }
+    }
+
+    fn encode_run(&mut self, addrs: &[u64], raw: &[u64], out: &mut [u64]) {
+        assert_eq!(addrs.len(), raw.len(), "encode_run: length mismatch");
+        assert_eq!(addrs.len(), out.len(), "encode_run: length mismatch");
+        let m = mask(self.width);
+        // Monomorphic over the TRBG, so `next_enable` inlines; the
+        // draw order is exactly the per-word `encode` order.
+        for (&word, slot) in raw.iter().zip(out) {
+            check_word(self.width, word);
+            let enable = self.controller.next_enable();
+            *slot = if enable { word ^ m } else { word };
         }
     }
 
@@ -545,6 +634,73 @@ mod tests {
     fn rejects_wide_words() {
         let mut t = Passthrough::new(8);
         let _ = t.encode(0, 0x100);
+    }
+
+    fn all_policies() -> Vec<Box<dyn WriteTransducer>> {
+        vec![
+            Box::new(Passthrough::new(8)),
+            Box::new(PeriodicInversion::new(8, 16)),
+            Box::new(BarrelShifter::new(8, 16)),
+            Box::new(DnnLife::new(
+                8,
+                AgingController::new(PseudoTrbg::new(11, 0.7), 4),
+            )),
+        ]
+    }
+
+    #[test]
+    fn encode_run_matches_sequential_encode() {
+        // The batched override must be observationally identical to
+        // per-word `encode`: same stored bits and same state advance,
+        // across block boundaries.
+        for proto in all_policies() {
+            let mut batched = proto.fork(0);
+            let mut sequential = proto.fork(0);
+            for round in 0..40u64 {
+                let addrs: Vec<u64> = (0..16).collect();
+                let raw: Vec<u64> = addrs.iter().map(|a| (a * 37 + round * 11) & 0xFF).collect();
+                let mut out = vec![0u64; raw.len()];
+                batched.encode_run(&addrs, &raw, &mut out);
+                let expect: Vec<u64> = addrs
+                    .iter()
+                    .zip(&raw)
+                    .map(|(&a, &w)| sequential.encode(a, w).0)
+                    .collect();
+                assert_eq!(out, expect, "policy {} round {round}", proto.name());
+                batched.new_block();
+                sequential.new_block();
+            }
+        }
+    }
+
+    #[test]
+    fn write_period_cycles_back_to_reset_state() {
+        // After `write_period()` writes to every address (with block
+        // boundaries interleaved), a periodic policy must store the
+        // same bits a fresh instance would.
+        for proto in all_policies() {
+            let Some(period) = proto.write_period() else {
+                assert_eq!(proto.name(), "dnn-life", "only DNN-Life is aperiodic");
+                continue;
+            };
+            let mut cycled = proto.fork(0);
+            for i in 0..period {
+                for addr in 0..16u64 {
+                    let _ = cycled.encode(addr, (addr + i) & 0xFF);
+                }
+                cycled.new_block();
+            }
+            let mut fresh = proto.fork(0);
+            for addr in 0..16u64 {
+                let word = (addr * 13) & 0xFF;
+                assert_eq!(
+                    cycled.encode(addr, word).0,
+                    fresh.encode(addr, word).0,
+                    "policy {} did not cycle after {period} writes",
+                    proto.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   bias), and clock-rate sampling.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
 
 /// Derives the construction seed of stream `stream` forked from a
 /// generator built with `seed`. Stream 0 maps to `seed` itself — a
@@ -63,6 +63,12 @@ pub struct PseudoTrbg {
     rng: StdRng,
     seed: u64,
     bias: f64,
+    /// `ceil(bias * 2^53)` — `next_bit` compares the raw 53-bit draw
+    /// against this instead of converting it to `f64` first. The two
+    /// forms are exactly equivalent: the draw `k` is an integer and
+    /// `k * 2⁻⁵³` and `bias * 2⁵³` are both computed exactly, so
+    /// `k * 2⁻⁵³ < bias  ⟺  k < ⌈bias * 2⁵³⌉`.
+    threshold: u64,
 }
 
 impl PseudoTrbg {
@@ -80,13 +86,17 @@ impl PseudoTrbg {
             rng: StdRng::seed_from_u64(seed),
             seed,
             bias,
+            threshold: (bias * (1u64 << 53) as f64).ceil() as u64,
         }
     }
 }
 
 impl Trbg for PseudoTrbg {
     fn next_bit(&mut self) -> bool {
-        self.rng.random::<f64>() < self.bias
+        // Exactly `self.rng.random::<f64>() < self.bias` (the f64 draw
+        // is `(next_u64() >> 11) * 2⁻⁵³`), minus the int→float round
+        // trip — this runs once per simulated word write.
+        (self.rng.next_u64() >> 11) < self.threshold
     }
 
     fn nominal_bias(&self) -> Option<f64> {
@@ -248,6 +258,33 @@ mod tests {
         let bits_a: Vec<bool> = (0..100).map(|_| a.next_bit()).collect();
         let bits_b: Vec<bool> = (0..100).map(|_| b.next_bit()).collect();
         assert_eq!(bits_a, bits_b);
+    }
+
+    #[test]
+    fn pseudo_trbg_threshold_matches_f64_compare() {
+        // The integer-threshold fast path must reproduce the defining
+        // `random::<f64>() < bias` draw-for-draw, including biases that
+        // are not exactly representable and the k = ⌈bias·2⁵³⌉ edge.
+        for (seed, bias) in [
+            (1u64, 0.7),
+            (2, 0.3),
+            (3, 0.5),
+            (4, 1.0 / 3.0),
+            (5, f64::from_bits(0.7f64.to_bits() + 1)),
+            (6, 2.0f64.powi(-53)),
+            (7, 1.0 - 2.0f64.powi(-53)),
+        ] {
+            let mut fast = PseudoTrbg::new(seed, bias);
+            let mut reference = StdRng::seed_from_u64(seed);
+            for draw in 0..10_000 {
+                let expected = reference.random::<f64>() < bias;
+                assert_eq!(
+                    fast.next_bit(),
+                    expected,
+                    "seed {seed} bias {bias} draw {draw}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!
 //! * [`cell`] — the stress-split semantics of the 6T cell,
 //! * [`duty`] — per-cell duty-cycle accumulation for memory simulation,
+//! * [`duty_slice`] — the bit-sliced (64 cells per `u64` op) integer
+//!   counterpart the exact simulator's hot loop records into,
 //! * [`nbti`] — a long-term reaction–diffusion NBTI threshold-shift
 //!   model (`ΔVth ∝ duty^(1/6) · t^(1/6)`),
 //! * [`snm`] — two SNM models: the **calibrated** model anchored to the
@@ -36,12 +38,14 @@
 
 pub mod cell;
 pub mod duty;
+pub mod duty_slice;
 pub mod lifetime;
 pub mod nbti;
 pub mod snm;
 
 pub use cell::stress_split;
 pub use duty::DutyCycleTracker;
+pub use duty_slice::DutySliceTracker;
 pub use lifetime::{lifetime_improvement, lifetime_to_threshold, ReadFailureModel};
 pub use nbti::NbtiModel;
 pub use snm::{ButterflySnmModel, CalibratedSnmModel, SnmModel};

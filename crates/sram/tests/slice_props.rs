@@ -1,0 +1,130 @@
+//! Property tests: the bit-sliced [`DutySliceTracker`] reproduces the
+//! scalar [`DutyCycleTracker`] bit for bit wherever both accumulation
+//! orders are exact — uniform dwell (pure integer counting) and dyadic
+//! dwell values with bounded counts. Random cell counts (including
+//! non-multiples of 64), write sequences and spill boundaries.
+
+use dnnlife_sram::{DutyCycleTracker, DutySliceTracker};
+use proptest::prelude::*;
+
+/// Deterministic word pattern `r` for round `round`, word `w`.
+fn pattern(round: u64, w: usize) -> u64 {
+    (round ^ w as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left((round % 61) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Uniform dwell: sliced and scalar duties are identical for any
+    /// cell count and any write sequence, including sequences that
+    /// cross the carry-save spill boundary (255 records) many times.
+    #[test]
+    fn sliced_matches_scalar_uniform(
+        cells in 1usize..300,
+        rounds in 1u64..700,
+        salt in 0u64..1000,
+    ) {
+        let words = cells.div_ceil(64);
+        let mut sliced = DutySliceTracker::new(cells);
+        let mut scalar = DutyCycleTracker::new(cells);
+        for round in 0..rounds {
+            let state: Vec<u64> = (0..words).map(|w| pattern(round ^ salt, w)).collect();
+            sliced.record_packed(&state, 1.0);
+            scalar.record_packed(&state, 1.0);
+        }
+        let sliced: Vec<f64> = sliced.into_duties();
+        let scalar: Vec<f64> = scalar.duties().collect();
+        prop_assert_eq!(sliced, scalar);
+    }
+
+    /// Dyadic dwell values (exact in both accumulation orders): the
+    /// grouped multiply-and-sum matches the scalar running sums.
+    #[test]
+    fn sliced_matches_scalar_dyadic_dwells(
+        cells in 1usize..200,
+        rounds in 1u64..400,
+        salt in 0u64..1000,
+    ) {
+        const DWELLS: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
+        let words = cells.div_ceil(64);
+        let mut sliced = DutySliceTracker::new(cells);
+        let mut scalar = DutyCycleTracker::new(cells);
+        for round in 0..rounds {
+            let state: Vec<u64> = (0..words).map(|w| pattern(round ^ salt, w)).collect();
+            let dwell = DWELLS[((round ^ salt) % 4) as usize];
+            sliced.record_packed(&state, dwell);
+            scalar.record_packed(&state, dwell);
+        }
+        let sliced: Vec<f64> = sliced.into_duties();
+        let scalar: Vec<f64> = scalar.duties().collect();
+        prop_assert_eq!(sliced, scalar);
+    }
+
+    /// `scale(k)` equals literally replaying the recorded prefix `k`
+    /// times — the run-length collapse the exact simulator relies on.
+    #[test]
+    fn scale_equals_replay(
+        cells in 1usize..150,
+        prefix in 1u64..40,
+        factor in 1u64..12,
+        suffix in 0u64..40,
+        salt in 0u64..1000,
+    ) {
+        let words = cells.div_ceil(64);
+        let state = |round: u64| -> Vec<u64> {
+            (0..words).map(|w| pattern(round ^ salt, w)).collect()
+        };
+        let mut collapsed = DutySliceTracker::new(cells);
+        for round in 0..prefix {
+            collapsed.record_packed(&state(round), 1.0);
+        }
+        collapsed.scale(factor);
+        for round in 0..suffix {
+            collapsed.record_packed(&state(prefix + round), 1.0);
+        }
+        let mut replayed = DutySliceTracker::new(cells);
+        for _ in 0..factor {
+            for round in 0..prefix {
+                replayed.record_packed(&state(round), 1.0);
+            }
+        }
+        for round in 0..suffix {
+            replayed.record_packed(&state(prefix + round), 1.0);
+        }
+        let collapsed: Vec<f64> = collapsed.into_duties();
+        let replayed: Vec<f64> = replayed.into_duties();
+        prop_assert_eq!(collapsed, replayed);
+    }
+
+    /// Stray state bits beyond the cell population are ignored, exactly
+    /// as the scalar tracker ignores them.
+    #[test]
+    fn tail_bits_are_ignored(
+        cells in 1usize..190,
+        rounds in 1u64..50,
+        garbage in 0u64..=u64::MAX,
+    ) {
+        prop_assume!(cells % 64 != 0);
+        let words = cells.div_ceil(64);
+        let mut clean = DutySliceTracker::new(cells);
+        let mut dirty = DutySliceTracker::new(cells);
+        let mut scalar = DutyCycleTracker::new(cells);
+        for round in 0..rounds {
+            let state: Vec<u64> = (0..words).map(|w| pattern(round, w)).collect();
+            let mut masked = state.clone();
+            *masked.last_mut().unwrap() &= (1u64 << (cells % 64)) - 1;
+            let mut polluted = state.clone();
+            *polluted.last_mut().unwrap() |= garbage << (cells % 64);
+            clean.record_packed(&masked, 1.0);
+            dirty.record_packed(&polluted, 1.0);
+            scalar.record_packed(&state, 1.0);
+        }
+        let clean: Vec<f64> = clean.into_duties();
+        let dirty: Vec<f64> = dirty.into_duties();
+        let scalar: Vec<f64> = scalar.duties().collect();
+        prop_assert_eq!(&clean, &dirty);
+        prop_assert_eq!(&clean, &scalar);
+    }
+}
