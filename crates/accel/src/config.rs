@@ -55,6 +55,22 @@ impl AcceleratorConfig {
         }
     }
 
+    /// A ReRAM crossbar accelerator in the style of the in-memory
+    /// inference engines of the retrieved endurance papers: 64 tiles of
+    /// 128 wordlines × 128 bitlines of single-bit cells (128 KB of
+    /// weight storage), weights-stationary, one 8-bit weight spread
+    /// over eight bitline cells, 16 weights read out per wordline
+    /// activation (f = 16).
+    pub fn crossbar() -> Self {
+        Self {
+            name: "reram-crossbar".to_string(),
+            weight_memory_bytes: 64 * 128 * 128 / 8,
+            activation_memory_bytes: 4 * 1024 * 1024,
+            parallel_filters: 16,
+            multipliers_per_pe: 1,
+        }
+    }
+
     /// Weight-memory capacity in weights of `bits` width.
     ///
     /// # Panics

@@ -44,5 +44,6 @@ pub use config::AcceleratorConfig;
 pub use duty_map::UnitDutyMap;
 pub use exact::{simulate_exact, simulate_exact_sampled, simulate_exact_sharded, ExactShardConfig};
 pub use plan::{
-    zipf_weights, BlockSource, FifoSlotMemory, FlatWeightMemory, MemoryGeometry, WeightAddress,
+    zipf_weights, BlockSource, FifoSlotMemory, FlatWeightMemory, MemoryGeometry, RemappedMemory,
+    WeightAddress,
 };

@@ -22,6 +22,7 @@
 
 use std::sync::Arc;
 
+use dnnlife_mitigation::RemapSchedule;
 use dnnlife_nn::weights::{LayerWeightGen, WeightRange};
 use dnnlife_nn::zoo::NetworkSpec;
 use dnnlife_quant::{EccLayout, NumberFormat, Quantizer, RepairPolicy};
@@ -984,6 +985,85 @@ impl BlockSource for FifoSlotMemory {
     }
 }
 
+/// Wear-leveling view of a block source: the physical memory under a
+/// periodic hot-row rotation ([`RemapSchedule`]).
+///
+/// The device lifetime is split into `E` epochs; within each epoch the
+/// inner plan's `K` blocks stream as usual, but the logical→physical
+/// row mapping is rotated per epoch. Both simulators age *physical*
+/// cells, so the rotation is presented as a cyclic `E·K`-block source:
+/// block `k′` is epoch `k′ / K` streaming inner block `k′ mod K`, and
+/// `word(k′, p)` answers "what does physical word `p` hold then" —
+/// `inner.word(k′ mod K, logical(p, epoch))`. Time-averaged physical
+/// duty is then exactly the epoch-average of the unremapped duties,
+/// with zero changes to either simulator.
+///
+/// Per-block dwell is inherited from the inner block (`dwell(k′) =
+/// inner.dwell(k′ mod K)`), so uniform-dwell plans stay analytic-legal.
+#[derive(Debug, Clone)]
+pub struct RemappedMemory<S: BlockSource> {
+    inner: S,
+    schedule: RemapSchedule,
+}
+
+impl<S: BlockSource> RemappedMemory<S> {
+    /// Wraps `inner` in an `epochs`-epoch rotation over rows of
+    /// `row_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner word count is not a whole number of
+    /// `row_words`-word rows, or `epochs == 0`.
+    pub fn new(inner: S, row_words: usize, epochs: u32) -> Self {
+        let schedule = RemapSchedule::new(inner.geometry().words, row_words, epochs);
+        Self { inner, schedule }
+    }
+
+    /// The rotation schedule in effect.
+    pub fn schedule(&self) -> &RemapSchedule {
+        &self.schedule
+    }
+
+    /// The unrotated plan.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: BlockSource> BlockSource for RemappedMemory<S> {
+    fn geometry(&self) -> MemoryGeometry {
+        self.inner.geometry()
+    }
+
+    fn block_count(&self) -> u64 {
+        u64::from(self.schedule.epochs()) * self.inner.block_count()
+    }
+
+    fn word(&self, block: u64, word: usize) -> u64 {
+        let k = self.inner.block_count();
+        assert!(block < self.block_count(), "block out of range");
+        let epoch = (block / k) as u32;
+        let logical = self.schedule.logical_word(word as u64, epoch);
+        self.inner.word(block % k, logical as usize)
+    }
+
+    fn global_block_index(&self, inference: u64, block: u64) -> u64 {
+        inference * self.block_count() + block
+    }
+
+    fn dwell(&self, block: u64) -> f64 {
+        self.inner.dwell(block % self.inner.block_count())
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}+wear-level:{}",
+            self.inner.label(),
+            self.schedule.epochs()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1436,5 +1516,91 @@ mod tests {
         // count is near but above the dense bound.
         let total = slots[0].total_tiles();
         assert!((930..1100).contains(&total), "tiles = {total}");
+    }
+
+    fn small_flat() -> FlatWeightMemory {
+        FlatWeightMemory::new(
+            &AcceleratorConfig::crossbar(),
+            &NetworkSpec::custom_mnist(),
+            NumberFormat::Int8Symmetric,
+            7,
+        )
+    }
+
+    #[test]
+    fn crossbar_geometry_matches_tile_budget() {
+        let mem = small_flat();
+        // 64 tiles × 128 WL × 128 BL single-bit cells = 131072 8-bit words.
+        assert_eq!(mem.geometry().words, 131_072);
+        assert_eq!(mem.geometry().word_bits, 8);
+        // Custom MNIST (231,696 weights) streams as two crossbar fills.
+        assert_eq!(mem.block_count(), 2);
+    }
+
+    #[test]
+    fn remapped_memory_is_the_inner_plan_viewed_through_the_schedule() {
+        let inner = small_flat();
+        let k = inner.block_count();
+        let remapped = RemappedMemory::new(inner.clone(), 16, 4);
+        assert_eq!(remapped.block_count(), 4 * k);
+        assert_eq!(remapped.geometry(), inner.geometry());
+        let schedule = *remapped.schedule();
+        for block in [0u64, k, 2 * k + 1, 4 * k - 1] {
+            let epoch = (block / k) as u32;
+            for word in [0usize, 17, 4000, 131_071] {
+                let logical = schedule.logical_word(word as u64, epoch) as usize;
+                assert_eq!(
+                    remapped.word(block, word),
+                    inner.word(block % k, logical),
+                    "block {block} word {word}"
+                );
+            }
+        }
+        // Epoch 0 is the identity view.
+        for word in 0..64 {
+            assert_eq!(remapped.word(0, word), inner.word(0, word));
+        }
+    }
+
+    #[test]
+    fn remapped_memory_preserves_per_epoch_word_population() {
+        let inner = small_flat();
+        let k = inner.block_count();
+        let remapped = RemappedMemory::new(inner.clone(), 16, 3);
+        // Rotation only moves words, so each epoch's sum over physical
+        // addresses equals the inner plan's sum over logical addresses.
+        for inner_block in 0..k {
+            let want: u64 = (0..inner.geometry().words)
+                .map(|w| inner.word(inner_block, w))
+                .sum();
+            for epoch in 0..3u64 {
+                let got: u64 = (0..inner.geometry().words)
+                    .map(|w| remapped.word(epoch * k + inner_block, w))
+                    .sum();
+                assert_eq!(got, want, "epoch {epoch} block {inner_block}");
+            }
+        }
+    }
+
+    #[test]
+    fn remapped_memory_inherits_dwell_per_inner_block() {
+        let inner = small_flat().with_dwell_weights(vec![3.0, 1.0]);
+        let d0 = inner.dwell(0);
+        let d1 = inner.dwell(1);
+        let remapped = RemappedMemory::new(inner, 16, 4);
+        for epoch in 0..4u64 {
+            assert_eq!(remapped.dwell(epoch * 2), d0);
+            assert_eq!(remapped.dwell(epoch * 2 + 1), d1);
+        }
+    }
+
+    #[test]
+    fn remapped_memory_label_names_the_rotation() {
+        let remapped = RemappedMemory::new(small_flat(), 16, 4);
+        assert!(
+            remapped.label().ends_with("+wear-level:4"),
+            "{}",
+            remapped.label()
+        );
     }
 }

@@ -8,12 +8,14 @@
 //!               [--inferences N] [--backend analytic|exact]
 //!               [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
 //!               [--ecc none|secded[:INTERLEAVE]|both]
+//!               [--tech sram|reram|both]
 //!               [--shards auto|N] [--verbose]
 //! dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all]
 //! dnnlife compare --store-a FILE --store-b FILE
 //! dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N]
 //!                  [--seed N] [--stride N] [--inferences N]
-//!                  [--dwell MODEL] [--shards auto|N] [--report-only]
+//!                  [--dwell MODEL] [--tech sram|reram|both]
+//!                  [--shards auto|N] [--report-only]
 //! ```
 //!
 //! `sweep` is resumable: results are journaled per scenario, so a
@@ -49,7 +51,7 @@ use dnnlife_campaign::{
     Instrumentation, Progress, ResultStore, ShardPolicy, Telemetry,
 };
 use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
-use dnnlife_core::{DwellModel, RepairPolicy, SimulatorBackend};
+use dnnlife_core::{DwellModel, MemoryTech, RepairPolicy, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 use serde::Serialize;
 
@@ -154,15 +156,17 @@ usage:
                 [--resume] [--seed N] [--stride N] [--inferences N]
                 [--backend analytic|exact]
                 [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
-                [--ecc none|secded[:INTERLEAVE]|both] [--shards auto|N]
-                [--telemetry] [--progress] [--verbose]
+                [--ecc none|secded[:INTERLEAVE]|both] [--tech sram|reram|both]
+                [--shards auto|N] [--telemetry] [--progress] [--verbose]
   dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all] [--json]
   dnnlife compare --store-a FILE --store-b FILE [--json]
   dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
                    [--stride N] [--inferences N] [--dwell MODEL]
-                   [--shards auto|N] [--telemetry] [--progress] [--report-only]
+                   [--tech sram|reram|both] [--shards auto|N]
+                   [--telemetry] [--progress] [--report-only]
   dnnlife inject [--platform baseline|npu] [--format fp32|int8|int8-asym]
-                 [--policy SUBSTRING] [--ecc none|secded[:INTERLEAVE]|both]
+                 [--policy SUB[,SUB,...]] [--ecc none|secded[:INTERLEAVE]|both]
+                 [--tech sram|reram|both]
                  [--ages Y1,Y2,...] [--trials N] [--eval-images N]
                  [--train-steps N] [--noise-mv F] [--inferences N] [--seed N]
                  [--threads N] [--out FILE] [--resume] [--telemetry]
@@ -247,7 +251,8 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
     let mut out: Option<String> = None;
     let mut options = CampaignOptions::default();
     let mut sweep_options = SweepOptions::default();
-    let mut ecc = EccAxis::One(RepairPolicy::None);
+    let mut repairs = vec![RepairPolicy::None];
+    let mut techs: Vec<MemoryTech> = Vec::new();
     let mut telemetry_on = false;
     let mut progress_on = false;
 
@@ -266,7 +271,8 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
             "--backend" => sweep_options.backend = parse_backend(args.value("--backend")?)?,
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
-            "--ecc" => ecc = parse_ecc(args.value("--ecc")?)?,
+            "--ecc" => repairs = parse_ecc(args.value("--ecc")?)?,
+            "--tech" => techs = parse_tech(args.value("--tech")?)?,
             "--shards" => options.shards = parse_shards(args.value("--shards")?)?,
             other => return Err(format!("sweep: unexpected argument `{other}`").into()),
         }
@@ -286,9 +292,10 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
         )
         .into());
     }
-    let repairs = ecc.values();
-    let grid = CampaignGrid::named_with_repairs(&grid_name, sweep_options.clone(), &repairs)
-        .ok_or_else(|| format!("sweep: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)"))?;
+    let grid = CampaignGrid::named_with_axes(&grid_name, sweep_options.clone(), &repairs, &techs)
+        .ok_or_else(|| {
+        format!("sweep: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)")
+    })?;
     if grid.is_empty() {
         return Err(format!(
             "sweep: grid `{grid_name}` has no valid scenarios for these axes \
@@ -299,14 +306,19 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
         .into());
     }
     // The like-for-like reference for repair-drop diagnostics: the
-    // same grid under no repair (everything else equal).
-    let no_repair_cells =
-        CampaignGrid::named_with_repairs(&grid_name, sweep_options.clone(), &[RepairPolicy::None])
-            .map_or(0, |g| g.len());
+    // same grid under no repair (everything else equal, including the
+    // technology axis).
+    let no_repair_cells = CampaignGrid::named_with_axes(
+        &grid_name,
+        sweep_options.clone(),
+        &[RepairPolicy::None],
+        &techs,
+    )
+    .map_or(0, |g| g.len());
     check_repair_coverage("sweep", &repairs, no_repair_cells, |repair| {
         grid.scenarios.iter().filter(|s| s.repair == repair).count()
     })?;
-    warn_on_dwell_dropped_scenarios("sweep", &grid_name, &grid, &sweep_options, &repairs);
+    warn_on_dwell_dropped_scenarios("sweep", &grid_name, &grid, &sweep_options, &repairs, &techs);
     let store_path = out.unwrap_or_else(|| format!("campaign-results/{grid_name}.jsonl"));
     let events = events_path_for(&store_path);
     let (telemetry, progress) = build_sinks(
@@ -438,20 +450,22 @@ fn warn_on_dwell_dropped_scenarios(
     grid: &CampaignGrid,
     options: &SweepOptions,
     repairs: &[RepairPolicy],
+    techs: &[MemoryTech],
 ) {
     if options.dwell.is_uniform() {
         return;
     }
-    // The reference grid must cross the same repair axis, or an
-    // `--ecc both` grid out-counts the single-repair reference and
-    // masks the drop.
-    let full = CampaignGrid::named_with_repairs(
+    // The reference grid must cross the same repair and technology
+    // axes, or an `--ecc both` / `--tech both` grid out-counts the
+    // single-value reference and masks the drop.
+    let full = CampaignGrid::named_with_axes(
         grid_name,
         SweepOptions {
             dwell: DwellModel::Uniform,
             ..options.clone()
         },
         repairs,
+        techs,
     )
     .map_or(0, |g| g.len());
     if grid.len() < full {
@@ -476,22 +490,59 @@ fn parse_dwell(name: &str) -> Result<DwellModel, String> {
     })
 }
 
-/// The `--ecc` axis: a single repair policy, or `both` = the plain and
-/// SECDED variants of every cell in one campaign (what the
-/// corrected-vs-uncorrected table pairs up).
-enum EccAxis {
-    One(RepairPolicy),
-    Both(RepairPolicy),
-}
-
-impl EccAxis {
-    /// The repair values to cross the grid with, in canonical order.
-    fn values(&self) -> Vec<RepairPolicy> {
-        match *self {
-            EccAxis::One(repair) => vec![repair],
-            EccAxis::Both(repair) => vec![RepairPolicy::None, repair],
+/// Shared `--flag VALUE[,VALUE,...]` axis parser: every list-valued
+/// axis (`--ecc`, `--tech`) funnels through here, so the comma-list
+/// splitting, the `both` keyword, order-preserving dedup, and the
+/// enumerate-the-valid-values error shape are written once. `both`
+/// expands to `both_expansion` (the axis's canonical value set) and
+/// composes with explicit items: `--tech both` ≡ `--tech sram,reram`.
+fn parse_axis_list<T: Copy + PartialEq>(
+    flag: &str,
+    raw: &str,
+    both_expansion: &[T],
+    parse_one: impl Fn(&str) -> Option<T>,
+    valid_values: &str,
+) -> Result<Vec<T>, String> {
+    let mut out: Vec<T> = Vec::new();
+    let mut push = |v: T| {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    for item in raw.split(',').map(str::trim) {
+        if item == "both" || item == "all" {
+            both_expansion.iter().copied().for_each(&mut push);
+            continue;
+        }
+        match parse_one(item) {
+            Some(v) => push(v),
+            None => {
+                return Err(format!(
+                    "{flag}: unknown value `{item}` — valid values: {valid_values}, \
+                     `both`, or a comma list"
+                ))
+            }
         }
     }
+    if out.is_empty() {
+        return Err(format!(
+            "{flag}: expected at least one value ({valid_values})"
+        ));
+    }
+    Ok(out)
+}
+
+/// The `--tech` axis: which lifetime technology ages the weight
+/// memory. `both` sweeps SRAM/NBTI and ReRAM-endurance variants of
+/// every cell in one campaign.
+fn parse_tech(raw: &str) -> Result<Vec<MemoryTech>, String> {
+    parse_axis_list(
+        "--tech",
+        raw,
+        &MemoryTech::ALL,
+        MemoryTech::parse,
+        "`sram` (NBTI duty-cycle aging), `reram` (write-endurance wear-out)",
+    )
 }
 
 /// An `--ecc` value must not *silently* lose cells to validity
@@ -534,20 +585,28 @@ fn check_repair_coverage(
     Ok(())
 }
 
-fn parse_ecc(name: &str) -> Result<EccAxis, String> {
-    if name == "both" {
-        return Ok(EccAxis::Both(RepairPolicy::Secded { interleave: 1 }));
-    }
+/// The `--ecc` axis: repair policies to cross the grid with.
+/// `both[:INTERLEAVE]` pairs the plain and SECDED variants of every
+/// cell in one campaign (what the corrected-vs-uncorrected table
+/// lines up); everything else is the shared comma-list grammar.
+fn parse_ecc(name: &str) -> Result<Vec<RepairPolicy>, String> {
     if let Some(stride) = name.strip_prefix("both:") {
-        return RepairPolicy::parse(&format!("secded:{stride}"))
-            .map(EccAxis::Both)
-            .ok_or_else(|| format!("--ecc: invalid interleave `{stride}`"));
+        let secded = RepairPolicy::parse(&format!("secded:{stride}")).ok_or_else(|| {
+            format!(
+                "--ecc: invalid interleave `{stride}` — valid values: \
+                 `none`, `secded` (interleave 1), `secded:INTERLEAVE` \
+                 (a positive column stride)"
+            )
+        })?;
+        return Ok(vec![RepairPolicy::None, secded]);
     }
-    RepairPolicy::parse(name).map(EccAxis::One).ok_or_else(|| {
-        format!(
-            "--ecc: unknown repair policy `{name}` (none|secded[:INTERLEAVE]|both[:INTERLEAVE])"
-        )
-    })
+    parse_axis_list(
+        "--ecc",
+        name,
+        &[RepairPolicy::None, RepairPolicy::Secded { interleave: 1 }],
+        RepairPolicy::parse,
+        "`none`, `secded` (interleave 1), `secded:INTERLEAVE` (a positive column stride)",
+    )
 }
 
 fn parse_shards(name: &str) -> Result<ShardPolicy, String> {
@@ -562,6 +621,7 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
     let mut report_only = false;
     let mut telemetry_on = false;
     let mut progress_on = false;
+    let mut techs: Vec<MemoryTech> = Vec::new();
     let mut sweep_options = SweepOptions {
         backend: SimulatorBackend::Exact,
         ..SweepOptions::default()
@@ -576,6 +636,7 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
             "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
             "--dwell" => sweep_options.dwell = parse_dwell(args.value("--dwell")?)?,
+            "--tech" => techs = parse_tech(args.value("--tech")?)?,
             "--shards" => shards = parse_shards(args.value("--shards")?)?,
             "--report-only" => report_only = true,
             "--telemetry" => telemetry_on = true,
@@ -591,9 +652,13 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
         return Err("validate: --inferences must be >= 1".into());
     }
     let uniform = sweep_options.dwell.is_uniform();
-    let grid = CampaignGrid::named(&grid_name, sweep_options.clone()).ok_or_else(|| {
-        format!("validate: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)")
-    })?;
+    let grid = CampaignGrid::named_with_axes(
+        &grid_name,
+        sweep_options.clone(),
+        &[sweep_options.repair],
+        &techs,
+    )
+    .ok_or_else(|| format!("validate: unknown grid `{grid_name}` (fig9|fig11|bias|mbits|full)"))?;
     if grid.is_empty() {
         return Err(format!(
             "validate: grid `{grid_name}` has no valid scenarios for this dwell model"
@@ -606,6 +671,7 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
         &grid,
         &sweep_options,
         &[sweep_options.repair],
+        &techs,
     );
 
     // validate has no result store to sit next to, so its journal gets
@@ -707,7 +773,8 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
     let mut format = NumberFormat::Int8Symmetric;
     let mut policy_filter: Option<String> = None;
     let mut params = InjectionParams::default();
-    let mut ecc = EccAxis::One(RepairPolicy::None);
+    let mut repairs = vec![RepairPolicy::None];
+    let mut techs: Vec<MemoryTech> = Vec::new();
     let mut options = InjectCampaignOptions::default();
     let mut out: Option<String> = None;
     let mut report_only = false;
@@ -722,7 +789,8 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
             "--platform" => platform = parse_platform(args.value("--platform")?)?,
             "--format" => format = parse_format(args.value("--format")?)?,
             "--policy" => policy_filter = Some(args.value("--policy")?.to_lowercase()),
-            "--ecc" => ecc = parse_ecc(args.value("--ecc")?)?,
+            "--ecc" => repairs = parse_ecc(args.value("--ecc")?)?,
+            "--tech" => techs = parse_tech(args.value("--tech")?)?,
             "--ages" => params.ages_years = parse_ages(args.value("--ages")?)?,
             "--trials" => params.trials = args.parsed("--trials")?,
             "--eval-images" => params.eval_images = args.parsed("--eval-images")?,
@@ -780,21 +848,33 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
     if !(params.noise_sigma_mv.is_finite() && params.noise_sigma_mv > 0.0) {
         return Err("inject: --noise-mv must be > 0".into());
     }
+    if techs.is_empty() {
+        // No --tech flag: the single default-technology axis value.
+        techs.push(params.tech);
+    }
 
     // The runnable zoo network crossed with the paper's Fig. 11 policy
-    // set (optionally filtered by `--policy` substring).
+    // set (optionally filtered by `--policy` substrings). A requested
+    // ReRAM technology adds the endurance-native mitigation — the
+    // epoch-rotating wear-leveling remap — to the pool.
     let mut policies = dnnlife_core::experiment::fig11_policies();
+    if techs.contains(&MemoryTech::ReramEndurance) {
+        policies.push(PolicySpec::WearLevel { epochs: 4 });
+    }
     if let Some(filter) = &policy_filter {
-        policies.retain(|p: &PolicySpec| p.display_name().to_lowercase().contains(filter));
+        let needles: Vec<&str> = filter.split(',').map(str::trim).collect();
+        policies.retain(|p: &PolicySpec| {
+            let name = p.display_name().to_lowercase();
+            needles.iter().any(|needle| name.contains(needle))
+        });
         if policies.is_empty() {
             return Err(format!(
-                "inject: --policy `{filter}` matches no policy of the Fig. 11 set"
+                "inject: --policy `{filter}` matches no policy of the injectable set"
             )
             .into());
         }
     }
-    let repairs = ecc.values();
-    let grid = InjectionGrid::build_with_repairs(
+    let grid = InjectionGrid::build_with_axes(
         "inject",
         platform,
         NetworkKind::CustomMnist,
@@ -802,6 +882,7 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
         &policies,
         &params,
         &repairs,
+        &techs,
     );
     if grid.is_empty() {
         return Err(
@@ -811,7 +892,7 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
                 .into(),
         );
     }
-    let no_repair_cells = InjectionGrid::build_with_repairs(
+    let no_repair_cells = InjectionGrid::build_with_axes(
         "inject",
         platform,
         NetworkKind::CustomMnist,
@@ -819,6 +900,7 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
         &policies,
         &params,
         &[RepairPolicy::None],
+        &techs,
     )
     .len();
     check_repair_coverage("inject", &repairs, no_repair_cells, |repair| {

@@ -615,6 +615,7 @@ mod tests {
             backend,
             dwell: DwellModel::Uniform,
             repair: dnnlife_core::RepairPolicy::None,
+            tech: dnnlife_core::MemoryTech::SramNbti,
         }
     }
 

@@ -13,7 +13,7 @@
 //! what makes matched cross-validation pairs comparable.
 
 use dnnlife_core::experiment::{fig11_policies, fig9_policies, NetworkKind, Platform, PolicySpec};
-use dnnlife_core::{DwellModel, ExperimentSpec, RepairPolicy, SimulatorBackend};
+use dnnlife_core::{DwellModel, ExperimentSpec, MemoryTech, RepairPolicy, SimulatorBackend};
 use dnnlife_quant::NumberFormat;
 
 /// Shared run parameters for every scenario of a grid.
@@ -35,6 +35,8 @@ pub struct SweepOptions {
     pub dwell: DwellModel,
     /// Repair (ECC) axis, used when [`GridAxes::repairs`] is empty.
     pub repair: RepairPolicy,
+    /// Memory technology, used when [`GridAxes::techs`] is empty.
+    pub tech: MemoryTech,
 }
 
 impl Default for SweepOptions {
@@ -46,6 +48,7 @@ impl Default for SweepOptions {
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
             repair: RepairPolicy::None,
+            tech: MemoryTech::SramNbti,
         }
     }
 }
@@ -78,6 +81,12 @@ pub struct GridAxes {
     /// as `backends`) — a two-element axis crosses every policy with
     /// ECC on and off in one grid.
     pub repairs: Vec<RepairPolicy>,
+    /// Memory technologies ([`MemoryTech`]) whose lifetime model ages
+    /// the weight cells. Leave **empty** to use the single
+    /// `options.tech` value (same rule as `backends`) — a two-element
+    /// axis crosses every cell with the SRAM/NBTI and ReRAM/endurance
+    /// models in one grid.
+    pub techs: Vec<MemoryTech>,
     /// Shared run parameters.
     pub options: SweepOptions,
 }
@@ -85,9 +94,9 @@ pub struct GridAxes {
 impl GridAxes {
     /// Enumerates the cross product in canonical order (platform →
     /// network → format → policy → lifetime → backend → dwell →
-    /// repair), dropping invalid combinations (fp32 on the 8-bit NPU,
-    /// analytic backend with non-uniform dwell, non-coprime ECC
-    /// interleave) and duplicates.
+    /// repair → tech), dropping invalid combinations (fp32 on the
+    /// 8-bit NPU, analytic backend with non-uniform dwell, non-coprime
+    /// ECC interleave) and duplicates.
     ///
     /// # Panics
     ///
@@ -120,6 +129,11 @@ impl GridAxes {
         } else {
             self.repairs.clone()
         };
+        let techs = if self.techs.is_empty() {
+            vec![self.options.tech]
+        } else {
+            self.techs.clone()
+        };
         let mut scenarios = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for &platform in &self.platforms {
@@ -130,25 +144,29 @@ impl GridAxes {
                             for &backend in &backends {
                                 for dwell in &dwells {
                                     for &repair in &repairs {
-                                        let mut spec = ExperimentSpec {
-                                            platform,
-                                            network,
-                                            format,
-                                            policy,
-                                            inferences: self.options.inferences,
-                                            years,
-                                            seed: 0,
-                                            sample_stride: self.options.sample_stride,
-                                            backend,
-                                            dwell: dwell.clone(),
-                                            repair,
-                                        };
-                                        if !spec.is_valid() {
-                                            continue;
-                                        }
-                                        spec.seed = scenario_seed(self.options.base_seed, &spec);
-                                        if seen.insert(spec.content_key()) {
-                                            scenarios.push(spec);
+                                        for &tech in &techs {
+                                            let mut spec = ExperimentSpec {
+                                                platform,
+                                                network,
+                                                format,
+                                                policy,
+                                                inferences: self.options.inferences,
+                                                years,
+                                                seed: 0,
+                                                sample_stride: self.options.sample_stride,
+                                                backend,
+                                                dwell: dwell.clone(),
+                                                repair,
+                                                tech,
+                                            };
+                                            if !spec.is_valid() {
+                                                continue;
+                                            }
+                                            spec.seed =
+                                                scenario_seed(self.options.base_seed, &spec);
+                                            if seen.insert(spec.content_key()) {
+                                                scenarios.push(spec);
+                                            }
                                         }
                                     }
                                 }
@@ -219,6 +237,7 @@ impl CampaignGrid {
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
             repairs: Vec::new(),  // use options.repair
+            techs: Vec::new(),    // use options.tech
             options,
         }
     }
@@ -243,6 +262,7 @@ impl CampaignGrid {
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
             repairs: Vec::new(),  // use options.repair
+            techs: Vec::new(),    // use options.tech
             options,
         }
     }
@@ -275,6 +295,7 @@ impl CampaignGrid {
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
             repairs: Vec::new(),  // use options.repair
+            techs: Vec::new(),    // use options.tech
             options,
         }
     }
@@ -303,6 +324,7 @@ impl CampaignGrid {
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
             repairs: Vec::new(),  // use options.repair
+            techs: Vec::new(),    // use options.tech
             options,
         }
     }
@@ -328,6 +350,7 @@ impl CampaignGrid {
             backends: Vec::new(), // use options.backend
             dwells: Vec::new(),   // use options.dwell
             repairs: Vec::new(),  // use options.repair
+            techs: Vec::new(),    // use options.tech
             options,
         }
     }
@@ -351,6 +374,22 @@ impl CampaignGrid {
     ) -> Option<Self> {
         let mut axes = Self::named_axes(name, options)?;
         axes.repairs = repairs.to_vec();
+        Some(axes.build(name))
+    }
+
+    /// [`CampaignGrid::named_with_repairs`] with an explicit memory
+    /// technology axis on top (`dnnlife sweep --tech both`): every
+    /// cell is crossed with each [`MemoryTech`] value through
+    /// [`GridAxes::techs`], tech innermost after repair.
+    pub fn named_with_axes(
+        name: &str,
+        options: SweepOptions,
+        repairs: &[RepairPolicy],
+        techs: &[MemoryTech],
+    ) -> Option<Self> {
+        let mut axes = Self::named_axes(name, options)?;
+        axes.repairs = repairs.to_vec();
+        axes.techs = techs.to_vec();
         Some(axes.build(name))
     }
 
@@ -406,6 +445,7 @@ mod tests {
             backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Analytic],
             dwells: vec![DwellModel::Uniform, DwellModel::Uniform],
             repairs: Vec::new(),
+            techs: Vec::new(),
             options: SweepOptions::default(),
         };
         assert_eq!(axes.build("dup").len(), 1);
@@ -422,6 +462,7 @@ mod tests {
             backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
             dwells: vec![DwellModel::Uniform, DwellModel::Zipf { exponent: 1.0 }],
             repairs: Vec::new(),
+            techs: Vec::new(),
             options: SweepOptions::default(),
         };
         let grid = axes.build("backend-cross");
@@ -442,6 +483,7 @@ mod tests {
             backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
             dwells: vec![DwellModel::Uniform],
             repairs: Vec::new(),
+            techs: Vec::new(),
             options: SweepOptions::default(),
         };
         let grid = axes.build("pairs");
@@ -511,6 +553,7 @@ mod tests {
                 RepairPolicy::Secded { interleave: 1 },
                 RepairPolicy::Secded { interleave: 13 }, // 13 | 13: invalid
             ],
+            techs: Vec::new(),
             options: SweepOptions::default(),
         };
         let grid = axes.build("repair-cross");
@@ -523,6 +566,53 @@ mod tests {
         let keys: std::collections::BTreeSet<String> =
             grid.scenarios.iter().map(|s| s.content_key()).collect();
         assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn tech_axis_crosses_with_coordinate_separated_seeds() {
+        let axes = GridAxes {
+            platforms: vec![Platform::TpuLike],
+            networks: vec![NetworkKind::CustomMnist],
+            formats: vec![NumberFormat::Int8Symmetric],
+            policies: vec![PolicySpec::None, PolicySpec::Inversion],
+            lifetimes_years: vec![7.0],
+            backends: Vec::new(),
+            dwells: Vec::new(),
+            repairs: Vec::new(),
+            techs: vec![MemoryTech::SramNbti, MemoryTech::ReramEndurance],
+            options: SweepOptions::default(),
+        };
+        let grid = axes.build("tech-cross");
+        assert_eq!(grid.len(), 4);
+        let keys: std::collections::BTreeSet<String> =
+            grid.scenarios.iter().map(|s| s.content_key()).collect();
+        assert_eq!(keys.len(), 4);
+        // Tech is a physical coordinate, so the reram twin of a cell
+        // draws a different derived seed than its sram sibling.
+        for spec in &grid.scenarios {
+            let twin = grid
+                .scenarios
+                .iter()
+                .find(|s| s.tech != spec.tech && s.policy == spec.policy)
+                .expect("every scenario has a twin on the other tech");
+            assert_ne!(spec.seed, twin.seed);
+        }
+        // And the sram half is byte-identical to a grid that never
+        // heard of the axis (pre-axis stores keep their keys).
+        let plain = CampaignGrid::named("fig11", SweepOptions::default()).unwrap();
+        for spec in grid
+            .scenarios
+            .iter()
+            .filter(|s| s.tech == MemoryTech::SramNbti)
+        {
+            if let Some(other) = plain
+                .scenarios
+                .iter()
+                .find(|s| s.policy == spec.policy && s.network == spec.network)
+            {
+                assert_eq!(spec.content_key(), other.content_key());
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::atomic::AtomicBool;
 
 use dnnlife_core::experiment::{NetworkKind, Platform, PolicySpec};
 use dnnlife_core::{
-    DwellModel, ExperimentSpec, FaultInjectionSpec, RepairPolicy, SimulatorBackend,
+    DwellModel, ExperimentSpec, FaultInjectionSpec, MemoryTech, RepairPolicy, SimulatorBackend,
 };
 use dnnlife_faultsim::{run_injection, InjectOptions, InjectionResult};
 use dnnlife_quant::NumberFormat;
@@ -83,6 +83,9 @@ pub struct InjectionParams {
     /// Repair (ECC) axis over the stored weight words
     /// (`dnnlife inject --ecc`).
     pub repair: RepairPolicy,
+    /// Memory technology whose lifetime model ages the weight cells
+    /// (`dnnlife inject --tech`).
+    pub tech: MemoryTech,
 }
 
 impl Default for InjectionParams {
@@ -101,6 +104,7 @@ impl Default for InjectionParams {
             train_steps: proto.train_steps,
             noise_sigma_mv: proto.noise_sigma_mv,
             repair: RepairPolicy::None,
+            tech: MemoryTech::SramNbti,
         }
     }
 }
@@ -127,7 +131,7 @@ impl InjectionGrid {
         policies: &[PolicySpec],
         params: &InjectionParams,
     ) -> Self {
-        Self::build_with_repairs(
+        Self::build_with_axes(
             name,
             platform,
             network,
@@ -135,6 +139,7 @@ impl InjectionGrid {
             policies,
             params,
             &[params.repair],
+            &[params.tech],
         )
     }
 
@@ -153,38 +158,68 @@ impl InjectionGrid {
         params: &InjectionParams,
         repairs: &[RepairPolicy],
     ) -> Self {
+        Self::build_with_axes(
+            name,
+            platform,
+            network,
+            format,
+            policies,
+            params,
+            repairs,
+            &[params.tech],
+        )
+    }
+
+    /// [`InjectionGrid::build_with_repairs`] with an explicit memory
+    /// technology axis on top (`dnnlife inject --tech both`): every
+    /// policy × repair cell is crossed with each [`MemoryTech`] value,
+    /// tech innermost, overriding `params.tech`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_axes(
+        name: impl Into<String>,
+        platform: Platform,
+        network: NetworkKind,
+        format: NumberFormat,
+        policies: &[PolicySpec],
+        params: &InjectionParams,
+        repairs: &[RepairPolicy],
+        techs: &[MemoryTech],
+    ) -> Self {
         let mut specs = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for &policy in policies {
             for &repair in repairs {
-                let mut scenario = ExperimentSpec {
-                    platform,
-                    network,
-                    format,
-                    policy,
-                    inferences: params.inferences,
-                    years: 7.0,
-                    seed: 0,
-                    sample_stride: 1,
-                    backend: SimulatorBackend::Analytic,
-                    dwell: DwellModel::Uniform,
-                    repair,
-                };
-                if !scenario.is_valid() {
-                    continue;
-                }
-                scenario.seed = crate::grid::scenario_seed(params.base_seed, &scenario);
-                let spec = FaultInjectionSpec {
-                    scenario,
-                    ages_years: params.ages_years.clone(),
-                    trials: params.trials,
-                    eval_images: params.eval_images,
-                    train_steps: params.train_steps,
-                    noise_sigma_mv: params.noise_sigma_mv,
-                    data_seed: params.base_seed,
-                };
-                if spec.is_valid() && seen.insert(spec.content_key()) {
-                    specs.push(spec);
+                for &tech in techs {
+                    let mut scenario = ExperimentSpec {
+                        platform,
+                        network,
+                        format,
+                        policy,
+                        inferences: params.inferences,
+                        years: 7.0,
+                        seed: 0,
+                        sample_stride: 1,
+                        backend: SimulatorBackend::Analytic,
+                        dwell: DwellModel::Uniform,
+                        repair,
+                        tech,
+                    };
+                    if !scenario.is_valid() {
+                        continue;
+                    }
+                    scenario.seed = crate::grid::scenario_seed(params.base_seed, &scenario);
+                    let spec = FaultInjectionSpec {
+                        scenario,
+                        ages_years: params.ages_years.clone(),
+                        trials: params.trials,
+                        eval_images: params.eval_images,
+                        train_steps: params.train_steps,
+                        noise_sigma_mv: params.noise_sigma_mv,
+                        data_seed: params.base_seed,
+                    };
+                    if spec.is_valid() && seen.insert(spec.content_key()) {
+                        specs.push(spec);
+                    }
                 }
             }
         }
@@ -359,6 +394,9 @@ pub fn accuracy_vs_age_table(store: &InjectionStore) -> String {
             s.eval_images,
             s.train_steps,
         );
+        if !s.scenario.tech.is_default() {
+            group.push_str(&format!(", tech {}", s.scenario.tech.display_name()));
+        }
         if !s.scenario.repair.is_none() {
             group.push_str(&format!(", ecc {}", s.scenario.repair.display_name()));
         }
@@ -557,6 +595,7 @@ mod tests {
             train_steps: 0,
             noise_sigma_mv: 65.0,
             repair: RepairPolicy::None,
+            tech: MemoryTech::SramNbti,
         }
     }
 

@@ -57,6 +57,7 @@ fn crossval_axes(backend: SimulatorBackend, base_seed: u64) -> (GridAxes, GridAx
         backends: vec![backend],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: run_options(base_seed, backend),
     };
     let npu = GridAxes {
@@ -68,6 +69,7 @@ fn crossval_axes(backend: SimulatorBackend, base_seed: u64) -> (GridAxes, GridAx
         backends: vec![backend],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: run_options(base_seed, backend),
     };
     (baseline, npu)
@@ -244,6 +246,7 @@ fn compare_pairs_backend_twins_in_mixed_stores() {
         backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: run_options(13, SimulatorBackend::Analytic),
     };
     let grid = mixed_axes.build("mixed");

@@ -39,6 +39,7 @@ fn test_grid() -> CampaignGrid {
         backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: SweepOptions {
             base_seed: 42,
             sample_stride: 256,
@@ -96,6 +97,7 @@ fn deterministic_exact_grid() -> CampaignGrid {
         backends: vec![SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: SweepOptions {
             base_seed: 42,
             sample_stride: 256,

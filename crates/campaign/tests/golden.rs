@@ -45,6 +45,7 @@ fn golden_grid(base_seed: u64) -> dnnlife_campaign::CampaignGrid {
         backends: vec![SimulatorBackend::Analytic],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: SweepOptions {
             base_seed,
             sample_stride: 512,

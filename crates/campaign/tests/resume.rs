@@ -28,6 +28,7 @@ fn test_grid() -> CampaignGrid {
         backends: vec![SimulatorBackend::Analytic],
         dwells: vec![dnnlife_core::DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: SweepOptions {
             base_seed: 99,
             sample_stride: 256,
@@ -126,6 +127,7 @@ fn resume_with_changed_seed_prunes_stale_records() {
         backends: vec![SimulatorBackend::Analytic],
         dwells: vec![dnnlife_core::DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: SweepOptions {
             base_seed: 100,
             sample_stride: 256,

@@ -32,6 +32,7 @@ fn sweep_grid(policies: Vec<PolicySpec>) -> CampaignGrid {
         backends: vec![SimulatorBackend::Analytic, SimulatorBackend::Exact],
         dwells: vec![DwellModel::Uniform],
         repairs: Vec::new(),
+        techs: Vec::new(),
         options: SweepOptions {
             base_seed: 42,
             sample_stride: 256,
@@ -176,6 +177,7 @@ fn tiny_params() -> InjectionParams {
         train_steps: 0,
         noise_sigma_mv: 65.0,
         repair: RepairPolicy::Secded { interleave: 4 },
+        tech: dnnlife_core::MemoryTech::SramNbti,
     }
 }
 

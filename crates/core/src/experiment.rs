@@ -14,15 +14,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use dnnlife_accel::{
     simulate_analytic_telemetry, simulate_exact_sharded, zipf_weights, AcceleratorConfig,
     AnalyticPolicy, AnalyticSimConfig, BlockSource, ExactShardConfig, FifoSlotMemory,
-    FlatWeightMemory,
+    FlatWeightMemory, RemappedMemory,
 };
 use dnnlife_mitigation::{
     AgingController, BarrelShifter, DnnLife, Passthrough, PeriodicInversion, PseudoTrbg,
-    WriteTransducer,
+    RemapSchedule, WearLevelRemap, WriteTransducer,
 };
 use dnnlife_numerics::{Histogram, Summary};
 use dnnlife_quant::{NumberFormat, RepairPolicy};
-use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
+use dnnlife_sram::snm::CalibratedSnmModel;
+use dnnlife_sram::{LifetimeModel, MemoryTech, ReramEnduranceLifetime, SramNbtiLifetime};
 use dnnlife_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,15 @@ pub const SNM_HIST_LO: f64 = 10.0;
 pub const SNM_HIST_HI: f64 = 27.0;
 /// Number of histogram bins.
 pub const SNM_HIST_BINS: usize = 17;
+
+/// Lower edge of the ReRAM wear histogram: percent of the median-cell
+/// endurance budget consumed (0 = fresh).
+pub const RERAM_HIST_LO: f64 = 0.0;
+/// Upper edge of the ReRAM wear histogram (100 = the median cell is
+/// dead; the model saturates there).
+pub const RERAM_HIST_HI: f64 = 100.0;
+/// Number of ReRAM wear histogram bins (five-percent bins).
+pub const RERAM_HIST_BINS: usize = 20;
 
 /// Which simulator computes per-cell duty cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -237,6 +247,25 @@ pub enum Platform {
     Baseline,
     /// The TPU-like NPU (256 KB four-tile weight FIFO, f = 256).
     TpuLike,
+    /// A ReRAM crossbar inference engine (64 tiles of 128 × 128
+    /// single-bit cells, weights-stationary, f = 16) — the natural
+    /// geometry for the `reram` technology axis, though either
+    /// technology can age it.
+    Crossbar,
+}
+
+impl Platform {
+    /// Words per physical row of this platform's weight memory — the
+    /// granularity the wear-leveling remap rotates at: the baseline's
+    /// `f × N`-wide SRAM row (Fig. 4), the NPU tile side, and the
+    /// crossbar's weights-per-wordline (128 bitlines / 8 bits).
+    pub fn row_words(self) -> usize {
+        match self {
+            Platform::Baseline => 8,
+            Platform::TpuLike => 256,
+            Platform::Crossbar => 16,
+        }
+    }
 }
 
 /// Which workload provides the weights.
@@ -297,6 +326,15 @@ pub enum PolicySpec {
         /// Width of the bias-balancing register (the paper uses 4).
         m_bits: u32,
     },
+    /// Hamun-style wear-leveling remap: the lifetime is split into
+    /// epochs and the logical→physical row mapping rotates each epoch
+    /// (deterministic remap table, identity data path). Levels
+    /// per-cell duty — and therefore ReRAM endurance wear — toward the
+    /// array mean. Requires uniform block dwell.
+    WearLevel {
+        /// Number of lifetime epochs the rotation steps through.
+        epochs: u32,
+    },
 }
 
 impl PolicySpec {
@@ -316,6 +354,9 @@ impl PolicySpec {
                 } else {
                     format!("DNN-Life without Bias Balancing (Bias={bias})")
                 }
+            }
+            PolicySpec::WearLevel { epochs } => {
+                format!("Wear-Leveling Remap (epochs={epochs})")
             }
         }
     }
@@ -339,6 +380,11 @@ impl PolicySpec {
                 bias_balancing: bias_balancing.then_some(m_bits),
                 seed,
             },
+            // The remap never transforms data — the rotation lives in
+            // the block plan (`RemappedMemory`), so the word stream the
+            // simulator sees is already remapped and the policy on top
+            // is a passthrough.
+            PolicySpec::WearLevel { .. } => AnalyticPolicy::Passthrough,
         }
     }
 }
@@ -371,16 +417,20 @@ pub struct ExperimentSpec {
     /// growing parity columns the duty/lifetime models age alongside
     /// the data cells.
     pub repair: RepairPolicy,
+    /// Memory-technology axis: which physical wear mechanism ages the
+    /// cells (SRAM NBTI duty-cycle aging, or ReRAM write-endurance
+    /// wear-out with hard stuck-at faults).
+    pub tech: MemoryTech,
 }
 
 // Hand-rolled (de)serialization instead of the derive: the
-// `backend`/`dwell`/`repair` fields are omitted when at their defaults
-// (analytic, uniform, no repair), so stores written before those axes
-// existed still parse — and, because `content_hash` is FNV over the
-// canonical JSON, a default-axis spec keeps the hash it had then
-// (resume and cross-store comparisons survive the schema growth).
-// Off-default values are serialized, so the hash changes exactly when
-// the backend/dwell/repair axes do.
+// `backend`/`dwell`/`repair`/`tech` fields are omitted when at their
+// defaults (analytic, uniform, no repair, sram), so stores written
+// before those axes existed still parse — and, because `content_hash`
+// is FNV over the canonical JSON, a default-axis spec keeps the hash it
+// had then (resume and cross-store comparisons survive the schema
+// growth). Off-default values are serialized, so the hash changes
+// exactly when the backend/dwell/repair/tech axes do.
 impl Serialize for ExperimentSpec {
     fn to_value(&self) -> serde::Value {
         let mut fields: Vec<(String, serde::Value)> = vec![
@@ -401,6 +451,9 @@ impl Serialize for ExperimentSpec {
         }
         if !self.repair.is_none() {
             fields.push(("repair".to_string(), self.repair.to_value()));
+        }
+        if !self.tech.is_default() {
+            fields.push(("tech".to_string(), self.tech.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -431,6 +484,10 @@ impl Deserialize for ExperimentSpec {
                 .map(RepairPolicy::from_value)
                 .transpose()?
                 .unwrap_or(RepairPolicy::None),
+            tech: optional("tech")
+                .map(MemoryTech::from_value)
+                .transpose()?
+                .unwrap_or(MemoryTech::SramNbti),
         })
     }
 }
@@ -451,6 +508,7 @@ impl ExperimentSpec {
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
             repair: RepairPolicy::None,
+            tech: MemoryTech::SramNbti,
         }
     }
 
@@ -468,26 +526,32 @@ impl ExperimentSpec {
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
             repair: RepairPolicy::None,
+            tech: MemoryTech::SramNbti,
         }
     }
 
     /// Whether [`run_experiment`] can simulate this spec:
     ///
     /// * the TPU-like NPU's weight FIFO stores 8-bit words only
-    ///   (Table I), so fp32 on that platform is rejected;
+    ///   (Table I), so fp32 on that platform is rejected; the ReRAM
+    ///   crossbar slices 8-bit weights over its bitlines, so it is
+    ///   8-bit-only too;
     /// * the analytic simulator's closed forms assume equal residency
     ///   (paper assumption (b)), so non-uniform dwell models require
     ///   the exact backend;
     /// * dwell parameters must be well-formed (finite non-negative
     ///   Zipf exponent; one positive finite factor per network layer
-    ///   for custom dwell).
+    ///   for custom dwell);
+    /// * wear-leveling remap rotates on the fixed epoch schedule, so
+    ///   it needs at least one epoch and uniform block dwell (the
+    ///   epoch-average closed form assumes equal residency).
     ///
     /// Invalid combinations are rejected here rather than panicking
     /// mid-simulation.
     pub fn is_valid(&self) -> bool {
         let platform_ok = match self.platform {
             Platform::Baseline => true,
-            Platform::TpuLike => self.format.bits() == 8,
+            Platform::TpuLike | Platform::Crossbar => self.format.bits() == 8,
         };
         let dwell_ok = match &self.dwell {
             DwellModel::Uniform | DwellModel::LayerProportional => true,
@@ -499,15 +563,22 @@ impl ExperimentSpec {
         };
         let backend_ok = self.backend == SimulatorBackend::Exact || self.dwell.is_uniform();
         let repair_ok = self.repair.is_valid_for(self.format.bits() as u32);
-        platform_ok && dwell_ok && backend_ok && repair_ok
+        let policy_ok = match self.policy {
+            PolicySpec::WearLevel { epochs } => epochs >= 1 && self.dwell.is_uniform(),
+            _ => true,
+        };
+        platform_ok && dwell_ok && backend_ok && repair_ok && policy_ok
     }
 
     /// A short bracketed qualifier naming the spec's off-default
-    /// backend/dwell/repair axes (empty for analytic + uniform + no
-    /// repair), appended to labels so records from different axes never
-    /// render identically.
+    /// backend/dwell/repair/tech axes (empty for analytic + uniform +
+    /// no repair + sram), appended to labels so records from different
+    /// axes never render identically.
     pub fn variant_suffix(&self) -> String {
         let mut parts: Vec<String> = Vec::new();
+        if !self.tech.is_default() {
+            parts.push(format!("tech={}", self.tech.display_name()));
+        }
         if self.backend != SimulatorBackend::Analytic {
             parts.push(self.backend.display_name().to_string());
         }
@@ -626,6 +697,7 @@ fn build_transducer(
     policy: &PolicySpec,
     width: u32,
     words: usize,
+    row_words: usize,
     seed: u64,
 ) -> Box<dyn WriteTransducer> {
     match *policy {
@@ -645,6 +717,35 @@ fn build_transducer(
             };
             Box::new(DnnLife::new(width, controller))
         }
+        // Identity data path: the rotation itself lives in the block
+        // plan (`RemappedMemory`), which the exact simulator ages
+        // through directly.
+        PolicySpec::WearLevel { epochs } => Box::new(WearLevelRemap::new(
+            width,
+            RemapSchedule::new(words, row_words, epochs),
+        )),
+    }
+}
+
+/// Runs `simulate` on `mem`, first installing the wear-leveling row
+/// rotation as a plan wrapper when the policy asks for it — the single
+/// point where [`PolicySpec::WearLevel`] becomes a [`RemappedMemory`].
+fn simulate_planned<S, F>(
+    mem: S,
+    policy: &PolicySpec,
+    row_words: usize,
+    unit: u64,
+    simulate: F,
+) -> Option<Vec<f64>>
+where
+    S: BlockSource,
+    F: Fn(&dyn BlockSource, u64) -> Option<Vec<f64>>,
+{
+    match *policy {
+        PolicySpec::WearLevel { epochs } => {
+            simulate(&RemappedMemory::new(mem, row_words, epochs), unit)
+        }
+        _ => simulate(&mem, unit),
     }
 }
 
@@ -765,6 +866,7 @@ fn simulate_units(
                     &spec.policy,
                     geo.word_bits,
                     geo.words,
+                    spec.platform.row_words(),
                     policy_seed.wrapping_add(unit),
                 );
                 let sampled_words = geo.words.div_ceil(spec.sample_stride);
@@ -789,18 +891,24 @@ fn simulate_units(
         SimulatorBackend::Exact => &spec.dwell,
     };
 
+    let row_words = spec.platform.row_words();
     match spec.platform {
-        Platform::Baseline => {
-            let mem = FlatWeightMemory::new(
-                &AcceleratorConfig::baseline(),
-                &network,
-                spec.format,
-                spec.seed,
-            )
-            .with_repair(&spec.repair);
+        Platform::Baseline | Platform::Crossbar => {
+            let config = match spec.platform {
+                Platform::Baseline => AcceleratorConfig::baseline(),
+                _ => AcceleratorConfig::crossbar(),
+            };
+            let mem = FlatWeightMemory::new(&config, &network, spec.format, spec.seed)
+                .with_repair(&spec.repair);
             blocks = mem.block_count();
             let mem = with_dwell(mem, dwell, &network);
-            units.push(simulate_unit(&mem, 0)?);
+            units.push(simulate_planned(
+                mem,
+                &spec.policy,
+                row_words,
+                0,
+                simulate_unit,
+            )?);
         }
         Platform::TpuLike => {
             for (i, slot) in FifoSlotMemory::all_slots(&network, spec.format, spec.seed)
@@ -812,7 +920,13 @@ fn simulate_units(
                     continue;
                 }
                 let slot = with_dwell(slot.with_repair(&spec.repair), dwell, &network);
-                units.push(simulate_unit(&slot, i as u64)?);
+                units.push(simulate_planned(
+                    slot,
+                    &spec.policy,
+                    row_words,
+                    i as u64,
+                    simulate_unit,
+                )?);
             }
         }
     }
@@ -863,8 +977,21 @@ pub fn run_experiment_with(spec: &ExperimentSpec, opts: &RunOptions) -> Option<E
         spec.is_valid(),
         "run_experiment: invalid spec (platform/format, backend/dwell): {spec:?}"
     );
-    let snm_model = CalibratedSnmModel::paper();
-    let mut histogram = Histogram::new(SNM_HIST_LO, SNM_HIST_HI, SNM_HIST_BINS);
+    // The technology selects the degradation model and its natural
+    // histogram range: SNM-degradation percent for SRAM (the SRAM model
+    // delegates to `CalibratedSnmModel` bit-identically, so pre-axis
+    // results are unchanged), percent-of-median-endurance consumed for
+    // ReRAM. The degradation curve is die-independent (per-cell
+    // threshold spread only affects injection fates), so the die seed
+    // here is immaterial.
+    let model: Box<dyn LifetimeModel> = match spec.tech {
+        MemoryTech::SramNbti => Box::new(SramNbtiLifetime::paper()),
+        MemoryTech::ReramEndurance => Box::new(ReramEnduranceLifetime::new(spec.policy_seed())),
+    };
+    let mut histogram = match spec.tech {
+        MemoryTech::SramNbti => Histogram::new(SNM_HIST_LO, SNM_HIST_HI, SNM_HIST_BINS),
+        MemoryTech::ReramEndurance => Histogram::new(RERAM_HIST_LO, RERAM_HIST_HI, RERAM_HIST_BINS),
+    };
     let mut duty_summary = Summary::new();
     let mut snm_summary = Summary::new();
 
@@ -882,7 +1009,7 @@ pub fn run_experiment_with(spec: &ExperimentSpec, opts: &RunOptions) -> Option<E
         let degradation = if entry.0 == bits {
             entry.1
         } else {
-            let v = snm_model.degradation_percent(d, spec.years);
+            let v = model.degradation_percent(d, spec.years);
             *entry = (bits, v);
             v
         };
@@ -1122,6 +1249,7 @@ mod tests {
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
             repair: RepairPolicy::None,
+            tech: MemoryTech::SramNbti,
         }
     }
 
@@ -1413,6 +1541,113 @@ mod tests {
             cv.label,
             cv.max_abs_duty
         );
+    }
+
+    #[test]
+    fn tech_axis_hashes_serializes_and_labels() {
+        let base = quick_spec(PolicySpec::None);
+        // Legacy byte-compat: the default technology serializes without
+        // the field, so pre-axis store keys are unchanged.
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("tech"), "{json}");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, base);
+        assert_eq!(back.content_key(), base.content_key());
+
+        // The reram axis serializes, round-trips and re-keys.
+        let mut reram = base.clone();
+        reram.tech = MemoryTech::ReramEndurance;
+        assert_ne!(base.content_hash(), reram.content_hash());
+        let json = serde_json::to_string(&reram).unwrap();
+        assert!(json.contains("\"tech\":\"reram\""), "{json}");
+        let back: ExperimentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reram);
+        // Tech is a physical coordinate (unlike the backend).
+        assert_ne!(base.coordinate_hash(), reram.coordinate_hash());
+        assert_eq!(reram.variant_suffix(), " [tech=reram]");
+        assert!(reram.is_valid());
+    }
+
+    #[test]
+    fn reram_experiment_reports_wear_percent() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.tech = MemoryTech::ReramEndurance;
+        let r = run_experiment(&spec);
+        assert_eq!(r.histogram.total(), r.cells);
+        assert!(r.cells > 0);
+        // Wear percent saturates at 100, never leaves [0, 100].
+        assert!(r.snm.min() >= 0.0 && r.snm.max() <= 100.0);
+        // Duty cycles are technology-independent: the same simulation
+        // feeds both degradation models.
+        let sram = quick(PolicySpec::None);
+        assert_eq!(r.duty, sram.duty);
+        assert!(r.label.contains("[tech=reram]"), "{}", r.label);
+    }
+
+    #[test]
+    fn crossbar_platform_runs_and_requires_8_bit() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.platform = Platform::Crossbar;
+        assert!(spec.is_valid());
+        let r = run_experiment(&spec);
+        // 131072 words / 16 stride × 8 bits.
+        assert_eq!(r.cells, 131_072 / 16 * 8);
+        assert_eq!(r.blocks_per_inference, 2);
+        spec.format = NumberFormat::Fp32;
+        assert!(!spec.is_valid(), "the crossbar slices 8-bit weights");
+    }
+
+    #[test]
+    fn wear_level_policy_narrows_duty_spread_and_keeps_the_mean() {
+        let mut spec = quick_spec(PolicySpec::None);
+        spec.platform = Platform::Crossbar;
+        spec.sample_stride = 1;
+        let none = run_experiment(&spec);
+        spec.policy = PolicySpec::WearLevel { epochs: 4 };
+        let wl = run_experiment(&spec);
+        assert_eq!(none.cells, wl.cells);
+        // Rotation only moves bits between cells: mean duty is exactly
+        // preserved, and the per-cell extremes never widen. The min/max
+        // range itself can stay [0, 1] — over 4 epochs a handful of the
+        // 64Ki cells see the same bit value in every epoch — so the
+        // contraction is asserted on the standard deviation, which the
+        // epoch averaging pulls toward the mean for every mixed cell.
+        assert!((wl.duty.mean() - none.duty.mean()).abs() < 1e-12);
+        assert!(wl.duty.max() <= none.duty.max() + 1e-12);
+        assert!(wl.duty.min() >= none.duty.min() - 1e-12);
+        assert!(
+            wl.duty.std_dev() < 0.75 * none.duty.std_dev(),
+            "rotation must narrow the duty spread: σ {} vs {}",
+            wl.duty.std_dev(),
+            none.duty.std_dev()
+        );
+    }
+
+    #[test]
+    fn wear_level_cross_validates_between_backends() {
+        let mut spec = quick_spec(PolicySpec::WearLevel { epochs: 4 });
+        spec.sample_stride = 256;
+        spec.inferences = 4;
+        let cv = cross_validate(&spec);
+        assert!(!cv.stochastic, "the remap is deterministic");
+        assert!(
+            cv.within_tolerance(),
+            "{}: max |Δduty| = {}",
+            cv.label,
+            cv.max_abs_duty
+        );
+    }
+
+    #[test]
+    fn wear_level_validity_requires_epochs_and_uniform_dwell() {
+        let mut spec = quick_spec(PolicySpec::WearLevel { epochs: 4 });
+        assert!(spec.is_valid());
+        spec.policy = PolicySpec::WearLevel { epochs: 0 };
+        assert!(!spec.is_valid(), "zero epochs");
+        spec.policy = PolicySpec::WearLevel { epochs: 4 };
+        spec.backend = SimulatorBackend::Exact;
+        spec.dwell = DwellModel::LayerProportional;
+        assert!(!spec.is_valid(), "the rotation assumes equal residency");
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn splitmix(mut z: u64) -> u64 {
 const TRAIN_MIX: u64 = 0xF417_0000_7261_494E;
 const EVAL_MIX: u64 = 0xF417_0000_E7A1_5E75;
 const TRIAL_MIX: u64 = 0xF417_0000_0F11_95ED;
+const DIE_MIX: u64 = 0xF417_0000_D1E5_EEDD;
 
 /// One fault-injection experiment: a duty-cycle scenario plus the
 /// injection campaign parameters.
@@ -149,6 +150,17 @@ impl FaultInjectionSpec {
         )
     }
 
+    /// Seed of the per-trial endurance die for `MemoryTech::
+    /// ReramEndurance` scenarios: each injection trial samples a fresh
+    /// die (fresh per-cell lognormal endurance thresholds), so the
+    /// reported accuracy-vs-age curve averages over manufacturing
+    /// variation exactly as the SRAM path averages over read noise.
+    pub fn die_seed(&self, trial: u32) -> u64 {
+        splitmix(
+            self.content_hash() ^ DIE_MIX ^ u64::from(trial).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        )
+    }
+
     /// Report label: the scenario label parts (with the variant
     /// qualifier — e.g. `[ecc=secded]` — when off-default axes are
     /// set) plus the injection operating point.
@@ -240,6 +252,9 @@ mod tests {
         assert_eq!(a.train_seed(), b.train_seed());
         assert_eq!(a.eval_seed(), b.eval_seed());
         assert_ne!(a.trial_seed(0, 0), b.trial_seed(0, 0));
+        assert_ne!(a.die_seed(0), b.die_seed(0));
+        assert_ne!(a.die_seed(0), a.die_seed(1));
+        assert_eq!(a.die_seed(3), a.die_seed(3));
         // Distinct (age, trial) pairs draw distinct streams.
         assert_ne!(a.trial_seed(0, 0), a.trial_seed(0, 1));
         assert_ne!(a.trial_seed(0, 0), a.trial_seed(1, 0));

@@ -38,6 +38,7 @@
 //!     backend: SimulatorBackend::Analytic, // closed forms (assumption (b))
 //!     dwell: DwellModel::Uniform,          // equal block residency
 //!     repair: dnnlife_quant::RepairPolicy::None, // no ECC over stored words
+//!     tech: dnnlife_core::MemoryTech::SramNbti,  // the paper's NBTI aging
 //! };
 //! let result = run_experiment(&spec);
 //! // DNN-Life drives every cell toward the minimal-degradation bin.
@@ -52,6 +53,7 @@ pub mod probmodel;
 pub mod report;
 
 pub use dnnlife_quant::RepairPolicy;
+pub use dnnlife_sram::MemoryTech;
 pub use dnnlife_telemetry::{Counter, Instrumentation, Progress, ProgressStyle, Telemetry};
 pub use experiment::{
     cross_validate, cross_validate_cancellable, cross_validate_sharded, cross_validate_with,

@@ -12,13 +12,15 @@ use std::collections::HashMap;
 
 use dnnlife_accel::{
     AcceleratorConfig, AnalyticSimConfig, BlockSource, FifoSlotMemory, FlatWeightMemory,
-    UnitDutyMap,
+    RemappedMemory, UnitDutyMap,
 };
-use dnnlife_core::experiment::Platform;
+use dnnlife_core::experiment::{Platform, PolicySpec};
 use dnnlife_core::ExperimentSpec;
+use dnnlife_mitigation::RemapSchedule;
 use dnnlife_quant::Quantizer;
 use dnnlife_sram::lifetime::ReadFailureModel;
 use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
+use dnnlife_sram::{CellExposure, CellFate, LifetimeModel, ReramEnduranceLifetime};
 
 /// Per-weight-cell lifetime duty cycles of every layer, in canonical
 /// weight order (`per_layer[li][w * bits + b]` is the duty of the
@@ -32,6 +34,12 @@ pub struct WeightCellDuties {
     pub word_bits: u32,
     /// Flattened per-layer duties, weight-major, bit 0 first.
     pub per_layer: Vec<Vec<f64>>,
+    /// Physical cell index of every duty entry (same shape as
+    /// `per_layer`): unit offset + physical word × `word_bits` + bit.
+    /// Under wear-leveling this is the *final-epoch* physical cell the
+    /// end-of-life read hits. Keys the per-cell ReRAM endurance
+    /// thresholds; the SRAM model ignores it.
+    pub cell_indices: Vec<Vec<u64>>,
 }
 
 impl WeightCellDuties {
@@ -65,31 +73,69 @@ impl WeightCellDuties {
         };
         let layer_count = network.layers().len();
         let mut per_layer: Vec<Vec<f64>> = Vec::with_capacity(layer_count);
+        let mut cell_indices: Vec<Vec<u64>> = Vec::with_capacity(layer_count);
         let mut quantizers = Vec::with_capacity(layer_count);
         let word_bits;
 
+        // Wear-leveling is a plan transform: the duty map then runs
+        // over the *rotated* physical memory (epochs × K blocks), and
+        // each logical weight is read back from its final-epoch
+        // physical word.
+        let row_words = scenario.platform.row_words();
+        let wear_epochs = match scenario.policy {
+            PolicySpec::WearLevel { epochs } => Some(epochs),
+            _ => None,
+        };
+        let duty_map = |mem: &FlatWeightMemory| -> (UnitDutyMap, Option<RemapSchedule>) {
+            match wear_epochs {
+                Some(epochs) => {
+                    let remapped = RemappedMemory::new(mem.clone(), row_words, epochs);
+                    let schedule = *remapped.schedule();
+                    (
+                        UnitDutyMap::analytic(&remapped, &policy, &cfg),
+                        Some(schedule),
+                    )
+                }
+                None => (UnitDutyMap::analytic(mem, &policy, &cfg), None),
+            }
+        };
+        let physical_word = |schedule: Option<RemapSchedule>, word: usize| -> usize {
+            match schedule {
+                Some(s) => s.final_physical_word(word as u64) as usize,
+                None => word,
+            }
+        };
+
         match scenario.platform {
-            Platform::Baseline => {
+            Platform::Baseline | Platform::Crossbar => {
+                let config = match scenario.platform {
+                    Platform::Baseline => AcceleratorConfig::baseline(),
+                    _ => AcceleratorConfig::crossbar(),
+                };
                 let mem = FlatWeightMemory::with_weight_tables(
-                    &AcceleratorConfig::baseline(),
+                    &config,
                     &network,
                     scenario.format,
                     tables,
                 )
                 .with_repair(&scenario.repair);
                 word_bits = mem.geometry().word_bits;
-                let map = UnitDutyMap::analytic(&mem, &policy, &cfg);
+                let (map, schedule) = duty_map(&mem);
                 for (li, layer) in network.layers().iter().enumerate() {
                     quantizers.push(mem.layer_quantizer(li));
-                    let mut duties =
-                        Vec::with_capacity(layer.weight_count() as usize * word_bits as usize);
+                    let count = layer.weight_count() as usize * word_bits as usize;
+                    let mut duties = Vec::with_capacity(count);
+                    let mut cells = Vec::with_capacity(count);
                     for w in 0..layer.weight_count() {
                         let addr = mem.locate_weight(li, w);
-                        duties.extend_from_slice(
-                            map.word_duties(addr.word).expect("stride 1 covers all"),
-                        );
+                        let word = physical_word(schedule, addr.word);
+                        duties
+                            .extend_from_slice(map.word_duties(word).expect("stride 1 covers all"));
+                        let base = word as u64 * u64::from(word_bits);
+                        cells.extend((0..u64::from(word_bits)).map(|b| base + b));
                     }
                     per_layer.push(duties);
+                    cell_indices.push(cells);
                 }
             }
             Platform::TpuLike => {
@@ -99,25 +145,37 @@ impl WeightCellDuties {
                         .map(|slot| slot.with_repair(&scenario.repair))
                         .collect();
                 word_bits = slots[0].geometry().word_bits;
-                let maps: Vec<UnitDutyMap> = slots
-                    .iter()
-                    .map(|slot| UnitDutyMap::analytic(slot, &policy, &cfg))
-                    .collect();
+                let unit_cells = slots[0].geometry().cells();
+                let mut maps = Vec::with_capacity(slots.len());
+                let mut schedule = None;
+                for slot in &slots {
+                    match wear_epochs {
+                        Some(epochs) => {
+                            let remapped = RemappedMemory::new(slot.clone(), row_words, epochs);
+                            schedule = Some(*remapped.schedule());
+                            maps.push(UnitDutyMap::analytic(&remapped, &policy, &cfg));
+                        }
+                        None => maps.push(UnitDutyMap::analytic(slot, &policy, &cfg)),
+                    }
+                }
                 for (li, layer) in network.layers().iter().enumerate() {
                     quantizers.push(slots[0].layer_quantizer(li));
-                    let mut duties =
-                        Vec::with_capacity(layer.weight_count() as usize * word_bits as usize);
+                    let count = layer.weight_count() as usize * word_bits as usize;
+                    let mut duties = Vec::with_capacity(count);
+                    let mut cells = Vec::with_capacity(count);
                     for w in 0..layer.weight_count() {
                         let (slot, addr) = slots
                             .iter()
                             .enumerate()
                             .find_map(|(s, slot)| slot.locate_weight(li, w).map(|a| (s, a)))
                             .expect("every weight lands in exactly one FIFO slot");
-                        duties.extend_from_slice(
-                            maps[slot].word_duties(addr.word).expect("stride 1"),
-                        );
+                        let word = physical_word(schedule, addr.word);
+                        duties.extend_from_slice(maps[slot].word_duties(word).expect("stride 1"));
+                        let base = slot as u64 * unit_cells + word as u64 * u64::from(word_bits);
+                        cells.extend((0..u64::from(word_bits)).map(|b| base + b));
                     }
                     per_layer.push(duties);
+                    cell_indices.push(cells);
                 }
             }
         }
@@ -125,6 +183,7 @@ impl WeightCellDuties {
             Self {
                 word_bits,
                 per_layer,
+                cell_indices,
             },
             quantizers,
         )
@@ -141,6 +200,44 @@ impl WeightCellDuties {
     /// duty value — analytic duties take few distinct values (block-bit
     /// fractions), so the `normal_sf` tail evaluation runs once per
     /// value, not once per cell.
+    /// Per-layer stuck-cell masks at age `years` on `die` (the ReRAM
+    /// endurance mechanism): for each stored word, a `(stuck, value)`
+    /// pair of bit masks — `stuck` flags the worn-out cells, `value`
+    /// holds the bits those cells are stuck reading back. Fully
+    /// deterministic in `(die, years)`: wear is a function of each
+    /// cell's duty, and the per-cell threshold and stuck polarity are
+    /// counter-hashed from the die seed.
+    pub fn stuck_masks(&self, die: &ReramEnduranceLifetime, years: f64) -> Vec<Vec<(u64, u64)>> {
+        let bits = self.word_bits as usize;
+        self.per_layer
+            .iter()
+            .zip(&self.cell_indices)
+            .map(|(duties, cells)| {
+                duties
+                    .chunks(bits)
+                    .zip(cells.chunks(bits))
+                    .map(|(word_duties, word_cells)| {
+                        let (mut stuck, mut value) = (0u64, 0u64);
+                        for (b, (&duty, &cell_index)) in
+                            word_duties.iter().zip(word_cells).enumerate()
+                        {
+                            if let CellFate::StuckAt { value: v } =
+                                die.cell_fate(CellExposure { duty, cell_index }, years)
+                            {
+                                stuck |= 1 << b;
+                                value |= u64::from(v) << b;
+                            }
+                        }
+                        (stuck, value)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Per-cell read-failure probabilities at age `years` (the
+    /// SRAM/NBTI mechanism): duty → SNM degradation → noise-margin
+    /// exceedance, memoised per distinct duty value.
     pub fn failure_probabilities(
         &self,
         snm: &CalibratedSnmModel,
@@ -184,6 +281,7 @@ mod tests {
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
             repair: dnnlife_core::RepairPolicy::None,
+            tech: dnnlife_sram::MemoryTech::SramNbti,
         }
     }
 

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dnnlife_core::experiment::PolicySpec;
-use dnnlife_core::FaultInjectionSpec;
+use dnnlife_core::{FaultInjectionSpec, MemoryTech};
 use dnnlife_nn::data::SyntheticMnist;
 use dnnlife_nn::train::accuracy;
 use dnnlife_nn::zoo::apply_layer_weights;
@@ -13,6 +13,7 @@ use dnnlife_quant::ecc::{EccLayout, EccOutcome};
 use dnnlife_quant::Quantizer;
 use dnnlife_sram::lifetime::ReadFailureModel;
 use dnnlife_sram::snm::CalibratedSnmModel;
+use dnnlife_sram::ReramEnduranceLifetime;
 use dnnlife_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -221,7 +222,12 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
         if cancelled() {
             return None;
         }
-        let probs = duties.failure_probabilities(&snm, &failure_model, years);
+        let probs = match spec.scenario.tech {
+            MemoryTech::SramNbti => duties.failure_probabilities(&snm, &failure_model, years),
+            // Endurance faults are hard stuck-ats computed straight
+            // from the wear model — no per-read failure probabilities.
+            MemoryTech::ReramEndurance => Vec::new(),
+        };
         let telemetry = opts.telemetry.unwrap_or_else(|| Telemetry::noop());
         let trials = telemetry.time(Counter::TrialWallNanos, || {
             run_trials(
@@ -231,7 +237,8 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
                 &codes,
                 &quantizers,
                 &probs,
-                duties.word_bits,
+                &duties,
+                years,
                 ecc_layout.as_ref(),
                 age_index,
                 (&images, &labels),
@@ -290,7 +297,8 @@ fn run_trials(
     codes: &[Vec<u32>],
     quantizers: &[Quantizer],
     probs: &[Vec<f64>],
-    word_bits: u32,
+    duties: &WeightCellDuties,
+    years: f64,
     ecc: Option<&EccLayout>,
     age_index: usize,
     eval: (&Tensor, &[usize]),
@@ -308,7 +316,7 @@ fn run_trials(
 
     let run_one = |net: &mut Sequential, trial: usize| -> (f64, u64, EccTrialCounts) {
         let (tables, flips, counts) = corrupt_tables(
-            spec, codes, quantizers, probs, word_bits, ecc, age_index, trial,
+            spec, codes, quantizers, probs, duties, years, ecc, age_index, trial,
         );
         apply_layer_weights(net, network, &tables);
         (accuracy(net, eval.0, eval.1), flips, counts)
@@ -352,13 +360,15 @@ fn run_trials(
 }
 
 /// Builds the corrupted weight tables of one trial: every physical
-/// cell (data *and* parity under a repair policy) fails independently
-/// with its probability; with SECDED the raw word's error mask runs
-/// through syndrome decode *before* the policy's read-decode
-/// permutation (the ECC engine sits at the SRAM array port, below the
+/// cell (data *and* parity under a repair policy) faults according to
+/// the scenario's memory technology — independent seeded read failures
+/// under SRAM/NBTI, deterministic stuck-at cells from this trial's
+/// endurance die under ReRAM; with SECDED the raw word's error mask
+/// runs through syndrome decode *before* the policy's read-decode
+/// permutation (the ECC engine sits at the array port, below the
 /// mitigation logic); the surviving data-bit flips are then carried
 /// through the permutation and the corrupted code is dequantized.
-/// Returns the tables, the raw flipped-cell count, and the decoder
+/// Returns the tables, the raw faulted-cell count, and the decoder
 /// tallies (zero without a repair policy).
 #[allow(clippy::too_many_arguments)]
 fn corrupt_tables(
@@ -366,52 +376,147 @@ fn corrupt_tables(
     codes: &[Vec<u32>],
     quantizers: &[Quantizer],
     probs: &[Vec<f64>],
-    word_bits: u32,
+    duties: &WeightCellDuties,
+    years: f64,
     ecc: Option<&EccLayout>,
     age_index: usize,
     trial: usize,
 ) -> (Vec<Vec<f32>>, u64, EccTrialCounts) {
     let mut rng = StdRng::seed_from_u64(spec.trial_seed(age_index, trial as u32));
     let rotates = matches!(spec.scenario.policy, PolicySpec::BarrelShifter);
-    let bits = word_bits as usize;
+    let bits = duties.word_bits as usize;
     let data_bits = spec.scenario.format.bits() as u32;
     let mut flips = 0u64;
     let mut counts = EccTrialCounts::default();
+
+    if spec.scenario.tech == MemoryTech::SramNbti && rotates {
+        // The rotating read path draws its shift *between* words, so
+        // the random stream interleaves mask and shift draws; keep the
+        // original one-word-at-a-time decode to preserve it exactly
+        // (the golden stores pin these bytes).
+        let tables = codes
+            .iter()
+            .zip(quantizers)
+            .zip(probs)
+            .map(|((layer_codes, q), layer_probs)| {
+                layer_codes
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &code)| {
+                        let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
+                        let mut mask = 0u64;
+                        for (b, &p) in cell_probs.iter().enumerate() {
+                            if p > 0.0 && rng.random::<f64>() < p {
+                                mask |= 1 << b;
+                            }
+                        }
+                        if mask == 0 {
+                            return q.decode_corrupted(code);
+                        }
+                        flips += u64::from(mask.count_ones());
+                        let mut data_mask = match ecc {
+                            None => mask as u32,
+                            Some(layout) => {
+                                // Syndrome decode on the raw array
+                                // word's error pattern (codes are
+                                // linear, so the decoder's action
+                                // depends only on the mask), gathered
+                                // out of the interleaved column layout.
+                                let decode = layout.code().decode_mask(layout.gather_mask(mask));
+                                tally(&mut counts, decode.outcome);
+                                let survived = (decode.residual & ((1u64 << data_bits) - 1)) as u32;
+                                counts.residual_flips += u64::from(survived.count_ones());
+                                survived
+                            }
+                        };
+                        if data_mask == 0 {
+                            return q.decode_corrupted(code);
+                        }
+                        let shift = (rng.random::<f64>() * f64::from(data_bits)) as u32 % data_bits;
+                        data_mask = rotate_right(data_mask, shift, data_bits);
+                        q.decode_corrupted(code ^ data_mask)
+                    })
+                    .collect()
+            })
+            .collect();
+        return (tables, flips, counts);
+    }
+
+    // Every other path splits mask generation from decoding, so the
+    // SECDED syndromes run through the bit-sliced batch decoder (64
+    // array words per syndrome operation). The random stream is
+    // untouched: mask draws happen in the same per-cell order, and no
+    // draw depends on a decode.
+    let layer_masks: Vec<Vec<u64>> = match spec.scenario.tech {
+        MemoryTech::SramNbti => codes
+            .iter()
+            .zip(probs)
+            .map(|(layer_codes, layer_probs)| {
+                (0..layer_codes.len())
+                    .map(|w| {
+                        let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
+                        let mut mask = 0u64;
+                        for (b, &p) in cell_probs.iter().enumerate() {
+                            if p > 0.0 && rng.random::<f64>() < p {
+                                mask |= 1 << b;
+                            }
+                        }
+                        mask
+                    })
+                    .collect()
+            })
+            .collect(),
+        MemoryTech::ReramEndurance => {
+            // Each trial manufactures a fresh die: per-cell lognormal
+            // endurance thresholds hashed from the trial's die seed. A
+            // worn-out cell reads back its stuck value regardless of
+            // the stored bit, so the error mask is the disagreement
+            // between the stored physical word and the stuck pattern.
+            let die = ReramEnduranceLifetime::new(spec.die_seed(trial as u32));
+            let stuck = duties.stuck_masks(&die, years);
+            codes
+                .iter()
+                .zip(&stuck)
+                .map(|(layer_codes, layer_stuck)| {
+                    layer_codes
+                        .iter()
+                        .zip(layer_stuck)
+                        .map(|(&code, &(stuck_mask, stuck_value))| {
+                            let stored = match ecc {
+                                None => u64::from(code),
+                                Some(layout) => layout.store(u64::from(code)),
+                            };
+                            stuck_mask & (stored ^ stuck_value)
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+    };
+
     let tables = codes
         .iter()
         .zip(quantizers)
-        .zip(probs)
-        .map(|((layer_codes, q), layer_probs)| {
+        .zip(&layer_masks)
+        .map(|((layer_codes, q), masks)| {
+            let decodes = ecc.map(|layout| {
+                let gathered: Vec<u64> = masks.iter().map(|&m| layout.gather_mask(m)).collect();
+                layout.code().decode_masks(&gathered)
+            });
             layer_codes
                 .iter()
                 .enumerate()
                 .map(|(w, &code)| {
-                    let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
-                    let mut mask = 0u64;
-                    for (b, &p) in cell_probs.iter().enumerate() {
-                        if p > 0.0 && rng.random::<f64>() < p {
-                            mask |= 1 << b;
-                        }
-                    }
+                    let mask = masks[w];
                     if mask == 0 {
                         return q.decode_corrupted(code);
                     }
                     flips += u64::from(mask.count_ones());
-                    let mut data_mask = match ecc {
+                    let mut data_mask = match &decodes {
                         None => mask as u32,
-                        Some(layout) => {
-                            // Syndrome decode on the raw array word's
-                            // error pattern (codes are linear, so the
-                            // decoder's action depends only on the
-                            // mask), gathered out of the interleaved
-                            // column layout.
-                            let decode = layout.code().decode_mask(layout.gather_mask(mask));
-                            match decode.outcome {
-                                EccOutcome::Corrected => counts.corrected += 1,
-                                EccOutcome::Detected => counts.detected += 1,
-                                EccOutcome::Escaped => counts.escaped += 1,
-                                EccOutcome::Clean => unreachable!("nonzero mask"),
-                            }
+                        Some(decodes) => {
+                            let decode = decodes[w];
+                            tally(&mut counts, decode.outcome);
                             let survived = (decode.residual & ((1u64 << data_bits) - 1)) as u32;
                             counts.residual_flips += u64::from(survived.count_ones());
                             survived
@@ -435,6 +540,16 @@ fn corrupt_tables(
         })
         .collect();
     (tables, flips, counts)
+}
+
+/// Adds one decoder verdict to the trial tallies.
+fn tally(counts: &mut EccTrialCounts, outcome: EccOutcome) {
+    match outcome {
+        EccOutcome::Corrected => counts.corrected += 1,
+        EccOutcome::Detected => counts.detected += 1,
+        EccOutcome::Escaped => counts.escaped += 1,
+        EccOutcome::Clean => unreachable!("nonzero mask"),
+    }
 }
 
 /// Rotates the low `width` bits of `mask` right by `by`.

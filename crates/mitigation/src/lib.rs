@@ -48,7 +48,9 @@ pub mod controller;
 pub mod randtest;
 pub mod transducer;
 pub mod trbg;
+pub mod wearlevel;
 
 pub use controller::AgingController;
 pub use transducer::{BarrelShifter, DnnLife, Passthrough, PeriodicInversion, WriteTransducer};
 pub use trbg::{PseudoTrbg, RingOscillatorTrbg, Trbg};
+pub use wearlevel::{RemapSchedule, WearLevelRemap};

@@ -42,6 +42,7 @@ pub mod duty_slice;
 pub mod lifetime;
 pub mod nbti;
 pub mod snm;
+pub mod tech;
 
 pub use cell::stress_split;
 pub use duty::DutyCycleTracker;
@@ -49,3 +50,7 @@ pub use duty_slice::DutySliceTracker;
 pub use lifetime::{lifetime_improvement, lifetime_to_threshold, ReadFailureModel};
 pub use nbti::NbtiModel;
 pub use snm::{ButterflySnmModel, CalibratedSnmModel, SnmModel};
+pub use tech::{
+    CellExposure, CellFate, EnduranceWear, LifetimeModel, MemoryTech, ReramEnduranceLifetime,
+    SramNbtiLifetime,
+};

@@ -150,6 +150,7 @@ fn fig9_policy_ordering_smoke() {
             backend: SimulatorBackend::Analytic,
             dwell: DwellModel::Uniform,
             repair: dnnlife_core::RepairPolicy::None,
+            tech: dnnlife_core::MemoryTech::SramNbti,
         };
         results.push((policy, run_experiment(&spec)));
     }
