@@ -34,7 +34,7 @@
 use crate::plan::BlockSource;
 use crate::rng::SplitMix64;
 use dnnlife_numerics::sample_binomial;
-use dnnlife_telemetry::{Counter, Telemetry};
+use dnnlife_telemetry::{Counter, SpanId, Telemetry};
 
 /// Mitigation policy, in the closed-form parameterisation used by this
 /// simulator (mirrors `dnnlife_mitigation::transducer`).
@@ -146,14 +146,15 @@ pub fn simulate_analytic(
     policy: &AnalyticPolicy,
     cfg: &AnalyticSimConfig,
 ) -> Vec<f64> {
-    simulate_analytic_telemetry(source, policy, cfg, None)
+    simulate_analytic_telemetry(source, policy, cfg, None, SpanId::NONE)
 }
 
 /// [`simulate_analytic`] with an observability handle: shard and cell
-/// counts are rolled into `telemetry` ([`AnalyticSimConfig`] stays a
-/// plain `Eq` value type, so the borrowed handle rides alongside it
-/// instead of inside). Never semantic — duties are byte-identical with
-/// or without it.
+/// counts are rolled into `telemetry`, and each word shard journals an
+/// `analytic_shard` trace span under `parent` ([`AnalyticSimConfig`]
+/// stays a plain `Eq` value type, so the borrowed handle and span
+/// parent ride alongside it instead of inside). Never semantic —
+/// duties are byte-identical with or without it.
 ///
 /// # Panics
 ///
@@ -163,6 +164,7 @@ pub fn simulate_analytic_telemetry(
     policy: &AnalyticPolicy,
     cfg: &AnalyticSimConfig,
     telemetry: Option<&Telemetry>,
+    parent: SpanId,
 ) -> Vec<f64> {
     assert!(
         cfg.sample_stride > 0,
@@ -243,7 +245,9 @@ pub fn simulate_analytic_telemetry(
         }
         if workers == 1 {
             for (range, out) in queue {
+                let span = telemetry.span_start("analytic_shard", parent);
                 simulate_words(source, policy, cfg, k_blocks, m1, &sampled[range], out);
+                telemetry.span_end(span);
             }
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
@@ -264,7 +268,9 @@ pub fn simulate_analytic_telemetry(
                             .expect("job mutex never poisoned")
                             .take()
                             .expect("each job claimed once");
+                        let span = telemetry.span_start("analytic_shard", parent);
                         simulate_words(source, policy, cfg, k_blocks, m1, &sampled[range], out);
+                        telemetry.span_end(span);
                     });
                 }
             });

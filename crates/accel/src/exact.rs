@@ -42,7 +42,7 @@ use std::sync::mpsc;
 use crate::plan::BlockSource;
 use dnnlife_mitigation::WriteTransducer;
 use dnnlife_sram::{DutyCycleTracker, DutySliceTracker};
-use dnnlife_telemetry::{Counter, Telemetry};
+use dnnlife_telemetry::{Counter, SpanId, Telemetry};
 
 /// Raw-block-word cache ceiling for [`simulate_exact_sampled`]: above
 /// this the simulator recomputes words per inference instead of
@@ -70,6 +70,9 @@ pub struct ExactShardConfig<'a> {
     /// hit/miss accounting, merge timing. Never semantic — duties are
     /// byte-identical with or without it.
     pub telemetry: Option<&'a Telemetry>,
+    /// Trace-span parent for the per-shard `exact_shard` /
+    /// `exact_merge` spans journaled through `telemetry`.
+    pub parent_span: SpanId,
 }
 
 impl Default for ExactShardConfig<'_> {
@@ -79,6 +82,7 @@ impl Default for ExactShardConfig<'_> {
             threads: 0,
             cancel: None,
             telemetry: None,
+            parent_span: SpanId::NONE,
         }
     }
 }
@@ -195,19 +199,23 @@ pub fn simulate_exact_sharded(
     }
     .clamp(1, shards);
 
+    let telemetry = cfg.telemetry.unwrap_or_else(|| Telemetry::noop());
     let mut slots: Vec<Option<Vec<f64>>> = (0..shards).map(|_| None).collect();
     if threads == 1 {
         // Serial shard loop: same forks, same merge order, no spawn.
         for (shard, range) in ranges.iter().enumerate() {
             let mut transducer = prototype.fork(shard as u64);
-            slots[shard] = Some(simulate_word_range(
+            let span = telemetry.span_start("exact_shard", cfg.parent_span);
+            let duties = simulate_word_range(
                 source,
                 transducer.as_mut(),
                 inferences,
                 &sampled[range.clone()],
                 use_cache,
                 cfg.cancel,
-            )?);
+            );
+            telemetry.span_end(span);
+            slots[shard] = Some(duties?);
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -222,14 +230,17 @@ pub fn simulate_exact_sharded(
                         break;
                     };
                     let mut transducer = prototype.fork(shard as u64);
-                    let Some(duties) = simulate_word_range(
+                    let span = telemetry.span_start("exact_shard", cfg.parent_span);
+                    let duties = simulate_word_range(
                         source,
                         transducer.as_mut(),
                         inferences,
                         &sampled[range.clone()],
                         use_cache,
                         cfg.cancel,
-                    ) else {
+                    );
+                    telemetry.span_end(span);
+                    let Some(duties) = duties else {
                         break; // cancelled: the partial shard is dropped
                     };
                     if tx.send((shard, duties)).is_err() {
@@ -250,7 +261,7 @@ pub fn simulate_exact_sharded(
         });
     }
 
-    let telemetry = cfg.telemetry.unwrap_or_else(|| Telemetry::noop());
+    let merge_span = telemetry.span_start("exact_merge", cfg.parent_span);
     let out = telemetry.time(Counter::ShardMergeNanos, || {
         let mut out = Vec::with_capacity(sampled.len() * width);
         for (shard, slot) in slots.into_iter().enumerate() {
@@ -263,7 +274,9 @@ pub fn simulate_exact_sharded(
             out.extend(duties);
         }
         Some(out)
-    })?;
+    });
+    telemetry.span_end(merge_span);
+    let out = out?;
 
     // Counter bookkeeping is arithmetic over the completed run's shape
     // — never per-encode atomics in the hot loop. The counts are
@@ -792,6 +805,7 @@ mod tests {
                         threads,
                         cancel: None,
                         telemetry: None,
+                        parent_span: SpanId::NONE,
                     };
                     let sharded = simulate_exact_sharded(&mem, prototype.as_ref(), 3, 5, &cfg)
                         .expect("not cancelled");
@@ -837,6 +851,7 @@ mod tests {
                 threads: 2,
                 cancel: None,
                 telemetry: None,
+                parent_span: SpanId::NONE,
             },
         )
         .expect("not cancelled");
@@ -863,6 +878,7 @@ mod tests {
             threads: 2,
             cancel: Some(&flag),
             telemetry: None,
+            parent_span: SpanId::NONE,
         };
         // An inference count that would take far too long uncancelled.
         let started = std::time::Instant::now();

@@ -261,6 +261,7 @@ proptest! {
             threads,
             cancel: None,
             telemetry: None,
+            ..ExactShardConfig::default()
         };
         let sharded = simulate_exact_sharded(&mem, prototype.as_ref(), inferences, stride, &cfg)
             .expect("not cancelled");

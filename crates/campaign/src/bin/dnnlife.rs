@@ -132,6 +132,7 @@ fn main() -> ExitCode {
         "validate" => validate(rest),
         "inject" => inject(rest),
         "perf" => perf_command(rest),
+        "trace" => trace_command(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -157,30 +158,36 @@ usage:
                 [--backend analytic|exact]
                 [--dwell uniform|layer|zipf[:EXP]|custom:F1,F2,...]
                 [--ecc none|secded[:INTERLEAVE]|both] [--tech sram|reram|both]
-                [--shards auto|N] [--telemetry] [--progress] [--verbose]
+                [--shards auto|N] [--telemetry] [--progress]
+                [--metrics-out FILE] [--verbose]
   dnnlife report --store FILE [--table fig9|fig11|bias|mbits|detail|all] [--json]
   dnnlife compare --store-a FILE --store-b FILE [--json]
   dnnlife validate --grid <fig9|fig11|bias|mbits|full> [--threads N] [--seed N]
                    [--stride N] [--inferences N] [--dwell MODEL]
                    [--tech sram|reram|both] [--shards auto|N]
-                   [--telemetry] [--progress] [--report-only]
+                   [--telemetry] [--progress] [--metrics-out FILE]
+                   [--report-only]
   dnnlife inject [--platform baseline|npu] [--format fp32|int8|int8-asym]
                  [--policy SUB[,SUB,...]] [--ecc none|secded[:INTERLEAVE]|both]
                  [--tech sram|reram|both]
                  [--ages Y1,Y2,...] [--trials N] [--eval-images N]
                  [--train-steps N] [--noise-mv F] [--inferences N] [--seed N]
                  [--threads N] [--out FILE] [--resume] [--telemetry]
-                 [--progress] [--verbose]
+                 [--progress] [--metrics-out FILE] [--verbose]
   dnnlife inject --report --store FILE [--json]
   dnnlife perf --events FILE [--diff FILE] [--json] [--top N]
                [--baseline FILE --max-regression F]
+  dnnlife trace --events FILE [--json]
 
 exit codes: 0 ok; 2 error; 3 store/journal missing or empty; 130 interrupted
 `--telemetry` journals machine-readable events next to the store
-(STORE.events.jsonl — the input of `dnnlife perf`); `--progress` draws a
-live done/total/ETA line on a stderr TTY and degrades to periodic plain
-lines when stderr is redirected. Neither ever changes results: stores
-stay byte-identical with telemetry on or off.";
+(STORE.events.jsonl — the input of `dnnlife perf` and `dnnlife trace`);
+`--progress` draws a live done/total/ETA line on a stderr TTY and
+degrades to periodic plain lines when stderr is redirected;
+`--metrics-out FILE` (sweep/validate/inject) writes a Prometheus text
+exposition of the run's metrics registry plus a `.json` twin. None of
+them ever changes results: stores stay byte-identical with telemetry on
+or off.";
 
 /// Minimal `--flag [value]` argument cursor.
 struct Args<'a> {
@@ -226,11 +233,14 @@ fn events_path_for(store_path: &str) -> String {
 }
 
 /// The owning halves of an [`Instrumentation`] handle, built from the
-/// `--telemetry` / `--progress` flags (the subcommand keeps them alive
-/// for the campaign's duration and borrows them into the executor).
+/// `--telemetry` / `--progress` / `--metrics-out` flags (the subcommand
+/// keeps them alive for the campaign's duration and borrows them into
+/// the executor). `--metrics-out` without `--telemetry` still needs a
+/// live registry, so it gets an in-memory telemetry with no journal.
 fn build_sinks(
     telemetry_on: bool,
     progress_on: bool,
+    metrics_on: bool,
     events_path: &str,
     label: &str,
 ) -> Result<(Option<Telemetry>, Option<Progress>), CliError> {
@@ -239,11 +249,41 @@ fn build_sinks(
             Telemetry::with_journal(events_path)
                 .map_err(|e| format!("--telemetry: cannot open `{events_path}`: {e}"))?,
         )
+    } else if metrics_on {
+        Some(Telemetry::in_memory())
     } else {
         None
     };
     let progress = progress_on.then(|| Progress::stderr(label, 0));
     Ok((telemetry, progress))
+}
+
+/// The JSON twin path of a Prometheus exposition file:
+/// `metrics.prom` → `metrics.json` (other extensions just gain `.json`).
+fn metrics_json_twin(path: &str) -> String {
+    match path.strip_suffix(".prom") {
+        Some(stem) => format!("{stem}.json"),
+        None => format!("{path}.json"),
+    }
+}
+
+/// Writes the run's metrics registry as Prometheus text exposition at
+/// `path` plus a JSON twin next to it. A no-op without a telemetry
+/// sink (the flag parser always builds one when `--metrics-out` is
+/// set).
+fn write_metrics_out(telemetry: Option<&Telemetry>, path: Option<&str>) -> Result<(), CliError> {
+    let (Some(telemetry), Some(path)) = (telemetry, path) else {
+        return Ok(());
+    };
+    let snapshot = telemetry.metrics_snapshot();
+    std::fs::write(path, snapshot.render_prometheus())
+        .map_err(|e| format!("--metrics-out: cannot write `{path}`: {e}"))?;
+    let twin = metrics_json_twin(path);
+    let json = serde_json::to_string(&snapshot.to_value()).expect("metrics serialize");
+    std::fs::write(&twin, json)
+        .map_err(|e| format!("--metrics-out: cannot write `{twin}`: {e}"))?;
+    println!("metrics -> {path} + {twin}");
+    Ok(())
 }
 
 fn sweep(argv: &[String]) -> Result<(), CliError> {
@@ -255,6 +295,7 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
     let mut techs: Vec<MemoryTech> = Vec::new();
     let mut telemetry_on = false;
     let mut progress_on = false;
+    let mut metrics_out: Option<String> = None;
 
     let mut args = Args::new(argv);
     while let Some(flag) = args.next_flag() {
@@ -266,6 +307,7 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
             "--verbose" => options.verbose = true,
             "--telemetry" => telemetry_on = true,
             "--progress" => progress_on = true,
+            "--metrics-out" => metrics_out = Some(args.value("--metrics-out")?.to_string()),
             "--seed" => sweep_options.base_seed = args.parsed("--seed")?,
             "--stride" => sweep_options.sample_stride = args.parsed("--stride")?,
             "--inferences" => sweep_options.inferences = args.parsed("--inferences")?,
@@ -324,6 +366,7 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
     let (telemetry, progress) = build_sinks(
         telemetry_on,
         progress_on,
+        metrics_out.is_some(),
         &events,
         &format!("sweep {grid_name}"),
     )?;
@@ -343,9 +386,10 @@ fn sweep(argv: &[String]) -> Result<(), CliError> {
         outcome.threads,
         started.elapsed().as_secs_f64(),
     );
-    if telemetry.is_some() {
+    if telemetry_on {
         println!("telemetry -> {events}");
     }
+    write_metrics_out(telemetry.as_ref(), metrics_out.as_deref())?;
     Ok(())
 }
 
@@ -621,6 +665,7 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
     let mut report_only = false;
     let mut telemetry_on = false;
     let mut progress_on = false;
+    let mut metrics_out: Option<String> = None;
     let mut techs: Vec<MemoryTech> = Vec::new();
     let mut sweep_options = SweepOptions {
         backend: SimulatorBackend::Exact,
@@ -641,6 +686,7 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
             "--report-only" => report_only = true,
             "--telemetry" => telemetry_on = true,
             "--progress" => progress_on = true,
+            "--metrics-out" => metrics_out = Some(args.value("--metrics-out")?.to_string()),
             other => return Err(format!("validate: unexpected argument `{other}`").into()),
         }
     }
@@ -680,6 +726,7 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
     let (telemetry, progress) = build_sinks(
         telemetry_on,
         progress_on,
+        metrics_out.is_some(),
         &events,
         &format!("validate {grid_name}"),
     )?;
@@ -704,8 +751,12 @@ fn validate(argv: &[String]) -> Result<(), CliError> {
     })?;
     if let Some(telemetry) = &telemetry {
         telemetry.emit_counters();
-        eprintln!("telemetry -> {events}");
+        telemetry.emit_histograms();
+        if telemetry_on {
+            eprintln!("telemetry -> {events}");
+        }
     }
+    write_metrics_out(telemetry.as_ref(), metrics_out.as_deref())?;
     print!("{}", aggregate::crossval_table(&results));
     let worst = results
         .iter()
@@ -781,6 +832,7 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
     let mut report_store: Option<String> = None;
     let mut telemetry_on = false;
     let mut progress_on = false;
+    let mut metrics_out: Option<String> = None;
     let mut json = false;
 
     let mut args = Args::new(argv);
@@ -804,6 +856,7 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
             "--verbose" => options.verbose = true,
             "--telemetry" => telemetry_on = true,
             "--progress" => progress_on = true,
+            "--metrics-out" => metrics_out = Some(args.value("--metrics-out")?.to_string()),
             "--report" => report_only = true,
             "--json" => json = true,
             "--store" => report_store = Some(args.value("--store")?.to_string()),
@@ -911,7 +964,13 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
     })?;
     let store_path = out.unwrap_or_else(|| "campaign-results/inject.jsonl".to_string());
     let events = events_path_for(&store_path);
-    let (telemetry, progress) = build_sinks(telemetry_on, progress_on, &events, "inject")?;
+    let (telemetry, progress) = build_sinks(
+        telemetry_on,
+        progress_on,
+        metrics_out.is_some(),
+        &events,
+        "inject",
+    )?;
     let instr = Instrumentation {
         telemetry: telemetry.as_ref(),
         progress: progress.as_ref(),
@@ -936,9 +995,10 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
         outcome.threads,
         started.elapsed().as_secs_f64(),
     );
-    if telemetry.is_some() {
+    if telemetry_on {
         println!("telemetry -> {events}");
     }
+    write_metrics_out(telemetry.as_ref(), metrics_out.as_deref())?;
     Ok(())
 }
 
@@ -1077,6 +1137,53 @@ fn perf_command(argv: &[String]) -> Result<(), CliError> {
             "perf: exact backend {measured:.0} words/s vs baseline {baseline:.0} \
              (allowed regression {max_regression:.1}x) — ok"
         );
+        // Optional latency gate: a baseline that commits to a
+        // `scenario_wall_p99_ms` ceiling fails hard when the journal
+        // can't prove the p99 (no histogram events), instead of
+        // silently passing an unmeasured run.
+        if let Some(serde::Value::Number(n)) = value.get("scenario_wall_p99_ms") {
+            let ceiling = (*n).as_f64();
+            let p99 = perf::check_wall_p99(&summary, ceiling, max_regression)
+                .map_err(|e| format!("perf: {e}"))?;
+            eprintln!(
+                "perf: scenario wall p99 {p99:.1} ms vs ceiling {ceiling:.1} \
+                 (allowed regression {max_regression:.1}x) — ok"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `dnnlife trace`: rebuild the hierarchical span forest from one
+/// telemetry events journal and render the flame-style hot-path table
+/// plus each campaign's critical path.
+fn trace_command(argv: &[String]) -> Result<(), CliError> {
+    let mut events: Option<String> = None;
+    let mut json = false;
+    let mut args = Args::new(argv);
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--events" => events = Some(args.value("--events")?.to_string()),
+            "--json" => json = true,
+            other => return Err(format!("trace: unexpected argument `{other}`").into()),
+        }
+    }
+    let events = events.ok_or("trace: --events is required (a STORE.events.jsonl journal)")?;
+    require_store_file("trace", &events)?;
+    let trace = dnnlife_campaign::trace::load_trace(std::path::Path::new(&events))
+        .map_err(|e| format!("trace: cannot read `{events}`: {e}"))?;
+    if trace.spans.is_empty() {
+        return Err(CliError::store(format!(
+            "trace: `{events}` holds no span events (was the run started with --telemetry?)"
+        )));
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&trace.to_value()).expect("trace serializes")
+        );
+    } else {
+        print!("{}", trace.render_text());
     }
     Ok(())
 }

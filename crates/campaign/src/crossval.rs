@@ -92,6 +92,7 @@ pub fn validate_scenarios_instrumented(
                 shards,
                 cancel: Some(cancel),
                 telemetry: instr.telemetry,
+                ..RunOptions::default()
             };
             cross_validate_with(spec, &opts)
         },

@@ -41,7 +41,7 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 use dnnlife_core::experiment::{run_experiment_with, RunOptions, ShardPolicy};
-use dnnlife_telemetry::{Counter, Instrumentation};
+use dnnlife_telemetry::{Counter, Instrumentation, SpanId};
 use serde::Serialize;
 
 use crate::grid::CampaignGrid;
@@ -203,12 +203,13 @@ pub fn run_campaign_instrumented(
         instr,
         |record| record.result.label.clone(),
         |record| record.spec.policy.display_name().to_string(),
-        |spec, threads, cancel| {
+        |spec, threads, cancel, span| {
             let opts = RunOptions {
                 threads,
                 shards,
                 cancel: Some(cancel),
                 telemetry: instr.telemetry,
+                parent_span: span,
             };
             run_experiment_with(spec, &opts)
                 .map(|result| ScenarioRecord::annotated((*spec).clone(), result, shards))
@@ -230,11 +231,14 @@ pub fn run_campaign_instrumented(
 ///
 /// Observability rides along without touching results: each item's
 /// queue wait and run wall time accumulate into `instr.telemetry`'s
-/// counters, `scenario_start`/`scenario_done`/`scenario_discarded`
+/// counters and the `scenario_wall_us`/`scenario_queue_us` latency
+/// histograms, `scenario_start`/`scenario_done`/`scenario_discarded`
 /// events flow to the journal in completion order, and every journaled
-/// record ticks `instr.progress`. `label` names a record for progress
-/// lines; `group` buckets it for per-policy throughput in `dnnlife
-/// perf`.
+/// record ticks `instr.progress`. The campaign brackets a
+/// `campaign:{name}` trace span; each item runs under its own
+/// `scenario` child span whose id is handed to `run` as the parent for
+/// simulator-level spans. `label` names a record for progress lines;
+/// `group` buckets it for per-policy throughput in `dnnlife perf`.
 ///
 /// # Errors
 ///
@@ -262,7 +266,7 @@ pub(crate) fn journal_into_store<T, R, RunF>(
 where
     T: Sync,
     R: crate::store::StoreRecord + Send,
-    RunF: Fn(&&T, usize, &AtomicBool) -> Option<R> + Sync,
+    RunF: Fn(&&T, usize, &AtomicBool, SpanId) -> Option<R> + Sync,
 {
     let telemetry = instr.telemetry();
     if let Some(progress) = instr.progress {
@@ -270,6 +274,7 @@ where
     }
     let mut done = 0usize;
     let discarded = AtomicUsize::new(0);
+    let mut campaign_span = SpanId::NONE;
     if !pending.is_empty() {
         let workers = budget.min(pending.len()).max(1);
         // Absolute wall-clock anchor for the journal. Every other
@@ -294,6 +299,17 @@ where
                 ("unix_ms", unix_ms.to_value()),
             ],
         );
+        campaign_span = telemetry.span_start(&format!("campaign:{name}"), SpanId::NONE);
+        telemetry.gauge_set(
+            "campaign_pending",
+            "Scenarios pending at campaign start (after resume skips)",
+            pending.len() as u64,
+        );
+        telemetry.gauge_set(
+            "campaign_workers",
+            "Item workers the shared pool started with",
+            workers as u64,
+        );
         let epoch = Instant::now();
         let mut journal_error = None;
         execute_shared_pool(
@@ -312,14 +328,26 @@ where
                         ("threads", (threads as u64).to_value()),
                     ],
                 );
+                let span = telemetry.span_start("scenario", campaign_span);
                 let started = Instant::now();
-                let result = run(item, threads, run_flag);
+                let result = run(item, threads, run_flag, span);
                 let wall_nanos = started.elapsed().as_nanos() as u64;
+                telemetry.span_end(span);
                 match result {
                     Some(record) => {
                         telemetry.add(Counter::ScenariosCompleted, 1);
                         telemetry.add(Counter::QueueWaitNanos, queue_nanos);
                         telemetry.add(Counter::ScenarioWallNanos, wall_nanos);
+                        telemetry.observe(
+                            "scenario_wall_us",
+                            "Per-scenario run wall time in microseconds",
+                            wall_nanos / 1_000,
+                        );
+                        telemetry.observe(
+                            "scenario_queue_us",
+                            "Per-scenario queue wait in microseconds",
+                            queue_nanos / 1_000,
+                        );
                         telemetry.emit(
                             "scenario_done",
                             &[
@@ -369,6 +397,7 @@ where
         if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
             let discarded = discarded.load(Ordering::Relaxed);
             let remaining = pending.len().saturating_sub(done + discarded);
+            telemetry.span_end(campaign_span);
             telemetry.emit(
                 "campaign_abort",
                 &[
@@ -379,6 +408,7 @@ where
                 ],
             );
             telemetry.emit_counters();
+            telemetry.emit_histograms();
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
                 format!(
@@ -394,6 +424,7 @@ where
     if let Some(progress) = instr.progress {
         progress.finish();
     }
+    telemetry.span_end(campaign_span);
     telemetry.emit(
         "campaign_done",
         &[
@@ -402,6 +433,7 @@ where
         ],
     );
     telemetry.emit_counters();
+    telemetry.emit_histograms();
     Ok(done)
 }
 

@@ -348,11 +348,12 @@ pub fn run_injection_campaign_instrumented(
         instr,
         |record| record.result.label.clone(),
         |record| record.spec.scenario.policy.display_name().to_string(),
-        |spec, threads, cancel| {
+        |spec, threads, cancel, span| {
             let opts = InjectOptions {
                 threads,
                 cancel: Some(cancel),
                 telemetry: instr.telemetry,
+                parent_span: span,
             };
             run_injection(spec, &opts).map(|result| InjectionRecord::new((*spec).clone(), result))
         },

@@ -80,6 +80,7 @@ pub mod grid;
 pub mod inject;
 pub mod perf;
 pub mod store;
+pub mod trace;
 
 pub use crossval::{
     validate_scenarios, validate_scenarios_cancellable, validate_scenarios_instrumented,
@@ -99,3 +100,4 @@ pub use inject::{
 };
 pub use perf::{load_events, PerfDiff, PerfSummary};
 pub use store::{JsonlStore, ResultStore, ScenarioRecord, StoreLock, StoreRecord};
+pub use trace::{load_trace, Trace, TraceSpan};

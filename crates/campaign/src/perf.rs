@@ -12,6 +12,7 @@
 use std::io::Read;
 use std::path::Path;
 
+use dnnlife_telemetry::HistogramSnapshot;
 use serde::{Serialize, Value};
 
 /// One `scenario_done` event: a completed item's identity and timing.
@@ -57,6 +58,25 @@ pub struct PerfSummary {
     /// order journals from different runs. `None` for journals written
     /// before the field existed — its absence is never an error.
     pub anchor_unix_ms: Option<u64>,
+    /// Latency histograms from `hist` roll-up events, keyed by metric
+    /// name (`scenario_wall_us`, `scenario_queue_us`, ...), merged
+    /// across the journal's invocations.
+    pub hists: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Percentile view of a microsecond latency histogram, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyMs {
+    /// Samples recorded into the histogram.
+    pub count: u64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Exact maximum latency, milliseconds.
+    pub max_ms: f64,
 }
 
 fn str_field<'v>(v: &'v Value, key: &str) -> Option<&'v str> {
@@ -142,13 +162,42 @@ pub fn summarize(journal: &str) -> PerfSummary {
                 });
             }
             "scenario_discarded" => out.discarded += 1,
+            "hist" => {
+                let Some(name) = str_field(&event, "name") else {
+                    out.skipped_lines += 1;
+                    continue;
+                };
+                let mut pairs: Vec<(usize, u64)> = Vec::new();
+                if let Some(Value::Array(buckets)) = event.get("buckets") {
+                    for bucket in buckets {
+                        let Value::Array(pair) = bucket else { continue };
+                        let (Some(Value::Number(i)), Some(Value::Number(c))) =
+                            (pair.first(), pair.get(1))
+                        else {
+                            continue;
+                        };
+                        if let (Some(i), Some(c)) = ((*i).as_u64(), (*c).as_u64()) {
+                            pairs.push((i as usize, c));
+                        }
+                    }
+                }
+                let snap = HistogramSnapshot::from_sparse(
+                    &pairs,
+                    u64_field(&event, "sum").unwrap_or(0),
+                    u64_field(&event, "max").unwrap_or(0),
+                );
+                match out.hists.iter_mut().find(|(k, _)| k == name) {
+                    Some((_, total)) => total.merge(&snap),
+                    None => out.hists.push((name.to_string(), snap)),
+                }
+            }
             "counters" => {
                 let Ok(pairs) = event.as_object_named("counters event") else {
                     out.skipped_lines += 1;
                     continue;
                 };
                 for (name, value) in pairs {
-                    if name == "ev" || name == "t_ms" {
+                    if name == "ev" || name == "t_ms" || name == "v" {
                         continue;
                     }
                     let Value::Number(n) = value else { continue };
@@ -214,6 +263,29 @@ impl PerfSummary {
         rows
     }
 
+    /// A merged latency histogram by metric name, `None` when the
+    /// journal carries no `hist` events for it.
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+            .filter(|h| h.count() > 0)
+    }
+
+    /// p50/p90/p99/max of a microsecond latency histogram, reported in
+    /// milliseconds.
+    pub fn latency_ms(&self, name: &str) -> Option<LatencyMs> {
+        let hist = self.hist(name)?;
+        Some(LatencyMs {
+            count: hist.count(),
+            p50_ms: hist.quantile(0.50) as f64 / 1e3,
+            p90_ms: hist.quantile(0.90) as f64 / 1e3,
+            p99_ms: hist.quantile(0.99) as f64 / 1e3,
+            max_ms: hist.max() as f64 / 1e3,
+        })
+    }
+
     /// The `top` slowest completed scenarios, wall-time descending.
     pub fn slowest(&self, top: usize) -> Vec<&ScenarioPerf> {
         let mut sorted: Vec<&ScenarioPerf> = self.scenarios.iter().collect();
@@ -253,6 +325,27 @@ impl PerfSummary {
         }
         if let Some(wps) = self.exact_words_per_sec() {
             out.push_str(&format!("exact backend: {wps:.0} word writes/s\n"));
+        }
+
+        let latency: Vec<(&str, LatencyMs)> = [
+            ("scenario wall", "scenario_wall_us"),
+            ("scenario queue", "scenario_queue_us"),
+        ]
+        .into_iter()
+        .filter_map(|(label, name)| self.latency_ms(name).map(|l| (label, l)))
+        .collect();
+        if !latency.is_empty() {
+            out.push_str("\n--- Latency percentiles (ms) ---\n");
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "metric", "count", "p50", "p90", "p99", "max"
+            ));
+            for (label, l) in latency {
+                out.push_str(&format!(
+                    "{label:<16} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                    l.count, l.p50_ms, l.p90_ms, l.p99_ms, l.max_ms
+                ));
+            }
         }
 
         let slowest = self.slowest(10);
@@ -341,6 +434,26 @@ impl Serialize for PerfSummary {
             ("counters".to_string(), Value::Object(counters)),
             ("scenarios".to_string(), Value::Array(scenarios)),
         ];
+        let latency: Vec<(String, Value)> = self
+            .hists
+            .iter()
+            .filter_map(|(name, _)| {
+                let l = self.latency_ms(name)?;
+                Some((
+                    name.clone(),
+                    Value::Object(vec![
+                        ("count".to_string(), l.count.to_value()),
+                        ("p50_ms".to_string(), l.p50_ms.to_value()),
+                        ("p90_ms".to_string(), l.p90_ms.to_value()),
+                        ("p99_ms".to_string(), l.p99_ms.to_value()),
+                        ("max_ms".to_string(), l.max_ms.to_value()),
+                    ]),
+                ))
+            })
+            .collect();
+        if !latency.is_empty() {
+            pairs.push(("latency".to_string(), Value::Object(latency)));
+        }
         if let Some(wps) = self.exact_words_per_sec() {
             pairs.insert(6, ("exact_words_per_sec".to_string(), wps.to_value()));
         }
@@ -586,9 +699,40 @@ pub fn check_baseline(
     Ok(measured)
 }
 
+/// The CI latency gate: compares the journal's scenario-wall p99 (from
+/// `hist` events) against a committed ceiling in milliseconds. Returns
+/// the measured p99 in ms, or an error when it exceeds
+/// `ceiling * max_regression` — or when the gate is configured but the
+/// journal carries no histogram to measure.
+///
+/// # Errors
+///
+/// When the journal has no `scenario_wall_us` histogram events, or the
+/// measured p99 exceeds the allowed ceiling.
+pub fn check_wall_p99(
+    summary: &PerfSummary,
+    ceiling_ms: f64,
+    max_regression: f64,
+) -> Result<f64, String> {
+    let latency = summary.latency_ms("scenario_wall_us").ok_or(
+        "scenario_wall_p99_ms gate is set but the journal holds no \
+         scenario_wall_us histogram events — run with telemetry enabled",
+    )?;
+    let allowed = ceiling_ms * max_regression;
+    if latency.p99_ms > allowed {
+        return Err(format!(
+            "scenario wall p99 regressed: {:.1} ms > ceiling {allowed:.1} \
+             (baseline {ceiling_ms:.1} x {max_regression:.1})",
+            latency.p99_ms
+        ));
+    }
+    Ok(latency.p99_ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dnnlife_telemetry::Histogram;
 
     fn journal() -> String {
         [
@@ -792,5 +936,114 @@ mod tests {
         assert_eq!(u64_field(&back, "completed"), Some(2));
         assert_eq!(u64_field(&back, "discarded"), Some(1));
         assert!(num_field(&back, "exact_words_per_sec").is_some());
+    }
+
+    /// A `hist` event line exactly as `Telemetry::emit_histograms`
+    /// writes it, built from real `Histogram` recordings so the sparse
+    /// bucket pairs match production output.
+    fn hist_line(name: &str, values: &[u64]) -> String {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let pairs: Vec<String> = snap
+            .sparse()
+            .iter()
+            .map(|(i, c)| format!("[{i},{c}]"))
+            .collect();
+        format!(
+            r#"{{"ev":"hist","v":1,"t_ms":275,"name":"{name}","buckets":[{}],"count":{},"sum":{},"max":{}}}"#,
+            pairs.join(","),
+            snap.count(),
+            snap.sum(),
+            snap.max()
+        )
+    }
+
+    #[test]
+    fn hist_events_merge_and_reconstruct_percentiles() {
+        // Two invocations each flush their own hist roll-up; the
+        // summary merges them and its percentiles stay within one
+        // bucket of the scalar-sorted reference over both streams.
+        let a: Vec<u64> = (1..=60).map(|i| i * 1_000).collect(); // 1..60 ms
+        let b: Vec<u64> = vec![250_000, 500_000, 900_000]; // heavy tail
+        let text = format!(
+            "{}\n{}\n{}",
+            journal(),
+            hist_line("scenario_wall_us", &a),
+            hist_line("scenario_wall_us", &b)
+        );
+        let s = summarize(&text);
+        let hist = s.hist("scenario_wall_us").expect("hist merged");
+        assert_eq!(hist.count(), 63);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.sort_unstable();
+        for (q, l) in [(0.5, None), (0.9, None), (0.99, None), (1.0, Some(()))] {
+            let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let truth = all[rank - 1];
+            let est = hist.quantile(q);
+            if l.is_some() {
+                assert_eq!(est, truth, "q=1.0 must be the exact max");
+            } else {
+                let (eb, tb) = (
+                    Histogram::bucket_index(est) as i64,
+                    Histogram::bucket_index(truth) as i64,
+                );
+                assert!((eb - tb).abs() <= 1, "q={q}: {est} vs {truth}");
+            }
+        }
+
+        // The latency view, text render and JSON all surface it.
+        let lat = s.latency_ms("scenario_wall_us").expect("latency view");
+        assert!((lat.max_ms - 900.0).abs() < 1e-9);
+        let rendered = s.render_text();
+        assert!(rendered.contains("Latency percentiles"), "{rendered}");
+        assert!(rendered.contains("scenario wall"), "{rendered}");
+        let json = s.to_value();
+        let latency = json.get("latency").expect("latency in json");
+        let wall = latency.get("scenario_wall_us").expect("wall entry");
+        assert_eq!(u64_field(wall, "count"), Some(63));
+        assert!(num_field(wall, "p99_ms").is_some());
+    }
+
+    #[test]
+    fn mixed_version_journals_summarize_without_skips() {
+        // Satellite 1: a journal mixing pre-"v" lines (the fixture),
+        // "v":1 lines, an unknown future kind with "v":2, and hist
+        // events must all summarize; only the torn line is skipped,
+        // and "v" never leaks into the counter table.
+        let text = format!(
+            "{}\n{}\n{}",
+            journal(),
+            r#"{"ev":"counters","v":1,"t_ms":300,"exact_word_writes":500}"#,
+            r#"{"ev":"hologram","v":2,"t_ms":301,"payload":[1,2,3]}"#,
+        );
+        let s = summarize(&text);
+        assert_eq!(s.skipped_lines, 1, "only the torn line");
+        assert_eq!(s.counter("exact_word_writes"), 3_000_500);
+        assert_eq!(s.counter("v"), 0, "schema version is not a counter");
+    }
+
+    #[test]
+    fn wall_p99_gate_floors_and_demands_histograms() {
+        let text = format!(
+            "{}\n{}",
+            journal(),
+            hist_line("scenario_wall_us", &[40_000, 50_000, 60_000])
+        );
+        let s = summarize(&text);
+        // p99 lands in the 60ms bucket; a 100ms ceiling passes.
+        let p99 = check_wall_p99(&s, 100.0, 1.5).expect("within ceiling");
+        assert!((40.0..=100.0).contains(&p99), "{p99}");
+        let err = check_wall_p99(&s, 10.0, 1.5).expect_err("over ceiling");
+        assert!(err.contains("p99 regressed"), "{err}");
+        // Gate configured but no histograms in the journal: hard error,
+        // not a silent pass.
+        let bare = summarize(&journal());
+        let err = check_wall_p99(&bare, 100.0, 1.5).expect_err("no hist");
+        assert!(err.contains("no "), "{err}");
     }
 }

@@ -7,7 +7,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use dnnlife_campaign::grid::{CampaignGrid, GridAxes, SweepOptions};
-use dnnlife_campaign::perf;
+use dnnlife_campaign::{perf, trace};
 use dnnlife_campaign::{
     run_campaign_instrumented, run_injection_campaign_instrumented, CampaignOptions,
     InjectCampaignOptions, InjectionGrid, InjectionParams, Instrumentation, ShardPolicy, Telemetry,
@@ -15,6 +15,7 @@ use dnnlife_campaign::{
 use dnnlife_core::experiment::{DwellModel, NetworkKind, Platform, PolicySpec, SimulatorBackend};
 use dnnlife_core::RepairPolicy;
 use dnnlife_quant::NumberFormat;
+use dnnlife_telemetry::Histogram;
 
 mod util;
 
@@ -444,6 +445,273 @@ fn cancelled_campaign_reports_completion_summary() {
         journal.contains(r#""ev":"campaign_abort""#),
         "abort not journaled:\n{journal}"
     );
+}
+
+/// The span layer journals a reconstructable forest: every span's
+/// parent resolves (zero orphans), every span ends, and the expected
+/// label taxonomy appears — campaign root, per-item scenarios, and the
+/// per-shard simulator spans of both backends.
+#[test]
+fn sweep_journal_reconstructs_a_complete_span_forest() {
+    let dir = util::scratch_dir("telemetry-span-forest");
+    let grid = sweep_grid(deterministic_policies());
+    let events = dir.join("spans.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    sweep_with(
+        &grid,
+        &dir.join("spans.jsonl"),
+        4,
+        ShardPolicy::Fixed(2),
+        false,
+        Some(&telemetry),
+    );
+    drop(telemetry);
+
+    let forest = trace::load_trace(&events).expect("load journal");
+    assert!(
+        forest.is_complete_forest(),
+        "{} orphan span(s) in the forest",
+        forest.orphans
+    );
+    assert_eq!(forest.unended, 0, "all spans must end");
+    assert_eq!(forest.skipped_lines, 0);
+    assert_eq!(forest.roots().len(), 1, "one campaign root");
+
+    let labels: Vec<&str> = forest.spans.iter().map(|s| s.label.as_str()).collect();
+    assert!(labels.iter().any(|l| l.starts_with("campaign:")));
+    let count = |needle: &str| labels.iter().filter(|l| **l == needle).count();
+    assert_eq!(count("scenario"), grid.len(), "one span per scenario");
+    // Both backends shard their work under the scenario spans; the
+    // exact backend also journals its merge step.
+    assert!(count("exact_shard") > 0, "labels: {labels:?}");
+    assert!(count("exact_merge") > 0, "labels: {labels:?}");
+    assert!(count("analytic_shard") > 0, "labels: {labels:?}");
+
+    // The flame table and critical path render from the same forest.
+    let text = forest.render_text();
+    assert!(text.contains("Hot paths"), "{text}");
+    assert!(text.contains("Critical path: campaign:"), "{text}");
+    let paths = forest.critical_paths();
+    assert_eq!(paths.len(), 1);
+    assert!(paths[0].1.len() >= 2, "path descends into scenarios");
+}
+
+/// The injector nests per-trial decode and score spans under the
+/// executor's scenario spans.
+#[test]
+fn injection_journal_carries_per_trial_spans() {
+    let dir = util::scratch_dir("telemetry-inject-spans");
+    let grid = inject_grid();
+    let events = dir.join("inject.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    let options = InjectCampaignOptions {
+        threads: 2,
+        resume: false,
+        verbose: false,
+    };
+    run_injection_campaign_instrumented(
+        &grid,
+        dir.join("inject.jsonl"),
+        &options,
+        None,
+        Instrumentation {
+            telemetry: Some(&telemetry),
+            progress: None,
+        },
+    )
+    .expect("injection campaign");
+    drop(telemetry);
+
+    let forest = trace::load_trace(&events).expect("load journal");
+    assert!(forest.is_complete_forest());
+    assert_eq!(forest.unended, 0);
+    let count = |needle: &str| forest.spans.iter().filter(|s| s.label == needle).count();
+    assert!(count("trial_decode") > 0);
+    assert!(count("trial_score") > 0);
+    // Every trial span's parent is a scenario span.
+    for span in &forest.spans {
+        if span.label == "trial_decode" || span.label == "trial_score" {
+            let parent = span.parent.expect("trial spans are nested");
+            let parent = forest
+                .spans
+                .iter()
+                .find(|s| s.id == parent)
+                .expect("parent defined");
+            assert_eq!(parent.label, "scenario");
+        }
+    }
+}
+
+/// The journal's `hist` roll-ups reconstruct scenario wall-time
+/// percentiles within one log bucket of the exact per-scenario walls
+/// the same journal records.
+#[test]
+fn perf_percentiles_match_recorded_scenario_walls() {
+    let dir = util::scratch_dir("telemetry-percentiles");
+    let grid = sweep_grid(deterministic_policies());
+    let events = dir.join("hist.events.jsonl");
+    let telemetry = Telemetry::with_journal(&events).expect("open journal");
+    sweep_with(
+        &grid,
+        &dir.join("hist.jsonl"),
+        4,
+        ShardPolicy::Auto,
+        false,
+        Some(&telemetry),
+    );
+    drop(telemetry);
+
+    let summary = perf::load_events(&events).expect("load journal");
+    let hist = summary
+        .hist("scenario_wall_us")
+        .expect("journal carries the wall histogram");
+    assert_eq!(hist.count(), grid.len() as u64);
+
+    let mut walls_us: Vec<u64> = summary
+        .scenarios
+        .iter()
+        .map(|s| (s.wall_ms * 1_000.0) as u64)
+        .collect();
+    walls_us.sort_unstable();
+    for q in [0.5, 0.9, 0.99] {
+        let rank = ((q * walls_us.len() as f64).ceil() as usize).clamp(1, walls_us.len());
+        let truth = walls_us[rank - 1];
+        let est = hist.quantile(q);
+        let (eb, tb) = (
+            Histogram::bucket_index(est) as i64,
+            Histogram::bucket_index(truth) as i64,
+        );
+        assert!(
+            (eb - tb).abs() <= 1,
+            "q={q}: histogram {est}us (bucket {eb}) vs recorded {truth}us (bucket {tb})"
+        );
+    }
+    // And the summary renders them.
+    assert!(summary.render_text().contains("Latency percentiles"));
+}
+
+/// `--metrics-out` writes a Prometheus exposition plus a JSON twin —
+/// even without `--telemetry`, and without inventing an events journal.
+#[test]
+fn metrics_out_writes_prometheus_and_json_twin() {
+    let dir = util::scratch_dir("telemetry-metrics-out");
+    let out = dir.join("fig11.jsonl");
+    let prom = dir.join("metrics.prom");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args([
+            "sweep",
+            "--grid",
+            "fig11",
+            "--stride",
+            "4096",
+            "--inferences",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .arg("--metrics-out")
+        .arg(&prom)
+        .output()
+        .expect("run dnnlife sweep");
+    assert!(
+        output.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let text = std::fs::read_to_string(&prom).expect("exposition written");
+    for needle in [
+        "# HELP dnnlife_scenarios_completed",
+        "# TYPE dnnlife_scenarios_completed counter",
+        "# TYPE dnnlife_scenario_wall_us histogram",
+        "dnnlife_scenario_wall_us_bucket{le=\"+Inf\"}",
+        "dnnlife_scenario_wall_us_count",
+        "# TYPE dnnlife_campaign_workers gauge",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}`:\n{text}");
+    }
+
+    let twin = dir.join("metrics.json");
+    let json = std::fs::read_to_string(&twin).expect("json twin written");
+    let value: serde::Value = serde_json::from_str(&json).expect("twin parses");
+    assert!(
+        matches!(
+            value.get("scenarios_completed"),
+            Some(serde::Value::Object(_))
+        ),
+        "twin must carry the counter: {json}"
+    );
+    assert!(
+        !dir.join("fig11.events.jsonl").exists(),
+        "--metrics-out alone must not create an events journal"
+    );
+}
+
+/// `dnnlife trace` renders the forest from a CLI-produced journal and
+/// `--json` round-trips with zero orphans; an eventless journal exits
+/// with the no-store code 3.
+#[test]
+fn trace_cli_reports_the_forest_and_json_parses() {
+    let dir = util::scratch_dir("telemetry-trace-cli");
+    let out = dir.join("fig11.jsonl");
+    let sweep = std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args([
+            "sweep",
+            "--grid",
+            "fig11",
+            "--stride",
+            "4096",
+            "--inferences",
+            "2",
+            "--threads",
+            "2",
+            "--telemetry",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run dnnlife sweep");
+    assert!(
+        sweep.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&sweep.stderr)
+    );
+    let events = dir.join("fig11.events.jsonl");
+
+    let text = std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args(["trace", "--events"])
+        .arg(&events)
+        .output()
+        .expect("run dnnlife trace");
+    assert!(text.status.success());
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(stdout.contains("0 orphan(s)"), "{stdout}");
+    assert!(stdout.contains("Hot paths"), "{stdout}");
+
+    let json = std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args(["trace", "--json", "--events"])
+        .arg(&events)
+        .output()
+        .expect("run dnnlife trace --json");
+    assert!(json.status.success());
+    let value: serde::Value =
+        serde_json::from_str(String::from_utf8_lossy(&json.stdout).trim()).expect("json parses");
+    let Some(serde::Value::Number(orphans)) = value.get("orphans") else {
+        panic!("orphans field");
+    };
+    assert_eq!((*orphans).as_u64(), Some(0));
+
+    // A journal with no span events is "nothing to report yet": exit 3.
+    let empty = dir.join("empty.events.jsonl");
+    std::fs::write(&empty, "{\"ev\":\"campaign_done\",\"t_ms\":1}\n").expect("write journal");
+    let missing = std::process::Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args(["trace", "--events"])
+        .arg(&empty)
+        .output()
+        .expect("run dnnlife trace");
+    assert_eq!(missing.status.code(), Some(3));
 }
 
 /// Satellite 3: with stderr piped (not a tty), `--progress` degrades

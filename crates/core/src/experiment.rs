@@ -24,7 +24,7 @@ use dnnlife_numerics::{Histogram, Summary};
 use dnnlife_quant::{NumberFormat, RepairPolicy};
 use dnnlife_sram::snm::CalibratedSnmModel;
 use dnnlife_sram::{LifetimeModel, MemoryTech, ReramEnduranceLifetime, SramNbtiLifetime};
-use dnnlife_telemetry::Telemetry;
+use dnnlife_telemetry::{SpanId, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Histogram range for SNM degradation (percent). The calibrated model
@@ -162,6 +162,10 @@ pub struct RunOptions<'a> {
     /// Never semantic — results are byte-identical with telemetry on
     /// or off at any thread/shard count.
     pub telemetry: Option<&'a Telemetry>,
+    /// Trace-span parent for the per-shard simulator spans this run
+    /// journals (the executor's per-scenario span). `SpanId::NONE`
+    /// (the default) journals the shard spans as roots.
+    pub parent_span: SpanId,
 }
 
 /// Per-block residency model: how long each weight block stays in the
@@ -858,6 +862,7 @@ fn simulate_units(
                     &spec.policy.analytic(policy_seed),
                     &sim_cfg,
                     opts.telemetry,
+                    opts.parent_span,
                 ))
             }
             SimulatorBackend::Exact => {
@@ -875,6 +880,7 @@ fn simulate_units(
                     threads: opts.threads,
                     cancel: opts.cancel,
                     telemetry: opts.telemetry,
+                    parent_span: opts.parent_span,
                 };
                 simulate_exact_sharded(
                     source,

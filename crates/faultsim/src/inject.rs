@@ -14,7 +14,7 @@ use dnnlife_quant::Quantizer;
 use dnnlife_sram::lifetime::ReadFailureModel;
 use dnnlife_sram::snm::CalibratedSnmModel;
 use dnnlife_sram::ReramEnduranceLifetime;
-use dnnlife_telemetry::{Counter, Telemetry};
+use dnnlife_telemetry::{Counter, SpanId, Telemetry};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,9 @@ pub struct InjectOptions<'a> {
     /// Observability sink for trial throughput and SECDED verdict
     /// roll-ups. Never semantic.
     pub telemetry: Option<&'a Telemetry>,
+    /// Trace-span parent for the per-trial `trial_decode` /
+    /// `trial_score` spans journaled through `telemetry`.
+    pub parent_span: SpanId,
 }
 
 /// Per-trial tallies of the SECDED decoder's verdicts (internal
@@ -314,12 +317,18 @@ fn run_trials(
     }
     .clamp(1, trials);
 
+    let telemetry = opts.telemetry.unwrap_or_else(|| Telemetry::noop());
     let run_one = |net: &mut Sequential, trial: usize| -> (f64, u64, EccTrialCounts) {
+        let span = telemetry.span_start("trial_decode", opts.parent_span);
         let (tables, flips, counts) = corrupt_tables(
             spec, codes, quantizers, probs, duties, years, ecc, age_index, trial,
         );
+        telemetry.span_end(span);
         apply_layer_weights(net, network, &tables);
-        (accuracy(net, eval.0, eval.1), flips, counts)
+        let span = telemetry.span_start("trial_score", opts.parent_span);
+        let score = accuracy(net, eval.0, eval.1);
+        telemetry.span_end(span);
+        (score, flips, counts)
     };
 
     let slots: Vec<Mutex<Option<(f64, u64, EccTrialCounts)>>> =
