@@ -167,13 +167,14 @@ usage:
                    [--tech sram|reram|both] [--shards auto|N]
                    [--telemetry] [--progress] [--metrics-out FILE]
                    [--report-only]
-  dnnlife inject [--platform baseline|npu] [--format fp32|int8|int8-asym]
+  dnnlife inject [--platform baseline|npu] [--network alexnet|vgg16|custom-mnist]
+                 [--format fp32|int8|int8-asym]
                  [--policy SUB[,SUB,...]] [--ecc none|secded[:INTERLEAVE]|both]
                  [--tech sram|reram|both]
                  [--ages Y1,Y2,...] [--trials N] [--eval-images N]
                  [--train-steps N] [--noise-mv F] [--inferences N] [--seed N]
-                 [--threads N] [--out FILE] [--resume] [--telemetry]
-                 [--progress] [--metrics-out FILE] [--verbose]
+                 [--threads N] [--shards auto|N] [--out FILE] [--resume]
+                 [--telemetry] [--progress] [--metrics-out FILE] [--verbose]
   dnnlife inject --report --store FILE [--json]
   dnnlife perf --events FILE [--diff FILE] [--json] [--top N]
                [--baseline FILE --max-regression F]
@@ -806,6 +807,22 @@ fn parse_format(name: &str) -> Result<NumberFormat, String> {
     }
 }
 
+fn platform_cli_name(platform: Platform) -> &'static str {
+    match platform {
+        Platform::Baseline => "baseline",
+        Platform::TpuLike => "npu",
+        Platform::Crossbar => "crossbar",
+    }
+}
+
+fn format_cli_name(format: NumberFormat) -> &'static str {
+    match format {
+        NumberFormat::Fp32 => "fp32",
+        NumberFormat::Int8Symmetric => "int8",
+        NumberFormat::Int8Asymmetric => "int8-asym",
+    }
+}
+
 fn parse_ages(list: &str) -> Result<Vec<f64>, String> {
     let ages: Option<Vec<f64>> = list.split(',').map(|a| a.parse().ok()).collect();
     let ages = ages.ok_or_else(|| format!("--ages: invalid age list `{list}`"))?;
@@ -821,6 +838,7 @@ fn parse_ages(list: &str) -> Result<Vec<f64>, String> {
 /// per mitigation policy, resumable like `sweep`.
 fn inject(argv: &[String]) -> Result<(), CliError> {
     let mut platform = Platform::Baseline;
+    let mut network = NetworkKind::CustomMnist;
     let mut format = NumberFormat::Int8Symmetric;
     let mut policy_filter: Option<String> = None;
     let mut params = InjectionParams::default();
@@ -839,6 +857,10 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
     while let Some(flag) = args.next_flag() {
         match flag {
             "--platform" => platform = parse_platform(args.value("--platform")?)?,
+            "--network" => {
+                network = NetworkKind::parse(args.value("--network")?)
+                    .map_err(|e| format!("--network: {e}"))?;
+            }
             "--format" => format = parse_format(args.value("--format")?)?,
             "--policy" => policy_filter = Some(args.value("--policy")?.to_lowercase()),
             "--ecc" => repairs = parse_ecc(args.value("--ecc")?)?,
@@ -851,6 +873,12 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
             "--inferences" => params.inferences = args.parsed("--inferences")?,
             "--seed" => params.base_seed = args.parsed("--seed")?,
             "--threads" => options.threads = args.parsed("--threads")?,
+            "--shards" => {
+                options.shards = match parse_shards(args.value("--shards")?)? {
+                    ShardPolicy::Auto => 0,
+                    ShardPolicy::Fixed(n) => n,
+                };
+            }
             "--out" => out = Some(args.value("--out")?.to_string()),
             "--resume" => options.resume = true,
             "--verbose" => options.verbose = true,
@@ -906,7 +934,7 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
         techs.push(params.tech);
     }
 
-    // The runnable zoo network crossed with the paper's Fig. 11 policy
+    // The requested zoo network crossed with the paper's Fig. 11 policy
     // set (optionally filtered by `--policy` substrings). A requested
     // ReRAM technology adds the endurance-native mitigation — the
     // epoch-rotating wear-leveling remap — to the pool.
@@ -916,39 +944,43 @@ fn inject(argv: &[String]) -> Result<(), CliError> {
     }
     if let Some(filter) = &policy_filter {
         let needles: Vec<&str> = filter.split(',').map(str::trim).collect();
+        let valid = policies
+            .iter()
+            .map(|p: &PolicySpec| p.display_name().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(", ");
         policies.retain(|p: &PolicySpec| {
             let name = p.display_name().to_lowercase();
             needles.iter().any(|needle| name.contains(needle))
         });
         if policies.is_empty() {
             return Err(format!(
-                "inject: --policy `{filter}` matches no policy of the injectable set"
+                "inject: --policy `{filter}` matches no policy of the injectable \
+                 set — valid values: {valid}"
             )
             .into());
         }
     }
     let grid = InjectionGrid::build_with_axes(
-        "inject",
-        platform,
-        NetworkKind::CustomMnist,
-        format,
-        &policies,
-        &params,
-        &repairs,
-        &techs,
+        "inject", platform, network, format, &policies, &params, &repairs, &techs,
     );
     if grid.is_empty() {
-        return Err(
-            "inject: no valid cells for these axes (fp32 needs --platform baseline; \
-             the SECDED interleave must be coprime with the codeword width — \
-             13 for 8-bit words, 39 for fp32)"
-                .into(),
-        );
+        // Never silently write an empty store: an explicitly requested
+        // combination with zero valid cells is an error, named in full.
+        return Err(format!(
+            "inject: no valid cells for --network {} --platform {} --format {} \
+             (fp32 needs --platform baseline; the SECDED interleave must be \
+             coprime with the codeword width — 13 for 8-bit words, 39 for fp32)",
+            network.cli_name(),
+            platform_cli_name(platform),
+            format_cli_name(format),
+        )
+        .into());
     }
     let no_repair_cells = InjectionGrid::build_with_axes(
         "inject",
         platform,
-        NetworkKind::CustomMnist,
+        network,
         format,
         &policies,
         &params,

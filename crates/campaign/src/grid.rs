@@ -599,7 +599,8 @@ mod tests {
         }
         // And the sram half is byte-identical to a grid that never
         // heard of the axis (pre-axis stores keep their keys).
-        let plain = CampaignGrid::named("fig11", SweepOptions::default()).unwrap();
+        let plain = CampaignGrid::named("fig11", SweepOptions::default())
+            .expect("fig11 is a built-in campaign name");
         for spec in grid
             .scenarios
             .iter()

@@ -120,9 +120,12 @@ pub struct InjectionGrid {
 
 impl InjectionGrid {
     /// Builds the campaign for one platform × network × format cell
-    /// crossed with `policies`. Invalid combinations (an unrunnable
-    /// network, fp32 on the NPU) are dropped; policies appear in list
-    /// order.
+    /// crossed with `policies`. Invalid combinations (fp32 on the NPU,
+    /// a non-coprime SECDED interleave) are dropped; policies appear
+    /// in list order. Callers that let the user request the cell
+    /// explicitly must treat an empty grid as an error (the `dnnlife
+    /// inject` CLI exits nonzero naming the combination) instead of
+    /// writing an empty store.
     pub fn build(
         name: impl Into<String>,
         platform: Platform,
@@ -251,6 +254,9 @@ impl InjectionGrid {
 pub struct InjectCampaignOptions {
     /// Total thread budget (0 = all available cores).
     pub threads: usize,
+    /// Work-shard override for each cell's analytic duty simulation
+    /// (0 = derive from the thread budget). Never semantic.
+    pub shards: usize,
     /// Skip cells already present in the store.
     pub resume: bool,
     /// Print per-cell progress lines to stderr.
@@ -351,6 +357,7 @@ pub fn run_injection_campaign_instrumented(
         |spec, threads, cancel, span| {
             let opts = InjectOptions {
                 threads,
+                shards: options.shards,
                 cancel: Some(cancel),
                 telemetry: instr.telemetry,
                 parent_span: span,
@@ -623,7 +630,8 @@ mod tests {
             &params,
         );
         assert!(fp32.is_empty());
-        // Unrunnable networks are filtered.
+        // The whole zoo is injectable now — the big networks build
+        // real grid cells with campaign-derived seeds.
         let alex = InjectionGrid::build(
             "t",
             Platform::Baseline,
@@ -632,7 +640,9 @@ mod tests {
             &[PolicySpec::None],
             &params,
         );
-        assert!(alex.is_empty());
+        assert_eq!(alex.len(), 1, "AlexNet must yield a runnable cell");
+        assert_eq!(alex.specs[0].scenario.network, NetworkKind::Alexnet);
+        assert_ne!(alex.specs[0].scenario.seed, 0, "seed derives from the grid");
     }
 
     #[test]

@@ -76,6 +76,62 @@ fn run_cli(args: &[&str]) -> String {
     String::from_utf8(output.stdout).expect("utf-8 stdout")
 }
 
+/// Runs the binary expecting a nonzero exit; returns (code, stderr).
+fn run_cli_err(args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_dnnlife"))
+        .args(args)
+        .output()
+        .expect("spawn dnnlife");
+    assert!(
+        !output.status.success(),
+        "dnnlife {args:?} unexpectedly succeeded"
+    );
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8(output.stderr).expect("utf-8 stderr"),
+    )
+}
+
+/// The opened-zoo error contract: an unknown `--network` and an
+/// explicitly requested combination with zero valid cells both exit
+/// nonzero — enumerating the valid values, naming the combination —
+/// instead of silently filtering down to an empty store.
+#[test]
+fn inject_network_errors_are_loud_and_enumerated() {
+    let (code, stderr) = run_cli_err(&["inject", "--network", "lenet"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(
+        stderr.contains("unknown network `lenet`")
+            && stderr.contains("valid values: alexnet, vgg16, custom-mnist"),
+        "--network error must enumerate the zoo: {stderr}"
+    );
+
+    // fp32 on the NPU is structurally invalid; requesting it by name
+    // must name the dead combination, not write an empty store.
+    let (code, stderr) = run_cli_err(&[
+        "inject",
+        "--network",
+        "alexnet",
+        "--platform",
+        "npu",
+        "--format",
+        "fp32",
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(
+        stderr.contains("no valid cells for --network alexnet --platform npu --format fp32"),
+        "empty-grid error must name the requested combination: {stderr}"
+    );
+
+    // A policy filter matching nothing enumerates the injectable pool.
+    let (code, stderr) = run_cli_err(&["inject", "--policy", "nosuch"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(
+        stderr.contains("matches no policy") && stderr.contains("valid values:"),
+        "--policy error must enumerate the pool: {stderr}"
+    );
+}
+
 fn assert_matches_golden(actual: &str, fixture: &str) {
     let path = golden_dir().join(fixture);
     if std::env::var_os("DNNLIFE_UPDATE_GOLDEN").is_some() {

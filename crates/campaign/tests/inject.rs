@@ -57,6 +57,7 @@ fn tiny_grid(policies: &[PolicySpec]) -> InjectionGrid {
 fn run(grid: &InjectionGrid, path: &Path, threads: usize, resume: bool) {
     let options = InjectCampaignOptions {
         threads,
+        shards: 0,
         resume,
         verbose: false,
     };
@@ -93,6 +94,7 @@ fn injection_store_is_deterministic_resumable_and_renders() {
     run(&partial, &resumed, 1, false);
     let options = InjectCampaignOptions {
         threads: 2,
+        shards: 0,
         resume: true,
         verbose: false,
     };
@@ -202,6 +204,91 @@ fn full_none_axis_store_matches_pre_repair_golden_bytes() {
     );
 }
 
+/// The committed golden stores pin the content-hash contract across
+/// PRs: every record's stored key must still equal the hash the
+/// current binary derives from its spec, and the key literals
+/// themselves must not drift (opening the zoo — deleting the
+/// runnable-network gate — must not move a single pre-existing key).
+#[test]
+fn committed_golden_stores_keep_their_content_keys() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let expected: [(&str, &[&str]); 2] = [
+        (
+            "inject_pre_ecc.jsonl",
+            &[
+                "bc5891dc25fcfcb7",
+                "87033a87edbee88d",
+                "8822a501fb4c36ee",
+                "f87ee536324ae06a",
+            ],
+        ),
+        (
+            "inject_alexnet.jsonl",
+            &["7582925149461669", "5728daf3853f9456"],
+        ),
+    ];
+    for (file, keys) in expected {
+        let store = InjectionStore::open(golden_dir.join(file)).expect(file);
+        // `records()` iterates in key order, not file order.
+        let mut stored: Vec<&str> = store.records().map(|r| r.key.as_str()).collect();
+        stored.sort_unstable();
+        let mut keys = keys.to_vec();
+        keys.sort_unstable();
+        assert_eq!(stored, keys, "{file}: content keys drifted");
+        for record in store.records() {
+            assert_eq!(
+                record.key,
+                record.spec.content_key(),
+                "{file}: stored key no longer matches the spec's content hash"
+            );
+        }
+    }
+}
+
+/// The exact parameter profile of the committed AlexNet golden store
+/// (`tests/golden/inject_alexnet.jsonl`), generated with the CLI:
+/// `dnnlife inject --network alexnet --platform npu --format int8
+/// --policy without,inversion --ages 0,7 --trials 2 --eval-images 4
+/// --train-steps 0 --noise-mv 65 --inferences 2 --seed 7`.
+fn alexnet_golden_params() -> InjectionParams {
+    InjectionParams {
+        trials: 2,
+        ..golden_params()
+    }
+}
+
+/// Nightly tier: the im2col-executor-backed AlexNet injection store
+/// reproduces the committed golden file byte for byte at both ends of
+/// the thread budget. Two trials per cell make the worker split at
+/// `--threads 8` real, so this pins both executor determinism (im2col
+/// GEMM under a per-image thread budget) and store-order determinism.
+#[test]
+#[ignore = "runs the full AlexNet forward pass; run in the nightly release tier"]
+fn alexnet_store_matches_committed_golden_across_threads() {
+    let dir = util::scratch_dir("inject-alexnet-golden");
+    let grid = InjectionGrid::build(
+        "inject",
+        Platform::TpuLike,
+        NetworkKind::Alexnet,
+        NumberFormat::Int8Symmetric,
+        &[PolicySpec::None, PolicySpec::Inversion],
+        &alexnet_golden_params(),
+    );
+    assert_eq!(grid.len(), 2);
+    let golden = {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/inject_alexnet.jsonl");
+        std::fs::read(path).expect("read committed alexnet golden store")
+    };
+    for threads in [1, 8] {
+        let path = dir.join(format!("alexnet-t{threads}.jsonl"));
+        run(&grid, &path, threads, false);
+        assert!(
+            std::fs::read(&path).expect("read produced store") == golden,
+            "alexnet store at --threads {threads} drifted from the committed golden file"
+        );
+    }
+}
+
 /// The `--ecc` twin of the store contract: a SECDED campaign resumed
 /// under a different thread count finalizes to the clean run's bytes,
 /// and the rendered tables carry the decoder statistics.
@@ -240,6 +327,7 @@ fn secded_campaign_resume_is_thread_byte_identical_and_renders() {
         &resumed,
         &InjectCampaignOptions {
             threads: 8,
+            shards: 0,
             resume: true,
             verbose: false,
         },
@@ -467,6 +555,84 @@ fn trained_wear_leveling_beats_unprotected_reram_at_seven_years() {
         wl_7y.mean_accuracy > none_7y.mean_accuracy,
         "7-year accuracy: wear-level {} vs none {}",
         wl_7y.mean_accuracy,
+        none_7y.mean_accuracy
+    );
+}
+
+/// The opened zoo's trained claim (nightly `--ignored` tier — trains
+/// AlexNet through the im2col executor, ~10 minutes in release): at
+/// the 7-year checkpoint DNN-Life retains strictly higher accuracy
+/// than the unprotected baseline on the briefly-trained AlexNet.
+/// The flip gap is asserted at 1.5× rather than the custom network's
+/// 3×: AlexNet's ~61M weights stream through the 512 KB memory in
+/// K ≈ 119 fills, which already averages per-word duty across ~119
+/// weights and shrinks the unprotected/balanced imbalance.
+#[test]
+#[ignore = "trains AlexNet; run in the nightly release tier"]
+fn trained_alexnet_dnn_life_beats_unprotected_at_seven_years() {
+    let dir = util::scratch_dir("inject-alexnet-nightly");
+    // The nightly CI profile: `dnnlife inject --network alexnet
+    // --platform baseline --ages 0,7 --trials 1 --eval-images 32
+    // --train-steps 12 --inferences 2 --noise-mv 65 --seed 7`.
+    let params = InjectionParams {
+        base_seed: 7,
+        inferences: 2,
+        ages_years: vec![0.0, 7.0],
+        trials: 1,
+        eval_images: 32,
+        train_steps: 12,
+        noise_sigma_mv: 65.0,
+        repair: RepairPolicy::None,
+        tech: dnnlife_core::MemoryTech::SramNbti,
+    };
+    let grid = InjectionGrid::build(
+        "inject",
+        Platform::Baseline,
+        NetworkKind::Alexnet,
+        NumberFormat::Int8Symmetric,
+        &[
+            PolicySpec::None,
+            PolicySpec::DnnLife {
+                bias: 0.7,
+                bias_balancing: true,
+                m_bits: 4,
+            },
+        ],
+        &params,
+    );
+    assert_eq!(grid.len(), 2);
+    let path = dir.join("alexnet-nightly.jsonl");
+    run(&grid, &path, 0, false);
+    let store = InjectionStore::open(&path).expect("open store");
+    let by_policy = |needle: &str| {
+        store
+            .records()
+            .find(|r| r.spec.scenario.policy.display_name().contains(needle))
+            .unwrap_or_else(|| panic!("no record for {needle}"))
+    };
+    let none = by_policy("Without Aging Mitigation");
+    let dnn = by_policy("DNN-Life");
+
+    // 12 steps lift the 1000-way network to the 10-class label range —
+    // well short of converged, but enough accuracy to lose.
+    assert!(
+        none.result.clean_accuracy > 0.0,
+        "clean accuracy {}",
+        none.result.clean_accuracy
+    );
+    let none_7y = &none.result.ages[1];
+    let dnn_7y = &dnn.result.ages[1];
+    assert_eq!(none_7y.years, 7.0);
+    assert!(
+        none_7y.mean_flipped_bits > 1.5 * dnn_7y.mean_flipped_bits,
+        "flips: none {} vs dnn-life {}",
+        none_7y.mean_flipped_bits,
+        dnn_7y.mean_flipped_bits
+    );
+    assert!(
+        dnn_7y.mean_accuracy > none_7y.mean_accuracy,
+        "7-year accuracy: dnn-life {} vs none {}",
+        dnn_7y.mean_accuracy,
         none_7y.mean_accuracy
     );
 }

@@ -203,6 +203,7 @@ fn inject_store_bytes_identical_with_telemetry_on_or_off() {
     let run = |path: &Path, threads: usize, telemetry: Option<&Telemetry>| -> Vec<u8> {
         let options = InjectCampaignOptions {
             threads,
+            shards: 0,
             resume: false,
             verbose: false,
         };
@@ -506,6 +507,7 @@ fn injection_journal_carries_per_trial_spans() {
     let telemetry = Telemetry::with_journal(&events).expect("open journal");
     let options = InjectCampaignOptions {
         threads: 2,
+        shards: 0,
         resume: false,
         verbose: false,
     };

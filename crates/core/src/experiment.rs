@@ -284,6 +284,15 @@ pub enum NetworkKind {
 }
 
 impl NetworkKind {
+    /// Every workload, in grid/report order. Each of these is fully
+    /// executable via `dnnlife_nn::zoo::build_network`, so injection
+    /// campaigns accept any of them.
+    pub const ALL: [NetworkKind; 3] = [
+        NetworkKind::Alexnet,
+        NetworkKind::Vgg16,
+        NetworkKind::CustomMnist,
+    ];
+
     /// The architecture descriptor.
     pub fn spec(self) -> dnnlife_nn::NetworkSpec {
         match self {
@@ -302,13 +311,29 @@ impl NetworkKind {
         }
     }
 
-    /// Whether the workload exists as an *executable* network
-    /// (`dnnlife_nn::zoo::build_custom_mnist`) and not only as a weight
-    /// provider. Fault-injection campaigns need to run inference on the
-    /// corrupted weights, so they are restricted to runnable workloads;
-    /// AlexNet and VGG-16 supply weight tensors only.
-    pub fn is_runnable(self) -> bool {
-        matches!(self, NetworkKind::CustomMnist)
+    /// The CLI spelling of this workload (`NetworkKind::parse` inverse).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            NetworkKind::Alexnet => "alexnet",
+            NetworkKind::Vgg16 => "vgg16",
+            NetworkKind::CustomMnist => "custom-mnist",
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive; a few common aliases).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error enumerating the valid values.
+    pub fn parse(raw: &str) -> Result<NetworkKind, String> {
+        match raw.to_ascii_lowercase().as_str() {
+            "alexnet" => Ok(NetworkKind::Alexnet),
+            "vgg16" | "vgg-16" => Ok(NetworkKind::Vgg16),
+            "custom-mnist" | "custom" | "mnist" => Ok(NetworkKind::CustomMnist),
+            _ => Err(format!(
+                "unknown network `{raw}` — valid values: alexnet, vgg16, custom-mnist"
+            )),
+        }
     }
 }
 
@@ -1768,6 +1793,20 @@ mod tests {
                 cv.max_abs_duty
             );
         }
+    }
+
+    #[test]
+    fn network_kind_parse_round_trips_and_enumerates() {
+        for network in NetworkKind::ALL {
+            assert_eq!(NetworkKind::parse(network.cli_name()), Ok(network));
+        }
+        assert_eq!(NetworkKind::parse("VGG-16"), Ok(NetworkKind::Vgg16));
+        assert_eq!(NetworkKind::parse("mnist"), Ok(NetworkKind::CustomMnist));
+        let err = NetworkKind::parse("lenet").unwrap_err();
+        assert!(
+            err.contains("alexnet") && err.contains("vgg16") && err.contains("custom-mnist"),
+            "error must enumerate valid values: {err}"
+        );
     }
 
     #[test]

@@ -93,7 +93,6 @@ impl FaultInjectionSpec {
     /// docs for each constraint.
     pub fn is_valid(&self) -> bool {
         self.scenario.is_valid()
-            && self.scenario.network.is_runnable()
             && self.scenario.sample_stride == 1
             && self.scenario.backend == SimulatorBackend::Analytic
             && self.scenario.dwell.is_uniform()
@@ -207,10 +206,13 @@ mod tests {
     }
 
     #[test]
-    fn validity_rejects_unrunnable_and_strided_scenarios() {
-        let mut s = spec(PolicySpec::None);
-        s.scenario.network = NetworkKind::Alexnet;
-        assert!(!s.is_valid(), "AlexNet is not executable");
+    fn validity_accepts_big_zoo_and_rejects_strided_scenarios() {
+        // The whole zoo executes now — no runnable gate.
+        for network in NetworkKind::ALL {
+            let mut s = spec(PolicySpec::None);
+            s.scenario.network = network;
+            assert!(s.is_valid(), "{network:?} must be injectable");
+        }
         let mut s = spec(PolicySpec::None);
         s.scenario.sample_stride = 2;
         assert!(!s.is_valid(), "every weight cell needs a duty");

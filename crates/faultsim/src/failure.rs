@@ -22,24 +22,34 @@ use dnnlife_sram::lifetime::ReadFailureModel;
 use dnnlife_sram::snm::{CalibratedSnmModel, SnmModel};
 use dnnlife_sram::{CellExposure, CellFate, LifetimeModel, ReramEnduranceLifetime};
 
-/// Per-weight-cell lifetime duty cycles of every layer, in canonical
-/// weight order (`per_layer[li][w * bits + b]` is the duty of the
-/// physical cell storing bit `b` of weight `w`, where `bits` is the
-/// *stored* word width — data plus SECDED parity columns when the
-/// scenario carries a repair policy), plus the quantizers the memory
-/// image was encoded with.
+/// Lifetime duty cycles of every *physical* memory cell, plus the map
+/// from canonical network weights to the words storing them.
+///
+/// Stored per physical word, not per weight: big networks stream many
+/// weight blocks through the same fixed-capacity array (AlexNet writes
+/// ~61 M weights through a few hundred thousand words), so the
+/// weight-major layout this replaced would duplicate each word's duties
+/// once per resident weight — gigabytes for the big zoo, where the
+/// per-word layout is megabytes plus one `u32` per weight.
+///
+/// `word_duties[gw * word_bits + b]` is the duty of bit `b` of global
+/// word `gw`; `weight_words[li][w]` is the global word storing weight
+/// `w` of layer `li` (under wear-leveling: the *final-epoch* physical
+/// word the end-of-life read hits). Global words number the whole
+/// memory flat — `unit × unit_words + word` across FIFO slots — so
+/// `gw * word_bits + b` is exactly the physical cell index keying the
+/// per-cell ReRAM endurance thresholds. `word_bits` is the *stored*
+/// width: data plus SECDED parity columns when the scenario carries a
+/// repair policy.
 #[derive(Debug, Clone)]
 pub struct WeightCellDuties {
     /// Stored word width in bits.
     pub word_bits: u32,
-    /// Flattened per-layer duties, weight-major, bit 0 first.
-    pub per_layer: Vec<Vec<f64>>,
-    /// Physical cell index of every duty entry (same shape as
-    /// `per_layer`): unit offset + physical word × `word_bits` + bit.
-    /// Under wear-leveling this is the *final-epoch* physical cell the
-    /// end-of-life read hits. Keys the per-cell ReRAM endurance
-    /// thresholds; the SRAM model ignores it.
-    pub cell_indices: Vec<Vec<u64>>,
+    /// Per-physical-word duties across every memory unit, global-word
+    /// major, bit 0 first.
+    pub word_duties: Vec<f64>,
+    /// Per-layer global word index of every canonical weight.
+    pub weight_words: Vec<Vec<u32>>,
 }
 
 impl WeightCellDuties {
@@ -57,6 +67,7 @@ impl WeightCellDuties {
         scenario: &ExperimentSpec,
         tables: &[Vec<f32>],
         threads: usize,
+        shards: usize,
     ) -> (Self, Vec<Quantizer>) {
         assert_eq!(scenario.sample_stride, 1, "weight duties need stride 1");
         assert!(
@@ -69,11 +80,11 @@ impl WeightCellDuties {
             inferences: scenario.inferences,
             sample_stride: 1,
             threads,
-            shards: 0,
+            shards,
         };
         let layer_count = network.layers().len();
-        let mut per_layer: Vec<Vec<f64>> = Vec::with_capacity(layer_count);
-        let mut cell_indices: Vec<Vec<u64>> = Vec::with_capacity(layer_count);
+        let word_duties: Vec<f64>;
+        let mut weight_words: Vec<Vec<u32>> = Vec::with_capacity(layer_count);
         let mut quantizers = Vec::with_capacity(layer_count);
         let word_bits;
 
@@ -121,21 +132,16 @@ impl WeightCellDuties {
                 .with_repair(&scenario.repair);
                 word_bits = mem.geometry().word_bits;
                 let (map, schedule) = duty_map(&mem);
+                word_duties = map.duties().to_vec();
                 for (li, layer) in network.layers().iter().enumerate() {
                     quantizers.push(mem.layer_quantizer(li));
-                    let count = layer.weight_count() as usize * word_bits as usize;
-                    let mut duties = Vec::with_capacity(count);
-                    let mut cells = Vec::with_capacity(count);
+                    let mut words = Vec::with_capacity(layer.weight_count() as usize);
                     for w in 0..layer.weight_count() {
                         let addr = mem.locate_weight(li, w);
                         let word = physical_word(schedule, addr.word);
-                        duties
-                            .extend_from_slice(map.word_duties(word).expect("stride 1 covers all"));
-                        let base = word as u64 * u64::from(word_bits);
-                        cells.extend((0..u64::from(word_bits)).map(|b| base + b));
+                        words.push(u32::try_from(word).expect("word index fits u32"));
                     }
-                    per_layer.push(duties);
-                    cell_indices.push(cells);
+                    weight_words.push(words);
                 }
             }
             Platform::TpuLike => {
@@ -145,10 +151,11 @@ impl WeightCellDuties {
                         .map(|slot| slot.with_repair(&scenario.repair))
                         .collect();
                 word_bits = slots[0].geometry().word_bits;
-                let unit_cells = slots[0].geometry().cells();
+                let slot_words = slots[0].geometry().words;
                 let mut maps = Vec::with_capacity(slots.len());
                 let mut schedule = None;
                 for slot in &slots {
+                    assert_eq!(slot.geometry().words, slot_words, "uniform FIFO slots");
                     match wear_epochs {
                         Some(epochs) => {
                             let remapped = RemappedMemory::new(slot.clone(), row_words, epochs);
@@ -158,11 +165,13 @@ impl WeightCellDuties {
                         None => maps.push(UnitDutyMap::analytic(slot, &policy, &cfg)),
                     }
                 }
+                word_duties = maps
+                    .iter()
+                    .flat_map(|m| m.duties().iter().copied())
+                    .collect();
                 for (li, layer) in network.layers().iter().enumerate() {
                     quantizers.push(slots[0].layer_quantizer(li));
-                    let count = layer.weight_count() as usize * word_bits as usize;
-                    let mut duties = Vec::with_capacity(count);
-                    let mut cells = Vec::with_capacity(count);
+                    let mut words = Vec::with_capacity(layer.weight_count() as usize);
                     for w in 0..layer.weight_count() {
                         let (slot, addr) = slots
                             .iter()
@@ -170,28 +179,40 @@ impl WeightCellDuties {
                             .find_map(|(s, slot)| slot.locate_weight(li, w).map(|a| (s, a)))
                             .expect("every weight lands in exactly one FIFO slot");
                         let word = physical_word(schedule, addr.word);
-                        duties.extend_from_slice(maps[slot].word_duties(word).expect("stride 1"));
-                        let base = slot as u64 * unit_cells + word as u64 * u64::from(word_bits);
-                        cells.extend((0..u64::from(word_bits)).map(|b| base + b));
+                        let gw = slot * slot_words + word;
+                        words.push(u32::try_from(gw).expect("word index fits u32"));
                     }
-                    per_layer.push(duties);
-                    cell_indices.push(cells);
+                    weight_words.push(words);
                 }
             }
         }
         (
             Self {
                 word_bits,
-                per_layer,
-                cell_indices,
+                word_duties,
+                weight_words,
             },
             quantizers,
         )
     }
 
-    /// Total weight cells (weights × word bits) across layers.
+    /// Total weight cells (weights × word bits) across layers. Counts
+    /// every stored weight read — weights sharing a physical word
+    /// (multi-fill networks) each count.
     pub fn cells(&self) -> u64 {
-        self.per_layer.iter().map(|l| l.len() as u64).sum()
+        let bits = u64::from(self.word_bits);
+        self.weight_words
+            .iter()
+            .map(|l| l.len() as u64 * bits)
+            .sum()
+    }
+
+    /// The per-bit duties of the physical word storing weight `w` of
+    /// layer `li`.
+    pub fn weight_word_duties(&self, li: usize, w: usize) -> &[f64] {
+        let bits = self.word_bits as usize;
+        let gw = self.weight_words[li][w] as usize;
+        &self.word_duties[gw * bits..(gw + 1) * bits]
     }
 
     /// Maps every cell's duty to its read-failure probability at age
@@ -200,62 +221,54 @@ impl WeightCellDuties {
     /// duty value — analytic duties take few distinct values (block-bit
     /// fractions), so the `normal_sf` tail evaluation runs once per
     /// value, not once per cell.
-    /// Per-layer stuck-cell masks at age `years` on `die` (the ReRAM
-    /// endurance mechanism): for each stored word, a `(stuck, value)`
-    /// pair of bit masks — `stuck` flags the worn-out cells, `value`
-    /// holds the bits those cells are stuck reading back. Fully
-    /// deterministic in `(die, years)`: wear is a function of each
-    /// cell's duty, and the per-cell threshold and stuck polarity are
-    /// counter-hashed from the die seed.
-    pub fn stuck_masks(&self, die: &ReramEnduranceLifetime, years: f64) -> Vec<Vec<(u64, u64)>> {
+    /// Per-physical-word stuck-cell masks at age `years` on `die` (the
+    /// ReRAM endurance mechanism), indexed by global word: a
+    /// `(stuck, value)` pair of bit masks — `stuck` flags the worn-out
+    /// cells, `value` holds the bits those cells are stuck reading
+    /// back. Fully deterministic in `(die, years)`: wear is a function
+    /// of each cell's duty, and the per-cell threshold and stuck
+    /// polarity are counter-hashed from the die seed (the cell index is
+    /// `gw × word_bits + bit`, so every weight resident in a word sees
+    /// the same cell fates).
+    pub fn stuck_masks(&self, die: &ReramEnduranceLifetime, years: f64) -> Vec<(u64, u64)> {
         let bits = self.word_bits as usize;
-        self.per_layer
-            .iter()
-            .zip(&self.cell_indices)
-            .map(|(duties, cells)| {
-                duties
-                    .chunks(bits)
-                    .zip(cells.chunks(bits))
-                    .map(|(word_duties, word_cells)| {
-                        let (mut stuck, mut value) = (0u64, 0u64);
-                        for (b, (&duty, &cell_index)) in
-                            word_duties.iter().zip(word_cells).enumerate()
-                        {
-                            if let CellFate::StuckAt { value: v } =
-                                die.cell_fate(CellExposure { duty, cell_index }, years)
-                            {
-                                stuck |= 1 << b;
-                                value |= u64::from(v) << b;
-                            }
-                        }
-                        (stuck, value)
-                    })
-                    .collect()
+        self.word_duties
+            .chunks(bits)
+            .enumerate()
+            .map(|(gw, word_duties)| {
+                let base = gw as u64 * self.word_bits as u64;
+                let (mut stuck, mut value) = (0u64, 0u64);
+                for (b, &duty) in word_duties.iter().enumerate() {
+                    let cell_index = base + b as u64;
+                    if let CellFate::StuckAt { value: v } =
+                        die.cell_fate(CellExposure { duty, cell_index }, years)
+                    {
+                        stuck |= 1 << b;
+                        value |= u64::from(v) << b;
+                    }
+                }
+                (stuck, value)
             })
             .collect()
     }
 
-    /// Per-cell read-failure probabilities at age `years` (the
-    /// SRAM/NBTI mechanism): duty → SNM degradation → noise-margin
-    /// exceedance, memoised per distinct duty value.
+    /// Per-physical-cell read-failure probabilities at age `years`
+    /// (the SRAM/NBTI mechanism), global-word major like
+    /// [`WeightCellDuties::word_duties`]: duty → SNM degradation →
+    /// noise-margin exceedance, memoised per distinct duty value.
     pub fn failure_probabilities(
         &self,
         snm: &CalibratedSnmModel,
         model: &ReadFailureModel,
         years: f64,
-    ) -> Vec<Vec<f64>> {
+    ) -> Vec<f64> {
         let mut memo: HashMap<u64, f64> = HashMap::new();
-        self.per_layer
+        self.word_duties
             .iter()
-            .map(|duties| {
-                duties
-                    .iter()
-                    .map(|&duty| {
-                        *memo.entry(duty.to_bits()).or_insert_with(|| {
-                            model.failure_probability(snm.degradation_percent(duty, years))
-                        })
-                    })
-                    .collect()
+            .map(|&duty| {
+                *memo.entry(duty.to_bits()).or_insert_with(|| {
+                    model.failure_probability(snm.degradation_percent(duty, years))
+                })
             })
             .collect()
     }
@@ -296,13 +309,13 @@ mod tests {
         // its stored bit value.
         let scenario = scenario(Platform::Baseline, PolicySpec::None);
         let tables = tables();
-        let (duties, quantizers) = WeightCellDuties::compute(&scenario, &tables, 1);
-        assert_eq!(duties.per_layer.len(), 4);
-        for (li, layer_duties) in duties.per_layer.iter().enumerate() {
+        let (duties, quantizers) = WeightCellDuties::compute(&scenario, &tables, 1, 0);
+        assert_eq!(duties.weight_words.len(), 4);
+        for (li, table) in tables.iter().enumerate() {
             let q = quantizers[li];
-            for (w, chunk) in layer_duties.chunks(8).enumerate().step_by(997) {
-                let code = q.encode(tables[li][w]);
-                for (b, &d) in chunk.iter().enumerate() {
+            for w in (0..table.len()).step_by(997) {
+                let code = q.encode(table[w]);
+                for (b, &d) in duties.weight_word_duties(li, w).iter().enumerate() {
                     let bit = (code >> b) & 1;
                     assert_eq!(d, f64::from(bit), "layer {li} weight {w} bit {b}");
                 }
@@ -322,13 +335,20 @@ mod tests {
             },
         );
         let tables = tables();
+        // Spread over the *weight*-resident cells (weight-major, like
+        // the pre-per-word layout), so padding words don't dilute it.
         let spread = |d: &WeightCellDuties| {
-            let all: Vec<f64> = d.per_layer.iter().flatten().copied().collect();
+            let mut all: Vec<f64> = Vec::new();
+            for (li, words) in d.weight_words.iter().enumerate() {
+                for w in 0..words.len() {
+                    all.extend_from_slice(d.weight_word_duties(li, w));
+                }
+            }
             let mean = all.iter().sum::<f64>() / all.len() as f64;
             all.iter().map(|x| (x - mean).abs()).sum::<f64>() / all.len() as f64
         };
-        let (d_none, _) = WeightCellDuties::compute(&none, &tables, 1);
-        let (d_dnn, _) = WeightCellDuties::compute(&dnn, &tables, 1);
+        let (d_none, _) = WeightCellDuties::compute(&none, &tables, 1, 0);
+        let (d_dnn, _) = WeightCellDuties::compute(&dnn, &tables, 1, 0);
         assert_eq!(d_none.cells(), d_dnn.cells());
         assert!(
             spread(&d_dnn) < spread(&d_none) * 0.6,
@@ -342,16 +362,13 @@ mod tests {
     fn failure_probabilities_grow_with_age_and_duty_imbalance() {
         let scenario = scenario(Platform::Baseline, PolicySpec::None);
         let tables = tables();
-        let (duties, _) = WeightCellDuties::compute(&scenario, &tables, 1);
+        let (duties, _) = WeightCellDuties::compute(&scenario, &tables, 1, 0);
         let snm = CalibratedSnmModel::paper();
         let model = ReadFailureModel {
             noise_sigma_mv: 65.0,
             ..ReadFailureModel::default_65nm()
         };
-        let mean = |probs: &[Vec<f64>]| {
-            let n: usize = probs.iter().map(Vec::len).sum();
-            probs.iter().flatten().sum::<f64>() / n as f64
-        };
+        let mean = |probs: &[f64]| probs.iter().sum::<f64>() / probs.len() as f64;
         let p2 = mean(&duties.failure_probabilities(&snm, &model, 2.0));
         let p7 = mean(&duties.failure_probabilities(&snm, &model, 7.0));
         let p10 = mean(&duties.failure_probabilities(&snm, &model, 10.0));

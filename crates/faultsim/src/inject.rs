@@ -5,7 +5,8 @@ use std::sync::Mutex;
 
 use dnnlife_core::experiment::PolicySpec;
 use dnnlife_core::{FaultInjectionSpec, MemoryTech};
-use dnnlife_nn::data::SyntheticMnist;
+use dnnlife_nn::data::{adapt_batch, MnistSource};
+use dnnlife_nn::exec;
 use dnnlife_nn::train::accuracy;
 use dnnlife_nn::zoo::apply_layer_weights;
 use dnnlife_nn::{Sequential, Tensor};
@@ -30,10 +31,16 @@ pub const HOLDOUT_OFFSET: u64 = 1 << 20;
 /// Execution knobs for [`run_injection`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InjectOptions<'a> {
-    /// Worker threads for the duty simulation and the trial fan-out
-    /// (0 = all available cores). Never semantic: every trial's flips
-    /// are seeded by `(spec, age, trial)` alone.
+    /// Worker threads for the duty simulation, the trial fan-out, and
+    /// the executor's per-image batch splits (0 = all available
+    /// cores). Never semantic: every trial's flips are seeded by
+    /// `(spec, age, trial)` alone.
     pub threads: usize,
+    /// Work-shard override for the analytic duty simulation
+    /// (0 = derive from `threads`). Never semantic: the analytic
+    /// closed forms are evaluated per cell, so shard boundaries cannot
+    /// move any sum.
+    pub shards: usize,
     /// Cooperative cancellation, polled between SGD steps and between
     /// trials; a raised token makes [`run_injection`] return `None`.
     pub cancel: Option<&'a AtomicBool>,
@@ -168,12 +175,18 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
     assert!(spec.is_valid(), "run_injection: invalid spec {spec:?}");
     let cancelled = || opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
 
-    let trained = TrainedNetwork::train(spec, opts.cancel)?;
+    let trained = exec::with_budget(resolve_threads(opts.threads), || {
+        TrainedNetwork::train(spec, opts.cancel)
+    })?;
     if cancelled() {
         return None;
     }
-    let (duties, quantizers) =
-        WeightCellDuties::compute(&spec.scenario, trained.layer_weights(), opts.threads);
+    let (duties, quantizers) = WeightCellDuties::compute(
+        &spec.scenario,
+        trained.layer_weights(),
+        opts.threads,
+        opts.shards,
+    );
     if cancelled() {
         return None;
     }
@@ -196,12 +209,13 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
 
     let network = spec.scenario.network.spec();
     let (images, labels) =
-        SyntheticMnist::new(spec.eval_seed()).batch(HOLDOUT_OFFSET, spec.eval_images as usize);
-    let clean_accuracy = {
+        MnistSource::from_env(spec.eval_seed()).batch(HOLDOUT_OFFSET, spec.eval_images as usize);
+    let images = adapt_batch(&images, network.input_shape());
+    let clean_accuracy = exec::with_budget(resolve_threads(opts.threads), || {
         let mut net = trained.instantiate();
         apply_layer_weights(&mut net, &network, &clean_tables);
         accuracy(&mut net, &images, &labels)
-    };
+    });
 
     let snm = CalibratedSnmModel::paper();
     let failure_model = ReadFailureModel {
@@ -289,9 +303,22 @@ pub fn run_injection(spec: &FaultInjectionSpec, opts: &InjectOptions) -> Option<
     })
 }
 
+/// Resolves the `threads` knob (0 = all available cores).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// Runs `spec.trials` seeded trials for one age on a small worker pool,
 /// returning `(accuracy, flipped_bits, ecc_counts)` in trial order.
-/// `None` iff cancelled.
+/// Leftover cores (fewer trials than threads) go to the executor's
+/// per-image thread budget inside each worker — never semantic, the
+/// forward pass is bit-identical at any budget. `None` iff cancelled.
 #[allow(clippy::too_many_arguments)]
 fn run_trials(
     spec: &FaultInjectionSpec,
@@ -299,7 +326,7 @@ fn run_trials(
     network: &dnnlife_nn::NetworkSpec,
     codes: &[Vec<u32>],
     quantizers: &[Quantizer],
-    probs: &[Vec<f64>],
+    probs: &[f64],
     duties: &WeightCellDuties,
     years: f64,
     ecc: Option<&EccLayout>,
@@ -308,14 +335,8 @@ fn run_trials(
     opts: &InjectOptions,
 ) -> Option<Vec<(f64, u64, EccTrialCounts)>> {
     let trials = spec.trials as usize;
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    }
-    .clamp(1, trials);
+    let cores = resolve_threads(opts.threads);
+    let threads = cores.clamp(1, trials);
 
     let telemetry = opts.telemetry.unwrap_or_else(|| Telemetry::noop());
     let run_one = |net: &mut Sequential, trial: usize| -> (f64, u64, EccTrialCounts) {
@@ -334,30 +355,39 @@ fn run_trials(
     let slots: Vec<Mutex<Option<(f64, u64, EccTrialCounts)>>> =
         (0..trials).map(|_| Mutex::new(None)).collect();
     if threads == 1 {
-        let mut net = trained.instantiate();
-        for (trial, slot) in slots.iter().enumerate() {
-            if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
-                return None;
+        let cancelled = exec::with_budget(cores, || {
+            let mut net = trained.instantiate();
+            for (trial, slot) in slots.iter().enumerate() {
+                if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                    return true;
+                }
+                *slot.lock().expect("slot mutex") = Some(run_one(&mut net, trial));
             }
-            *slot.lock().expect("slot mutex") = Some(run_one(&mut net, trial));
+            false
+        });
+        if cancelled {
+            return None;
         }
     } else {
+        let budget = (cores / threads).max(1);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let (next, slots) = (&next, &slots);
                 scope.spawn(move || {
-                    let mut net = trained.instantiate();
-                    loop {
-                        if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
-                            break;
+                    exec::with_budget(budget, || {
+                        let mut net = trained.instantiate();
+                        loop {
+                            if opts.cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                                break;
+                            }
+                            let trial = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = slots.get(trial) else {
+                                break;
+                            };
+                            *slot.lock().expect("slot mutex") = Some(run_one(&mut net, trial));
                         }
-                        let trial = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(slot) = slots.get(trial) else {
-                            break;
-                        };
-                        *slot.lock().expect("slot mutex") = Some(run_one(&mut net, trial));
-                    }
+                    });
                 });
             }
         });
@@ -384,7 +414,7 @@ fn corrupt_tables(
     spec: &FaultInjectionSpec,
     codes: &[Vec<u32>],
     quantizers: &[Quantizer],
-    probs: &[Vec<f64>],
+    probs: &[f64],
     duties: &WeightCellDuties,
     years: f64,
     ecc: Option<&EccLayout>,
@@ -405,14 +435,16 @@ fn corrupt_tables(
         // (the golden stores pin these bytes).
         let tables = codes
             .iter()
+            .enumerate()
             .zip(quantizers)
-            .zip(probs)
-            .map(|((layer_codes, q), layer_probs)| {
+            .map(|((li, layer_codes), q)| {
+                let words = &duties.weight_words[li];
                 layer_codes
                     .iter()
                     .enumerate()
                     .map(|(w, &code)| {
-                        let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
+                        let gw = words[w] as usize;
+                        let cell_probs = &probs[gw * bits..(gw + 1) * bits];
                         let mut mask = 0u64;
                         for (b, &p) in cell_probs.iter().enumerate() {
                             if p > 0.0 && rng.random::<f64>() < p {
@@ -459,11 +491,13 @@ fn corrupt_tables(
     let layer_masks: Vec<Vec<u64>> = match spec.scenario.tech {
         MemoryTech::SramNbti => codes
             .iter()
-            .zip(probs)
-            .map(|(layer_codes, layer_probs)| {
+            .enumerate()
+            .map(|(li, layer_codes)| {
+                let words = &duties.weight_words[li];
                 (0..layer_codes.len())
                     .map(|w| {
-                        let cell_probs = &layer_probs[w * bits..(w + 1) * bits];
+                        let gw = words[w] as usize;
+                        let cell_probs = &probs[gw * bits..(gw + 1) * bits];
                         let mut mask = 0u64;
                         for (b, &p) in cell_probs.iter().enumerate() {
                             if p > 0.0 && rng.random::<f64>() < p {
@@ -485,12 +519,14 @@ fn corrupt_tables(
             let stuck = duties.stuck_masks(&die, years);
             codes
                 .iter()
-                .zip(&stuck)
-                .map(|(layer_codes, layer_stuck)| {
+                .enumerate()
+                .map(|(li, layer_codes)| {
+                    let words = &duties.weight_words[li];
                     layer_codes
                         .iter()
-                        .zip(layer_stuck)
-                        .map(|(&code, &(stuck_mask, stuck_value))| {
+                        .enumerate()
+                        .map(|(w, &code)| {
+                            let (stuck_mask, stuck_value) = stuck[words[w] as usize];
                             let stored = match ecc {
                                 None => u64::from(code),
                                 Some(layout) => layout.store(u64::from(code)),

@@ -1,4 +1,4 @@
-//! Procedural MNIST-like dataset.
+//! Datasets: procedural MNIST-like digits plus an IDX-format loader.
 //!
 //! The offline build environment has no real MNIST, so this module
 //! renders digit glyphs procedurally: each digit class is a set of
@@ -12,10 +12,24 @@
 //! (DESIGN.md substitution #2): the weight-memory aging results depend
 //! only on the trained weight values and inference count, not on the
 //! specific imagery.
+//!
+//! When the real dataset *is* available, [`MnistSource::from_env`]
+//! loads IDX-format MNIST from the directory named by
+//! [`MNIST_DIR_ENV`]; without that variable it falls back to the
+//! hermetic [`SyntheticMnist`], so CI never needs network access.
+//! Dataset selection is an environment concern only — it is
+//! deliberately **not** a coordinate of any experiment spec or content
+//! hash, so stores produced under either source share keys (their
+//! accuracy values of course differ).
+//!
+//! [`adapt_batch`] bridges the 28×28 single-channel images to the
+//! bigger zoo inputs (AlexNet's 3×227×227, VGG-16's 3×224×224) by
+//! nearest-neighbour upscaling and channel replication.
 
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::path::{Path, PathBuf};
 
 /// Image side length (matches MNIST).
 pub const IMAGE_SIDE: usize = 28;
@@ -76,6 +90,247 @@ impl SyntheticMnist {
             labels,
         )
     }
+}
+
+/// Environment variable naming a directory with IDX-format MNIST files
+/// (`train-images-idx3-ubyte` / `train-labels-idx1-ubyte`, dotted
+/// variants accepted).
+pub const MNIST_DIR_ENV: &str = "DNNLIFE_MNIST_DIR";
+
+/// Real MNIST loaded from the standard IDX files.
+///
+/// Indices wrap modulo the set size, so callers that address samples by
+/// large counters (e.g. the evaluation holdout offset) stay in range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxMnist {
+    images: Vec<u8>,
+    labels: Vec<u8>,
+    count: u64,
+}
+
+impl IdxMnist {
+    /// Loads the training images + labels pair from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the offending file when a file is
+    /// missing, unreadable, has a wrong IDX magic/geometry, or the two
+    /// files disagree on the sample count.
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let images_path = find_idx_file(dir, "train-images", "idx3-ubyte")?;
+        let labels_path = find_idx_file(dir, "train-labels", "idx1-ubyte")?;
+        let images_raw =
+            std::fs::read(&images_path).map_err(|e| format!("{}: {e}", images_path.display()))?;
+        let labels_raw =
+            std::fs::read(&labels_path).map_err(|e| format!("{}: {e}", labels_path.display()))?;
+
+        let (magic, dims) = parse_idx_header(&images_raw, 4)
+            .map_err(|e| format!("{}: {e}", images_path.display()))?;
+        if magic != 0x0000_0803 {
+            return Err(format!(
+                "{}: IDX magic {magic:#010x}, expected 0x00000803 (u8 images, 3 dims)",
+                images_path.display()
+            ));
+        }
+        let (count, rows, cols) = (dims[0] as usize, dims[1] as usize, dims[2] as usize);
+        if rows != IMAGE_SIDE || cols != IMAGE_SIDE {
+            return Err(format!(
+                "{}: {rows}×{cols} images, expected {IMAGE_SIDE}×{IMAGE_SIDE}",
+                images_path.display()
+            ));
+        }
+        let images = images_raw[16..].to_vec();
+        if images.len() != count * IMAGE_PIXELS {
+            return Err(format!(
+                "{}: {} pixel bytes for {count} images, expected {}",
+                images_path.display(),
+                images.len(),
+                count * IMAGE_PIXELS
+            ));
+        }
+
+        let (magic, dims) = parse_idx_header(&labels_raw, 1)
+            .map_err(|e| format!("{}: {e}", labels_path.display()))?;
+        if magic != 0x0000_0801 {
+            return Err(format!(
+                "{}: IDX magic {magic:#010x}, expected 0x00000801 (u8 labels, 1 dim)",
+                labels_path.display()
+            ));
+        }
+        if dims[0] as usize != count {
+            return Err(format!(
+                "{}: {} labels for {count} images",
+                labels_path.display(),
+                dims[0]
+            ));
+        }
+        let labels = labels_raw[8..].to_vec();
+        if labels.len() != count {
+            return Err(format!(
+                "{}: {} label bytes, expected {count}",
+                labels_path.display(),
+                labels.len()
+            ));
+        }
+        if let Some(bad) = labels.iter().find(|&&l| l as usize >= NUM_CLASSES) {
+            return Err(format!(
+                "{}: label {bad} out of range 0..{NUM_CLASSES}",
+                labels_path.display()
+            ));
+        }
+        if count == 0 {
+            return Err(format!("{}: empty dataset", images_path.display()));
+        }
+        Ok(Self {
+            images,
+            labels,
+            count: count as u64,
+        })
+    }
+
+    /// Number of samples in the set.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample `index % count`, normalised to `[0, 1]`.
+    pub fn sample(&self, index: u64) -> ([f32; IMAGE_PIXELS], usize) {
+        let i = (index % self.count) as usize;
+        let mut image = [0.0f32; IMAGE_PIXELS];
+        for (dst, &src) in image
+            .iter_mut()
+            .zip(&self.images[i * IMAGE_PIXELS..(i + 1) * IMAGE_PIXELS])
+        {
+            *dst = f32::from(src) / 255.0;
+        }
+        (image, self.labels[i] as usize)
+    }
+}
+
+/// Header = big-endian `magic` plus `dims` u32 dimension sizes.
+fn parse_idx_header(raw: &[u8], dims: usize) -> Result<(u32, Vec<u32>), String> {
+    let header = 4 * (1 + dims);
+    if raw.len() < header {
+        return Err(format!(
+            "{} bytes is too short for an IDX header",
+            raw.len()
+        ));
+    }
+    let word =
+        |i: usize| u32::from_be_bytes([raw[4 * i], raw[4 * i + 1], raw[4 * i + 2], raw[4 * i + 3]]);
+    Ok((word(0), (1..=dims).map(word).collect()))
+}
+
+fn find_idx_file(dir: &Path, stem: &str, ext: &str) -> Result<PathBuf, String> {
+    let dashed = dir.join(format!("{stem}-{ext}"));
+    if dashed.is_file() {
+        return Ok(dashed);
+    }
+    let dotted = dir.join(format!("{stem}.{ext}"));
+    if dotted.is_file() {
+        return Ok(dotted);
+    }
+    Err(format!(
+        "{}: neither {stem}-{ext} nor {stem}.{ext} found",
+        dir.display()
+    ))
+}
+
+/// The dataset behind training and evaluation batches: real IDX MNIST
+/// when [`MNIST_DIR_ENV`] points at it, the procedural fallback
+/// otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MnistSource {
+    /// Hermetic procedural digits (the default; CI uses only this).
+    Synthetic(SyntheticMnist),
+    /// Real MNIST; sample indices wrap modulo the set size and the
+    /// dataset seed is ignored (the on-disk ordering is the ordering).
+    Idx(IdxMnist),
+}
+
+impl MnistSource {
+    /// Selects the dataset for `seed`: IDX MNIST when [`MNIST_DIR_ENV`]
+    /// is set and non-empty, [`SyntheticMnist`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but the directory does not hold a
+    /// loadable IDX pair — a misconfigured opt-in must fail loud, not
+    /// silently fall back to synthetic data.
+    pub fn from_env(seed: u64) -> Self {
+        match std::env::var(MNIST_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => match IdxMnist::load(Path::new(&dir)) {
+                Ok(data) => MnistSource::Idx(data),
+                Err(e) => panic!("{MNIST_DIR_ENV}: {e}"),
+            },
+            _ => MnistSource::Synthetic(SyntheticMnist::new(seed)),
+        }
+    }
+
+    /// Generates `n` consecutive samples starting at `start` as an
+    /// `[n, 1, 28, 28]` tensor plus labels (same contract as
+    /// [`SyntheticMnist::batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn batch(&self, start: u64, n: usize) -> (Tensor, Vec<usize>) {
+        match self {
+            MnistSource::Synthetic(data) => data.batch(start, n),
+            MnistSource::Idx(data) => {
+                assert!(n > 0, "MnistSource::batch: n must be > 0");
+                let mut pixels = Vec::with_capacity(n * IMAGE_PIXELS);
+                let mut labels = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (img, label) = data.sample(start + i as u64);
+                    pixels.extend_from_slice(&img);
+                    labels.push(label);
+                }
+                (
+                    Tensor::from_vec(&[n, 1, IMAGE_SIDE, IMAGE_SIDE], pixels),
+                    labels,
+                )
+            }
+        }
+    }
+}
+
+/// Adapts a `[n, 1, 28, 28]` batch to the `[channels, h, w]` input an
+/// executable zoo network expects, by nearest-neighbour upscaling and
+/// replicating the single channel. Returns the batch unchanged when the
+/// target already matches, so the custom-MNIST path is byte-identical
+/// to feeding the batch directly.
+///
+/// # Panics
+///
+/// Panics if `images` is not a `[n, 1, 28, 28]` batch.
+pub fn adapt_batch(images: &Tensor, target: [usize; 3]) -> Tensor {
+    assert_eq!(
+        &images.shape()[1..],
+        &[1, IMAGE_SIDE, IMAGE_SIDE],
+        "adapt_batch: source must be [n, 1, {IMAGE_SIDE}, {IMAGE_SIDE}]"
+    );
+    if target == [1, IMAGE_SIDE, IMAGE_SIDE] {
+        return images.clone();
+    }
+    let n = images.shape()[0];
+    let [c, h, w] = target;
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = images.data();
+    let dst = out.data_mut();
+    for img in 0..n {
+        for y in 0..h {
+            let sy = y * IMAGE_SIDE / h;
+            for x in 0..w {
+                let sx = x * IMAGE_SIDE / w;
+                let v = src[(img * IMAGE_SIDE + sy) * IMAGE_SIDE + sx];
+                for ch in 0..c {
+                    dst[((img * c + ch) * h + y) * w + x] = v;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// SplitMix64-style mixing of `(seed, index)` into an RNG seed.
@@ -288,5 +543,106 @@ mod tests {
         let (images, labels) = d.batch(100, 32);
         assert_eq!(images.shape(), &[32, 1, 28, 28]);
         assert_eq!(labels.len(), 32);
+    }
+
+    /// Writes a minimal IDX pair (3 samples) into a fresh temp dir.
+    fn write_idx_pair(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnnlife-idx-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let count = 3u32;
+        let mut images = Vec::new();
+        images.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        images.extend_from_slice(&count.to_be_bytes());
+        images.extend_from_slice(&(IMAGE_SIDE as u32).to_be_bytes());
+        images.extend_from_slice(&(IMAGE_SIDE as u32).to_be_bytes());
+        for i in 0..count as usize * IMAGE_PIXELS {
+            images.push((i % 251) as u8);
+        }
+        std::fs::write(dir.join("train-images-idx3-ubyte"), images).unwrap();
+        let mut labels = Vec::new();
+        labels.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        labels.extend_from_slice(&count.to_be_bytes());
+        labels.extend_from_slice(&[7u8, 0, 3]);
+        std::fs::write(dir.join("train-labels-idx1-ubyte"), labels).unwrap();
+        dir
+    }
+
+    #[test]
+    fn idx_loader_round_trips_and_wraps() {
+        let dir = write_idx_pair("ok");
+        let data = IdxMnist::load(&dir).unwrap();
+        assert_eq!(data.count(), 3);
+        let (img, label) = data.sample(0);
+        assert_eq!(label, 7);
+        assert_eq!(img[1], 1.0 / 255.0);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Indices wrap modulo the set size.
+        let (wrapped, wrapped_label) = data.sample(3 + 2);
+        assert_eq!(wrapped_label, 3);
+        assert_eq!(wrapped, data.sample(2).0);
+        // The MnistSource batch path agrees with direct samples.
+        let source = MnistSource::Idx(data.clone());
+        let (batch, labels) = source.batch(1, 2);
+        assert_eq!(batch.shape(), &[2, 1, 28, 28]);
+        assert_eq!(labels, vec![0, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn idx_loader_rejects_bad_magic() {
+        let dir = write_idx_pair("badmagic");
+        let path = dir.join("train-images-idx3-ubyte");
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[3] = 0x99;
+        std::fs::write(&path, raw).unwrap();
+        let err = IdxMnist::load(&dir).unwrap_err();
+        assert!(err.contains("IDX magic"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn idx_loader_names_missing_files() {
+        let dir = std::env::temp_dir().join(format!("dnnlife-idx-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = IdxMnist::load(&dir).unwrap_err();
+        assert!(err.contains("train-images"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn synthetic_source_matches_raw_dataset() {
+        let source = MnistSource::Synthetic(SyntheticMnist::new(11));
+        let (a, la) = source.batch(40, 6);
+        let (b, lb) = SyntheticMnist::new(11).batch(40, 6);
+        assert_eq!(a.data(), b.data());
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn adapt_batch_identity_is_byte_exact() {
+        let (images, _) = SyntheticMnist::new(3).batch(0, 4);
+        let adapted = adapt_batch(&images, [1, 28, 28]);
+        assert_eq!(adapted.data(), images.data());
+    }
+
+    #[test]
+    fn adapt_batch_upscales_and_replicates_channels() {
+        let (images, _) = SyntheticMnist::new(3).batch(0, 2);
+        let adapted = adapt_batch(&images, [3, 227, 227]);
+        assert_eq!(adapted.shape(), &[2, 3, 227, 227]);
+        // Channels are replicas of each other.
+        for img in 0..2 {
+            for y in [0usize, 100, 226] {
+                for x in [0usize, 113, 226] {
+                    let v = adapted.at4(img, 0, y, x);
+                    assert_eq!(v, adapted.at4(img, 1, y, x));
+                    assert_eq!(v, adapted.at4(img, 2, y, x));
+                    // Nearest-neighbour: the source pixel at the scaled
+                    // coordinate.
+                    let (sy, sx) = (y * 28 / 227, x * 28 / 227);
+                    assert_eq!(v, images.at4(img, 0, sy, sx));
+                }
+            }
+        }
     }
 }

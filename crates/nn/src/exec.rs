@@ -1,0 +1,144 @@
+//! Execution-thread budget for the batched executor.
+//!
+//! The campaign layer owns the thread count (`--threads`); the layers in
+//! this crate must not spawn an unbounded pool of their own. This module
+//! carries that budget as a thread-local so a caller can hand a worker
+//! `n` threads for the duration of a closure and every [`Conv2d`]
+//! forward underneath it parallelises over the batch dimension within
+//! that budget.
+//!
+//! Determinism contract: the per-image work partitions are independent —
+//! each image's output block is computed by exactly one thread with a
+//! fixed sequential instruction stream — so results are byte-identical
+//! for every budget value. The budget only changes wall-clock time.
+//!
+//! [`Conv2d`]: crate::layers::Conv2d
+
+use std::cell::Cell;
+
+thread_local! {
+    static BUDGET: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The current thread budget for batched layer execution (at least 1).
+pub fn budget() -> usize {
+    BUDGET.with(|b| b.get()).max(1)
+}
+
+/// Runs `f` with the execution budget set to `threads` (clamped to at
+/// least 1), restoring the previous budget afterwards — also on panic.
+///
+/// # Example
+///
+/// ```
+/// use dnnlife_nn::exec;
+///
+/// assert_eq!(exec::budget(), 1);
+/// let n = exec::with_budget(4, exec::budget);
+/// assert_eq!(n, 4);
+/// assert_eq!(exec::budget(), 1);
+/// ```
+pub fn with_budget<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET.with(|b| b.replace(threads.max(1))));
+    f()
+}
+
+/// Splits `out` into `out.len() / per_image` contiguous per-image blocks
+/// and runs `f(image_index, block)` for each, fanning the images out
+/// over the current [`budget`].
+///
+/// Blocks are disjoint and each is written by exactly one invocation, so
+/// the result is byte-identical for every budget.
+///
+/// # Panics
+///
+/// Panics if `per_image` is zero or does not divide `out.len()`.
+pub fn for_each_image<F>(out: &mut [f32], per_image: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(per_image > 0, "for_each_image: per_image must be > 0");
+    assert!(
+        out.len().is_multiple_of(per_image),
+        "for_each_image: buffer of {} is not a multiple of {per_image}",
+        out.len()
+    );
+    let images = out.len() / per_image;
+    let threads = budget().min(images).max(1);
+    if threads == 1 {
+        for (img, block) in out.chunks_mut(per_image).enumerate() {
+            f(img, block);
+        }
+        return;
+    }
+    // Round-robin assignment keeps per-thread work balanced when early
+    // images are no cheaper than late ones (they never are here).
+    let mut queues: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (img, block) in out.chunks_mut(per_image).enumerate() {
+        queues[img % threads].push((img, block));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for queue in queues {
+            scope.spawn(move || {
+                for (img, block) in queue {
+                    f(img, block);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults_to_one_and_nests() {
+        assert_eq!(budget(), 1);
+        with_budget(3, || {
+            assert_eq!(budget(), 3);
+            with_budget(0, || assert_eq!(budget(), 1));
+            assert_eq!(budget(), 3);
+        });
+        assert_eq!(budget(), 1);
+    }
+
+    #[test]
+    fn budget_restored_on_panic() {
+        let caught = std::panic::catch_unwind(|| with_budget(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(budget(), 1);
+    }
+
+    #[test]
+    fn for_each_image_is_budget_invariant() {
+        let run = |threads: usize| {
+            with_budget(threads, || {
+                let mut out = vec![0.0f32; 7 * 5];
+                for_each_image(&mut out, 5, |img, block| {
+                    for (i, v) in block.iter_mut().enumerate() {
+                        *v = (img * 100 + i) as f32;
+                    }
+                });
+                out
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run(threads), serial, "budget {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn for_each_image_rejects_ragged_buffer() {
+        for_each_image(&mut [0.0f32; 7], 5, |_, _| {});
+    }
+}

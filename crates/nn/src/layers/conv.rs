@@ -11,6 +11,12 @@ use crate::tensor::Tensor;
 /// canonical order [`crate::weights`] streams weights in, so an executed
 /// network and a weight-memory trace see identical data.
 ///
+/// The forward pass is an im2col lowering: each image's input patches
+/// are gathered into a dense `positions × patch` matrix (padding as
+/// literal zeros) and multiplied against the `[out_channels, patch]`
+/// filter matrix, with the batch fanned out over the thread budget in
+/// [`crate::exec`]. Results are byte-identical at every budget.
+///
 /// # Example
 ///
 /// ```
@@ -116,6 +122,35 @@ impl Conv2d {
         let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
         (oh, ow)
     }
+
+    /// im2col gather table: for every `(output position, ky, kx)` tap,
+    /// the channel-local flat input offset `iy * w + ix`, or `-1` when
+    /// the tap lands in the zero padding. The table is shared by every
+    /// image and channel, so forward builds it once per batch.
+    fn spatial_offsets(&self, h: usize, w: usize, oh: usize, ow: usize) -> Vec<isize> {
+        let k = self.kernel;
+        let (stride, pad) = (self.stride, self.padding);
+        let mut offsets = vec![-1isize; oh * ow * k * k];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let pos = oy * ow + ox;
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        offsets[(pos * k + ky) * k + kx] = iy * w as isize + ix;
+                    }
+                }
+            }
+        }
+        offsets
+    }
 }
 
 impl Layer for Conv2d {
@@ -142,40 +177,57 @@ impl Layer for Conv2d {
         let cin_g = self.in_channels / self.groups;
         let cout_g = self.out_channels / self.groups;
         let k = self.kernel;
-        let (stride, pad) = (self.stride, self.padding);
+        let positions = oh * ow;
+        let patch = cin_g * k * k;
+        let spatial = self.spatial_offsets(h, w, oh, ow);
 
-        for img in 0..n {
-            for oc in 0..self.out_channels {
-                let g = oc / cout_g;
-                let b = self.bias.data()[oc];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b;
-                        for ic_local in 0..cin_g {
-                            let ic = g * cin_g + ic_local;
-                            for ky in 0..k {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let wv =
-                                        self.weight.data()[self.weight.idx4(oc, ic_local, ky, kx)];
-                                    let iv =
-                                        input.data()[input.idx4(img, ic, iy as usize, ix as usize)];
-                                    acc += wv * iv;
-                                }
-                            }
+        let weight = self.weight.data();
+        let bias = self.bias.data();
+        let input_data = input.data();
+        let (groups, out_channels) = (self.groups, self.out_channels);
+        let per_image = out_channels * positions;
+
+        // im2col + GEMM per image, fanned over the batch within the
+        // campaign thread budget. The dot product walks the patch in the
+        // same (ic_local, ky, kx) order as a direct convolution, with
+        // padded taps gathered as literal zeros, so accumulation order —
+        // and hence every f32 bit — matches the direct loop wherever no
+        // padding is involved, and differs from it only by exact `+ 0.0`
+        // terms where it is.
+        crate::exec::for_each_image(out.data_mut(), per_image, |img, out_img| {
+            let mut col = vec![0.0f32; positions * patch];
+            for g in 0..groups {
+                for ic_local in 0..cin_g {
+                    let ic = g * cin_g + ic_local;
+                    let base = (img * c + ic) * h * w;
+                    for pos in 0..positions {
+                        let taps = &spatial[pos * k * k..(pos + 1) * k * k];
+                        let dst = &mut col[pos * patch + ic_local * k * k..][..k * k];
+                        for (d, &s) in dst.iter_mut().zip(taps) {
+                            *d = if s < 0 {
+                                0.0
+                            } else {
+                                input_data[base + s as usize]
+                            };
                         }
-                        out.data_mut()[((img * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+                for oc_local in 0..cout_g {
+                    let oc = g * cout_g + oc_local;
+                    let w_row = &weight[oc * patch..(oc + 1) * patch];
+                    let b = bias[oc];
+                    let out_row = &mut out_img[oc * positions..(oc + 1) * positions];
+                    for (pos, o) in out_row.iter_mut().enumerate() {
+                        let patch_row = &col[pos * patch..(pos + 1) * patch];
+                        let mut acc = b;
+                        for (wv, iv) in w_row.iter().zip(patch_row) {
+                            acc += wv * iv;
+                        }
+                        *o = acc;
                     }
                 }
             }
-        }
+        });
         self.cached_input = Some(input.clone());
         out
     }
@@ -185,7 +237,7 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .expect("Conv2d::backward called before forward");
-        let (n, _c, h, w) = (
+        let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],
             input.shape()[2],
@@ -202,37 +254,36 @@ impl Layer for Conv2d {
         let cin_g = self.in_channels / self.groups;
         let cout_g = self.out_channels / self.groups;
         let k = self.kernel;
-        let (stride, pad) = (self.stride, self.padding);
+        let positions = oh * ow;
+        let patch = cin_g * k * k;
+        // The same im2col gather table the forward pass uses; `-1` taps
+        // are the padded positions the direct loops skipped, so walking
+        // the table preserves the exact f32 accumulation order of the
+        // original nested loops (training bytes are golden-pinned).
+        let spatial = self.spatial_offsets(h, w, oh, ow);
 
         for img in 0..n {
             for oc in 0..self.out_channels {
                 let g = oc / cout_g;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go =
-                            grad_out.data()[((img * self.out_channels + oc) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        self.grad_bias.data_mut()[oc] += go;
-                        for ic_local in 0..cin_g {
-                            let ic = g * cin_g + ic_local;
-                            for ky in 0..k {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let w_idx = self.weight.idx4(oc, ic_local, ky, kx);
-                                    let i_idx = input.idx4(img, ic, iy as usize, ix as usize);
-                                    self.grad_weight.data_mut()[w_idx] += go * input.data()[i_idx];
-                                    grad_in.data_mut()[i_idx] += go * self.weight.data()[w_idx];
-                                }
+                let w_base = oc * patch;
+                for pos in 0..positions {
+                    let go = grad_out.data()[(img * self.out_channels + oc) * positions + pos];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias.data_mut()[oc] += go;
+                    let taps = &spatial[pos * k * k..(pos + 1) * k * k];
+                    for ic_local in 0..cin_g {
+                        let ic = g * cin_g + ic_local;
+                        let base = (img * c + ic) * h * w;
+                        for (t, &s) in taps.iter().enumerate() {
+                            if s < 0 {
+                                continue;
                             }
+                            let w_idx = w_base + ic_local * k * k + t;
+                            let i_idx = base + s as usize;
+                            self.grad_weight.data_mut()[w_idx] += go * input.data()[i_idx];
+                            grad_in.data_mut()[i_idx] += go * self.weight.data()[w_idx];
                         }
                     }
                 }
@@ -358,5 +409,27 @@ mod tests {
     #[should_panic(expected = "must divide groups")]
     fn rejects_indivisible_groups() {
         Conv2d::new("c", 3, 4, 3, 1, 0, 2);
+    }
+
+    #[test]
+    fn forward_is_thread_budget_invariant() {
+        let input = Tensor::from_fn(&[5, 2, 9, 9], |i| ((i % 23) as f32 - 11.0) * 0.1);
+        let run = |threads: usize| {
+            crate::exec::with_budget(threads, || {
+                let mut conv = filled_conv();
+                conv.forward(&input).into_vec()
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            let par = run(threads);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "budget {threads} changed forward bytes"
+            );
+        }
     }
 }

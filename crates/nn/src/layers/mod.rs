@@ -2,10 +2,10 @@
 //!
 //! Every layer implements [`Layer`] with a caching `forward` and a
 //! gradient-producing `backward`, which is all the SGD trainer in
-//! [`crate::train`] needs. Layers are deliberately eager and allocation-
-//! simple — the networks that are actually *executed* in this
-//! reproduction (the paper's custom MNIST CNN) are small; the ImageNet
-//! architectures are only used as weight providers via [`crate::zoo`].
+//! [`crate::train`] needs. `Conv2d` lowers to an im2col GEMM fanned over
+//! the batch within the [`crate::exec`] thread budget, so the full zoo —
+//! the paper's custom MNIST CNN *and* the ImageNet-class AlexNet/VGG
+//! stacks built by [`crate::zoo`] — executes end to end.
 
 mod activation;
 mod conv;

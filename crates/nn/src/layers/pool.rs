@@ -3,7 +3,8 @@
 use super::Layer;
 use crate::tensor::Tensor;
 
-/// Non-overlapping max pooling over `[n, c, h, w]` tensors.
+/// Max pooling over `[n, c, h, w]` tensors, with an optional stride
+/// smaller than the window (AlexNet's overlapping 3×3 stride-2 pools).
 ///
 /// # Example
 ///
@@ -14,10 +15,15 @@ use crate::tensor::Tensor;
 /// let mut pool = MaxPool2d::new(2);
 /// let out = pool.forward(&Tensor::zeros(&[1, 3, 8, 8]));
 /// assert_eq!(out.shape(), &[1, 3, 4, 4]);
+///
+/// let mut overlapping = MaxPool2d::with_stride(3, 2);
+/// let out = overlapping.forward(&Tensor::zeros(&[1, 3, 55, 55]));
+/// assert_eq!(out.shape(), &[1, 3, 27, 27]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
+    stride: usize,
     /// Flat input index of the argmax for every output element.
     argmax: Option<Vec<usize>>,
     input_shape: Option<Vec<usize>>,
@@ -31,9 +37,21 @@ impl MaxPool2d {
     ///
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
+        Self::with_stride(window, window)
+    }
+
+    /// Creates a max-pool layer with a square `window × window` kernel and
+    /// an explicit stride (`stride < window` gives overlapping pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn with_stride(window: usize, stride: usize) -> Self {
         assert!(window > 0, "MaxPool2d: window must be > 0");
+        assert!(stride > 0, "MaxPool2d: stride must be > 0");
         Self {
             window,
+            stride,
             argmax: None,
             input_shape: None,
         }
@@ -54,11 +72,12 @@ impl Layer for MaxPool2d {
             input.shape()[3],
         );
         let k = self.window;
+        let s = self.stride;
         assert!(
-            h % k == 0 && w % k == 0,
-            "MaxPool2d: spatial dims ({h}×{w}) must divide the window ({k})"
+            h >= k && w >= k && (h - k).is_multiple_of(s) && (w - k).is_multiple_of(s),
+            "MaxPool2d: spatial dims ({h}×{w}) must divide the window ({k}) at stride {s}"
         );
-        let (oh, ow) = (h / k, w / k);
+        let (oh, ow) = ((h - k) / s + 1, (w - k) / s + 1);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = vec![0usize; out.len()];
         for img in 0..n {
@@ -69,7 +88,7 @@ impl Layer for MaxPool2d {
                         let mut best_idx = 0usize;
                         for ky in 0..k {
                             for kx in 0..k {
-                                let idx = input.idx4(img, ch, oy * k + ky, ox * k + kx);
+                                let idx = input.idx4(img, ch, oy * s + ky, ox * s + kx);
                                 let v = input.data()[idx];
                                 if v > best {
                                     best = v;
@@ -149,6 +168,37 @@ mod tests {
     fn rejects_indivisible_input() {
         let mut pool = MaxPool2d::new(3);
         let _ = pool.forward(&Tensor::zeros(&[1, 1, 4, 4]));
+    }
+
+    #[test]
+    fn overlapping_stride_shapes_and_values() {
+        // AlexNet-style 3×3/s2 over 5×5: output 2×2, windows overlap on
+        // the centre row/column.
+        let mut pool = MaxPool2d::with_stride(3, 2);
+        let input = Tensor::from_fn(&[1, 1, 5, 5], |i| i as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        // Each window's max is its bottom-right element.
+        assert_eq!(out.data(), &[12.0, 14.0, 22.0, 24.0]);
+    }
+
+    #[test]
+    fn overlapping_backward_accumulates_shared_argmax() {
+        // 3×3/s2 over 5×5 with the global max at the shared centre: all
+        // four windows route their gradient to one input cell.
+        let mut pool = MaxPool2d::with_stride(3, 2);
+        let mut input = Tensor::zeros(&[1, 1, 5, 5]);
+        input.data_mut()[12] = 9.0; // centre (2,2), inside every window
+        let _ = pool.forward(&input);
+        let grad = pool.backward(&Tensor::from_vec(&[1, 1, 2, 2], vec![1.0; 4]));
+        assert_eq!(grad.data()[12], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the window")]
+    fn rejects_unaligned_stride() {
+        let mut pool = MaxPool2d::with_stride(3, 2);
+        let _ = pool.forward(&Tensor::zeros(&[1, 1, 6, 6]));
     }
 
     #[test]

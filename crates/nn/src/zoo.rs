@@ -1,18 +1,21 @@
-//! Architecture descriptors for the paper's three workloads.
+//! Architecture descriptors and executable builders for the paper's
+//! three workloads.
 //!
-//! The memory-aging experiments never need to *execute* AlexNet or
-//! VGG-16 — they need the exact weight tensor shapes (for block
-//! partitioning) and the weight values (provided synthetically by
-//! [`crate::weights`]). This module captures the architectures as
-//! [`NetworkSpec`] values with exact parameter counts:
+//! This module captures the architectures as [`NetworkSpec`] values with
+//! exact parameter counts:
 //!
 //! * AlexNet — 60,954,656 weights + 10,568 biases = 60,965,224 params,
 //! * VGG-16 — 138,344,128 weights + 13,416 biases = 138,357,544 params,
 //! * the paper's custom MNIST network — CONV(16,1,5,5), CONV(50,16,5,5),
 //!   FC(256,800), FC(10,256) = 227,760 weights + 332 biases.
 //!
-//! The custom network is also buildable as an executable
-//! [`crate::Sequential`] via [`build_custom_mnist`].
+//! Every spec is also buildable as an executable [`crate::Sequential`]
+//! via [`build_network`] (with [`build_custom_mnist`] kept as the
+//! historical entry point for the custom network): the im2col executor
+//! in [`crate::layers::Conv2d`] runs the full convolutional stacks, and
+//! weight values come from the same synthetic trained-like model
+//! ([`crate::weights`]) the memory experiments stream, so an executed
+//! network and a simulated weight memory see identical data.
 
 use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU};
 use crate::network::Sequential;
@@ -266,6 +269,21 @@ impl NetworkSpec {
             ],
         )
     }
+
+    /// Input tensor shape `[channels, height, width]` the executable
+    /// build of this spec expects (see [`build_network`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a spec this zoo has no executable builder for.
+    pub fn input_shape(&self) -> [usize; 3] {
+        match self.name.as_str() {
+            "alexnet" => [3, 227, 227],
+            "vgg16" => [3, 224, 224],
+            "custom-mnist" => [1, 28, 28],
+            other => panic!("NetworkSpec::input_shape: no executable builder for `{other}`"),
+        }
+    }
 }
 
 /// Builds the paper's custom MNIST network as an executable
@@ -288,17 +306,50 @@ impl NetworkSpec {
 /// assert_eq!(out.shape(), &[1, 10]);
 /// ```
 pub fn build_custom_mnist(seed: u64) -> Sequential {
-    let spec = NetworkSpec::custom_mnist();
+    build_network(&NetworkSpec::custom_mnist(), seed)
+}
+
+/// Builds any zoo spec as an executable [`Sequential`] with weights
+/// drawn from the synthetic trained-like model ([`LayerWeightGen`]),
+/// dispatched by [`NetworkSpec::name`]. Inputs must match
+/// [`NetworkSpec::input_shape`].
+///
+/// # Panics
+///
+/// Panics for a spec this zoo has no executable builder for, or if the
+/// spec's recorded layer geometry disagrees with the built network.
+///
+/// # Example
+///
+/// ```no_run
+/// use dnnlife_nn::zoo::build_network;
+/// use dnnlife_nn::{NetworkSpec, Tensor};
+///
+/// let spec = NetworkSpec::alexnet();
+/// let mut net = build_network(&spec, 42);
+/// let out = net.forward(&Tensor::zeros(&[1, 3, 227, 227]));
+/// assert_eq!(out.shape(), &[1, 1000]);
+/// ```
+pub fn build_network(spec: &NetworkSpec, seed: u64) -> Sequential {
+    match spec.name() {
+        "alexnet" => build_alexnet(spec, seed),
+        "vgg16" => build_vgg16(spec, seed),
+        "custom-mnist" => build_custom_mnist_layers(spec, seed),
+        other => panic!("build_network: no executable builder for `{other}`"),
+    }
+}
+
+fn build_custom_mnist_layers(spec: &NetworkSpec, seed: u64) -> Sequential {
     let mut net = Sequential::new(spec.name());
 
     let mut conv1 = Conv2d::new("conv1", 1, 16, 5, 1, 0, 1);
-    fill_from_gen(conv1.weights_mut(), &spec, 0, seed);
+    fill_from_gen(conv1.weights_mut(), spec, 0, seed);
     net.push(conv1);
     net.push(ReLU::new());
     net.push(MaxPool2d::new(2));
 
     let mut conv2 = Conv2d::new("conv2", 16, 50, 5, 1, 0, 1);
-    fill_from_gen(conv2.weights_mut(), &spec, 1, seed);
+    fill_from_gen(conv2.weights_mut(), spec, 1, seed);
     net.push(conv2);
     net.push(ReLU::new());
     net.push(MaxPool2d::new(2));
@@ -306,14 +357,122 @@ pub fn build_custom_mnist(seed: u64) -> Sequential {
     net.push(Flatten::new());
 
     let mut fc1 = Dense::new("fc1", 800, 256);
-    fill_from_gen(fc1.weights_mut(), &spec, 2, seed);
+    fill_from_gen(fc1.weights_mut(), spec, 2, seed);
     net.push(fc1);
     net.push(ReLU::new());
 
     let mut fc2 = Dense::new("fc2", 256, 10);
-    fill_from_gen(fc2.weights_mut(), &spec, 3, seed);
+    fill_from_gen(fc2.weights_mut(), spec, 3, seed);
     net.push(fc2);
 
+    net
+}
+
+/// Pushes a filled conv + ReLU, asserting the derived spatial output
+/// matches the spec's recorded `output_positions`.
+#[allow(clippy::too_many_arguments)]
+fn push_conv(
+    net: &mut Sequential,
+    spec: &NetworkSpec,
+    layer: usize,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+    in_hw: usize,
+    seed: u64,
+) -> usize {
+    let out_hw = (in_hw + 2 * padding - kernel) / stride + 1;
+    let ls = &spec.layers()[layer];
+    assert_eq!(
+        ls.output_positions(),
+        (out_hw * out_hw) as u64,
+        "build_network {}: layer {} derives {out_hw}×{out_hw}, spec disagrees",
+        spec.name(),
+        ls.name()
+    );
+    let mut conv = Conv2d::new(
+        ls.name(),
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        groups,
+    );
+    fill_from_gen(conv.weights_mut(), spec, layer, seed);
+    net.push(conv);
+    net.push(ReLU::new());
+    out_hw
+}
+
+/// Pushes the FC tail `dims` (ReLU between layers, none after the last),
+/// filling weights from layer indices starting at `first_layer`.
+fn push_fc_tail(net: &mut Sequential, spec: &NetworkSpec, first_layer: usize, seed: u64) {
+    net.push(Flatten::new());
+    let last = spec.layers().len() - 1;
+    for layer in first_layer..=last {
+        let ls = &spec.layers()[layer];
+        let (inp, out) = (ls.fan_in() as usize, ls.filter_count() as usize);
+        let mut fc = Dense::new(ls.name(), inp, out);
+        fill_from_gen(fc.weights_mut(), spec, layer, seed);
+        net.push(fc);
+        if layer != last {
+            net.push(ReLU::new());
+        }
+    }
+}
+
+fn build_alexnet(spec: &NetworkSpec, seed: u64) -> Sequential {
+    let mut net = Sequential::new(spec.name());
+    // (in, out, kernel, stride, padding, groups, pooled-after?).
+    let convs = [
+        (3, 96, 11, 4, 0, 1, true),
+        (96, 256, 5, 1, 2, 2, true),
+        (256, 384, 3, 1, 1, 1, false),
+        (384, 384, 3, 1, 1, 2, false),
+        (384, 256, 3, 1, 1, 2, true),
+    ];
+    let mut hw = 227usize;
+    for (layer, &(cin, cout, k, s, p, g, pooled)) in convs.iter().enumerate() {
+        hw = push_conv(&mut net, spec, layer, cin, cout, k, s, p, g, hw, seed);
+        if pooled {
+            net.push(MaxPool2d::with_stride(3, 2));
+            hw = (hw - 3) / 2 + 1;
+        }
+    }
+    assert_eq!(hw, 6, "build_network alexnet: conv stack must end at 6×6");
+    push_fc_tail(&mut net, spec, 5, seed);
+    net
+}
+
+fn build_vgg16(spec: &NetworkSpec, seed: u64) -> Sequential {
+    let mut net = Sequential::new(spec.name());
+    // Configuration D: conv channel widths per block, 2×2/s2 pool after
+    // each block; every conv is 3×3 stride 1 pad 1.
+    let blocks: [&[usize]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
+    let mut hw = 224usize;
+    let mut cin = 3usize;
+    let mut layer = 0usize;
+    for block in blocks {
+        for &cout in block {
+            hw = push_conv(&mut net, spec, layer, cin, cout, 3, 1, 1, 1, hw, seed);
+            cin = cout;
+            layer += 1;
+        }
+        net.push(MaxPool2d::new(2));
+        hw /= 2;
+    }
+    assert_eq!(hw, 7, "build_network vgg16: conv stack must end at 7×7");
+    push_fc_tail(&mut net, spec, layer, seed);
     net
 }
 
@@ -498,6 +657,49 @@ mod tests {
         let mut tables = extract_layer_weights(&mut net);
         tables[2].pop();
         apply_layer_weights(&mut net, &spec, &tables);
+    }
+
+    #[test]
+    fn build_network_custom_matches_historical_builder() {
+        let spec = NetworkSpec::custom_mnist();
+        let mut a = build_network(&spec, 7);
+        let mut b = build_custom_mnist(7);
+        let input = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 19) as f32 * 0.04);
+        assert_eq!(a.forward(&input).data(), b.forward(&input).data());
+    }
+
+    #[test]
+    fn input_shapes_cover_the_zoo() {
+        assert_eq!(NetworkSpec::alexnet().input_shape(), [3, 227, 227]);
+        assert_eq!(NetworkSpec::vgg16().input_shape(), [3, 224, 224]);
+        assert_eq!(NetworkSpec::custom_mnist().input_shape(), [1, 28, 28]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no executable builder")]
+    fn build_network_rejects_unknown_spec() {
+        let spec = NetworkSpec::new("mystery", vec![LayerSpec::fc("fc", 2, 2)]);
+        let _ = build_network(&spec, 0);
+    }
+
+    #[test]
+    #[ignore = "AlexNet-scale forward: nightly release tier"]
+    fn build_alexnet_runs_end_to_end() {
+        let spec = NetworkSpec::alexnet();
+        let mut net = build_network(&spec, 3);
+        assert_eq!(net.param_count() as u64, spec.param_count());
+        let out = net.forward(&Tensor::zeros(&[1, 3, 227, 227]));
+        assert_eq!(out.shape(), &[1, 1000]);
+    }
+
+    #[test]
+    #[ignore = "VGG-scale forward: nightly release tier"]
+    fn build_vgg16_runs_end_to_end() {
+        let spec = NetworkSpec::vgg16();
+        let mut net = build_network(&spec, 3);
+        assert_eq!(net.param_count() as u64, spec.param_count());
+        let out = net.forward(&Tensor::zeros(&[1, 3, 224, 224]));
+        assert_eq!(out.shape(), &[1, 1000]);
     }
 
     #[test]
